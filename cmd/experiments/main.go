@@ -1,0 +1,203 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§V) on the synthetic collections. Absolute numbers differ
+// from the paper's testbed; the shapes — who wins, by what factor, where
+// quality plateaus or crosses over — are the reproduction target (see
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments -exp all                 # everything (slow)
+//	experiments -exp tableII|tableIII|casestudy
+//	experiments -exp fig5a|fig5b|fig5c|fig5d|fig5e|fig5f|fig5g|fig5h
+//	experiments -exp training|precompute|endtoend|incext
+//	experiments -entities 120 -seed 7 -collections Drugs,Paper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"semjoin/internal/expr"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (all, tableII, tableIII, casestudy, fig5a..fig5h, training, precompute, endtoend, incext)")
+	entities := flag.Int("entities", 60, "entities per collection")
+	seed := flag.Uint64("seed", 7, "random seed")
+	collections := flag.String("collections", "", "comma-separated subset of collections")
+	variants := flag.String("variants", "", "comma-separated subset of method variants")
+	flag.Parse()
+
+	o := expr.Options{Entities: *entities, Seed: *seed}
+	if *collections != "" {
+		o.Collections = strings.Split(*collections, ",")
+	}
+	if *variants != "" {
+		for _, v := range strings.Split(*variants, ",") {
+			o.Variants = append(o.Variants, expr.Variant(v))
+		}
+	}
+
+	run := func(id string) bool { return *exp == "all" || *exp == id }
+	w := os.Stdout
+	any := false
+
+	if run("tableII") {
+		any = true
+		fmt.Fprintln(w, "Table II — dataset collections")
+		rows := [][]string{}
+		rows = append(rows, []string{"collection", "tuples", "vertices", "edges"})
+		for _, s := range expr.TableII(o) {
+			rows = append(rows, []string{s.Name, fmt.Sprint(s.Tuples), fmt.Sprint(s.Vertices), fmt.Sprint(s.Edges)})
+		}
+		printAligned(rows)
+		fmt.Fprintln(w)
+	}
+	if run("casestudy") {
+		any = true
+		fmt.Fprintln(w, "Exp-1 — case study (q1 drug conflicts, q2 fake-news topics)")
+		cs, err := expr.CaseStudy(o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "casestudy:", err)
+		} else {
+			fmt.Fprintf(w, "q1: %d conflicting same-disease pairs, accuracy %.2f\n", cs.Q1Pairs, cs.Q1Accuracy)
+			fmt.Fprintf(w, "q1: Spinosad extracted disease %q (correct: %v)\n", cs.SpinosadDisease, cs.SpinosadCorrect)
+			fmt.Fprintf(w, "q2: %d author topics, accuracy %.2f\n\n", cs.Q2Topics, cs.Q2Accuracy)
+		}
+	}
+	figs := map[string]func(expr.Options) expr.Figure{
+		"fig5a": expr.Fig5a, "fig5b": expr.Fig5b, "fig5c": expr.Fig5c,
+		"fig5d": expr.Fig5d, "fig5e": expr.Fig5e, "fig5f": expr.Fig5f, "fig5g": expr.Fig5g,
+	}
+	for _, id := range []string{"fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f", "fig5g"} {
+		if run(id) {
+			any = true
+			expr.RenderFigure(w, figs[id](o))
+		}
+	}
+	if run("varyA") {
+		any = true
+		expr.RenderFigure(w, expr.VaryA(o))
+	}
+	if run("fig5h") || run("incext") {
+		any = true
+		fmt.Fprintln(w, "Figure 5(h) / Exp-4 — IncExt vs RExt under ΔG")
+		rows := expr.Fig5h(o)
+		expr.RenderIncRows(w, rows)
+		// Exp-4 summary: speedup at 5% and crossover point.
+		fmt.Fprintln(w)
+		byColl := map[string][]expr.IncRow{}
+		for _, r := range rows {
+			byColl[r.Collection] = append(byColl[r.Collection], r)
+		}
+		for coll, rs := range byColl {
+			var at5 float64
+			cross := "none up to 45%"
+			for _, r := range rs {
+				if r.IncSeconds <= 0 {
+					continue
+				}
+				sp := r.ExtSeconds / r.IncSeconds
+				if r.DeltaPct == 5 {
+					at5 = sp
+				}
+				if sp < 1 {
+					cross = fmt.Sprintf("%d%%", r.DeltaPct)
+					break
+				}
+			}
+			fmt.Fprintf(w, "%s: %.1fx at 5%% ΔG, crossover: %s\n", coll, at5, cross)
+		}
+		fmt.Fprintln(w)
+	}
+	if run("tableIII") {
+		any = true
+		fmt.Fprintln(w, "Table III — relative accuracy of heuristic joins")
+		expr.RenderTableIII(w, expr.TableIII(o))
+		fmt.Fprintln(w)
+	}
+	if run("training") {
+		any = true
+		fmt.Fprintln(w, "Exp-3(I)(a) — model training time")
+		rows := [][]string{{"collection", "LSTM(s)", "Transformer(s)"}}
+		for _, r := range expr.Training(o) {
+			rows = append(rows, []string{r.Collection, fmt.Sprintf("%.1f", r.LSTMSeconds), fmt.Sprintf("%.1f", r.BertSeconds)})
+		}
+		printAligned(rows)
+		fmt.Fprintln(w)
+	}
+	if run("precompute") {
+		any = true
+		fmt.Fprintln(w, "Exp-3(I)(b) — offline pre-extraction")
+		rows := [][]string{{"collection", "seconds", "cells", "graph edges", "size ratio"}}
+		for _, r := range expr.Precompute(o) {
+			rows = append(rows, []string{r.Collection, fmt.Sprintf("%.1f", r.Seconds),
+				fmt.Sprint(r.ExtractedCells), fmt.Sprint(r.GraphEdges), fmt.Sprintf("%.2f", r.SizeRatio)})
+		}
+		printAligned(rows)
+		fmt.Fprintln(w)
+	}
+	if run("ablation") {
+		any = true
+		fmt.Fprintln(w, "Ablations — DESIGN.md extensions and ranking terms (Movie)")
+		rows := [][]string{{"configuration", "F-measure", "seconds"}}
+		for _, r := range expr.Ablations(o) {
+			rows = append(rows, []string{r.Name, fmt.Sprintf("%.3f", r.F), fmt.Sprintf("%.2f", r.Seconds)})
+		}
+		printAligned(rows)
+		fmt.Fprintln(w)
+	}
+	if run("rextscale") {
+		any = true
+		fmt.Fprintln(w, "Exp-3(III) — RExt scalability (full-relation extraction)")
+		rows := [][]string{{"collection", "entities", "tuples", "edges", "seconds", "select", "embed", "cluster", "rank", "extract", "F"}}
+		for _, r := range expr.ScaleSweep(o, nil) {
+			rows = append(rows, []string{r.Collection, fmt.Sprint(r.Entities),
+				fmt.Sprint(r.Tuples), fmt.Sprint(r.Edges), fmt.Sprintf("%.2f", r.Seconds),
+				fmt.Sprintf("%.2f", r.Stages.Selection), fmt.Sprintf("%.2f", r.Stages.Embedding),
+				fmt.Sprintf("%.2f", r.Stages.Clustering), fmt.Sprintf("%.2f", r.Stages.Ranking),
+				fmt.Sprintf("%.2f", r.Stages.Extraction), fmt.Sprintf("%.2f", r.F)})
+		}
+		printAligned(rows)
+		fmt.Fprintln(w)
+	}
+	if run("endtoend") {
+		any = true
+		fmt.Fprintln(w, "Exp-3(II) — end-to-end gSQL evaluation")
+		expr.RenderEndToEnd(w, expr.EndToEnd(o))
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func printAligned(rows [][]string) {
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, row := range rows {
+		line := ""
+		for i, c := range row {
+			if i > 0 {
+				line += "  "
+			}
+			line += c + strings.Repeat(" ", widths[i]-len(c))
+		}
+		fmt.Println(strings.TrimRight(line, " "))
+		if ri == 0 {
+			n := 0
+			for _, w := range widths {
+				n += w + 2
+			}
+			fmt.Println(strings.Repeat("-", n-2))
+		}
+	}
+}

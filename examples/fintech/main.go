@@ -1,0 +1,139 @@
+// FinTech: the paper's Example 1 end to end. We build a database D
+// (customer, product) and a knowledge/transaction graph G in the spirit
+// of Figure 1, run the offline preprocessing of §IV, and answer the
+// three motivating queries in gSQL:
+//
+//	Q1 — complement a product with its backing company and country.
+//	Q2 — join two customers on an attribute (company) extracted from G.
+//	Q3 — good-credit customers within k hops of Bob (a link join).
+//
+//	go run ./examples/fintech
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"semjoin"
+)
+
+func main() {
+	g, customers, products, truth := buildWorld()
+	fmt.Printf("graph: %d vertices, %d edges; customers: %d; products: %d\n",
+		g.NumVertices(), g.NumEdges(), customers.Len(), products.Len())
+
+	models := semjoin.TrainModels(g, 8, 11)
+	matcher := semjoin.NewOracleMatcher(truth)
+
+	// Offline preprocessing (§IV-A): materialise f(D,G) and h(D,G) per
+	// base relation with reference keywords AR.
+	mat, err := semjoin.BuildMaterialized(g, models, map[string]semjoin.BaseSpec{
+		"product":  {D: products, AR: []string{"company", "country"}, Matcher: matcher},
+		"customer": {D: customers, AR: []string{"company"}, Matcher: matcher},
+	}, semjoin.RExtConfig{K: 3, H: 14, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng := semjoin.NewEngine(&semjoin.Catalog{
+		Relations: map[string]*semjoin.Relation{"customer": customers, "product": products},
+		Graphs:    map[string]*semjoin.Graph{"G": g},
+		Models:    models,
+		Matcher:   matcher,
+		Mat:       mat,
+		K:         3,
+	})
+
+	show := func(title, q string) {
+		fmt.Println("\n--", title)
+		out, err := eng.Query(q)
+		if err != nil {
+			log.Fatal(title, ": ", err)
+		}
+		fmt.Print(out)
+		for _, p := range eng.Plan {
+			fmt.Println("plan:", p)
+		}
+	}
+
+	show("Q1: risk and backer of fd0 if UK-based", `
+		select risk, company
+		from product e-join G <company, country> as T
+		where T.pid = 'fd0' and T.country = 'UK'`)
+
+	show("Q2: does Ada (cid04) share an invested company with Bob (cid02)?", `
+		select T1.cid, T2.cid, T1.company
+		from customer e-join G <company> as T1,
+		     customer e-join G <company> as T2
+		where T1.cid = 'cid04' and T2.cid = 'cid02' and T2.credit = 'good'
+		  and T1.company = T2.company`)
+
+	show("Q3: good-credit customers within 3 hops of Bob (cid02)", `
+		select customer.cid, customer2.cid, customer2.credit
+		from customer l-join <G> customer as customer2
+		where customer.cid = 'cid02' and customer2.credit = 'good'
+		  and not customer2.cid = 'cid02'`)
+}
+
+// buildWorld constructs a Figure-1-style database and graph: customers
+// invest in products, companies issue products and are registered in
+// countries.
+func buildWorld() (*semjoin.Graph, *semjoin.Relation, *semjoin.Relation, map[string]semjoin.VertexID) {
+	g := semjoin.NewGraph()
+	companies := []string{"Acme Corp", "Globex Corp", "G&L", "Umbrella Corp"}
+	countries := []string{"UK", "US", "Germany", "France"}
+	categories := []string{"Funds", "Stocks"}
+	risks := []string{"low", "medium", "high"}
+	credits := []string{"good", "fair"}
+
+	countryV := make([]semjoin.VertexID, len(countries))
+	for i, c := range countries {
+		countryV[i] = g.AddVertex(c, "country")
+	}
+	companyV := make([]semjoin.VertexID, len(companies))
+	for i, c := range companies {
+		companyV[i] = g.AddVertex(c, "company")
+		g.AddEdge(companyV[i], "registered_in", countryV[i%len(countries)])
+	}
+	categoryV := make([]semjoin.VertexID, len(categories))
+	for i, c := range categories {
+		categoryV[i] = g.AddVertex(c, "category")
+	}
+
+	products := semjoin.NewRelation(semjoin.NewSchema("product", "pid",
+		semjoin.Attribute{Name: "pid"}, semjoin.Attribute{Name: "name"},
+		semjoin.Attribute{Name: "type"}, semjoin.Attribute{Name: "price"},
+		semjoin.Attribute{Name: "risk"},
+	))
+	truth := map[string]semjoin.VertexID{}
+	const nProducts = 16
+	prodV := make([]semjoin.VertexID, nProducts)
+	for i := 0; i < nProducts; i++ {
+		pid := fmt.Sprintf("fd%d", i)
+		name := fmt.Sprintf("plan %02d", i)
+		v := g.AddVertex(name, "product")
+		prodV[i] = v
+		g.AddEdge(companyV[i%len(companies)], "issues", v)
+		g.AddEdge(v, "category", categoryV[i%len(categories)])
+		products.InsertVals(semjoin.S(pid), semjoin.S(name),
+			semjoin.S(categories[i%len(categories)]), semjoin.I(int64(80+10*(i%5))),
+			semjoin.S(risks[i%len(risks)]))
+		truth[pid] = v
+	}
+
+	customers := semjoin.NewRelation(semjoin.NewSchema("customer", "cid",
+		semjoin.Attribute{Name: "cid"}, semjoin.Attribute{Name: "name"},
+		semjoin.Attribute{Name: "credit"}, semjoin.Attribute{Name: "bal"},
+	))
+	names := []string{"Bob", "Bob", "Guy", "Ada", "Eve", "Joe", "Ann", "Sam", "Ida", "Max", "Lia", "Tom"}
+	for i, name := range names {
+		cid := fmt.Sprintf("cid%02d", i+1)
+		v := g.AddVertex(fmt.Sprintf("%s %02d", name, i+1), "person")
+		g.AddEdge(v, "invest", prodV[i%nProducts])
+		g.AddEdge(v, "invest", prodV[(i*5+2)%nProducts])
+		customers.InsertVals(semjoin.S(cid), semjoin.S(name),
+			semjoin.S(credits[(i+1)%2]), semjoin.I(int64(50000+i*25000)))
+		truth[cid] = v
+	}
+	return g, customers, products, truth
+}

@@ -1,0 +1,59 @@
+// Quickstart: enrich a relation with attributes extracted from a
+// knowledge graph via a semantic join, in ~60 lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"semjoin"
+)
+
+func main() {
+	// A tiny typed knowledge graph: companies issue products and are
+	// registered in countries.
+	g := semjoin.NewGraph()
+	uk := g.AddVertex("UK", "country")
+	us := g.AddVertex("US", "country")
+	acme := g.AddVertex("Acme Corp", "company")
+	globex := g.AddVertex("Globex Corp", "company")
+	g.AddEdge(acme, "registered_in", uk)
+	g.AddEdge(globex, "registered_in", us)
+
+	products := semjoin.NewRelation(semjoin.NewSchema("product", "pid",
+		semjoin.Attribute{Name: "pid"},
+		semjoin.Attribute{Name: "name"},
+	))
+	truth := map[string]semjoin.VertexID{}
+	for i := 0; i < 12; i++ {
+		name := fmt.Sprintf("gadget %02d", i)
+		v := g.AddVertex(name, "product")
+		issuer := acme
+		if i%2 == 1 {
+			issuer = globex
+		}
+		g.AddEdge(issuer, "issues", v)
+		pid := fmt.Sprintf("p%02d", i)
+		products.InsertVals(semjoin.S(pid), semjoin.S(name))
+		truth[pid] = v
+	}
+
+	// Train the sequence model Mρ and word embedder Me on random walks
+	// over the graph — fully unsupervised.
+	models := semjoin.TrainModels(g, 8, 1)
+
+	// HER: here a ground-truth oracle; semjoin.NewSimilarityMatcher gives
+	// a JedAI-style matcher for real data.
+	matcher := semjoin.NewOracleMatcher(truth)
+
+	// The semantic join: extract `company` and `country` for every
+	// product — attributes that exist nowhere in the relation.
+	out, err := semjoin.EnrichmentJoin(products, g, models, matcher,
+		[]string{"company", "country"}, semjoin.RExtConfig{K: 3, H: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+}

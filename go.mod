@@ -1,0 +1,3 @@
+module semjoin
+
+go 1.22

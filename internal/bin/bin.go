@@ -1,0 +1,197 @@
+// Package bin is a small sticky-error binary codec used to persist
+// trained models and materialised extractions (little-endian, explicit
+// framing, no reflection). Writers and readers carry the first error and
+// turn subsequent operations into no-ops, so encoders read linearly
+// without per-call error plumbing.
+package bin
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Magic prefixes a semjoin binary file.
+const Magic = "SEMJ"
+
+// Writer encodes values to an io.Writer, retaining the first error.
+type Writer struct {
+	w   io.Writer
+	err error
+	buf [8]byte
+}
+
+// NewWriter returns a writer over w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Err returns the first write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(p)
+}
+
+// U64 writes a fixed 64-bit unsigned integer.
+func (w *Writer) U64(x uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:], x)
+	w.write(w.buf[:])
+}
+
+// I64 writes a fixed 64-bit signed integer.
+func (w *Writer) I64(x int64) { w.U64(uint64(x)) }
+
+// Int writes an int (as 64-bit).
+func (w *Writer) Int(x int) { w.I64(int64(x)) }
+
+// F64 writes a float64.
+func (w *Writer) F64(x float64) { w.U64(math.Float64bits(x)) }
+
+// Bool writes a boolean byte.
+func (w *Writer) Bool(b bool) {
+	var x uint64
+	if b {
+		x = 1
+	}
+	w.U64(x)
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Int(len(s))
+	w.write([]byte(s))
+}
+
+// F64s writes a length-prefixed float64 slice.
+func (w *Writer) F64s(xs []float64) {
+	w.Int(len(xs))
+	for _, x := range xs {
+		w.F64(x)
+	}
+}
+
+// Strings writes a length-prefixed string slice.
+func (w *Writer) Strings(ss []string) {
+	w.Int(len(ss))
+	for _, s := range ss {
+		w.String(s)
+	}
+}
+
+// Header writes the file magic plus a section tag and version.
+func (w *Writer) Header(section string, version int) {
+	w.write([]byte(Magic))
+	w.String(section)
+	w.Int(version)
+}
+
+// Reader decodes values from an io.Reader, retaining the first error.
+type Reader struct {
+	r   io.Reader
+	err error
+	buf [8]byte
+}
+
+// NewReader returns a reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Err returns the first read error, if any.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) read(p []byte) {
+	if r.err != nil {
+		return
+	}
+	_, r.err = io.ReadFull(r.r, p)
+}
+
+// U64 reads a fixed 64-bit unsigned integer.
+func (r *Reader) U64() uint64 {
+	r.read(r.buf[:])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(r.buf[:])
+}
+
+// I64 reads a fixed 64-bit signed integer.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int. Negative or absurd lengths poison the reader.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// Len reads a non-negative length, bounding it to guard against corrupt
+// input.
+func (r *Reader) Len() int {
+	n := r.Int()
+	if r.err == nil && (n < 0 || n > 1<<30) {
+		r.err = fmt.Errorf("bin: implausible length %d", n)
+		return 0
+	}
+	return n
+}
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool { return r.U64() != 0 }
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Len()
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	p := make([]byte, n)
+	r.read(p)
+	if r.err != nil {
+		return ""
+	}
+	return string(p)
+}
+
+// F64s reads a length-prefixed float64 slice.
+func (r *Reader) F64s() []float64 {
+	n := r.Len()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+	}
+	return out
+}
+
+// Strings reads a length-prefixed string slice.
+func (r *Reader) Strings() []string {
+	n := r.Len()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.String()
+	}
+	return out
+}
+
+// Header checks the magic and section tag, returning the version.
+func (r *Reader) Header(section string) int {
+	p := make([]byte, len(Magic))
+	r.read(p)
+	if r.err == nil && string(p) != Magic {
+		r.err = fmt.Errorf("bin: bad magic %q", p)
+		return 0
+	}
+	got := r.String()
+	if r.err == nil && got != section {
+		r.err = fmt.Errorf("bin: expected section %q, found %q", section, got)
+		return 0
+	}
+	return r.Int()
+}

@@ -1,0 +1,143 @@
+package bin
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripPrimitives(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Header("test", 3)
+	w.U64(42)
+	w.I64(-7)
+	w.Int(123456)
+	w.F64(3.14159)
+	w.Bool(true)
+	w.Bool(false)
+	w.String("hello")
+	w.String("")
+	w.F64s([]float64{1, 2.5, -3})
+	w.Strings([]string{"a", "", "c"})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if v := r.Header("test"); v != 3 {
+		t.Fatalf("version = %d", v)
+	}
+	if r.U64() != 42 || r.I64() != -7 || r.Int() != 123456 {
+		t.Fatal("ints wrong")
+	}
+	if r.F64() != 3.14159 {
+		t.Fatal("float wrong")
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bools wrong")
+	}
+	if r.String() != "hello" || r.String() != "" {
+		t.Fatal("strings wrong")
+	}
+	fs := r.F64s()
+	if len(fs) != 3 || fs[1] != 2.5 {
+		t.Fatalf("f64s = %v", fs)
+	}
+	ss := r.Strings()
+	if len(ss) != 3 || ss[2] != "c" {
+		t.Fatalf("strings = %v", ss)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestHeaderMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Header("alpha", 1)
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	r.Header("beta")
+	if r.Err() == nil {
+		t.Fatal("section mismatch should error")
+	}
+	r2 := NewReader(strings.NewReader("XXXX"))
+	r2.Header("alpha")
+	if r2.Err() == nil {
+		t.Fatal("bad magic should error")
+	}
+}
+
+func TestStickyErrors(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	_ = r.U64() // EOF
+	if r.Err() == nil {
+		t.Fatal("expected EOF")
+	}
+	// Everything after the first error is a no-op returning zero values.
+	if r.String() != "" || r.F64s() != nil || r.Int() != 0 {
+		t.Fatal("poisoned reader returned data")
+	}
+}
+
+func TestImplausibleLength(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.I64(1 << 40)
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	r.Len()
+	if r.Err() == nil {
+		t.Fatal("huge length should poison the reader")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(u uint64, i int64, fl float64, s string, fs []float64, ss []string) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		w.U64(u)
+		w.I64(i)
+		w.F64(fl)
+		w.String(s)
+		w.F64s(fs)
+		w.Strings(ss)
+		if w.Err() != nil {
+			return false
+		}
+		r := NewReader(bytes.NewReader(buf.Bytes()))
+		if r.U64() != u || r.I64() != i {
+			return false
+		}
+		got := r.F64()
+		if got != fl && !(got != got && fl != fl) { // NaN-safe
+			return false
+		}
+		if r.String() != s {
+			return false
+		}
+		gfs := r.F64s()
+		if len(gfs) != len(fs) {
+			return false
+		}
+		for k := range fs {
+			if gfs[k] != fs[k] && !(gfs[k] != gfs[k] && fs[k] != fs[k]) {
+				return false
+			}
+		}
+		gss := r.Strings()
+		if len(gss) != len(ss) {
+			return false
+		}
+		for k := range ss {
+			if gss[k] != ss[k] {
+				return false
+			}
+		}
+		return r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestDebugClusterRanking dumps the refined clusters and their ranking
+// terms for the fixture world; enable with -run TestDebugClusterRanking -v.
+func TestDebugClusterRanking(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("debug helper")
+	}
+	w := getWorld(t)
+	ex := NewExtractor(w.g, w.models, Config{
+		K: 3, H: 12, Keywords: []string{"company", "country"}, Seed: 3,
+	})
+	if err := ex.Discover(w.products, oracle(w).Match(w.products, w.g)); err != nil {
+		t.Fatal(err)
+	}
+	order := append([]*scoredCluster(nil), ex.clusters...)
+	sort.Slice(order, func(i, j int) bool { return order[i].score > order[j].score })
+	for _, sc := range order {
+		var pats []string
+		for k := range sc.patterns {
+			pats = append(pats, patternFromKey(k).String())
+		}
+		sort.Strings(pats)
+		ends := map[string]int{}
+		for _, w := range sc.w {
+			ends[w.endLabel]++
+		}
+		t.Logf("score=%.3f t1=%.3f t2=%.3f t3=%.3f kw=%q |W|=%d patterns=%v ends=%v",
+			sc.score, sc.term1, sc.term2, sc.term3, sc.bestKw, len(sc.w), pats, ends)
+	}
+	t.Logf("selected: %v", ex.Scheme().Attrs())
+}
+
+// TestDebugTypeExtraction dumps the cluster ranking for extraction without
+// reference tuples; enable with -v.
+func TestDebugTypeExtraction(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("debug helper")
+	}
+	w := getWorld(t)
+	te, err := ExtractForType(w.g, w.models, "product", []string{"company", "country"},
+		Config{K: 3, H: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pc := range te.Scheme.Clusters {
+		var pats []string
+		for _, p := range pc.Patterns {
+			pats = append(pats, p.String())
+		}
+		t.Logf("attr=%q patterns=%v", pc.Attr, pats)
+	}
+	t.Log(te.Relation.String())
+}

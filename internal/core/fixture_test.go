@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"semjoin/internal/graph"
+	"semjoin/internal/her"
+	"semjoin/internal/rel"
+)
+
+// world is the shared test fixture: a typed product knowledge graph in the
+// spirit of the paper's Figure 1, a product relation, ground-truth
+// alignment and ground-truth attribute values.
+type world struct {
+	g        *graph.Graph
+	products *rel.Relation
+	truth    map[string]graph.VertexID // pid -> vertex
+	company  map[string]string         // pid -> issuing company label
+	country  map[string]string         // pid -> company country label
+	models   Models
+}
+
+var (
+	worldOnce sync.Once
+	theWorld  *world
+)
+
+// buildWorld constructs the fixture graph:
+//
+//	company --issues--> product --category--> {"Funds","Stocks"}
+//	company --registered_in--> country
+//
+// Companies, countries and categories are typed vertices, so type
+// sentences give the word embedder the value↔class geometry.
+func buildWorld() *world {
+	g := graph.New()
+	companies := []string{"Acme Corp", "Globex Corp", "Initech Corp", "Umbrella Corp"}
+	countries := []string{"UK", "US", "Germany", "France"}
+	categories := []string{"Funds", "Stocks"}
+
+	countryV := make([]graph.VertexID, len(countries))
+	for i, c := range countries {
+		countryV[i] = g.AddVertex(c, "country")
+	}
+	companyV := make([]graph.VertexID, len(companies))
+	for i, c := range companies {
+		companyV[i] = g.AddVertex(c, "company")
+		g.AddEdge(companyV[i], "registered_in", countryV[i%len(countries)])
+	}
+	categoryV := make([]graph.VertexID, len(categories))
+	for i, c := range categories {
+		categoryV[i] = g.AddVertex(c, "category")
+	}
+
+	schema := rel.NewSchema("product", "pid",
+		rel.Attribute{Name: "pid", Type: rel.KindString},
+		rel.Attribute{Name: "name", Type: rel.KindString},
+		rel.Attribute{Name: "category", Type: rel.KindString},
+	)
+	products := rel.NewRelation(schema)
+	truth := map[string]graph.VertexID{}
+	companyOf := map[string]string{}
+	countryOf := map[string]string{}
+
+	const n = 30
+	for i := 0; i < n; i++ {
+		pid := fmt.Sprintf("fd%02d", i)
+		name := fmt.Sprintf("prod %02d", i)
+		ci := i % len(companies)
+		cat := categories[i%len(categories)]
+		v := g.AddVertex(name, "product")
+		g.AddEdge(companyV[ci], "issues", v)
+		g.AddEdge(v, "category", categoryV[i%len(categories)])
+		products.InsertVals(rel.S(pid), rel.S(name), rel.S(cat))
+		truth[pid] = v
+		companyOf[pid] = companies[ci]
+		countryOf[pid] = countries[ci%len(countries)]
+	}
+	w := &world{
+		g: g, products: products, truth: truth,
+		company: companyOf, country: countryOf,
+	}
+	w.models = TrainModels(g, 8, 7)
+	return w
+}
+
+func getWorld(t *testing.T) *world {
+	t.Helper()
+	worldOnce.Do(func() { theWorld = buildWorld() })
+	return theWorld
+}
+
+// accuracy computes the fraction of products whose extracted attribute
+// equals the ground truth, given the enriched relation keyed by pid.
+func accuracy(t *testing.T, enriched *rel.Relation, attr string, want map[string]string) float64 {
+	t.Helper()
+	col := enriched.Schema.Col(attr)
+	pidCol := enriched.Schema.Col("pid")
+	if col < 0 || pidCol < 0 {
+		t.Fatalf("missing column %q or pid in %v", attr, enriched.Schema)
+	}
+	hit := 0
+	for _, tp := range enriched.Tuples {
+		if tp[col].Str() == want[tp[pidCol].Str()] {
+			hit++
+		}
+	}
+	if len(want) == 0 {
+		return 0
+	}
+	return float64(hit) / float64(len(want))
+}
+
+func oracle(w *world) her.Matcher { return her.NewOracleMatcher(w.truth) }

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"semjoin/internal/mat"
+)
+
+// TestDebugKeywordGeometry inspects the value↔class cosine structure the
+// ranking function depends on; enable with -v.
+func TestDebugKeywordGeometry(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("debug helper")
+	}
+	w := getWorld(t)
+	words := []string{"UK", "US", "Acme Corp", "Globex Corp", "Funds", "prod 01"}
+	kws := []string{"country", "company", "category"}
+	for _, wd := range words {
+		v := mat.Normalize(w.models.Word.Embed(wd))
+		line := wd + ":"
+		for _, kw := range kws {
+			line += " " + kw + "=" +
+				formatF(mat.Cosine(v, mat.Normalize(w.models.Word.Embed(kw))))
+		}
+		t.Log(line)
+	}
+}
+
+func formatF(f float64) string {
+	return string(rune('0'+int((f+1)*4.999))) + "(" + trim(f) + ")"
+}
+
+func trim(f float64) string {
+	s := ""
+	if f < 0 {
+		s = "-"
+		f = -f
+	}
+	i := int(f * 100)
+	return s + string(rune('0'+i/100)) + "." + string(rune('0'+(i/10)%10)) + string(rune('0'+i%10))
+}

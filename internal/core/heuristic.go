@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"semjoin/internal/embed"
+	"semjoin/internal/graph"
+	"semjoin/internal/rel"
+)
+
+// HeuristicJoiner answers semantic joins that are not well-behaved
+// (§IV-B) without calling HER or RExt online. It assumes a typed graph
+// profiled offline into reference relations gτ(G) (ExtractForType /
+// ProfileGraph) and approximates Q ⋈_A G in three steps: (1) pick the
+// type τ whose schema Rτ shares the most attributes with the query's
+// output schema R_Q via schema-level matching; (2) match the query result
+// S against gτ(G) with a pairwise-ER UDF; (3) join S with gτ(G) using the
+// ER matches as the join condition.
+type HeuristicJoiner struct {
+	profiles map[string]*TypeExtraction
+	// Threshold is the pairwise-ER acceptance similarity (default 0.25).
+	Threshold float64
+}
+
+// NewHeuristicJoiner builds a joiner over profiled type extractions.
+func NewHeuristicJoiner(profiles map[string]*TypeExtraction) *HeuristicJoiner {
+	return &HeuristicJoiner{profiles: profiles, Threshold: 0.5}
+}
+
+// ChooseType performs the schema-level matching of step (1): the type τ
+// whose Rτ (attribute names and requested keywords A) overlaps R_Q most.
+// It returns the chosen type and its overlap score.
+func (h *HeuristicJoiner) ChooseType(q *rel.Schema, a []string) (string, int) {
+	qAttrs := map[string]bool{}
+	for _, attr := range q.Attrs {
+		qAttrs[NormalizeAttr(lastComponent(attr.Name))] = true
+	}
+	want := map[string]bool{}
+	for _, kw := range a {
+		want[NormalizeAttr(kw)] = true
+	}
+	bestType, bestScore := "", -1
+	types := make([]string, 0, len(h.profiles))
+	for t := range h.profiles {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		score := 0
+		te := h.profiles[t]
+		for _, attr := range te.Relation.Schema.Attrs {
+			n := NormalizeAttr(attr.Name)
+			if qAttrs[n] {
+				score += 2 // shared with R_Q: strong signal
+			}
+			if want[n] {
+				score += 3 // covers a requested keyword: essential
+			}
+		}
+		if NormalizeAttr(t) != "" && qAttrs[NormalizeAttr(t)] {
+			score++ // the type name itself appears as an attribute
+		}
+		if score > bestScore {
+			bestType, bestScore = t, score
+		}
+	}
+	return bestType, bestScore
+}
+
+// Enrich approximates the enrichment join q ⋈_A G. It returns the joined
+// relation (q's attributes plus the requested attributes from gτ) and the
+// chosen type.
+func (h *HeuristicJoiner) Enrich(q *rel.Relation, a []string) (*rel.Relation, string, error) {
+	if len(h.profiles) == 0 {
+		return nil, "", fmt.Errorf("core: heuristic join needs profiled type extractions")
+	}
+	typ, score := h.ChooseType(q.Schema, a)
+	if typ == "" || score <= 0 {
+		return nil, "", fmt.Errorf("core: no relevant type extraction for schema %s", q.Schema)
+	}
+	gt := h.profiles[typ].Relation
+
+	// Step (2): pairwise-ER match relation between q and gτ(G) tuples.
+	// Tokens are weighted by inverse document frequency over gτ so that
+	// boilerplate tokens shared by every entity ("prod", "the") cannot
+	// fake a match; similarity is the covered fraction of the query
+	// tuple's matchable IDF mass.
+	// The vid column is an internal surrogate id: it must not contribute
+	// ER evidence (its digits would collide with value tokens).
+	vidCol := gt.Schema.Col("vid")
+	rowTokens := func(t rel.Tuple) map[string]bool {
+		masked := make(rel.Tuple, len(t))
+		copy(masked, t)
+		if vidCol >= 0 {
+			masked[vidCol] = rel.Null
+		}
+		return tupleTokens(masked)
+	}
+	idf := buildIDFMasked(gt, rowTokens)
+	// Step (3): join with ER as the join condition.
+	joined := rel.NestedLoopJoin(q, gt, func(t rel.Tuple) bool {
+		qt := tupleTokens(t[:len(q.Schema.Attrs)])
+		row := rowTokens(t[len(q.Schema.Attrs):])
+		return idf.sim(qt, row) >= h.Threshold
+	})
+
+	// Keep q's attributes plus vid plus the requested attributes that gτ
+	// actually carries.
+	cols := make([]string, 0, len(q.Schema.Attrs)+1+len(a))
+	for _, attr := range q.Schema.Attrs {
+		cols = append(cols, q.Schema.Name+"."+attr.Name)
+	}
+	cols = append(cols, gt.Schema.Name+".vid")
+	for _, kw := range a {
+		for _, attr := range gt.Schema.Attrs {
+			if NormalizeAttr(attr.Name) == NormalizeAttr(kw) {
+				cols = append(cols, gt.Schema.Name+"."+attr.Name)
+			}
+		}
+	}
+	out := rel.Project(joined, cols...)
+	// Restore bare attribute names where unambiguous for downstream
+	// predicates: strip the qualifier from q's columns and keyword columns.
+	attrs := make([]rel.Attribute, len(out.Schema.Attrs))
+	seen := map[string]int{}
+	for i, attr := range out.Schema.Attrs {
+		bare := lastComponent(attr.Name)
+		seen[bare]++
+		attrs[i] = rel.Attribute{Name: bare, Type: attr.Type}
+	}
+	for i := range attrs {
+		if seen[attrs[i].Name] > 1 {
+			attrs[i].Name = out.Schema.Attrs[i].Name // keep qualified on clash
+		}
+	}
+	renamed := rel.NewRelation(rel.NewSchema(q.Schema.Name+"_h", "", attrs...))
+	renamed.Tuples = out.Tuples
+	return renamed, typ, nil
+}
+
+// Link approximates the link join q1 ⋈_G q2 without HER: each side is
+// aligned to gτ rows by the same pairwise ER as Enrich (recovering a
+// vertex id per tuple), and aligned pairs within k hops join ("the case
+// for link joins is similar", §IV-B).
+func (h *HeuristicJoiner) Link(q1, q2 *rel.Relation, g *graph.Graph, k int) (*rel.Relation, error) {
+	v1, err := h.alignVids(q1)
+	if err != nil {
+		return nil, err
+	}
+	v2, err := h.alignVids(q2)
+	if err != nil {
+		return nil, err
+	}
+	name2 := q2.Schema.Name
+	if name2 == q1.Schema.Name {
+		name2 += "2"
+	}
+	s1 := q1.Schema.Qualified(q1.Schema.Name)
+	s2 := q2.Schema.Qualified(name2)
+	attrs := append(append([]rel.Attribute(nil), s1.Attrs...), s2.Attrs...)
+	out := rel.NewRelation(rel.NewSchema(q1.Schema.Name+"_hl_"+name2, "", attrs...))
+	reach := map[graph.VertexID]map[graph.VertexID]bool{}
+	for i1, t1 := range q1.Tuples {
+		a, ok := v1[i1]
+		if !ok || !g.Live(a) {
+			continue
+		}
+		r, ok := reach[a]
+		if !ok {
+			r = g.KHopNeighborhood([]graph.VertexID{a}, k)
+			reach[a] = r
+		}
+		for i2, t2 := range q2.Tuples {
+			b, ok := v2[i2]
+			if !ok || !r[b] {
+				continue
+			}
+			nt := make(rel.Tuple, 0, len(t1)+len(t2))
+			nt = append(append(nt, t1...), t2...)
+			out.Tuples = append(out.Tuples, nt)
+		}
+	}
+	return out, nil
+}
+
+// alignVids maps each tuple index of q to the vertex id of its
+// best-matching gτ row (above threshold), using ChooseType with no
+// requested keywords.
+func (h *HeuristicJoiner) alignVids(q *rel.Relation) (map[int]graph.VertexID, error) {
+	typ, score := h.ChooseType(q.Schema, nil)
+	if typ == "" || score < 0 {
+		return nil, fmt.Errorf("core: no relevant type extraction for %s", q.Schema)
+	}
+	gt := h.profiles[typ].Relation
+	vidCol := gt.Schema.Col("vid")
+	rowTokens := func(t rel.Tuple) map[string]bool {
+		masked := make(rel.Tuple, len(t))
+		copy(masked, t)
+		if vidCol >= 0 {
+			masked[vidCol] = rel.Null
+		}
+		return tupleTokens(masked)
+	}
+	idf := buildIDFMasked(gt, rowTokens)
+	gtToks := make([]map[string]bool, gt.Len())
+	for i, t := range gt.Tuples {
+		gtToks[i] = rowTokens(t)
+	}
+	out := map[int]graph.VertexID{}
+	for qi, qt := range q.Tuples {
+		toks := tupleTokens(qt)
+		best, bestSim := -1, h.Threshold
+		for i := range gt.Tuples {
+			if sim := idf.sim(toks, gtToks[i]); sim > bestSim {
+				best, bestSim = i, sim
+			}
+		}
+		if best >= 0 {
+			out[qi] = graph.VertexID(gt.Tuples[best][vidCol].Int())
+		}
+	}
+	return out, nil
+}
+
+// tupleTokens collects the word tokens of a tuple's values.
+func tupleTokens(t rel.Tuple) map[string]bool {
+	out := map[string]bool{}
+	for _, v := range t {
+		if v.IsNull() {
+			continue
+		}
+		for _, tok := range embed.Tokenize(v.String()) {
+			out[tok] = true
+		}
+	}
+	return out
+}
+
+// idfTable weights tokens by log(N/df) over the gτ relation.
+type idfTable struct {
+	n  float64
+	df map[string]int
+}
+
+func buildIDFMasked(gt *rel.Relation, rowTokens func(rel.Tuple) map[string]bool) idfTable {
+	t := idfTable{n: float64(gt.Len()), df: map[string]int{}}
+	for _, tup := range gt.Tuples {
+		for tok := range rowTokens(tup) {
+			t.df[tok]++
+		}
+	}
+	return t
+}
+
+func (t idfTable) weight(tok string) float64 {
+	df, ok := t.df[tok]
+	if !ok || df == 0 {
+		return -1 // not matchable against gτ at all
+	}
+	return math.Log(t.n/float64(df)) + 1e-9
+}
+
+// sim is the pairwise tuple-comparison ER UDF of §IV-B step (2): the
+// fraction of the query tuple's matchable IDF mass covered by the gτ row.
+func (t idfTable) sim(q, row map[string]bool) float64 {
+	var hit, total float64
+	for tok := range q {
+		w := t.weight(tok)
+		if w < 0 {
+			continue // token unknown to gτ: neither evidence nor penalty
+		}
+		total += w
+		if row[tok] {
+			hit += w
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return hit / total
+}
+
+func lastComponent(name string) string {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '.' {
+			return name[i+1:]
+		}
+	}
+	return name
+}

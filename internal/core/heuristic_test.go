@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"semjoin/internal/rel"
+)
+
+func movieProfiles(t *testing.T, w *world) map[string]*TypeExtraction {
+	t.Helper()
+	return ProfileGraph(w.g, w.models, map[string][]string{
+		"product": {"company", "country"},
+	}, 2, Config{K: 3, H: 12, Seed: 3})
+}
+
+func TestHeuristicLink(t *testing.T) {
+	w := getWorld(t)
+	h := NewHeuristicJoiner(movieProfiles(t, w))
+	one := rel.Select(w.products, func(tp rel.Tuple) bool {
+		return w.products.Get(tp, "pid").Equal(rel.S("fd00"))
+	})
+	out, err := h.Link(one, rel.Rename(w.products, "p2"), w.g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("heuristic link found nothing")
+	}
+	// Compare against the exact link join: high overlap expected.
+	exact := LinkJoin(one, rel.Rename(w.products, "p2"), w.g, oracle(w), 2)
+	if out.Len() < exact.Len()/2 || out.Len() > exact.Len()*2 {
+		t.Fatalf("heuristic link size %d far from exact %d", out.Len(), exact.Len())
+	}
+}
+
+func TestHeuristicLinkNoProfiles(t *testing.T) {
+	h := NewHeuristicJoiner(nil)
+	w := getWorld(t)
+	if _, err := h.Link(w.products, w.products, w.g, 2); err == nil {
+		t.Fatal("expected error without profiles")
+	}
+}
+
+func TestClusterDiagnostics(t *testing.T) {
+	w := getWorld(t)
+	ex := NewExtractor(w.g, w.models, Config{
+		K: 3, H: 12, Keywords: []string{"company", "country"}, Seed: 3,
+	})
+	if err := ex.Discover(w.products, oracle(w).Match(w.products, w.g)); err != nil {
+		t.Fatal(err)
+	}
+	diags := ex.ClusterDiagnostics()
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics")
+	}
+	for i := 1; i < len(diags); i++ {
+		if diags[i-1].Score < diags[i].Score {
+			t.Fatal("diagnostics not sorted by score")
+		}
+	}
+	for _, d := range diags {
+		if d.Size > 0 && len(d.EndLabelCounts) == 0 {
+			t.Fatal("non-empty cluster without end labels")
+		}
+		if len(d.Patterns) == 0 {
+			t.Fatal("cluster without patterns")
+		}
+	}
+}
+
+func TestAblationFlags(t *testing.T) {
+	w := getWorld(t)
+	base := Config{K: 3, H: 12, Keywords: []string{"company", "country"}, Seed: 3}
+	run := func(mutate func(*Config)) *rel.Relation {
+		cfg := base
+		mutate(&cfg)
+		ex := NewExtractor(w.g, w.models, cfg)
+		dg, err := ex.Run(w.products, oracle(w).Match(w.products, w.g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dg
+	}
+	// Every ablation must still produce a full relation (quality may
+	// differ; the benches measure that).
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.NoRefinement = true },
+		func(c *Config) { c.DisableTerm1 = true },
+		func(c *Config) { c.DisableTerm2 = true },
+		func(c *Config) { c.DisableTerm3 = true },
+		func(c *Config) { c.LengthPenalty = -1 },
+		func(c *Config) { c.AllowBounce = true },
+		func(c *Config) { c.Beam = 1 },
+	} {
+		if dg := run(mutate); dg.Len() != w.products.Len() {
+			t.Fatalf("ablation changed row count: %d", dg.Len())
+		}
+	}
+}
+
+func TestExtractWithSchemeReuse(t *testing.T) {
+	w := getWorld(t)
+	ex := NewExtractor(w.g, w.models, Config{
+		K: 3, H: 12, Keywords: []string{"company"}, Seed: 3,
+	})
+	dg1, err := ex.Run(w.products, oracle(w).Match(w.products, w.g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second extractor applies the saved scheme without discovery.
+	ex2 := NewExtractor(w.g, w.models, Config{K: 3, H: 12, Keywords: []string{"company"}, Seed: 3})
+	dg2 := ex2.ExtractWithScheme(w.products, ex.Scheme(), oracle(w).Match(w.products, w.g))
+	if !sameRelation(dg1, dg2) {
+		t.Fatal("scheme reuse must reproduce the extraction")
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+
+	"semjoin/internal/graph"
+	"semjoin/internal/her"
+	"semjoin/internal/rel"
+)
+
+// IncStats reports what an incremental maintenance step did.
+type IncStats struct {
+	// Touched is the number of graph vertices directly touched by ΔG.
+	Touched int
+	// Affected is |V∆|: matched entity vertices whose extracted values
+	// were re-computed.
+	Affected int
+	// Removed is the number of DG rows dropped (entities no longer
+	// matched or deleted).
+	Removed int
+}
+
+// ApplyGraphUpdate is IncExt for data updates (§III-B): it applies ΔG to
+// the graph, recomputes HER matches with the supplied matcher, collects
+// the affected vertex set V∆ — (a) newly matched vertices, (b) previously
+// matched vertices within k hops of any vertex touched by ΔG — and
+// re-extracts tuples only for V∆ via lines 3–4 of Algorithm 1. Pattern
+// discovery is NOT redone; extraction results for unaffected vertices are
+// reused verbatim, so the outcome matches a from-scratch RExt run (the
+// paper's no-accuracy-loss property) as long as path patterns themselves
+// remain representative.
+func (e *Extractor) ApplyGraphUpdate(delta graph.Batch, matcher her.Matcher) (IncStats, error) {
+	if e.scheme == nil || e.result == nil {
+		return IncStats{}, fmt.Errorf("core: IncExt requires a completed RExt run")
+	}
+	touched := delta.Apply(e.g)
+
+	oldMatched := make(map[graph.VertexID]bool, len(e.vertexTuple))
+	for v := range e.vertexTuple {
+		oldMatched[v] = true
+	}
+
+	// Recompute the HER match relation on the updated graph.
+	newMatches := matcher.Match(e.s, e.g)
+	e.matches = newMatches
+	e.vertexTuple = make(map[graph.VertexID]int, len(newMatches))
+	for _, m := range newMatches {
+		if _, ok := e.vertexTuple[m.Vertex]; !ok {
+			e.vertexTuple[m.Vertex] = m.TupleIdx
+		}
+	}
+
+	// V∆ step (a): vertices matched now but not before.
+	affected := map[graph.VertexID]bool{}
+	for v := range e.vertexTuple {
+		if !oldMatched[v] {
+			affected[v] = true
+		}
+	}
+	// V∆ step (b): old matched vertices within k hops of the update that
+	// are still matched (ones no longer matched just lose their DG row).
+	reach := e.g.KHopNeighborhood(touched, e.cfg.K)
+	for v := range reach {
+		if !oldMatched[v] {
+			continue
+		}
+		if _, stillMatched := e.vertexTuple[v]; stillMatched {
+			affected[v] = true
+		}
+	}
+
+	// Invalidate cached paths for affected vertices — their length-≤k
+	// neighbourhood changed — and re-extract them.
+	e.mu.Lock()
+	for v := range affected {
+		delete(e.pathCache, v)
+	}
+	e.mu.Unlock()
+
+	order := make([]graph.VertexID, 0, len(affected))
+	for v := range affected {
+		if e.g.Live(v) {
+			order = append(order, v)
+		}
+	}
+	rows := make([]rel.Tuple, len(order))
+	e.parallelFor(len(order), func(i int) {
+		rows[i] = e.extractTuple(order[i])
+	})
+
+	// Commit: replace/add rows for affected vertices, drop rows for
+	// vertices that are no longer matched or no longer live.
+	vidCol := e.result.Schema.Col("vid")
+	newRows := make([]rel.Tuple, 0, len(e.result.Tuples))
+	removed := 0
+	for _, t := range e.result.Tuples {
+		v := graph.VertexID(t[vidCol].Int())
+		if affected[v] {
+			continue // replaced below
+		}
+		if _, ok := e.vertexTuple[v]; !ok || !e.g.Live(v) {
+			removed++
+			continue
+		}
+		newRows = append(newRows, t)
+	}
+	newRows = append(newRows, rows...)
+	e.result.Tuples = newRows
+
+	return IncStats{Touched: len(touched), Affected: len(order), Removed: removed}, nil
+}
+
+// ApplyRelationUpdate is IncExt for updates to the database D (§III-B
+// treats them "similarly" to ΔG): the reference tuples change to newS,
+// HER matches are recomputed, and values are extracted only for vertices
+// that were not matched before; rows for vertices no longer matched are
+// dropped, and rows for still-matched vertices are reused verbatim (the
+// graph is unchanged, so their paths and values cannot have changed).
+func (e *Extractor) ApplyRelationUpdate(newS *rel.Relation, matcher her.Matcher) (IncStats, error) {
+	if e.scheme == nil || e.result == nil {
+		return IncStats{}, fmt.Errorf("core: IncExt requires a completed RExt run")
+	}
+	oldMatched := make(map[graph.VertexID]bool, len(e.vertexTuple))
+	for v := range e.vertexTuple {
+		oldMatched[v] = true
+	}
+	e.s = newS
+	newMatches := matcher.Match(newS, e.g)
+	e.matches = newMatches
+	e.vertexTuple = make(map[graph.VertexID]int, len(newMatches))
+	for _, m := range newMatches {
+		if _, ok := e.vertexTuple[m.Vertex]; !ok {
+			e.vertexTuple[m.Vertex] = m.TupleIdx
+		}
+	}
+
+	var fresh []graph.VertexID
+	for v := range e.vertexTuple {
+		if !oldMatched[v] && e.g.Live(v) {
+			fresh = append(fresh, v)
+		}
+	}
+	rows := make([]rel.Tuple, len(fresh))
+	e.parallelFor(len(fresh), func(i int) {
+		rows[i] = e.extractTuple(fresh[i])
+	})
+
+	vidCol := e.result.Schema.Col("vid")
+	newRows := make([]rel.Tuple, 0, len(e.result.Tuples)+len(rows))
+	removed := 0
+	for _, t := range e.result.Tuples {
+		v := graph.VertexID(t[vidCol].Int())
+		if _, ok := e.vertexTuple[v]; !ok || !e.g.Live(v) {
+			removed++
+			continue
+		}
+		newRows = append(newRows, t)
+	}
+	newRows = append(newRows, rows...)
+	e.result.Tuples = newRows
+	return IncStats{Affected: len(fresh), Removed: removed}, nil
+}
+
+// UpdateKeywords is IncExt for user updates (§III-B): when the interest
+// set A changes, only step (4) of pattern discovery is redone — the
+// refined clusters and their W sets are re-ranked with the new keywords —
+// and values are extracted only for attributes that were not already in
+// the old scheme; retained attributes copy their existing column.
+func (e *Extractor) UpdateKeywords(keywords []string) (*rel.Relation, error) {
+	if e.scheme == nil || e.result == nil {
+		return nil, fmt.Errorf("core: IncExt requires a completed RExt run")
+	}
+	if len(keywords) == 0 {
+		return nil, fmt.Errorf("core: empty keyword set")
+	}
+	old := e.result
+	oldScheme := e.scheme
+	oldCol := map[string]int{}
+	for _, a := range oldScheme.Attrs() {
+		oldCol[a] = old.Schema.Col(a)
+	}
+	oldPatKeys := map[string]map[string]bool{}
+	for _, pc := range oldScheme.Clusters {
+		oldPatKeys[pc.Attr] = pc.patKeys
+	}
+
+	e.cfg.Keywords = keywords
+	e.cfg.MaxAttrs = len(keywords)
+	e.rankClusters(keywords)
+	newScheme := e.selectScheme(keywords)
+	e.scheme = newScheme
+
+	// Row order: one per previously extracted vertex.
+	vidCol := old.Schema.Col("vid")
+	dg := rel.NewRelation(newScheme.Schema)
+	rows := make([]rel.Tuple, len(old.Tuples))
+	e.parallelFor(len(old.Tuples), func(i int) {
+		oldRow := old.Tuples[i]
+		v := graph.VertexID(oldRow[vidCol].Int())
+		row := make(rel.Tuple, 1+len(newScheme.Clusters))
+		row[0] = oldRow[vidCol]
+		var paths []graph.Path
+		for j, pc := range newScheme.Clusters {
+			// Reuse the old column when the attribute maps to the same
+			// pattern cluster as before.
+			if c, ok := oldCol[pc.Attr]; ok && samePatKeys(oldPatKeys[pc.Attr], pc.patKeys) {
+				row[1+j] = oldRow[c]
+				continue
+			}
+			if paths == nil {
+				paths = e.pathsFor(v)
+			}
+			row[1+j] = e.extractValue(paths, pc)
+		}
+		rows[i] = row
+	})
+	dg.Tuples = rows
+	e.result = dg
+	return dg, nil
+}
+
+func samePatKeys(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

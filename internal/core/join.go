@@ -1,0 +1,377 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"semjoin/internal/graph"
+	"semjoin/internal/her"
+	"semjoin/internal/rel"
+)
+
+// matchRelation materialises HER matches as a relation joinable with S by
+// natural join: its first column carries S's key attribute name, its
+// second is vid.
+func matchRelation(s *rel.Relation, matches []her.Match) *rel.Relation {
+	key := s.Schema.Key
+	if key == "" {
+		key = "tid"
+	}
+	schema := rel.NewSchema(s.Schema.Name+"_match", key,
+		rel.Attribute{Name: key, Type: rel.KindString},
+		rel.Attribute{Name: "vid", Type: rel.KindInt},
+	)
+	r := rel.NewRelation(schema)
+	for _, m := range matches {
+		r.InsertVals(m.TID, rel.I(int64(m.Vertex)))
+	}
+	return r
+}
+
+// EnrichmentJoin computes the conceptual-level exact enrichment join
+// S ⋈_A G of §II-B: HER matches tuples of S to vertices of G, RExt
+// extracts the relation h(S,G) for keywords A with path bound cfg.K, and
+// the result is the three-way natural join S ⋈ f(S,G) ⋈ h(S,G). This is
+// the online baseline of §IV-A that invokes HER and RExt at query time.
+func EnrichmentJoin(s *rel.Relation, g *graph.Graph, models Models, matcher her.Matcher, keywords []string, cfg Config) (*rel.Relation, error) {
+	if s.Schema.Key == "" {
+		// Unkeyed intermediate results (e.g. Example 10's Q′, which joins
+		// two base relations) get a synthetic row id so the three-way
+		// reduction still works; HER matches are re-keyed accordingly.
+		matches := matcher.Match(s, g)
+		keyed := withRowIDs(s)
+		for i := range matches {
+			matches[i].TID = rel.I(int64(matches[i].TupleIdx))
+		}
+		return enrichMatched(keyed, g, models, keywords, cfg, matches)
+	}
+	return enrichMatched(s, g, models, keywords, cfg, matcher.Match(s, g))
+}
+
+// withRowIDs copies s adding a "_rid" key column holding the row index.
+func withRowIDs(s *rel.Relation) *rel.Relation {
+	attrs := append([]rel.Attribute{{Name: "_rid", Type: rel.KindInt}}, s.Schema.Attrs...)
+	out := rel.NewRelation(rel.NewSchema(s.Schema.Name, "_rid", attrs...))
+	for i, t := range s.Tuples {
+		nt := make(rel.Tuple, 0, len(t)+1)
+		nt = append(nt, rel.I(int64(i)))
+		nt = append(nt, t...)
+		out.Tuples = append(out.Tuples, nt)
+	}
+	return out
+}
+
+// enrichMatched finishes an enrichment join from pre-computed matches.
+func enrichMatched(s *rel.Relation, g *graph.Graph, models Models, keywords []string, cfg Config, matches []her.Match) (*rel.Relation, error) {
+	cfg.Keywords = keywords
+	if len(matches) == 0 {
+		empty := rel.NewSchema(s.Schema.Name+"_e", s.Schema.Key,
+			append(append([]rel.Attribute(nil), s.Schema.Attrs...),
+				rel.Attribute{Name: "vid", Type: rel.KindInt})...)
+		return rel.NewRelation(empty), nil
+	}
+	ex := NewExtractor(g, models, cfg)
+	dg, err := ex.Run(s, matches)
+	if err != nil {
+		return nil, err
+	}
+	m := matchRelation(s, matches)
+	return rel.NaturalJoin(rel.NaturalJoin(s, m), dg), nil
+}
+
+// LinkJoin computes the exact link join S1 ⋈_G S2 of §II-B: tuples t1, t2
+// join iff vertices matching them are within k hops in G. Matching uses
+// the supplied HER matcher on both sides; connectivity uses BFS from each
+// distinct left vertex (equivalent to the paper's bidirectional search,
+// and cheaper when one side repeats vertices).
+func LinkJoin(s1, s2 *rel.Relation, g *graph.Graph, matcher her.Matcher, k int) *rel.Relation {
+	m1 := matcher.Match(s1, g)
+	m2 := matcher.Match(s2, g)
+	return linkJoinMatched(s1, s2, g, m1, m2, k)
+}
+
+func linkJoinMatched(s1, s2 *rel.Relation, g *graph.Graph, m1, m2 []her.Match, k int) *rel.Relation {
+	// Hop-sets per distinct left vertex.
+	reach := map[graph.VertexID]map[graph.VertexID]bool{}
+	for _, m := range m1 {
+		if _, ok := reach[m.Vertex]; !ok && g.Live(m.Vertex) {
+			reach[m.Vertex] = g.KHopNeighborhood([]graph.VertexID{m.Vertex}, k)
+		}
+	}
+	q1 := s1.Schema.Qualified(s1.Schema.Name)
+	name2 := s2.Schema.Name
+	if name2 == s1.Schema.Name {
+		name2 += "2"
+	}
+	q2 := s2.Schema.Qualified(name2)
+	attrs := append(append([]rel.Attribute(nil), q1.Attrs...), q2.Attrs...)
+	out := rel.NewRelation(rel.NewSchema(s1.Schema.Name+"_l_"+name2, "", attrs...))
+	for _, a := range m1 {
+		r, ok := reach[a.Vertex]
+		if !ok {
+			continue
+		}
+		for _, b := range m2 {
+			if !r[b.Vertex] {
+				continue
+			}
+			t1 := s1.Tuples[a.TupleIdx]
+			t2 := s2.Tuples[b.TupleIdx]
+			nt := make(rel.Tuple, 0, len(t1)+len(t2))
+			nt = append(append(nt, t1...), t2...)
+			out.Tuples = append(out.Tuples, nt)
+		}
+	}
+	return out
+}
+
+// BaseSpec describes one base relation to pre-process for static joins.
+type BaseSpec struct {
+	D       *rel.Relation
+	AR      []string    // reference keyword list for this schema
+	Matcher her.Matcher // HER used offline
+}
+
+// Materialized is the offline pre-computation of §IV-A: for every base
+// relation D of the database it stores the HER match relation f(D,G), the
+// extracted relation h(D,G) for the reference keywords AR, and a cache gL
+// of link-join connectivity relations — so well-behaved gSQL queries run
+// as plain relational joins without invoking HER or RExt online.
+type Materialized struct {
+	G      *graph.Graph
+	models Models
+	cfg    Config
+
+	bases map[string]*BaseMaterialization
+	gl    map[string]*rel.Relation
+}
+
+// BaseMaterialization holds the pre-computation for one base relation.
+type BaseMaterialization struct {
+	Spec      BaseSpec
+	Extractor *Extractor
+	MatchRel  *rel.Relation // f(D,G) joined by base key + vid
+	Extracted *rel.Relation // h(D,G)
+}
+
+// AR returns the reference keywords for this base.
+func (b *BaseMaterialization) AR() []string { return b.Spec.AR }
+
+// BuildMaterialized runs the offline preprocessing for every base
+// relation: HER matching and RExt extraction with keywords AR.
+func BuildMaterialized(g *graph.Graph, models Models, specs map[string]BaseSpec, cfg Config) (*Materialized, error) {
+	m := &Materialized{
+		G: g, models: models, cfg: cfg,
+		bases: map[string]*BaseMaterialization{},
+		gl:    map[string]*rel.Relation{},
+	}
+	names := make([]string, 0, len(specs))
+	for n := range specs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		spec := specs[name]
+		c := cfg
+		c.Keywords = spec.AR
+		c.MaxAttrs = len(spec.AR)
+		ex := NewExtractor(g, models, c)
+		matches := spec.Matcher.Match(spec.D, g)
+		dg, err := ex.Run(spec.D, matches)
+		if err != nil {
+			return nil, fmt.Errorf("core: materialising %s: %w", name, err)
+		}
+		m.bases[name] = &BaseMaterialization{
+			Spec:      spec,
+			Extractor: ex,
+			MatchRel:  matchRelation(spec.D, matches),
+			Extracted: dg,
+		}
+	}
+	return m, nil
+}
+
+// Base returns the materialisation for a base relation, or nil.
+func (m *Materialized) Base(name string) *BaseMaterialization { return m.bases[name] }
+
+// WellBehavedKeywords reports whether A ⊆ AR for the named base relation
+// (condition (1) of well-behaved enrichment joins).
+func (m *Materialized) WellBehavedKeywords(base string, a []string) bool {
+	b := m.bases[base]
+	if b == nil {
+		return false
+	}
+	have := map[string]bool{}
+	for _, kw := range b.Spec.AR {
+		have[kw] = true
+	}
+	for _, kw := range a {
+		if !have[kw] {
+			return false
+		}
+	}
+	return true
+}
+
+// StaticEnrich answers a well-behaved enrichment join S ⋈_A G where S is
+// a (subset of a) base relation: the three-way natural join
+// S ⋈ f(D,G) ⋈ h(D,G) over the pre-computed relations, projected to S's
+// attributes plus vid plus A. Neither HER nor RExt runs.
+func (m *Materialized) StaticEnrich(base string, s *rel.Relation, a []string) (*rel.Relation, error) {
+	b := m.bases[base]
+	if b == nil {
+		return nil, fmt.Errorf("core: no materialisation for base %q", base)
+	}
+	if !m.WellBehavedKeywords(base, a) {
+		return nil, fmt.Errorf("core: keywords %v not covered by AR(%s)=%v", a, base, b.Spec.AR)
+	}
+	j := rel.NaturalJoin(rel.NaturalJoin(s, b.MatchRel), b.Extracted)
+	// Project to S's attributes plus vid plus the requested keywords,
+	// deduplicating: S may already carry vid or some keyword column from
+	// an earlier (chained) enrichment join.
+	cols := append([]string(nil), s.Schema.AttrNames()...)
+	seen := map[string]bool{}
+	for _, c := range cols {
+		seen[c] = true
+	}
+	for _, c := range append([]string{"vid"}, a...) {
+		if !seen[c] {
+			seen[c] = true
+			cols = append(cols, c)
+		}
+	}
+	return rel.Project(j, cols...), nil
+}
+
+// LinkCacheKey builds the gL cache key for a pair of predicate
+// signatures over two base relations (§IV-A: gL is specified by predicate
+// sets P and P′, the selection conditions of the two sub-queries).
+func LinkCacheKey(base1, pred1, base2, pred2 string, k int) string {
+	return fmt.Sprintf("%s[%s]|%s[%s]|k=%d", base1, pred1, base2, pred2, k)
+}
+
+// StaticLink answers a link join S1 ⋈_G S2 over subsets of base
+// relations using pre-computed matches; the connectivity relation is
+// cached under cacheKey so repeated queries with the same predicates are
+// answered without traversing G.
+func (m *Materialized) StaticLink(base1 string, s1 *rel.Relation, base2 string, s2 *rel.Relation, k int, cacheKey string) (*rel.Relation, error) {
+	b1, b2 := m.bases[base1], m.bases[base2]
+	if b1 == nil || b2 == nil {
+		return nil, fmt.Errorf("core: no materialisation for %q/%q", base1, base2)
+	}
+	if cacheKey != "" {
+		if cached, ok := m.gl[cacheKey]; ok {
+			return m.linkFromGL(s1, b1, s2, b2, cached)
+		}
+	}
+	m1 := restrictMatches(b1, s1)
+	m2 := restrictMatches(b2, s2)
+	out := linkJoinMatched(s1, s2, m.G, m1, m2, k)
+	if cacheKey != "" {
+		m.gl[cacheKey] = glRelation(cacheKey, m.G, m1, m2, k)
+	}
+	return out, nil
+}
+
+// GLCacheSize returns the number of cached connectivity relations and
+// their total tuple count.
+func (m *Materialized) GLCacheSize() (relations, tuples int) {
+	for _, r := range m.gl {
+		relations++
+		tuples += r.Len()
+	}
+	return
+}
+
+// glRelation materialises the connectivity pairs (vid1, vid2) for the
+// matched vertices of two tuple sets.
+func glRelation(name string, g *graph.Graph, m1, m2 []her.Match, k int) *rel.Relation {
+	schema := rel.NewSchema("gl", "",
+		rel.Attribute{Name: "vid1", Type: rel.KindInt},
+		rel.Attribute{Name: "vid2", Type: rel.KindInt},
+	)
+	r := rel.NewRelation(schema)
+	seen := map[[2]graph.VertexID]bool{}
+	for _, a := range m1 {
+		if !g.Live(a.Vertex) {
+			continue
+		}
+		reach := g.KHopNeighborhood([]graph.VertexID{a.Vertex}, k)
+		for _, b := range m2 {
+			key := [2]graph.VertexID{a.Vertex, b.Vertex}
+			if reach[b.Vertex] && !seen[key] {
+				seen[key] = true
+				r.InsertVals(rel.I(int64(a.Vertex)), rel.I(int64(b.Vertex)))
+			}
+		}
+	}
+	_ = name
+	return r
+}
+
+// linkFromGL answers a link join from a cached connectivity relation.
+func (m *Materialized) linkFromGL(s1 *rel.Relation, b1 *BaseMaterialization, s2 *rel.Relation, b2 *BaseMaterialization, gl *rel.Relation) (*rel.Relation, error) {
+	m1 := restrictMatches(b1, s1)
+	m2 := restrictMatches(b2, s2)
+	pairs := map[[2]graph.VertexID]bool{}
+	v1c, v2c := gl.Schema.Col("vid1"), gl.Schema.Col("vid2")
+	for _, t := range gl.Tuples {
+		pairs[[2]graph.VertexID{graph.VertexID(t[v1c].Int()), graph.VertexID(t[v2c].Int())}] = true
+	}
+	name2 := s2.Schema.Name
+	if name2 == s1.Schema.Name {
+		name2 += "2"
+	}
+	q1 := s1.Schema.Qualified(s1.Schema.Name)
+	q2 := s2.Schema.Qualified(name2)
+	attrs := append(append([]rel.Attribute(nil), q1.Attrs...), q2.Attrs...)
+	out := rel.NewRelation(rel.NewSchema(s1.Schema.Name+"_l_"+name2, "", attrs...))
+	for _, a := range m1 {
+		for _, b := range m2 {
+			if !pairs[[2]graph.VertexID{a.Vertex, b.Vertex}] {
+				continue
+			}
+			t1 := s1.Tuples[a.TupleIdx]
+			t2 := s2.Tuples[b.TupleIdx]
+			nt := make(rel.Tuple, 0, len(t1)+len(t2))
+			nt = append(append(nt, t1...), t2...)
+			out.Tuples = append(out.Tuples, nt)
+		}
+	}
+	return out, nil
+}
+
+// restrictMatches narrows a base's pre-computed matches to the tuples
+// present in s (a selection over the base relation), re-indexing TupleIdx
+// into s.
+func restrictMatches(b *BaseMaterialization, s *rel.Relation) []her.Match {
+	keyCol := s.Schema.KeyCol()
+	if keyCol < 0 {
+		return nil
+	}
+	byTID := map[string]her.Match{}
+	for _, m := range b.Extractor.Matches() {
+		byTID[m.TID.String()] = m
+	}
+	var out []her.Match
+	for ti, t := range s.Tuples {
+		if m, ok := byTID[t[keyCol].String()]; ok {
+			m.TupleIdx = ti
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// NormalizeAttr lowercases and strips non-alphanumerics for schema-level
+// attribute matching in heuristic joins.
+func NormalizeAttr(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

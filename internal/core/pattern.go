@@ -1,0 +1,62 @@
+// Package core implements the paper's primary contribution: the RExt
+// relation-extraction scheme (§III-A), its incremental variant IncExt
+// (§III-B), and the semantic joins built on them (§II, §IV) — enrichment
+// joins, link joins, their static/dynamic implementations over
+// materialised extractions, and the heuristic join for queries that are
+// not well-behaved.
+package core
+
+import (
+	"strings"
+
+	"semjoin/internal/graph"
+)
+
+// PathPattern is the pattern pρ of a path ρ: the list of direction-marked
+// edge labels along it (§III "Path Pattern and Matching").
+type PathPattern []string
+
+// PatternOf extracts the pattern of a path.
+func PatternOf(p graph.Path) PathPattern {
+	return PathPattern(append([]string(nil), p.EdgeLabels...))
+}
+
+// Key returns a canonical string form usable as a map key.
+func (p PathPattern) Key() string { return strings.Join(p, "\x1f") }
+
+// String renders the pattern as l1/l2/....
+func (p PathPattern) String() string { return strings.Join(p, "/") }
+
+// Matches implements M(ρ, p): true iff the path's pattern equals p. It
+// runs in O(min(len(pρ), len(p))) time as the paper notes, short-circuiting
+// on the first differing label.
+func (p PathPattern) Matches(ρ graph.Path) bool {
+	if len(ρ.EdgeLabels) != len(p) {
+		return false
+	}
+	for i, l := range p {
+		if ρ.EdgeLabels[i] != l {
+			return false
+		}
+	}
+	return true
+}
+
+// inverseLabel flips the traversal direction of a marked edge label.
+func inverseLabel(l string) string {
+	if strings.HasPrefix(l, graph.ReverseMark) {
+		return l[len(graph.ReverseMark):]
+	}
+	return graph.ReverseMark + l
+}
+
+// patternKeyOf avoids the copy in PatternOf for map-key use.
+func patternKeyOf(p graph.Path) string { return strings.Join(p.EdgeLabels, "\x1f") }
+
+// patternFromKey reverses Key.
+func patternFromKey(k string) PathPattern {
+	if k == "" {
+		return nil
+	}
+	return PathPattern(strings.Split(k, "\x1f"))
+}

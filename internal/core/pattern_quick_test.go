@@ -1,0 +1,77 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"semjoin/internal/graph"
+)
+
+// Property: pattern Key round-trips through patternFromKey for any label
+// list free of the separator byte.
+func TestPatternKeyRoundTrip(t *testing.T) {
+	f := func(labels []string) bool {
+		p := make(PathPattern, 0, len(labels))
+		for _, l := range labels {
+			l = strings.ReplaceAll(l, "\x1f", "_")
+			if l == "" {
+				l = "x" // edge labels are never empty in a real graph
+			}
+			p = append(p, l)
+		}
+		back := patternFromKey(p.Key())
+		if len(p) == 0 {
+			return len(back) == 0
+		}
+		if len(back) != len(p) {
+			return false
+		}
+		for i := range p {
+			if back[i] != p[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Matches(ρ, p) is true exactly when PatternOf(ρ) equals p.
+func TestPatternMatchesConsistency(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		mk := func(xs []uint8) graph.Path {
+			p := graph.Path{Vertices: []graph.VertexID{0}}
+			for i, x := range xs {
+				p.Vertices = append(p.Vertices, graph.VertexID(i+1))
+				p.EdgeLabels = append(p.EdgeLabels, string(rune('a'+x%4)))
+			}
+			return p
+		}
+		pa, pb := mk(a), mk(b)
+		pat := PatternOf(pa)
+		got := pat.Matches(pb)
+		want := PatternOf(pb).Key() == pat.Key()
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: inverseLabel is an involution.
+func TestInverseLabelInvolution(t *testing.T) {
+	f := func(l string) bool {
+		if strings.HasPrefix(l, graph.ReverseMark) {
+			// Inputs already carrying the mark: the involution still holds
+			// starting from the stripped form.
+			l = strings.TrimPrefix(l, graph.ReverseMark)
+		}
+		return inverseLabel(inverseLabel(l)) == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

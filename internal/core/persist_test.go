@@ -1,0 +1,164 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"semjoin/internal/mat"
+	"semjoin/internal/rel"
+)
+
+func TestSaveLoadModelsRoundTrip(t *testing.T) {
+	w := getWorld(t)
+	var buf bytes.Buffer
+	if err := SaveModels(&buf, w.models); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModels(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded pair must reproduce embeddings and predictions exactly.
+	for _, text := range []string{"Acme Corp", "UK", "company", "country", "unseen token"} {
+		a := w.models.Word.Embed(text)
+		b := loaded.Word.Embed(text)
+		if len(a) != len(b) {
+			t.Fatalf("embed dims differ for %q", text)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("embedding differs for %q at %d", text, i)
+			}
+		}
+	}
+	e1 := w.models.Seq.EmbedSequence([]string{"issues", "registered_in"})
+	e2 := loaded.Seq.EmbedSequence([]string{"issues", "registered_in"})
+	if mat.Cosine(e1, e2) < 0.999999 {
+		t.Fatal("sequence embeddings differ after reload")
+	}
+	s1 := w.models.Seq.Start()
+	s2 := loaded.Seq.Start()
+	s1.Feed("Acme Corp")
+	s2.Feed("Acme Corp")
+	p1, p2 := s1.Probs(), s2.Probs()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("next-token distributions differ after reload")
+		}
+	}
+}
+
+func TestSaveModelsRejectsNonDefault(t *testing.T) {
+	w := getWorld(t)
+	var buf bytes.Buffer
+	if err := SaveModels(&buf, Models{Seq: w.models.Seq, Word: w.models.Word, RandomPaths: false}); err != nil {
+		t.Fatal(err)
+	}
+	bad := Models{Word: w.models.Word, RandomPaths: true}
+	if err := SaveModels(&buf, bad); err == nil {
+		t.Fatal("nil sequence model should not persist")
+	}
+}
+
+func TestSaveLoadSchemeRoundTrip(t *testing.T) {
+	w := getWorld(t)
+	ex := NewExtractor(w.g, w.models, Config{
+		K: 3, H: 12, Keywords: []string{"company", "country"}, Seed: 3,
+	})
+	matches := oracle(w).Match(w.products, w.g)
+	if err := ex.Discover(w.products, matches); err != nil {
+		t.Fatal(err)
+	}
+	want := ex.Extract()
+
+	var buf bytes.Buffer
+	if err := SaveScheme(&buf, ex.Scheme()); err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := LoadScheme(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scheme.Clusters) != len(ex.Scheme().Clusters) || scheme.K != ex.Scheme().K {
+		t.Fatal("scheme shape changed")
+	}
+	// Algorithm 1 with the reloaded scheme reproduces the extraction.
+	ex2 := NewExtractor(w.g, w.models, Config{K: 3, H: 12, Keywords: []string{"company", "country"}, Seed: 3})
+	got := ex2.ExtractWithScheme(w.products, scheme, matches)
+	if !sameRelation(got, want) {
+		t.Fatal("reloaded scheme extraction differs")
+	}
+}
+
+func TestSaveLoadBaseRoundTrip(t *testing.T) {
+	w := getWorld(t)
+	m := buildMaterializedWorld(t, w)
+	b := m.Base("product")
+
+	var buf bytes.Buffer
+	if err := SaveBase(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBase(bytes.NewReader(buf.Bytes()), w.products, w.g, w.models,
+		oracle(w), Config{H: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Extracted.Len() != b.Extracted.Len() || loaded.MatchRel.Len() != b.MatchRel.Len() {
+		t.Fatal("relation sizes changed")
+	}
+	if len(loaded.AR()) != len(b.AR()) {
+		t.Fatal("AR changed")
+	}
+	// The loaded materialisation answers static joins identically.
+	m2 := &Materialized{G: w.g, bases: map[string]*BaseMaterialization{"product": loaded},
+		gl: map[string]*rel.Relation{}}
+	got, err := m2.StaticEnrich("product", w.products, []string{"company"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.StaticEnrich("product", w.products, []string{"company"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRelation(got, want) {
+		t.Fatal("loaded static join differs")
+	}
+	// And IncExt still works on the reloaded extractor.
+	stats, err := loaded.Extractor.ApplyGraphUpdate(nil, oracle(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = stats
+}
+
+func TestLoadCorruptData(t *testing.T) {
+	if _, err := LoadModels(bytes.NewReader([]byte("garbage data here"))); err == nil {
+		t.Fatal("corrupt models should error")
+	}
+	if _, err := LoadScheme(bytes.NewReader([]byte("SEMJ"))); err == nil {
+		t.Fatal("truncated scheme should error")
+	}
+	w := getWorld(t)
+	var buf bytes.Buffer
+	if err := SaveModels(&buf, w.models); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-stream.
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := LoadModels(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated models should error")
+	}
+	// Wrong section.
+	var sbuf bytes.Buffer
+	ex := NewExtractor(w.g, w.models, Config{K: 3, H: 12, Keywords: []string{"company"}, Seed: 3})
+	if err := ex.Discover(w.products, oracle(w).Match(w.products, w.g)); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveScheme(&sbuf, ex.Scheme()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModels(bytes.NewReader(sbuf.Bytes())); err == nil {
+		t.Fatal("scheme bytes loaded as models should error")
+	}
+}

@@ -1,0 +1,590 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"semjoin/internal/cluster"
+	"semjoin/internal/graph"
+	"semjoin/internal/her"
+	"semjoin/internal/mat"
+	"semjoin/internal/nn"
+	"semjoin/internal/rel"
+)
+
+// Config parameterises RExt (§III-A). Zero fields take defaults.
+type Config struct {
+	// K bounds path length (default 3).
+	K int
+	// H is the number of KMC clusters (default 30).
+	H int
+	// Keywords is the user-interest set A: the attribute names of the
+	// extracted schema. Required.
+	Keywords []string
+	// Exemplars are additional values that exemplify the attributes of
+	// interest (§II-B: "users may provide not only potential attribute
+	// names but also values"). They strengthen the third ranking term but
+	// never become attribute names.
+	Exemplars []string
+	// MaxAttrs is m, the number of attributes selected for RG
+	// (default: number of distinct keywords, capped at H).
+	MaxAttrs int
+	// MaxPathsPerEntity caps the greedy walks started per entity (one per
+	// incident edge, like the paper) to keep dense vertices tractable
+	// (default 64).
+	MaxPathsPerEntity int
+	// Beam is the number of Mρ-preferred continuations followed at each
+	// expansion step. Beam=1 is the paper's greedy selection; the default
+	// 3 trades a bounded constant factor of extra paths for recall, which
+	// matters when Mρ is a small model trained on a modest corpus
+	// (see DESIGN.md, ablation 1).
+	Beam int
+	// Seed drives clustering and the RndPath baseline (default 1).
+	Seed uint64
+	// Parallel is the worker count (default NumCPU).
+	Parallel int
+	// Accept, when non-nil, models the user interaction of §III-A step 4:
+	// it is shown each candidate attribute (name, patterns, sample
+	// matches) in rank order and returns whether to include it.
+	Accept func(attr string, patterns []PathPattern, sample []WSample) bool
+	// NoiseFrac corrupts this fraction of KMC assignments before pattern
+	// refinement (Fig 5(f) robustness experiment).
+	NoiseFrac float64
+	// NoRefinement skips the majority-vote pattern refinement of §III-A
+	// step 3, leaving each pattern in every cluster it appears in
+	// (ablation 3 of DESIGN.md).
+	NoRefinement bool
+	// DisableTerm1/2/3 zero out the corresponding term of the ranking
+	// function (ablation 4 of DESIGN.md).
+	DisableTerm1 bool
+	DisableTerm2 bool
+	DisableTerm3 bool
+	// AllowBounce permits paths that leave a vertex over some edge label
+	// and immediately return over the same label in the opposite
+	// direction (l, ^l). Such "bounce" hops land on a sibling entity, so
+	// the suffix describes the sibling rather than the entity being
+	// enriched; they are filtered by default (see DESIGN.md, ablation 7).
+	AllowBounce bool
+	// LengthPenalty subtracts LengthPenalty·(avg pattern hops − 1) from a
+	// cluster's ranking score. The paper's function has no such term but
+	// observes that "attributes extracted by longer paths have weaker
+	// associations"; the penalty encodes that as an Occam prior so that a
+	// hub detour reaching the same label class cannot outrank the direct
+	// pattern on embedding noise. Default 0.05; set negative to disable
+	// and recover the exact paper ranking (see DESIGN.md, ablation 4).
+	LengthPenalty float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 3
+	}
+	if c.H == 0 {
+		c.H = 30
+	}
+	if c.MaxAttrs == 0 {
+		c.MaxAttrs = len(c.Keywords)
+	}
+	if c.MaxAttrs > c.H {
+		c.MaxAttrs = c.H
+	}
+	if c.MaxPathsPerEntity == 0 {
+		c.MaxPathsPerEntity = 64
+	}
+	if c.Beam == 0 {
+		c.Beam = 3
+	}
+	if c.LengthPenalty == 0 {
+		c.LengthPenalty = 0.05
+	} else if c.LengthPenalty < 0 {
+		c.LengthPenalty = 0
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Parallel == 0 {
+		c.Parallel = runtime.NumCPU()
+	}
+	return c
+}
+
+// WSample is one element of a cluster's match set Wi: the matching entity
+// vertex and the label of the path's end vertex (the candidate attribute
+// value).
+type WSample struct {
+	Vertex   graph.VertexID
+	EndLabel string
+}
+
+// PatternCluster is one selected cluster Pi of P, carrying the attribute
+// name Ai it was assigned and the keyword embedding used for value
+// ranking in Algorithm 1.
+type PatternCluster struct {
+	Attr     string
+	Patterns []PathPattern
+	attrVec  mat.Vector
+	patKeys  map[string]bool
+}
+
+// Scheme is the extraction scheme: the extracted schema
+// RG(vid, A1, ..., Am) and the pattern clusters backing each attribute.
+type Scheme struct {
+	Schema   *rel.Schema
+	Clusters []PatternCluster
+	K        int
+}
+
+// Attrs returns the extracted attribute names A1..Am.
+func (s *Scheme) Attrs() []string {
+	out := make([]string, len(s.Clusters))
+	for i, c := range s.Clusters {
+		out[i] = c.Attr
+	}
+	return out
+}
+
+// scoredCluster is one refined pattern cluster P'_i with its ranking
+// ingredients (kept so IncExt can re-rank on keyword updates without
+// re-clustering).
+type scoredCluster struct {
+	patterns map[string]int // pattern key -> conforming path count
+	w        []wEntry
+	term1    float64   // |Wi|/|P|
+	term2    float64   // max_φ avg cos(end, tuple attr value)
+	term3    float64   // max_ε avg cos(end, keyword)
+	kwAvg    []float64 // avg cos(end, keyword) per keyword (for greedy assignment)
+	bestKw   string
+	score    float64
+}
+
+type wEntry struct {
+	vertex   graph.VertexID
+	tupleIdx int // index into S, or -1 without reference tuples
+	endLabel string
+	endVec   mat.Vector // xL(ρ.vl), L2-normalised word embedding
+}
+
+// Extractor runs RExt against one graph and holds the caches (selected
+// paths, refined clusters, match relation) that Algorithm 1 and IncExt
+// reuse.
+type Extractor struct {
+	g      *graph.Graph
+	models Models
+	cfg    Config
+
+	s       *rel.Relation // reference tuples; nil for type extraction
+	matches []her.Match
+	// vertexTuple maps matched vertex -> tuple index (first match wins).
+	vertexTuple map[graph.VertexID]int
+
+	mu        sync.Mutex
+	pathCache map[graph.VertexID][]graph.Path
+	valueVecs map[string]mat.Vector
+
+	clusters   []*scoredCluster
+	totalPaths int
+	scheme     *Scheme
+	result     *rel.Relation
+
+	timings Timings
+}
+
+// Timings breaks an extraction down by pipeline stage (seconds). The
+// split mirrors the cost analysis of §III-A: path selection and
+// embedding dominate for large k, clustering for large H.
+type Timings struct {
+	Selection  float64 // Mρ-guided path selection
+	Embedding  float64 // vertex-path pair embedding
+	Clustering float64 // KMC
+	Ranking    float64 // refinement + ranking + scheme selection
+	Extraction float64 // Algorithm 1
+}
+
+// Timings returns the stage breakdown of the most recent run.
+func (e *Extractor) Timings() Timings { return e.timings }
+
+// NewExtractor builds an extractor over g with the given models and
+// configuration.
+func NewExtractor(g *graph.Graph, models Models, cfg Config) *Extractor {
+	if models.Seq == nil && !models.RandomPaths {
+		panic("core: sequence model required unless RandomPaths is set")
+	}
+	if models.Word == nil {
+		panic("core: word embedder required")
+	}
+	return &Extractor{
+		g:         g,
+		models:    models,
+		cfg:       cfg.withDefaults(),
+		pathCache: make(map[graph.VertexID][]graph.Path),
+		valueVecs: make(map[string]mat.Vector),
+	}
+}
+
+// Scheme returns the discovered extraction scheme (nil before Discover).
+func (e *Extractor) Scheme() *Scheme { return e.scheme }
+
+// Result returns the extracted relation DG (nil before Extract).
+func (e *Extractor) Result() *rel.Relation { return e.result }
+
+// Matches returns the HER match relation currently in use.
+func (e *Extractor) Matches() []her.Match { return e.matches }
+
+// Run performs both phases of RExt: pattern discovery over the matched
+// vertices of S, then attribute extraction (Algorithm 1), returning the
+// extracted relation DG of schema RG.
+func (e *Extractor) Run(s *rel.Relation, matches []her.Match) (*rel.Relation, error) {
+	if err := e.Discover(s, matches); err != nil {
+		return nil, err
+	}
+	return e.Extract(), nil
+}
+
+// Discover is phase I of §III-A: LSTM-guided path selection from every
+// matched vertex, vertex-path pair embedding, K-means clustering, pattern
+// refinement by majority voting, and ranking-based pattern/attribute
+// selection. It stores the resulting Scheme on the extractor.
+func (e *Extractor) Discover(s *rel.Relation, matches []her.Match) error {
+	if len(e.cfg.Keywords) == 0 {
+		return fmt.Errorf("core: RExt needs at least one keyword in A")
+	}
+	if len(matches) == 0 {
+		return fmt.Errorf("core: empty HER match relation f(S,G)")
+	}
+	e.s = s
+	e.matches = matches
+	e.vertexTuple = make(map[graph.VertexID]int, len(matches))
+	for _, m := range matches {
+		if _, ok := e.vertexTuple[m.Vertex]; !ok {
+			e.vertexTuple[m.Vertex] = m.TupleIdx
+		}
+	}
+
+	// (1) Path selection from every matched vertex, in parallel.
+	vertices := make([]graph.VertexID, 0, len(e.vertexTuple))
+	for v := range e.vertexTuple {
+		vertices = append(vertices, v)
+	}
+	sort.Slice(vertices, func(i, j int) bool { return vertices[i] < vertices[j] })
+	stageStart := time.Now()
+	e.selectPathsFor(vertices)
+	e.timings.Selection = time.Since(stageStart).Seconds()
+
+	type pair struct {
+		path graph.Path
+		vec  mat.Vector
+	}
+	var pairs []pair
+	for _, v := range vertices {
+		for _, p := range e.pathCache[v] {
+			pairs = append(pairs, pair{path: p})
+		}
+	}
+	e.totalPaths = len(pairs)
+	if len(pairs) == 0 {
+		return fmt.Errorf("core: no paths selected from %d matched vertices", len(vertices))
+	}
+
+	// (2) Vertex-path pair embedding: concat(L2(xL(end)), L2(xρ)).
+	stageStart = time.Now()
+	e.parallelFor(len(pairs), func(i int) {
+		p := pairs[i].path
+		xl := mat.Normalize(e.models.Word.Embed(e.g.Label(p.End())))
+		var xr mat.Vector
+		if e.models.Seq != nil {
+			xr = mat.Normalize(e.models.Seq.EmbedSequence(p.EdgeLabels))
+		} else {
+			xr = mat.NewVector(0)
+		}
+		pairs[i].vec = mat.Concat(xl, xr)
+	})
+	points := make([]mat.Vector, len(pairs))
+	for i := range pairs {
+		points[i] = pairs[i].vec
+	}
+	e.timings.Embedding = time.Since(stageStart).Seconds()
+
+	// (3) KMC into H clusters (optionally noise-injected for Fig 5(f)).
+	stageStart = time.Now()
+	res := cluster.KMeans(points, cluster.Config{
+		K: e.cfg.H, MaxIter: 25, Seed: e.cfg.Seed, Parallel: e.cfg.Parallel,
+	})
+	e.timings.Clustering = time.Since(stageStart).Seconds()
+	if e.cfg.NoiseFrac > 0 {
+		cluster.InjectNoise(res.Assign, len(res.Centroids), e.cfg.NoiseFrac, e.cfg.Seed+13)
+	}
+
+	// (4) Pattern refinement by majority voting: each pattern is kept only
+	// in the cluster holding most of its conforming paths.
+	counts := make([]map[string]int, len(res.Centroids))
+	for i := range counts {
+		counts[i] = map[string]int{}
+	}
+	for i, p := range pairs {
+		counts[res.Assign[i]][patternKeyOf(p.path)]++
+	}
+	refined := make([]*scoredCluster, len(res.Centroids))
+	if e.cfg.NoRefinement {
+		// Ablation: keep every pattern in every cluster it occurs in.
+		for ci, m := range counts {
+			for k, n := range m {
+				if refined[ci] == nil {
+					refined[ci] = &scoredCluster{patterns: map[string]int{}}
+				}
+				refined[ci].patterns[k] = n
+			}
+		}
+	} else {
+		owner := map[string]int{} // pattern key -> owning cluster
+		ownerCount := map[string]int{}
+		for ci, m := range counts {
+			// Ascending ci: ties keep the lowest cluster id (deterministic).
+			for k, n := range m {
+				if cur, ok := ownerCount[k]; !ok || n > cur {
+					owner[k] = ci
+					ownerCount[k] = n
+				}
+			}
+		}
+		for k, ci := range owner {
+			if refined[ci] == nil {
+				refined[ci] = &scoredCluster{patterns: map[string]int{}}
+			}
+			refined[ci].patterns[k] = ownerCount[k]
+		}
+	}
+
+	// (5) Build W sets: every selected path conforming to a cluster's
+	// pattern contributes (start vertex, end label).
+	patClusters := map[string][]*scoredCluster{}
+	var live []*scoredCluster
+	for _, sc := range refined {
+		if sc == nil {
+			continue
+		}
+		live = append(live, sc)
+		for k := range sc.patterns {
+			patClusters[k] = append(patClusters[k], sc)
+		}
+	}
+	for _, v := range vertices {
+		for _, p := range e.pathCache[v] {
+			endLabel := e.g.Label(p.End())
+			for _, sc := range patClusters[patternKeyOf(p)] {
+				sc.w = append(sc.w, wEntry{
+					vertex:   p.Start(),
+					tupleIdx: e.vertexTuple[p.Start()],
+					endLabel: endLabel,
+					endVec:   e.valueVec(endLabel),
+				})
+			}
+		}
+	}
+
+	// (6) Rank and select.
+	stageStart = time.Now()
+	e.clusters = live
+	e.rankClusters(e.cfg.Keywords)
+	e.scheme = e.selectScheme(e.cfg.Keywords)
+	e.timings.Ranking = time.Since(stageStart).Seconds()
+	return nil
+}
+
+// selectPathsFor fills the path cache for the given vertices in parallel.
+func (e *Extractor) selectPathsFor(vertices []graph.VertexID) {
+	missing := make([]graph.VertexID, 0, len(vertices))
+	for _, v := range vertices {
+		if _, ok := e.pathCache[v]; !ok {
+			missing = append(missing, v)
+		}
+	}
+	results := make([][]graph.Path, len(missing))
+	e.parallelFor(len(missing), func(i int) {
+		results[i] = e.selectPaths(missing[i])
+	})
+	for i, v := range missing {
+		e.pathCache[v] = results[i]
+	}
+}
+
+// selectPaths implements SelectPath (§III-A step 1): one greedy walk per
+// incident edge of v, each extended by the edge label Mρ deems most
+// probable, stopping on <eos>, a dead end, the bound k, or a cycle. Every
+// prefix of a walk is itself a selected path (clusters mix lengths, as in
+// the paper's Figure 2). With RandomPaths set the extension is uniform
+// (the RndPath baseline).
+func (e *Extractor) selectPaths(v graph.VertexID) []graph.Path {
+	if !e.g.Live(v) {
+		return nil
+	}
+	steps := e.g.Steps(nil, v)
+	if len(steps) > e.cfg.MaxPathsPerEntity {
+		steps = steps[:e.cfg.MaxPathsPerEntity]
+	}
+	rng := mat.NewRNG(e.cfg.Seed ^ (uint64(v) + 0x9e37))
+	var out []graph.Path
+	eosID := -1
+	var vocab *nn.Vocab
+	if e.models.Seq != nil {
+		vocab = e.models.Seq.Vocab()
+		eosID = vocab.ID(nn.EOS)
+	}
+	// branch is one frontier element of the (narrow) beam expansion.
+	type branch struct {
+		path  graph.Path
+		state nn.State
+	}
+	for _, first := range steps {
+		p := graph.Path{
+			Vertices:   []graph.VertexID{v, first.To},
+			EdgeLabels: []string{graph.MarkLabel(first.Label, first.Forward)},
+		}
+		out = append(out, p.Clone())
+
+		var state nn.State
+		if !e.models.RandomPaths {
+			state = e.models.Seq.Start()
+			state.Feed(e.g.Label(v))
+			state.Feed(p.EdgeLabels[0])
+			state.Feed(e.g.Label(first.To))
+		}
+		frontier := []branch{{path: p, state: state}}
+		for depth := 1; depth < e.cfg.K && len(frontier) > 0; depth++ {
+			var next []branch
+			for _, br := range frontier {
+				cands := e.g.Steps(nil, br.path.End())
+				prev := br.path.EdgeLabels[len(br.path.EdgeLabels)-1]
+				// Drop cycle-forming steps (stop condition (d)) and, unless
+				// AllowBounce is set, sibling bounces (l then ^l).
+				keep := cands[:0]
+				for _, c := range cands {
+					if br.path.Contains(c.To) {
+						continue
+					}
+					if !e.cfg.AllowBounce && inverseLabel(prev) == graph.MarkLabel(c.Label, c.Forward) {
+						continue
+					}
+					keep = append(keep, c)
+				}
+				cands = keep
+				if len(cands) == 0 {
+					continue // stop condition (b): no edge to choose
+				}
+				var chosen []graph.Step
+				if e.models.RandomPaths {
+					chosen = append(chosen, cands[rng.Intn(len(cands))])
+				} else {
+					probs := br.state.Probs()
+					// The paper chooses the EDGE LABEL with the highest
+					// predicted probability, then an edge carrying it; the
+					// beam generalisation keeps the top-Beam distinct
+					// labels, one (deterministic) edge each.
+					type scored struct {
+						step graph.Step
+						p    float64
+					}
+					bestByLabel := map[string]scored{}
+					for _, c := range cands {
+						tok := graph.MarkLabel(c.Label, c.Forward)
+						pr := 0.0
+						if vocab.Has(tok) {
+							pr = probs[vocab.ID(tok)]
+						}
+						if cur, ok := bestByLabel[tok]; !ok || c.To < cur.step.To {
+							bestByLabel[tok] = scored{c, pr}
+						}
+					}
+					ranked := make([]scored, 0, len(bestByLabel))
+					for _, s := range bestByLabel {
+						ranked = append(ranked, s)
+					}
+					sort.SliceStable(ranked, func(i, j int) bool {
+						if ranked[i].p != ranked[j].p {
+							return ranked[i].p > ranked[j].p
+						}
+						return ranked[i].step.To < ranked[j].step.To
+					})
+					// Stop condition (a): Mρ emits the end-of-sentence
+					// signal with higher probability than any candidate.
+					if eosID >= 0 && probs[eosID] > ranked[0].p {
+						continue
+					}
+					width := e.cfg.Beam
+					if width > len(ranked) {
+						width = len(ranked)
+					}
+					for _, r := range ranked[:width] {
+						chosen = append(chosen, r.step)
+					}
+				}
+				for ci, c := range chosen {
+					tok := graph.MarkLabel(c.Label, c.Forward)
+					np := br.path.Extend(tok, c.To)
+					out = append(out, np)
+					var ns nn.State
+					if !e.models.RandomPaths {
+						if ci == len(chosen)-1 {
+							ns = br.state // last branch may consume the state
+						} else {
+							ns = br.state.Clone()
+						}
+						ns.Feed(tok)
+						ns.Feed(e.g.Label(c.To))
+					}
+					next = append(next, branch{path: np, state: ns})
+				}
+			}
+			frontier = next
+		}
+	}
+	return out
+}
+
+// valueVec returns the L2-normalised word embedding of a value string,
+// memoised across the extraction.
+func (e *Extractor) valueVec(s string) mat.Vector {
+	e.mu.Lock()
+	v, ok := e.valueVecs[s]
+	e.mu.Unlock()
+	if ok {
+		return v
+	}
+	v = mat.Normalize(e.models.Word.Embed(s))
+	e.mu.Lock()
+	e.valueVecs[s] = v
+	e.mu.Unlock()
+	return v
+}
+
+// parallelFor runs fn(i) for i in [0, n) on cfg.Parallel workers.
+func (e *Extractor) parallelFor(n int, fn func(i int)) {
+	workers := e.cfg.Parallel
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"semjoin/internal/graph"
+	"semjoin/internal/her"
+	"semjoin/internal/rel"
+)
+
+// TestUnicodeLabelsEndToEnd runs the whole pipeline — corpus, training,
+// HER, extraction, enrichment — over a graph with non-ASCII labels.
+func TestUnicodeLabelsEndToEnd(t *testing.T) {
+	g := graph.New()
+	cities := []string{"São Paulo", "München", "北京", "Kraków"}
+	cityV := make([]graph.VertexID, len(cities))
+	for i, c := range cities {
+		cityV[i] = g.AddVertex(c, "city")
+	}
+	products := rel.NewRelation(rel.NewSchema("product", "pid",
+		rel.Attribute{Name: "pid", Type: rel.KindString},
+		rel.Attribute{Name: "name", Type: rel.KindString},
+	))
+	truth := map[string]graph.VertexID{}
+	for i := 0; i < 12; i++ {
+		name := []string{"häagen", "smörgås", "žluťoučký", "crème"}[i%4] + " " + string(rune('α'+i))
+		v := g.AddVertex(name, "product")
+		g.AddEdge(v, "made_in", cityV[i%len(cities)])
+		pid := "p" + string(rune('0'+i%10)) + string(rune('a'+i/10))
+		products.InsertVals(rel.S(pid), rel.S(name))
+		truth[pid] = v
+	}
+	models := TrainModels(g, 5, 3)
+	out, err := EnrichmentJoin(products, g, models,
+		her.NewOracleMatcher(truth), []string{"city"}, Config{K: 2, H: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != products.Len() {
+		t.Fatalf("rows = %d", out.Len())
+	}
+	hits := 0
+	for i, tp := range out.Tuples {
+		_ = i
+		if got := out.Get(tp, "city").Str(); got != "" {
+			for _, c := range cities {
+				if got == c {
+					hits++
+				}
+			}
+		}
+	}
+	if hits < 10 {
+		t.Fatalf("unicode city extraction hits = %d/12", hits)
+	}
+}

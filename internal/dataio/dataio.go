@@ -1,0 +1,240 @@
+// Package dataio loads and stores the two data substrates in plain-text
+// interchange formats, so real relations and graphs can be brought into
+// semjoin without writing Go:
+//
+//   - Relations as CSV: the first row is the header; column types are
+//     inferred (int, then float, then bool, then string — a column falls
+//     back to string unless every non-empty cell agrees); empty cells are
+//     NULL.
+//
+//   - Graphs as TSV triples: `V<TAB>id<TAB>label<TAB>type` declares a
+//     vertex (type may be empty), `E<TAB>src<TAB>label<TAB>dst` an edge
+//     between previously declared vertex ids; `#` starts a comment.
+//     Vertex ids are file-local strings, mapped to graph.VertexID on
+//     load.
+package dataio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"semjoin/internal/graph"
+	"semjoin/internal/rel"
+)
+
+// LoadRelationCSV reads a relation from CSV. name becomes the relation
+// name; key names the tuple-id attribute and must be a header column (or
+// "" for no key).
+func LoadRelationCSV(in io.Reader, name, key string) (*rel.Relation, error) {
+	cr := csv.NewReader(in)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataio: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataio: empty csv (no header)")
+	}
+	header := records[0]
+	rows := records[1:]
+	for i, rec := range rows {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataio: row %d has %d fields, header has %d", i+2, len(rec), len(header))
+		}
+	}
+
+	kinds := inferKinds(header, rows)
+	attrs := make([]rel.Attribute, len(header))
+	for i, h := range header {
+		attrs[i] = rel.Attribute{Name: strings.TrimSpace(h), Type: kinds[i]}
+	}
+	if key != "" {
+		found := false
+		for _, a := range attrs {
+			if a.Name == key {
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("dataio: key %q not among columns %v", key, header)
+		}
+	}
+	out := rel.NewRelation(rel.NewSchema(name, key, attrs...))
+	for _, rec := range rows {
+		t := make(rel.Tuple, len(rec))
+		for i, cell := range rec {
+			t[i] = parseAs(strings.TrimSpace(cell), kinds[i])
+		}
+		out.Insert(t)
+	}
+	return out, nil
+}
+
+// inferKinds picks the most specific kind every non-empty cell of a
+// column satisfies.
+func inferKinds(header []string, rows [][]string) []rel.Kind {
+	kinds := make([]rel.Kind, len(header))
+	for c := range header {
+		kind := rel.KindNull // undecided
+		for _, rec := range rows {
+			cell := strings.TrimSpace(rec[c])
+			if cell == "" {
+				continue
+			}
+			k := cellKind(cell)
+			switch {
+			case kind == rel.KindNull:
+				kind = k
+			case kind == k:
+			case (kind == rel.KindInt && k == rel.KindFloat) || (kind == rel.KindFloat && k == rel.KindInt):
+				kind = rel.KindFloat
+			default:
+				kind = rel.KindString
+			}
+			if kind == rel.KindString {
+				break
+			}
+		}
+		if kind == rel.KindNull {
+			kind = rel.KindString
+		}
+		kinds[c] = kind
+	}
+	return kinds
+}
+
+func cellKind(cell string) rel.Kind {
+	if _, err := strconv.ParseInt(cell, 10, 64); err == nil {
+		return rel.KindInt
+	}
+	if _, err := strconv.ParseFloat(cell, 64); err == nil {
+		return rel.KindFloat
+	}
+	if cell == "true" || cell == "false" {
+		return rel.KindBool
+	}
+	return rel.KindString
+}
+
+func parseAs(cell string, kind rel.Kind) rel.Value {
+	if cell == "" {
+		return rel.Null
+	}
+	switch kind {
+	case rel.KindInt:
+		n, err := strconv.ParseInt(cell, 10, 64)
+		if err != nil {
+			return rel.S(cell)
+		}
+		return rel.I(n)
+	case rel.KindFloat:
+		f, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			return rel.S(cell)
+		}
+		return rel.F(f)
+	case rel.KindBool:
+		return rel.B(cell == "true")
+	}
+	return rel.S(cell)
+}
+
+// WriteRelationCSV writes a relation as CSV (header + rows; NULLs are
+// empty cells).
+func WriteRelationCSV(out io.Writer, r *rel.Relation) error {
+	cw := csv.NewWriter(out)
+	if err := cw.Write(r.Schema.AttrNames()); err != nil {
+		return err
+	}
+	row := make([]string, len(r.Schema.Attrs))
+	for _, t := range r.Tuples {
+		for i, v := range t {
+			if v.IsNull() {
+				row[i] = ""
+			} else {
+				row[i] = v.String()
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadGraphTSV reads a graph from the TSV triple format. It returns the
+// graph and the file-id → vertex-id mapping (useful for building ground
+// truth alignments).
+func LoadGraphTSV(in io.Reader) (*graph.Graph, map[string]graph.VertexID, error) {
+	g := graph.New()
+	ids := map[string]graph.VertexID{}
+	var lineBuf strings.Builder
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	lineBuf.Write(data)
+	lines := strings.Split(lineBuf.String(), "\n")
+	for ln, line := range lines {
+		line = strings.TrimRight(line, "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		switch fields[0] {
+		case "V":
+			if len(fields) < 3 || len(fields) > 4 {
+				return nil, nil, fmt.Errorf("dataio: line %d: V needs id, label[, type]", ln+1)
+			}
+			id := fields[1]
+			if _, dup := ids[id]; dup {
+				return nil, nil, fmt.Errorf("dataio: line %d: duplicate vertex id %q", ln+1, id)
+			}
+			typ := ""
+			if len(fields) == 4 {
+				typ = fields[3]
+			}
+			ids[id] = g.AddVertex(fields[2], typ)
+		case "E":
+			if len(fields) != 4 {
+				return nil, nil, fmt.Errorf("dataio: line %d: E needs src, label, dst", ln+1)
+			}
+			src, ok := ids[fields[1]]
+			if !ok {
+				return nil, nil, fmt.Errorf("dataio: line %d: unknown vertex %q", ln+1, fields[1])
+			}
+			dst, ok := ids[fields[3]]
+			if !ok {
+				return nil, nil, fmt.Errorf("dataio: line %d: unknown vertex %q", ln+1, fields[3])
+			}
+			g.AddEdge(src, fields[2], dst)
+		default:
+			return nil, nil, fmt.Errorf("dataio: line %d: unknown record %q", ln+1, fields[0])
+		}
+	}
+	return g, ids, nil
+}
+
+// WriteGraphTSV writes a graph in the TSV triple format, using the
+// numeric vertex id as the file id.
+func WriteGraphTSV(out io.Writer, g *graph.Graph) error {
+	var err error
+	write := func(format string, args ...any) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(out, format, args...)
+	}
+	write("# semjoin graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	g.Vertices(func(v graph.Vertex) {
+		write("V\t%d\t%s\t%s\n", v.ID, v.Label, v.Type)
+	})
+	g.Edges(func(e graph.Edge) {
+		write("E\t%d\t%s\t%d\n", e.From, e.Label, e.To)
+	})
+	return err
+}

@@ -1,0 +1,148 @@
+package dataio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"semjoin/internal/dataset"
+	"semjoin/internal/rel"
+)
+
+func TestLoadRelationCSV(t *testing.T) {
+	csvText := `pid,name,price,rating,active
+p1,Widget A,100,4.5,true
+p2,"Widget, B",250,3.0,false
+p3,Widget C,,4.0,true
+`
+	r, err := LoadRelationCSV(strings.NewReader(csvText), "product", "pid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 || r.Schema.Key != "pid" {
+		t.Fatalf("rows=%d key=%q", r.Len(), r.Schema.Key)
+	}
+	wantKinds := map[string]rel.Kind{
+		"pid": rel.KindString, "name": rel.KindString,
+		"price": rel.KindInt, "rating": rel.KindFloat, "active": rel.KindBool,
+	}
+	for _, a := range r.Schema.Attrs {
+		if a.Type != wantKinds[a.Name] {
+			t.Errorf("column %s kind = %v, want %v", a.Name, a.Type, wantKinds[a.Name])
+		}
+	}
+	if got := r.Get(r.Tuples[1], "name").Str(); got != "Widget, B" {
+		t.Fatalf("quoted cell = %q", got)
+	}
+	if !r.Get(r.Tuples[2], "price").IsNull() {
+		t.Fatal("empty cell should be NULL")
+	}
+	if r.Get(r.Tuples[0], "price").Int() != 100 {
+		t.Fatal("int parse wrong")
+	}
+}
+
+func TestLoadRelationCSVMixedNumeric(t *testing.T) {
+	r, err := LoadRelationCSV(strings.NewReader("x\n1\n2.5\n"), "t", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema.Attrs[0].Type != rel.KindFloat {
+		t.Fatalf("mixed int/float should infer float, got %v", r.Schema.Attrs[0].Type)
+	}
+}
+
+func TestLoadRelationCSVErrors(t *testing.T) {
+	if _, err := LoadRelationCSV(strings.NewReader(""), "t", ""); err == nil {
+		t.Fatal("empty csv should error")
+	}
+	if _, err := LoadRelationCSV(strings.NewReader("a,b\n1\n"), "t", ""); err == nil {
+		t.Fatal("ragged row should error")
+	}
+	if _, err := LoadRelationCSV(strings.NewReader("a,b\n1,2\n"), "t", "nope"); err == nil {
+		t.Fatal("missing key column should error")
+	}
+}
+
+func TestRelationCSVRoundTrip(t *testing.T) {
+	c := dataset.Movie(dataset.Config{Entities: 12, Seed: 3})
+	orig := c.Main()
+	var buf bytes.Buffer
+	if err := WriteRelationCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadRelationCSV(&buf, orig.Schema.Name, orig.Schema.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() || len(back.Schema.Attrs) != len(orig.Schema.Attrs) {
+		t.Fatal("shape changed")
+	}
+	for i := range orig.Tuples {
+		for j := range orig.Tuples[i] {
+			a, b := orig.Tuples[i][j], back.Tuples[i][j]
+			if a.String() != b.String() {
+				t.Fatalf("cell %d,%d: %q vs %q", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestLoadGraphTSV(t *testing.T) {
+	tsv := "# comment\n" +
+		"V\ta\tAcme Corp\tcompany\n" +
+		"V\tuk\tUK\tcountry\n" +
+		"V\tp\tgadget\t\n" +
+		"E\ta\tregistered_in\tuk\n" +
+		"E\ta\tissues\tp\n"
+	g, ids, err := LoadGraphTSV(strings.NewReader(tsv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("graph = %d/%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.Label(ids["a"]) != "Acme Corp" || g.Type(ids["uk"]) != "country" {
+		t.Fatal("labels/types wrong")
+	}
+	if g.Type(ids["p"]) != "" {
+		t.Fatal("empty type should stay empty")
+	}
+}
+
+func TestLoadGraphTSVErrors(t *testing.T) {
+	bad := []string{
+		"V\tonly\n",
+		"E\ta\tl\tb\n",
+		"V\ta\tx\t\nV\ta\ty\t\n",
+		"X\tweird\n",
+		"V\ta\tx\nE\ta\tl\tmissing\n",
+	}
+	for _, s := range bad {
+		if _, _, err := LoadGraphTSV(strings.NewReader(s)); err == nil {
+			t.Errorf("LoadGraphTSV(%q) should fail", s)
+		}
+	}
+}
+
+func TestGraphTSVRoundTrip(t *testing.T) {
+	c := dataset.Drugs(dataset.Config{Entities: 12, Seed: 3})
+	var buf bytes.Buffer
+	if err := WriteGraphTSV(&buf, c.G); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := LoadGraphTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices() != c.G.NumVertices() || back.NumEdges() != c.G.NumEdges() {
+		t.Fatalf("graph shape changed: %d/%d vs %d/%d",
+			back.NumVertices(), back.NumEdges(), c.G.NumVertices(), c.G.NumEdges())
+	}
+	if len(back.Types()) != len(c.G.Types()) {
+		t.Fatal("types changed")
+	}
+	if len(back.EdgeLabels()) != len(c.G.EdgeLabels()) {
+		t.Fatal("edge labels changed")
+	}
+}

@@ -1,0 +1,195 @@
+package dataset
+
+import (
+	"testing"
+
+	"semjoin/internal/graph"
+)
+
+func TestAllCollectionsGenerate(t *testing.T) {
+	for _, g := range Generators() {
+		g := g
+		t.Run(g.Name, func(t *testing.T) {
+			c := g.Gen(Config{})
+			if c.Name != g.Name {
+				t.Fatalf("name = %q", c.Name)
+			}
+			st := c.Stats()
+			if st.Tuples == 0 || st.Vertices == 0 || st.Edges == 0 {
+				t.Fatalf("degenerate stats: %+v", st)
+			}
+			if c.Main() == nil {
+				t.Fatal("no main relation")
+			}
+			if len(c.Recoverable[c.MainRel]) == 0 {
+				t.Fatal("no recoverable attributes")
+			}
+		})
+	}
+}
+
+func TestTruthAlignment(t *testing.T) {
+	for _, g := range Generators() {
+		c := g.Gen(Config{})
+		truth := c.Truth[c.MainRel]
+		main := c.Main()
+		if len(truth) != main.Len() {
+			t.Fatalf("%s: truth size %d vs %d tuples", c.Name, len(truth), main.Len())
+		}
+		keyCol := main.Schema.KeyCol()
+		for _, tup := range main.Tuples {
+			v, ok := truth[tup[keyCol].String()]
+			if !ok {
+				t.Fatalf("%s: tuple %v unaligned", c.Name, tup[keyCol])
+			}
+			if !c.G.Live(v) {
+				t.Fatalf("%s: aligned vertex %d dead", c.Name, v)
+			}
+		}
+	}
+}
+
+// TestRecoverableWithinK verifies the structural invariant the Exp-2
+// protocol relies on: every dropped value is the label of some vertex
+// reachable from the entity within k=3 undirected hops.
+func TestRecoverableWithinK(t *testing.T) {
+	for _, g := range Generators() {
+		c := g.Gen(Config{})
+		main := c.Main()
+		keyCol := main.Schema.KeyCol()
+		for _, attr := range c.Recoverable[c.MainRel] {
+			col := main.Schema.Col(attr)
+			missing := 0
+			for _, tup := range main.Tuples {
+				want := tup[col].String()
+				v := c.Truth[c.MainRel][tup[keyCol].String()]
+				found := false
+				c.G.SimplePaths(v, 3, func(p graph.Path) {
+					if !found && c.G.Label(p.End()) == want {
+						found = true
+					}
+				})
+				if !found {
+					missing++
+				}
+			}
+			if missing > 0 {
+				t.Errorf("%s.%s: %d/%d values unreachable within 3 hops",
+					c.Name, attr, missing, main.Len())
+			}
+		}
+	}
+}
+
+func TestDrop(t *testing.T) {
+	c := Paper(Config{})
+	reduced, truth := c.Drop("dblp", []string{"volume", "affiliation"})
+	if reduced.Schema.Has("volume") || reduced.Schema.Has("affiliation") {
+		t.Fatal("dropped attributes still present")
+	}
+	if !reduced.Schema.Has("pid") || !reduced.Schema.Has("venue") {
+		t.Fatal("kept attributes missing")
+	}
+	if reduced.Len() != c.Main().Len() {
+		t.Fatal("row count changed")
+	}
+	if len(truth["volume"]) != c.Main().Len() {
+		t.Fatal("ground truth incomplete")
+	}
+	// Ground truth values round-trip.
+	orig := c.Main()
+	keyCol := orig.Schema.KeyCol()
+	volCol := orig.Schema.Col("volume")
+	for _, tup := range orig.Tuples {
+		if truth["volume"][tup[keyCol].String()] != tup[volCol].String() {
+			t.Fatal("ground truth mismatch")
+		}
+	}
+}
+
+func TestDropUnknownAttrPanics(t *testing.T) {
+	c := Movie(Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Drop("movie", []string{"nosuch"})
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Drugs(Config{Seed: 9})
+	b := Drugs(Config{Seed: 9})
+	if a.Stats() != b.Stats() {
+		t.Fatal("same seed must reproduce stats")
+	}
+	sa, sb := a.Main(), b.Main()
+	for i := range sa.Tuples {
+		for j := range sa.Tuples[i] {
+			if !sa.Tuples[i][j].Equal(sb.Tuples[i][j]) && !(sa.Tuples[i][j].IsNull() && sb.Tuples[i][j].IsNull()) {
+				t.Fatal("same seed must reproduce tuples")
+			}
+		}
+	}
+}
+
+func TestScaling(t *testing.T) {
+	small := MovKB(Config{Entities: 20})
+	big := MovKB(Config{Entities: 200})
+	if big.Main().Len() != 200 || small.Main().Len() != 20 {
+		t.Fatalf("scaling broken: %d / %d", small.Main().Len(), big.Main().Len())
+	}
+	if big.Stats().Edges <= small.Stats().Edges {
+		t.Fatal("edges should grow with entities")
+	}
+}
+
+func TestOracle(t *testing.T) {
+	c := Celebrity(Config{})
+	m := c.Oracle("celebrity").Match(c.Main(), c.G)
+	if len(m) != c.Main().Len() {
+		t.Fatalf("oracle matched %d of %d", len(m), c.Main().Len())
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("Drugs") == nil || ByName("nosuch") != nil {
+		t.Fatal("ByName lookup broken")
+	}
+}
+
+func TestDrugsInteractHasConflicts(t *testing.T) {
+	c := Drugs(Config{})
+	interact := c.Rels["interact"]
+	conflicts := 0
+	for _, tup := range interact.Tuples {
+		if interact.Get(tup, "type").Int() == -1 {
+			conflicts++
+		}
+	}
+	if conflicts == 0 {
+		t.Fatal("q1 needs conflicting drug pairs")
+	}
+}
+
+func TestDrugsDistractorPathsExist(t *testing.T) {
+	// The q1 phenomenon: drugs reach diseases they do NOT treat via
+	// has_efficacy/relieves/^has_symptom.
+	c := Drugs(Config{})
+	main := c.Main()
+	keyCol := main.Schema.KeyCol()
+	disCol := main.Schema.Col("disease")
+	distractors := 0
+	for _, tup := range main.Tuples[:8] {
+		v := c.Truth["drug"][tup[keyCol].String()]
+		treated := tup[disCol].String()
+		c.G.SimplePaths(v, 3, func(p graph.Path) {
+			if c.G.Type(p.End()) == "disease" && c.G.Label(p.End()) != treated {
+				distractors++
+			}
+		})
+	}
+	if distractors == 0 {
+		t.Fatal("expected distractor paths to untreated diseases")
+	}
+}

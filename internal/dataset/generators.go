@@ -1,0 +1,549 @@
+package dataset
+
+import (
+	"fmt"
+
+	"semjoin/internal/graph"
+	"semjoin/internal/mat"
+	"semjoin/internal/rel"
+)
+
+// scaled sizes an open value class (venues, authors, studios, ...) with
+// the entity count so per-value degree stays bounded, as in real
+// knowledge graphs; closed classes (countries, genres, ...) stay small.
+func scaled(n, div, min int) int {
+	s := n / div
+	if s < min {
+		s = min
+	}
+	return s
+}
+
+// builder accumulates one collection.
+type builder struct {
+	g      *graph.Graph
+	rng    *mat.RNG
+	values map[string]map[string]graph.VertexID // class -> label -> vertex
+}
+
+func newBuilder(seed uint64) *builder {
+	return &builder{
+		g:      graph.New(),
+		rng:    mat.NewRNG(seed),
+		values: map[string]map[string]graph.VertexID{},
+	}
+}
+
+// value returns the (shared) typed vertex for a class value, creating it
+// on first use.
+func (b *builder) value(class, label string) graph.VertexID {
+	m := b.values[class]
+	if m == nil {
+		m = map[string]graph.VertexID{}
+		b.values[class] = m
+	}
+	if v, ok := m[label]; ok {
+		return v
+	}
+	v := b.g.AddVertex(label, class)
+	m[label] = v
+	return v
+}
+
+// entity creates a typed entity vertex (never shared).
+func (b *builder) entity(class, label string) graph.VertexID {
+	return b.g.AddVertex(label, class)
+}
+
+// background grows a periphery of vertices unrelated to the relation's
+// entities, sparsely attached to the value layer. Real knowledge graphs
+// are far larger than the neighbourhood of any one relation's matches
+// (YAGO3 holds 3.4M vertices against a few thousand matched products);
+// the periphery reproduces that: random graph updates mostly land away
+// from matched vertices, which is what gives IncExt its locality
+// (Fig 5(h)). n is the number of background vertices.
+func (b *builder) background(n int, anchorClass string) {
+	anchors := b.g.VerticesOfType(anchorClass)
+	var prev graph.VertexID = graph.NoVertex
+	labels := []string{"related_to", "part_of", "mentioned_with"}
+	for i := 0; i < n; i++ {
+		v := b.g.AddVertex(fmt.Sprintf("context %04d", i), "misc")
+		if prev != graph.NoVertex {
+			b.g.AddEdge(v, labels[i%len(labels)], prev)
+		}
+		if i%4 == 0 && i > 1 {
+			// Short side-branches for degree variety.
+			w := b.g.AddVertex(fmt.Sprintf("note %04d", i), "misc")
+			b.g.AddEdge(w, "part_of", v)
+		}
+		// Sparse attachment to the value layer keeps one component.
+		if i%10 == 0 && len(anchors) > 0 {
+			b.g.AddEdge(v, "mentioned_with", anchors[(i/10)%len(anchors)])
+		}
+		prev = v
+	}
+}
+
+// Drugs generates the Drugs collection: drug and interact relations plus
+// a drugKG-like graph of drugs, efficacies, symptoms and diseases. The
+// graph contains the q1 distractor structure: every drug reaches diseases
+// through drug→has_efficacy→relieves→^has_symptom paths even when it does
+// not treat them, so pattern shape alone cannot identify treated diseases
+// — exactly the Spinosad vs Dimenhydrinate phenomenon of Exp-1.
+func Drugs(cfg Config) *Collection {
+	cfg = cfg.withDefaults(60)
+	b := newBuilder(cfg.Seed)
+	n := cfg.Entities
+
+	drugNames := []string{
+		"Spinosad", "Dimenhydrinate", "Ibuprofen", "Amoxicillin",
+		"Metformin", "Atenolol", "Warfarin", "Insulin",
+	}
+	for len(drugNames) < n {
+		drugNames = append(drugNames, fmt.Sprintf("drug %02d", len(drugNames)))
+	}
+	classes := pool("class", scaled(n, 8, 8))
+	diseases := pool("disease", scaled(n, 8, 8))
+	symptoms := pool("symptom", scaled(n, 8, 8))
+	efficacies := pool("efficacy", scaled(n, 8, 8))
+
+	// Disease -has_symptom-> symptom; efficacy -relieves-> symptom.
+	for i, d := range diseases {
+		b.g.AddEdge(b.value("disease", d), "has_symptom", b.value("symptom", symptoms[i%len(symptoms)]))
+		b.g.AddEdge(b.value("disease", d), "has_symptom", b.value("symptom", symptoms[(i+3)%len(symptoms)]))
+	}
+	for i, e := range efficacies {
+		b.g.AddEdge(b.value("efficacy", e), "relieves", b.value("symptom", symptoms[i%len(symptoms)]))
+	}
+
+	drug := rel.NewRelation(rel.NewSchema("drug", "cas",
+		rel.Attribute{Name: "cas", Type: rel.KindString},
+		rel.Attribute{Name: "name", Type: rel.KindString},
+		rel.Attribute{Name: "class", Type: rel.KindString},
+		rel.Attribute{Name: "disease", Type: rel.KindString},
+		rel.Attribute{Name: "efficacy", Type: rel.KindString},
+	))
+	truth := map[string]graph.VertexID{}
+	for i := 0; i < n; i++ {
+		cas := fmt.Sprintf("CAS-%04d", i)
+		name := drugNames[i]
+		cl := classes[i%len(classes)]
+		di := diseases[i%len(diseases)]
+		ef := efficacies[i%len(efficacies)]
+		v := b.entity("drug", name)
+		b.g.AddEdge(v, "in_class", b.value("class", cl))
+		b.g.AddEdge(v, "treats", b.value("disease", di))
+		b.g.AddEdge(v, "has_efficacy", b.value("efficacy", ef))
+		drug.InsertVals(rel.S(cas), rel.S(name), rel.S(cl), rel.S(di), rel.S(ef))
+		truth[cas] = v
+	}
+	// Entity-entity relations: interaction edges make the graph more than
+	// a tree and let guided selection prove its worth against wandering.
+	drugVerts := b.g.VerticesOfType("drug")
+	for i, v := range drugVerts {
+		if i%2 == 0 && len(drugVerts) > 1 {
+			b.g.AddEdge(v, "interacts_with", drugVerts[(i+len(diseases))%len(drugVerts)])
+		}
+	}
+
+	// interact(cas1, cas2, type): −1 marks a conflict. Half the conflicts
+	// are between drugs for the same disease (the q1 answers).
+	interact := rel.NewRelation(rel.NewSchema("interact", "",
+		rel.Attribute{Name: "cas1", Type: rel.KindString},
+		rel.Attribute{Name: "cas2", Type: rel.KindString},
+		rel.Attribute{Name: "type", Type: rel.KindInt},
+	))
+	for i := 0; i < n; i++ {
+		a := fmt.Sprintf("CAS-%04d", i)
+		sameDisease := fmt.Sprintf("CAS-%04d", (i+len(diseases))%n)
+		other := fmt.Sprintf("CAS-%04d", (i+1)%n)
+		interact.InsertVals(rel.S(a), rel.S(sameDisease), rel.I(-1))
+		ity := int64(1)
+		if b.rng.Float64() < 0.2 {
+			ity = -1
+		}
+		interact.InsertVals(rel.S(a), rel.S(other), rel.I(ity))
+	}
+
+	b.background(4*n, "symptom")
+
+	return &Collection{
+		Name:    "Drugs",
+		Rels:    map[string]*rel.Relation{"drug": drug, "interact": interact},
+		MainRel: "drug",
+		G:       b.g,
+		Truth:   map[string]map[string]graph.VertexID{"drug": truth},
+		Recoverable: map[string][]string{
+			"drug": {"class", "disease", "efficacy"},
+		},
+		TypeKeywords: map[string][]string{
+			"drug": {"class", "disease", "efficacy"},
+		},
+	}
+}
+
+// FakeNews generates the FakeNews collection: a fakenews relation of
+// authors and a topicKG-like graph where authors reach topics only
+// through the articles they wrote.
+func FakeNews(cfg Config) *Collection {
+	cfg = cfg.withDefaults(60)
+	b := newBuilder(cfg.Seed + 2)
+	n := cfg.Entities
+
+	authors := pool("author", n)
+	countries := pool("country", 8)
+	languages := pool("language", 6)
+	topics := pool("topic", scaled(n, 8, 8))
+	keywords := pool("keyword", scaled(n, 4, 16))
+
+	// topic -covers-> keyword (two each).
+	for i, tp := range topics {
+		b.g.AddEdge(b.value("topic", tp), "covers", b.value("keyword", keywords[(2*i)%len(keywords)]))
+		b.g.AddEdge(b.value("topic", tp), "covers", b.value("keyword", keywords[(2*i+1)%len(keywords)]))
+	}
+
+	fakenews := rel.NewRelation(rel.NewSchema("fakenews", "author",
+		rel.Attribute{Name: "author", Type: rel.KindString},
+		rel.Attribute{Name: "country", Type: rel.KindString},
+		rel.Attribute{Name: "language", Type: rel.KindString},
+		rel.Attribute{Name: "topic", Type: rel.KindString},
+	))
+	truth := map[string]graph.VertexID{}
+	for i := 0; i < n; i++ {
+		name := authors[i%len(authors)]
+		if i >= len(authors) {
+			name = fmt.Sprintf("%s %d", name, i)
+		}
+		co := countries[i%len(countries)]
+		la := languages[i%len(languages)]
+		tp := topics[i%len(topics)]
+		v := b.entity("author", name)
+		b.g.AddEdge(v, "based_in", b.value("country", co))
+		// Two articles per author, each about the author's topic, each
+		// mentioning covered and uncovered keywords (noise).
+		for a := 0; a < 2; a++ {
+			art := b.entity("article", fmt.Sprintf("story %03d-%d", i, a))
+			b.g.AddEdge(v, "wrote", art)
+			b.g.AddEdge(art, "about", b.value("topic", tp))
+			b.g.AddEdge(art, "mentions", b.value("keyword", pick(b.rng, keywords)))
+		}
+		// The author column holds the author name, as in the Kaggle
+		// source — it is both the key and the lexical bridge to the graph.
+		fakenews.InsertVals(rel.S(name), rel.S(co), rel.S(la), rel.S(tp))
+		truth[name] = v
+	}
+	authorVerts := b.g.VerticesOfType("author")
+	for i, v := range authorVerts {
+		if i%2 == 0 && len(authorVerts) > 1 {
+			b.g.AddEdge(v, "follows", authorVerts[(i+3)%len(authorVerts)])
+		}
+	}
+
+	b.background(4*n, "keyword")
+
+	return &Collection{
+		Name:    "FakeNews",
+		Rels:    map[string]*rel.Relation{"fakenews": fakenews},
+		MainRel: "fakenews",
+		G:       b.g,
+		Truth:   map[string]map[string]graph.VertexID{"fakenews": truth},
+		Recoverable: map[string][]string{
+			"fakenews": {"country", "topic"},
+		},
+		TypeKeywords: map[string][]string{
+			"author": {"country", "topic"},
+		},
+	}
+}
+
+// Movie generates the Movie collection (IMDB relations + LinkedMDB-like
+// graph): movies with directors, genres and casts; actors' birthplaces
+// provide distractor paths ending at city/country values.
+func Movie(cfg Config) *Collection {
+	cfg = cfg.withDefaults(80)
+	b := newBuilder(cfg.Seed + 3)
+	n := cfg.Entities
+
+	directors := pool("director", scaled(n, 8, 8))
+	genres := pool("genre", 8)
+	actors := pool("actor", scaled(n, 4, 12))
+	cities := pool("city", 8)
+
+	// Directors' cities back the 2-hop recoverable "city" attribute;
+	// a minority of actors also have birthplaces — same end type through a
+	// different pattern, but with lower coverage, which is exactly the
+	// incompleteness real knowledge graphs show and what the ranking
+	// function's first term exploits.
+	for i, a := range actors {
+		if i%3 == 0 {
+			b.g.AddEdge(b.value("actor", a), "born_in", b.value("city", cities[(i+3)%len(cities)]))
+		}
+	}
+	for i, d := range directors {
+		b.g.AddEdge(b.value("director", d), "born_in", b.value("city", cities[i%len(cities)]))
+	}
+
+	movie := rel.NewRelation(rel.NewSchema("movie", "mid",
+		rel.Attribute{Name: "mid", Type: rel.KindString},
+		rel.Attribute{Name: "title", Type: rel.KindString},
+		rel.Attribute{Name: "year", Type: rel.KindInt},
+		rel.Attribute{Name: "director", Type: rel.KindString},
+		rel.Attribute{Name: "genre", Type: rel.KindString},
+		rel.Attribute{Name: "city", Type: rel.KindString},
+	))
+	truth := map[string]graph.VertexID{}
+	for i := 0; i < n; i++ {
+		mid := fmt.Sprintf("m%04d", i)
+		title := fmt.Sprintf("picture %03d", i)
+		diIdx := i % len(directors)
+		di := directors[diIdx]
+		ge := genres[i%len(genres)]
+		ci := cities[diIdx%len(cities)] // director's city
+		v := b.entity("movie", title)
+		b.g.AddEdge(v, "directed_by", b.value("director", di))
+		b.g.AddEdge(v, "has_genre", b.value("genre", ge))
+		b.g.AddEdge(v, "stars", b.value("actor", actors[i%len(actors)]))
+		b.g.AddEdge(v, "stars", b.value("actor", actors[(i+5)%len(actors)]))
+		movie.InsertVals(rel.S(mid), rel.S(title), rel.I(int64(1950+i%70)), rel.S(di), rel.S(ge), rel.S(ci))
+		truth[mid] = v
+	}
+	movieVerts := b.g.VerticesOfType("movie")
+	for i, v := range movieVerts {
+		if i%3 == 0 && i+1 < len(movieVerts) {
+			b.g.AddEdge(v, "sequel_of", movieVerts[i+1])
+		}
+	}
+
+	b.background(4*n, "city")
+
+	return &Collection{
+		Name:    "Movie",
+		Rels:    map[string]*rel.Relation{"movie": movie},
+		MainRel: "movie",
+		G:       b.g,
+		Truth:   map[string]map[string]graph.VertexID{"movie": truth},
+		Recoverable: map[string][]string{
+			"movie": {"director", "genre", "city"},
+		},
+		TypeKeywords: map[string][]string{
+			"movie": {"director", "genre", "city"},
+		},
+	}
+}
+
+// MovKB generates the MovKB collection (IMDB relations + YAGO3-like
+// graph): the recoverable country attribute competes with a same-type
+// distractor (actors' citizenships reach country vertices through a
+// different pattern).
+func MovKB(cfg Config) *Collection {
+	cfg = cfg.withDefaults(80)
+	b := newBuilder(cfg.Seed + 4)
+	n := cfg.Entities
+
+	countries := pool("country", 8)
+	languages := pool("language", 8)
+	studios := pool("company", scaled(n, 8, 8))
+	actors := pool("actor", scaled(n, 4, 12))
+
+	// Country is only reachable through the producing studio (2 hops), so
+	// quality must rise with k — the Fig 5(c) shape. Actors' citizenships
+	// are same-type distractor ends.
+	for i, s := range studios {
+		b.g.AddEdge(b.value("studio", s), "based_in", b.value("country", countries[i%len(countries)]))
+	}
+	// A minority of actors carry citizenship — a lower-coverage distractor
+	// pattern to the same end type (KG incompleteness).
+	for i, a := range actors {
+		if i%3 == 0 {
+			b.g.AddEdge(b.value("actor", a), "citizen_of", b.value("country", countries[(i+4)%len(countries)]))
+		}
+	}
+
+	movie := rel.NewRelation(rel.NewSchema("movie", "mid",
+		rel.Attribute{Name: "mid", Type: rel.KindString},
+		rel.Attribute{Name: "title", Type: rel.KindString},
+		rel.Attribute{Name: "studio", Type: rel.KindString},
+		rel.Attribute{Name: "country", Type: rel.KindString},
+		rel.Attribute{Name: "language", Type: rel.KindString},
+	))
+	truth := map[string]graph.VertexID{}
+	for i := 0; i < n; i++ {
+		mid := fmt.Sprintf("y%04d", i)
+		title := fmt.Sprintf("feature %03d", i)
+		stIdx := i % len(studios)
+		st := studios[stIdx]
+		co := countries[stIdx%len(countries)] // studio's country
+		la := languages[i%len(languages)]
+		v := b.entity("movie", title)
+		b.g.AddEdge(b.value("studio", st), "produced", v)
+		b.g.AddEdge(v, "in_language", b.value("language", la))
+		b.g.AddEdge(v, "stars", b.value("actor", actors[i%len(actors)]))
+		movie.InsertVals(rel.S(mid), rel.S(title), rel.S(st), rel.S(co), rel.S(la))
+		truth[mid] = v
+	}
+	movieVerts := b.g.VerticesOfType("movie")
+	for i, v := range movieVerts {
+		if i%3 == 1 && i+2 < len(movieVerts) {
+			b.g.AddEdge(v, "remake_of", movieVerts[i+2])
+		}
+	}
+
+	b.background(4*n, "language")
+
+	return &Collection{
+		Name:    "MovKB",
+		Rels:    map[string]*rel.Relation{"movie": movie},
+		MainRel: "movie",
+		G:       b.g,
+		Truth:   map[string]map[string]graph.VertexID{"movie": truth},
+		Recoverable: map[string][]string{
+			"movie": {"studio", "country", "language"},
+		},
+		TypeKeywords: map[string][]string{
+			"movie": {"studio", "country", "language"},
+		},
+	}
+}
+
+// Paper generates the Paper collection (DBLP relations + RKBExplorer-like
+// graph): affiliation is only reachable through a 2-hop path via authors,
+// exercising multi-hop extraction like the paper's DBLP example
+// ("volume" and "affiliation" dropped and recovered).
+func Paper(cfg Config) *Collection {
+	cfg = cfg.withDefaults(80)
+	b := newBuilder(cfg.Seed + 5)
+	n := cfg.Entities
+
+	venues := pool("venue", scaled(n, 10, 8))
+	affiliations := pool("affiliation", scaled(n, 10, 8))
+	authors := pool("author", scaled(n, 4, 16))
+	volumes := make([]string, scaled(n, 8, 10))
+	for i := range volumes {
+		volumes[i] = fmt.Sprintf("vol %d", 7*i+5)
+	}
+
+	for i, a := range authors {
+		b.g.AddEdge(b.value("researcher", a), "affiliated_with",
+			b.value("affiliation", affiliations[i%len(affiliations)]))
+	}
+
+	dblp := rel.NewRelation(rel.NewSchema("dblp", "pid",
+		rel.Attribute{Name: "pid", Type: rel.KindString},
+		rel.Attribute{Name: "title", Type: rel.KindString},
+		rel.Attribute{Name: "venue", Type: rel.KindString},
+		rel.Attribute{Name: "volume", Type: rel.KindString},
+		rel.Attribute{Name: "affiliation", Type: rel.KindString},
+	))
+	truth := map[string]graph.VertexID{}
+	for i := 0; i < n; i++ {
+		pid := fmt.Sprintf("p%04d", i)
+		title := fmt.Sprintf("study %03d", i)
+		ve := venues[i%len(venues)]
+		vo := volumes[i%len(volumes)]
+		auIdx := i % len(authors)
+		af := affiliations[auIdx%len(affiliations)]
+		v := b.entity("paper", title)
+		b.g.AddEdge(v, "published_in", b.value("venue", ve))
+		b.g.AddEdge(v, "in_volume", b.value("volume", vo))
+		b.g.AddEdge(v, "authored_by", b.value("researcher", authors[auIdx]))
+		dblp.InsertVals(rel.S(pid), rel.S(title), rel.S(ve), rel.S(vo), rel.S(af))
+		truth[pid] = v
+	}
+	// Citations give [cites, published_in] same-end-type distractor
+	// patterns (the cited paper's venue, not this paper's).
+	paperVerts := b.g.VerticesOfType("paper")
+	for i, v := range paperVerts {
+		if i%2 == 0 && i+1 < len(paperVerts) {
+			b.g.AddEdge(v, "cites", paperVerts[i+1])
+		}
+		if i%4 == 0 && i+3 < len(paperVerts) {
+			b.g.AddEdge(v, "cites", paperVerts[i+3])
+		}
+	}
+	cities := pool("city", 8)
+	for i, ve := range venues {
+		b.g.AddEdge(b.value("venue", ve), "held_in", b.value("city", cities[i%len(cities)]))
+	}
+
+	b.background(4*n, "affiliation")
+
+	return &Collection{
+		Name:    "Paper",
+		Rels:    map[string]*rel.Relation{"dblp": dblp},
+		MainRel: "dblp",
+		G:       b.g,
+		Truth:   map[string]map[string]graph.VertexID{"dblp": truth},
+		Recoverable: map[string][]string{
+			"dblp": {"venue", "volume", "affiliation"},
+		},
+		TypeKeywords: map[string][]string{
+			"paper": {"venue", "volume", "affiliation"},
+		},
+	}
+}
+
+// Celebrity generates the Celebrity collection (DBpedia relations +
+// YAGO3-like graph): athletes and politicians with teams, occupations and
+// a 2-hop country through the birth city.
+func Celebrity(cfg Config) *Collection {
+	cfg = cfg.withDefaults(60)
+	b := newBuilder(cfg.Seed + 6)
+	n := cfg.Entities
+
+	teams := pool("team", scaled(n, 8, 8))
+	occupations := pool("occupation", 8)
+	cities := pool("city", scaled(n, 12, 8))
+	countries := pool("country", 8)
+
+	for i, c := range cities {
+		b.g.AddEdge(b.value("city", c), "located_in", b.value("country", countries[i%len(countries)]))
+	}
+	for i, tm := range teams {
+		b.g.AddEdge(b.value("team", tm), "based_in", b.value("city", cities[(i+2)%len(cities)]))
+	}
+
+	celebrity := rel.NewRelation(rel.NewSchema("celebrity", "cid",
+		rel.Attribute{Name: "cid", Type: rel.KindString},
+		rel.Attribute{Name: "name", Type: rel.KindString},
+		rel.Attribute{Name: "occupation", Type: rel.KindString},
+		rel.Attribute{Name: "team", Type: rel.KindString},
+		rel.Attribute{Name: "country", Type: rel.KindString},
+	))
+	truth := map[string]graph.VertexID{}
+	for i := 0; i < n; i++ {
+		cid := fmt.Sprintf("c%04d", i)
+		name := fmt.Sprintf("figure %03d", i)
+		oc := occupations[i%len(occupations)]
+		tm := teams[i%len(teams)]
+		ciIdx := i % len(cities)
+		co := countries[ciIdx%len(countries)]
+		v := b.entity("person", name)
+		b.g.AddEdge(v, "occupation_is", b.value("occupation", oc))
+		b.g.AddEdge(v, "plays_for", b.value("team", tm))
+		b.g.AddEdge(v, "born_in", b.value("city", cities[ciIdx]))
+		celebrity.InsertVals(rel.S(cid), rel.S(name), rel.S(oc), rel.S(tm), rel.S(co))
+		truth[cid] = v
+	}
+	personVerts := b.g.VerticesOfType("person")
+	for i, v := range personVerts {
+		if i%2 == 1 && i+1 < len(personVerts) {
+			b.g.AddEdge(v, "teammate_of", personVerts[i+1])
+		}
+	}
+
+	b.background(4*n, "city")
+
+	return &Collection{
+		Name:    "Celebrity",
+		Rels:    map[string]*rel.Relation{"celebrity": celebrity},
+		MainRel: "celebrity",
+		G:       b.g,
+		Truth:   map[string]map[string]graph.VertexID{"celebrity": truth},
+		Recoverable: map[string][]string{
+			"celebrity": {"occupation", "team", "country"},
+		},
+		TypeKeywords: map[string][]string{
+			"person": {"occupation", "team", "country"},
+		},
+	}
+}

@@ -1,0 +1,50 @@
+package dataset
+
+import (
+	"fmt"
+
+	"semjoin/internal/mat"
+)
+
+// Label pools for value classes. Half of each pool carries realistic
+// names with no lexical relation to the class word (semantic matching
+// must come from type sentences / co-occurrence), the other half are
+// synthesised on demand.
+var pools = map[string][]string{
+	"country":     {"UK", "US", "Germany", "France", "Japan", "Brazil", "India", "Canada", "Italy", "Spain"},
+	"company":     {"Acme Corp", "Globex Corp", "Initech Corp", "Umbrella Corp", "Stark Industries", "Wayne Enterprises", "Tyrell Corp", "Wonka Industries"},
+	"genre":       {"Action", "Comedy", "Drama", "Horror", "Thriller", "Romance", "Documentary", "Animation"},
+	"language":    {"English", "French", "German", "Spanish", "Japanese", "Portuguese", "Hindi", "Italian"},
+	"disease":     {"Pediculosis", "Influenza", "Malaria", "Asthma", "Diabetes", "Hypertension", "Migraine", "Anemia"},
+	"symptom":     {"Itching", "Fever", "Chills", "Wheezing", "Fatigue", "Headache", "Dizziness", "Pallor"},
+	"efficacy":    {"Insecticide", "Antiviral", "Antiparasitic", "Bronchodilator", "Hypoglycemic", "Vasodilator", "Analgesic", "Hematinic"},
+	"class":       {"Macrolide", "Statin", "Betablocker", "Opioid", "Quinolone", "Steroid", "Diuretic", "Salicylate"},
+	"topic":       {"Politics", "Economy", "Health", "Science", "Sports", "Culture", "Climate", "Technology"},
+	"keyword":     {"election", "inflation", "vaccine", "quantum", "olympics", "museum", "wildfire", "robotics", "senate", "markets", "clinical", "galaxy", "stadium", "gallery", "drought", "neural"},
+	"venue":       {"VLDB", "SIGMOD", "ICDE", "EDBT", "PODS", "CIKM", "KDD", "WWW"},
+	"affiliation": {"Edinburgh", "NASA", "Bell Labs", "ETH Zurich", "Tsinghua", "MIT", "Oxford", "CNRS"},
+	"team":        {"United FC", "City Rovers", "Real Stars", "Athletic Club", "Dynamo", "Rangers", "Albion", "Wanderers"},
+	"occupation":  {"Footballer", "Senator", "Sprinter", "Governor", "Swimmer", "Minister", "Boxer", "Diplomat"},
+	"city":        {"London", "Paris", "Berlin", "Tokyo", "Madrid", "Rome", "Toronto", "Delhi"},
+	"director":    {"Kurosawa", "Hitchcock", "Kubrick", "Varda", "Fellini", "Tarkovsky", "Wilder", "Campion"},
+	"actor":       {"Chaplin", "Hepburn", "Brando", "Dietrich", "Bogart", "Garbo", "Olivier", "Loren"},
+	"author":      {"Orwell", "Austen", "Kafka", "Woolf", "Borges", "Camus", "Achebe", "Lessing"},
+}
+
+// pool returns n labels of a class, extending the curated pool with
+// synthetic members ("<class> 08") when n exceeds it.
+func pool(class string, n int) []string {
+	base := pools[class]
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if i < len(base) {
+			out = append(out, base[i])
+		} else {
+			out = append(out, fmt.Sprintf("%s %02d", class, i))
+		}
+	}
+	return out
+}
+
+// pick returns a deterministic pseudo-random element of s.
+func pick(rng *mat.RNG, s []string) string { return s[rng.Intn(len(s))] }

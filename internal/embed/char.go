@@ -1,0 +1,87 @@
+package embed
+
+import (
+	"hash/fnv"
+
+	"semjoin/internal/mat"
+)
+
+// CharEmbedder embeds a token as the mean of deterministic per-character
+// vectors (plus character-bigram vectors for a little positional signal).
+// It substitutes for the paper's "mean of character GloVe embeddings" for
+// meaningless labels: string-similar tokens receive cosine-similar
+// vectors, which is the property the extraction pipeline relies on.
+type CharEmbedder struct {
+	dim  int
+	seed uint64
+}
+
+// NewCharEmbedder returns an embedder producing dim-sized vectors.
+func NewCharEmbedder(dim int, seed uint64) *CharEmbedder {
+	if dim <= 0 {
+		panic("embed: non-positive char embedding dim")
+	}
+	return &CharEmbedder{dim: dim, seed: seed}
+}
+
+// Dim returns the vector size.
+func (c *CharEmbedder) Dim() int { return c.dim }
+
+// Embed returns the mean of unit vectors derived from each character and
+// each adjacent character pair of the token.
+func (c *CharEmbedder) Embed(token string) mat.Vector {
+	out := mat.NewVector(c.dim)
+	if token == "" {
+		return out
+	}
+	n := 0
+	runes := []rune(token)
+	addUnit := func(key string) {
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		rng := mat.NewRNG(h.Sum64() ^ c.seed)
+		v := mat.NewVector(c.dim)
+		rng.FillNormal(v, 1)
+		mat.Normalize(v)
+		out.Add(v)
+		n++
+	}
+	for _, r := range runes {
+		addUnit("c:" + string(r))
+	}
+	for i := 0; i+1 < len(runes); i++ {
+		addUnit("b:" + string(runes[i:i+2]))
+	}
+	out.Scale(1 / float64(n))
+	return out
+}
+
+// HashEmbedder maps every distinct token to an independent pseudo-random
+// unit vector. It deliberately carries no semantics at all and serves as
+// the degenerate ablation baseline (unrelated tokens are near-orthogonal,
+// identical tokens identical).
+type HashEmbedder struct {
+	dim  int
+	seed uint64
+}
+
+// NewHashEmbedder returns a hash embedder of the given dimensionality.
+func NewHashEmbedder(dim int, seed uint64) *HashEmbedder {
+	if dim <= 0 {
+		panic("embed: non-positive hash embedding dim")
+	}
+	return &HashEmbedder{dim: dim, seed: seed}
+}
+
+// Dim returns the vector size.
+func (h *HashEmbedder) Dim() int { return h.dim }
+
+// Embed returns the deterministic unit vector for text.
+func (h *HashEmbedder) Embed(text string) mat.Vector {
+	hash := fnv.New64a()
+	hash.Write([]byte(text))
+	rng := mat.NewRNG(hash.Sum64() ^ h.seed)
+	v := mat.NewVector(h.dim)
+	rng.FillNormal(v, 1)
+	return mat.Normalize(v)
+}

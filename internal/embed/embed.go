@@ -1,0 +1,36 @@
+// Package embed provides the word-embedding model Me of §III-A. The paper
+// represents a vertex label by the mean of (pretrained) GloVe embeddings
+// of its words, falling back to the mean of character embeddings for
+// "meaningless" labels. Pretrained vectors are unavailable offline, so
+// this package trains GloVe-style vectors on the same random-walk corpus
+// the LSTM sees (co-occurrence matrix + AdaGrad on the weighted
+// least-squares GloVe objective); the cosine geometry over label
+// co-occurrence is the property RExt's ranking function needs. A
+// deterministic hashing embedder serves as a no-semantics ablation
+// baseline, and a Transformer adapter provides the RExtBertEmb baseline.
+package embed
+
+import (
+	"strings"
+	"unicode"
+
+	"semjoin/internal/mat"
+)
+
+// Embedder turns a label or keyword string into a fixed-size vector.
+type Embedder interface {
+	// Embed returns the vector for text. Implementations must return a
+	// vector the caller may modify.
+	Embed(text string) mat.Vector
+	// Dim returns the embedding dimensionality.
+	Dim() int
+}
+
+// Tokenize lower-cases text and splits it into word tokens on any
+// non-alphanumeric rune (so "based_on" → ["based","on"], "G&L ESG" →
+// ["g","l","esg"]).
+func Tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}

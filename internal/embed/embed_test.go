@@ -1,0 +1,218 @@
+package embed
+
+import (
+	"bytes"
+	"testing"
+
+	"semjoin/internal/mat"
+)
+
+// clusterCorpus makes two topical word clusters: finance words co-occur
+// with each other, biology words with each other.
+func clusterCorpus() [][]string {
+	fin := []string{"stock", "fund", "price", "market", "invest"}
+	bio := []string{"drug", "disease", "symptom", "dose", "patient"}
+	var corpus [][]string
+	rng := mat.NewRNG(9)
+	for i := 0; i < 400; i++ {
+		pool := fin
+		if i%2 == 0 {
+			pool = bio
+		}
+		sent := make([]string, 6)
+		for j := range sent {
+			sent[j] = pool[rng.Intn(len(pool))]
+		}
+		corpus = append(corpus, sent)
+	}
+	return corpus
+}
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"based_on", []string{"based", "on"}},
+		{"G&L ESG", []string{"g", "l", "esg"}},
+		{"", nil},
+		{"  ", nil},
+		{"Hello-World42", []string{"hello", "world42"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if len(got) != len(c.want) {
+			t.Fatalf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestGloVeClustersCooccurringWords(t *testing.T) {
+	g := TrainGloVe(clusterCorpus(), GloVeConfig{Dim: 24, Epochs: 25, Seed: 4})
+	intra := mat.Cosine(g.Embed("stock"), g.Embed("fund"))
+	inter := mat.Cosine(g.Embed("stock"), g.Embed("disease"))
+	if intra <= inter {
+		t.Fatalf("co-occurring words should be closer: intra=%.3f inter=%.3f", intra, inter)
+	}
+	intra2 := mat.Cosine(g.Embed("drug"), g.Embed("symptom"))
+	inter2 := mat.Cosine(g.Embed("drug"), g.Embed("market"))
+	if intra2 <= inter2 {
+		t.Fatalf("bio words should cluster: intra=%.3f inter=%.3f", intra2, inter2)
+	}
+}
+
+func TestGloVeMultiWordMean(t *testing.T) {
+	g := TrainGloVe(clusterCorpus(), GloVeConfig{Dim: 16, Epochs: 5, Seed: 4})
+	both := g.Embed("stock fund")
+	s, f := g.Embed("stock"), g.Embed("fund")
+	want := s.Clone()
+	want.Add(f)
+	want.Scale(0.5)
+	if mat.Cosine(both, want) < 0.99999 {
+		t.Fatal("multi-word embedding should be the token mean")
+	}
+}
+
+func TestGloVeOOVFallsBackToChars(t *testing.T) {
+	g := TrainGloVe(clusterCorpus(), GloVeConfig{Dim: 16, Epochs: 3, Seed: 4})
+	v := g.Embed("zzqy123")
+	if mat.Norm(v) == 0 {
+		t.Fatal("OOV token should get a char-level vector")
+	}
+	if g.Has("zzqy123") {
+		t.Fatal("OOV token must not be in vocabulary")
+	}
+	// Similar strings should be more similar than dissimilar ones.
+	a := g.Embed("freebase0x2af1")
+	b := g.Embed("freebase0x2af2")
+	c := g.Embed("wq9")
+	if mat.Cosine(a, b) <= mat.Cosine(a, c) {
+		t.Fatal("char fallback should reflect string similarity")
+	}
+}
+
+func TestGloVeDeterministic(t *testing.T) {
+	c := clusterCorpus()
+	g1 := TrainGloVe(c, GloVeConfig{Dim: 8, Epochs: 3, Seed: 4})
+	g2 := TrainGloVe(c, GloVeConfig{Dim: 8, Epochs: 3, Seed: 4})
+	v1, v2 := g1.Embed("stock"), g2.Embed("stock")
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("same seed should reproduce identical vectors")
+		}
+	}
+}
+
+func TestGloVeEmptyTextZeroVector(t *testing.T) {
+	g := TrainGloVe(clusterCorpus(), GloVeConfig{Dim: 8, Epochs: 1})
+	if mat.Norm(g.Embed("")) != 0 {
+		t.Fatal("empty text should embed to zero")
+	}
+	if g.Dim() != 8 {
+		t.Fatalf("Dim = %d", g.Dim())
+	}
+}
+
+func TestGloVeWordVector(t *testing.T) {
+	g := TrainGloVe(clusterCorpus(), GloVeConfig{Dim: 8, Epochs: 1})
+	if _, ok := g.WordVector("stock"); !ok {
+		t.Fatal("stock should be in vocabulary")
+	}
+	if _, ok := g.WordVector("absent"); ok {
+		t.Fatal("absent should not be in vocabulary")
+	}
+}
+
+func TestCharEmbedderProperties(t *testing.T) {
+	c := NewCharEmbedder(32, 7)
+	if c.Dim() != 32 {
+		t.Fatalf("Dim = %d", c.Dim())
+	}
+	a1, a2 := c.Embed("spinosad"), c.Embed("spinosad")
+	if mat.Cosine(a1, a2) < 0.999999 {
+		t.Fatal("char embedding must be deterministic")
+	}
+	if mat.Norm(c.Embed("")) != 0 {
+		t.Fatal("empty token embeds to zero")
+	}
+	// Near-anagram strings share characters and bigrams partially.
+	sim := mat.Cosine(c.Embed("pediculosis"), c.Embed("pediculosus"))
+	dis := mat.Cosine(c.Embed("pediculosis"), c.Embed("xqz"))
+	if sim <= dis {
+		t.Fatalf("string similarity not reflected: %.3f vs %.3f", sim, dis)
+	}
+}
+
+func TestHashEmbedder(t *testing.T) {
+	h := NewHashEmbedder(48, 3)
+	a := h.Embed("alpha")
+	b := h.Embed("alpha")
+	if mat.Cosine(a, b) < 0.999999 {
+		t.Fatal("hash embedding must be deterministic")
+	}
+	// Distinct tokens near-orthogonal in high dimension.
+	c := h.Embed("beta")
+	if cos := mat.Cosine(a, c); cos > 0.5 || cos < -0.5 {
+		t.Fatalf("distinct tokens should be near-orthogonal: %.3f", cos)
+	}
+	if n := mat.Norm(a); n < 0.999 || n > 1.001 {
+		t.Fatalf("hash vectors should be unit: %v", n)
+	}
+}
+
+func TestNewEmbeddersPanicOnBadDim(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCharEmbedder(0, 1) },
+		func() { NewHashEmbedder(-1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGloVeSaveLoadRoundTrip(t *testing.T) {
+	g := TrainGloVe(clusterCorpus(), GloVeConfig{Dim: 12, Epochs: 3, Seed: 4})
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadGloVe(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dim() != g.Dim() {
+		t.Fatal("dim changed")
+	}
+	for _, w := range []string{"stock", "drug", "zz-oov-token"} {
+		a, b := g.Embed(w), back.Embed(w)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("embedding for %q changed at %d", w, i)
+			}
+		}
+	}
+	// Corrupt input errors.
+	if _, err := LoadGloVe(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("corrupt glove should error")
+	}
+	if _, err := LoadGloVe(bytes.NewReader(buf.Bytes()[:20])); err == nil {
+		t.Fatal("truncated glove should error")
+	}
+}
+
+func TestCharEmbedderDim(t *testing.T) {
+	if NewCharEmbedder(7, 1).Dim() != 7 {
+		t.Fatal("Dim wrong")
+	}
+}

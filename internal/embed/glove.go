@@ -1,0 +1,241 @@
+package embed
+
+import (
+	"math"
+	"sort"
+
+	"semjoin/internal/mat"
+)
+
+// GloVeConfig parameterises TrainGloVe. Zero fields take defaults.
+type GloVeConfig struct {
+	Dim    int     // vector size (default 64; 50 ≈ RExtShortEmb)
+	Window int     // co-occurrence window (default 4)
+	XMax   float64 // weighting cutoff (default 20)
+	Alpha  float64 // weighting exponent (default 0.75)
+	LR     float64 // AdaGrad learning rate (default 0.05)
+	Epochs int     // passes over the co-occurrence cells (default 15)
+	Seed   uint64  // init seed (default 1)
+}
+
+func (c GloVeConfig) withDefaults() GloVeConfig {
+	if c.Dim == 0 {
+		c.Dim = 64
+	}
+	if c.Window == 0 {
+		c.Window = 4
+	}
+	if c.XMax == 0 {
+		c.XMax = 20
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.75
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 15
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// GloVe holds trained word vectors plus a character-level fallback for
+// out-of-vocabulary tokens.
+type GloVe struct {
+	dim   int
+	vecs  map[string]mat.Vector
+	chars *CharEmbedder
+}
+
+// TrainGloVe builds word vectors from a corpus of sentences. Each sentence
+// is a sequence of labels; labels are word-tokenised first so multi-word
+// labels contribute each word. Training follows Pennington et al.'s
+// objective: minimise Σ f(X_ij)(w_i·w̃_j + b_i + b̃_j − log X_ij)² with
+// AdaGrad, and the published trick of summing the two vector sets for the
+// final representation.
+func TrainGloVe(corpus [][]string, cfg GloVeConfig) *GloVe {
+	cfg = cfg.withDefaults()
+
+	// Word-tokenise every sentence.
+	var sentences [][]string
+	for _, sent := range corpus {
+		var words []string
+		for _, label := range sent {
+			words = append(words, Tokenize(label)...)
+		}
+		if len(words) > 0 {
+			sentences = append(sentences, words)
+		}
+	}
+
+	// Deterministic vocabulary: sorted by frequency then lexicographic.
+	freq := map[string]int{}
+	for _, s := range sentences {
+		for _, w := range s {
+			freq[w]++
+		}
+	}
+	type wf struct {
+		w string
+		n int
+	}
+	var order []wf
+	for w, n := range freq {
+		order = append(order, wf{w, n})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].n != order[j].n {
+			return order[i].n > order[j].n
+		}
+		return order[i].w < order[j].w
+	})
+	wordID := make(map[string]int, len(order))
+	words := make([]string, len(order))
+	for i, e := range order {
+		wordID[e.w] = i
+		words[i] = e.w
+	}
+	V := len(words)
+
+	// Co-occurrence counts with 1/distance weighting.
+	type cell struct {
+		i, j int
+		x    float64
+	}
+	counts := map[[2]int]float64{}
+	for _, s := range sentences {
+		for i, w := range s {
+			wi := wordID[w]
+			for d := 1; d <= cfg.Window && i+d < len(s); d++ {
+				wj := wordID[s[i+d]]
+				if wi == wj {
+					continue
+				}
+				inc := 1 / float64(d)
+				counts[[2]int{wi, wj}] += inc
+				counts[[2]int{wj, wi}] += inc
+			}
+		}
+	}
+	cells := make([]cell, 0, len(counts))
+	for k, x := range counts {
+		cells = append(cells, cell{k[0], k[1], x})
+	}
+	sort.Slice(cells, func(a, b int) bool {
+		if cells[a].i != cells[b].i {
+			return cells[a].i < cells[b].i
+		}
+		return cells[a].j < cells[b].j
+	})
+
+	// Parameters: main and context vectors plus biases, AdaGrad state.
+	rng := mat.NewRNG(cfg.Seed)
+	w := mat.NewMatrix(V, cfg.Dim)
+	wt := mat.NewMatrix(V, cfg.Dim)
+	rng.FillUniform(mat.Vector(w.Data), 0.5/float64(cfg.Dim))
+	rng.FillUniform(mat.Vector(wt.Data), 0.5/float64(cfg.Dim))
+	b := mat.NewVector(V)
+	bt := mat.NewVector(V)
+	gw := mat.NewMatrix(V, cfg.Dim)
+	gwt := mat.NewMatrix(V, cfg.Dim)
+	gb := mat.NewVector(V)
+	gbt := mat.NewVector(V)
+	mat.Vector(gw.Data).Fill(1)
+	mat.Vector(gwt.Data).Fill(1)
+	gb.Fill(1)
+	gbt.Fill(1)
+
+	for e := 0; e < cfg.Epochs; e++ {
+		rng.Shuffle(len(cells), func(a, bIdx int) { cells[a], cells[bIdx] = cells[bIdx], cells[a] })
+		for _, c := range cells {
+			wi, wj := w.Row(c.i), wt.Row(c.j)
+			diff := mat.Dot(wi, wj) + b[c.i] + bt[c.j] - math.Log(c.x)
+			fx := 1.0
+			if c.x < cfg.XMax {
+				fx = math.Pow(c.x/cfg.XMax, cfg.Alpha)
+			}
+			g := fx * diff
+			if g > 10 {
+				g = 10
+			} else if g < -10 {
+				g = -10
+			}
+			gwi, gwj := gw.Row(c.i), gwt.Row(c.j)
+			for d := 0; d < cfg.Dim; d++ {
+				gi := g * wj[d]
+				gj := g * wi[d]
+				wi[d] -= cfg.LR * gi / math.Sqrt(gwi[d])
+				wj[d] -= cfg.LR * gj / math.Sqrt(gwj[d])
+				gwi[d] += gi * gi
+				gwj[d] += gj * gj
+			}
+			b[c.i] -= cfg.LR * g / math.Sqrt(gb[c.i])
+			bt[c.j] -= cfg.LR * g / math.Sqrt(gbt[c.j])
+			gb[c.i] += g * g
+			gbt[c.j] += g * g
+		}
+	}
+
+	vecs := make(map[string]mat.Vector, V)
+	for i, word := range words {
+		v := w.Row(i).Clone()
+		v.Add(wt.Row(i))
+		vecs[word] = v
+	}
+	// Mean-centre the space: raw GloVe vectors are anisotropic (every
+	// pair has a large positive cosine), which would wash out the
+	// relative comparisons RExt's ranking function makes. Subtracting the
+	// vocabulary mean restores discriminative cosines.
+	if V > 0 {
+		mean := mat.NewVector(cfg.Dim)
+		for _, word := range words { // fixed order: keeps training deterministic
+			mean.Add(vecs[word])
+		}
+		mean.Scale(1 / float64(V))
+		for _, word := range words {
+			vecs[word].Sub(mean)
+		}
+	}
+	return &GloVe{dim: cfg.Dim, vecs: vecs, chars: NewCharEmbedder(cfg.Dim, cfg.Seed)}
+}
+
+// Dim returns the vector size.
+func (g *GloVe) Dim() int { return g.dim }
+
+// Has reports whether word has a trained vector.
+func (g *GloVe) Has(word string) bool {
+	_, ok := g.vecs[word]
+	return ok
+}
+
+// WordVector returns the trained vector for an in-vocabulary word and
+// whether it exists. The returned vector is shared; callers must not
+// modify it.
+func (g *GloVe) WordVector(word string) (mat.Vector, bool) {
+	v, ok := g.vecs[word]
+	return v, ok
+}
+
+// Embed returns the mean of the word vectors of text's tokens, with the
+// character-level fallback for out-of-vocabulary tokens (§III-A's
+// trade-off for meaningless labels). Empty text embeds to the zero vector.
+func (g *GloVe) Embed(text string) mat.Vector {
+	toks := Tokenize(text)
+	out := mat.NewVector(g.dim)
+	if len(toks) == 0 {
+		return out
+	}
+	for _, tok := range toks {
+		if v, ok := g.vecs[tok]; ok {
+			out.Add(v)
+		} else {
+			out.Add(g.chars.Embed(tok))
+		}
+	}
+	out.Scale(1 / float64(len(toks)))
+	return out
+}

@@ -1,0 +1,60 @@
+package embed
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"semjoin/internal/bin"
+	"semjoin/internal/mat"
+)
+
+// Save persists the trained word vectors (sorted for deterministic
+// output) plus the character-fallback seed.
+func (g *GloVe) Save(out io.Writer) error {
+	w := bin.NewWriter(out)
+	w.Header("glove", 1)
+	w.Int(g.dim)
+	w.U64(g.chars.seed)
+	words := make([]string, 0, len(g.vecs))
+	for word := range g.vecs {
+		words = append(words, word)
+	}
+	sort.Strings(words)
+	w.Int(len(words))
+	for _, word := range words {
+		w.String(word)
+		w.F64s(g.vecs[word])
+	}
+	return w.Err()
+}
+
+// LoadGloVe restores vectors written by Save.
+func LoadGloVe(in io.Reader) (*GloVe, error) {
+	r := bin.NewReader(in)
+	if v := r.Header("glove"); r.Err() == nil && v != 1 {
+		return nil, fmt.Errorf("embed: unsupported glove version %d", v)
+	}
+	dim := r.Int()
+	seed := r.U64()
+	n := r.Len()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("embed: bad dimension %d", dim)
+	}
+	g := &GloVe{dim: dim, vecs: make(map[string]mat.Vector, n), chars: NewCharEmbedder(dim, seed)}
+	for i := 0; i < n; i++ {
+		word := r.String()
+		vec := r.F64s()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if len(vec) != dim {
+			return nil, fmt.Errorf("embed: vector size %d for %q, want %d", len(vec), word, dim)
+		}
+		g.vecs[word] = vec
+	}
+	return g, r.Err()
+}

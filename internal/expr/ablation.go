@@ -1,0 +1,67 @@
+package expr
+
+import (
+	"time"
+
+	"semjoin/internal/core"
+)
+
+// AblationRow is one ablation measurement: the configuration name, the
+// mean recovery F-measure and the extraction wall time.
+type AblationRow struct {
+	Name    string
+	F       float64
+	Seconds float64
+}
+
+// Ablations runs the DESIGN.md ablation suite on one collection (default
+// Movie): each documented extension toggled to its paper-exact setting,
+// each ranking term disabled in turn, refinement off, and the RndPath
+// selection baseline.
+func Ablations(o Options) []AblationRow {
+	o = o.withDefaults()
+	coll := "Movie"
+	if len(o.Collections) == 1 {
+		coll = o.Collections[0]
+	}
+	r := Prepare(coll, o.Entities, o.Seed)
+	c := r.C
+	drop := c.Recoverable[c.MainRel]
+	reduced, truth := c.Drop(c.MainRel, drop)
+	matcher := c.Oracle(c.MainRel)
+
+	cases := []struct {
+		name   string
+		mutate func(*core.Config)
+		models core.Models
+	}{
+		{"full (defaults)", func(*core.Config) {}, r.Models(VRExt)},
+		{"beam=1 (paper greedy, E1)", func(cc *core.Config) { cc.Beam = 1 }, r.Models(VRExt)},
+		{"beam=2", func(cc *core.Config) { cc.Beam = 2 }, r.Models(VRExt)},
+		{"bounce allowed (E2 off)", func(cc *core.Config) { cc.AllowBounce = true }, r.Models(VRExt)},
+		{"no length penalty (E3 off)", func(cc *core.Config) { cc.LengthPenalty = -1 }, r.Models(VRExt)},
+		{"no refinement", func(cc *core.Config) { cc.NoRefinement = true }, r.Models(VRExt)},
+		{"no term1 (coverage)", func(cc *core.Config) { cc.DisableTerm1 = true }, r.Models(VRExt)},
+		{"no term2 (redundancy)", func(cc *core.Config) { cc.DisableTerm2 = true }, r.Models(VRExt)},
+		{"no term3 (interest)", func(cc *core.Config) { cc.DisableTerm3 = true }, r.Models(VRExt)},
+		{"random paths (RndPath)", func(*core.Config) {}, r.Models(VRndPath)},
+	}
+	var rows []AblationRow
+	for _, tc := range cases {
+		cfg := core.Config{H: 30, Keywords: drop, MaxAttrs: len(drop), Seed: o.Seed}
+		tc.mutate(&cfg)
+		start := time.Now()
+		out, err := core.EnrichmentJoin(reduced, c.G, tc.models, matcher, drop, cfg)
+		secs := time.Since(start).Seconds()
+		row := AblationRow{Name: tc.name, Seconds: secs}
+		if err == nil {
+			var ps []PRF
+			for _, attr := range drop {
+				ps = append(ps, ValueRecovery(out, c.Main().Schema.Key, attr, truth[attr]))
+			}
+			row.F = Mean(ps).F1
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,43 @@
+package expr
+
+import (
+	"testing"
+
+	"semjoin/internal/core"
+)
+
+// TestDebugRecoveryClusters dumps cluster diagnostics for one collection;
+// enable with -v -run TestDebugRecoveryClusters.
+func TestDebugRecoveryClusters(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("debug helper")
+	}
+	for _, name := range []string{"Movie"} {
+		r := Prepare(name, 40, 7)
+		c := r.C
+		drop := c.Recoverable[c.MainRel]
+		reduced, _ := c.Drop(c.MainRel, drop)
+		cfg := core.Config{H: 14, Keywords: drop, MaxAttrs: len(drop), Seed: r.Seed}
+		ex := core.NewExtractor(c.G, r.Models(VRExt), cfg)
+		if err := ex.Discover(reduced, c.Oracle(c.MainRel).Match(reduced, c.G)); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("=== %s (drop %v) selected=%v", name, drop, ex.Scheme().Attrs())
+		for _, ci := range ex.ClusterDiagnostics() {
+			ends := ci.EndLabelCounts
+			if len(ends) > 6 {
+				short := map[string]int{}
+				n := 0
+				for k, v := range ends {
+					short[k] = v
+					if n++; n == 6 {
+						break
+					}
+				}
+				ends = short
+			}
+			t.Logf("score=%.3f t=(%.2f,%.2f,%.2f) kw=%q size=%d pats=%v ends=%v",
+				ci.Score, ci.Term1, ci.Term2, ci.Term3, ci.Keyword, ci.Size, ci.Patterns, ends)
+		}
+	}
+}

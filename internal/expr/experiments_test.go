@@ -1,0 +1,120 @@
+package expr
+
+import (
+	"testing"
+)
+
+// Tiny-scale smoke tests for every experiment runner: the real outputs
+// come from cmd/experiments; these guard the runners against bitrot.
+
+func smokeOptions() Options {
+	return Options{
+		Entities:    16,
+		Seed:        7,
+		Collections: []string{"Drugs"},
+		Variants:    []Variant{VRExt},
+	}
+}
+
+func TestTableIISmoke(t *testing.T) {
+	rows := TableII(smokeOptions())
+	if len(rows) != 1 || rows[0].Tuples == 0 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestFigureRunnersSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	o := smokeOptions()
+	for _, fig := range []struct {
+		name string
+		run  func(Options) Figure
+	}{
+		{"fig5b", Fig5b}, // trains Movie internally
+		{"fig5f", Fig5f},
+		{"fig5g", Fig5g},
+		{"varyA", VaryA},
+	} {
+		f := fig.run(o)
+		if len(f.Series) == 0 || len(f.Series[0].Points) == 0 {
+			t.Errorf("%s produced no data", fig.name)
+		}
+		for _, s := range f.Series {
+			for _, p := range s.Points {
+				if p.Y < 0 || p.Y > 1.000001 {
+					t.Errorf("%s: F out of range: %v", fig.name, p)
+				}
+			}
+		}
+	}
+}
+
+func TestFig5hSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	rows := Fig5h(smokeOptions())
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ExtSeconds <= 0 || r.IncSeconds <= 0 {
+			t.Errorf("degenerate timing: %+v", r)
+		}
+	}
+}
+
+func TestScaleSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	rows := ScaleSweep(smokeOptions(), []int{16, 32})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].Tuples <= rows[0].Tuples {
+		t.Fatal("scale did not grow")
+	}
+	for _, r := range rows {
+		total := r.Stages.Selection + r.Stages.Embedding + r.Stages.Clustering +
+			r.Stages.Ranking + r.Stages.Extraction
+		if total <= 0 || total > r.Seconds*1.5 {
+			t.Errorf("stage breakdown inconsistent: %+v vs %.3f", r.Stages, r.Seconds)
+		}
+	}
+}
+
+func TestAblationsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	rows := Ablations(Options{Entities: 16, Seed: 7, Collections: []string{"Movie"}})
+	if len(rows) < 8 {
+		t.Fatalf("ablation rows = %d", len(rows))
+	}
+	var full float64
+	for _, r := range rows {
+		if r.Name == "full (defaults)" {
+			full = r.F
+		}
+	}
+	if full == 0 {
+		t.Fatal("full configuration scored 0")
+	}
+}
+
+func TestTrainingAndPrecomputeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	tr := Training(smokeOptions())
+	if len(tr) != 1 || tr[0].LSTMSeconds <= 0 || tr[0].BertSeconds <= 0 {
+		t.Fatalf("training rows = %+v", tr)
+	}
+	pc := Precompute(smokeOptions())
+	if len(pc) != 1 || pc[0].ExtractedCells == 0 {
+		t.Fatalf("precompute rows = %+v", pc)
+	}
+}

@@ -1,0 +1,43 @@
+package expr
+
+import (
+	"testing"
+
+	"semjoin/internal/core"
+	"semjoin/internal/embed"
+	"semjoin/internal/mat"
+)
+
+// TestDebugCelebrityGeometry probes value↔keyword cosines under varying
+// GloVe configurations; enable with -v.
+func TestDebugCelebrityGeometry(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("debug helper")
+	}
+	r := Prepare("Celebrity", 40, 7)
+	corpus := core.BuildCorpus(r.C.G, 3, 8, r.Seed)
+	types := core.TypeSentences(r.C.G)
+	for _, cfg := range []struct {
+		name  string
+		reps  int
+		ep    int
+		walks int
+	}{
+		{"reps20/ep15", 20, 15, 3},
+		{"reps60/ep15", 60, 15, 3},
+		{"reps20/ep50", 20, 50, 3},
+		{"reps60/ep50", 60, 50, 3},
+	} {
+		gcorp := append([][]string(nil), corpus...)
+		for i := 0; i < cfg.reps; i++ {
+			gcorp = append(gcorp, types...)
+		}
+		g := embed.TrainGloVe(gcorp, embed.GloVeConfig{Dim: 64, Epochs: cfg.ep, Seed: 7})
+		cos := func(a, b string) float64 {
+			return mat.Cosine(mat.Normalize(g.Embed(a)), mat.Normalize(g.Embed(b)))
+		}
+		t.Logf("%s: cos(Brazil,country)=%.2f cos(London,country)=%.2f cos(London,city)=%.2f cos(Brazil,city)=%.2f cos(UnitedFC,team)=%.2f",
+			cfg.name, cos("Brazil", "country"), cos("London", "country"),
+			cos("London", "city"), cos("Brazil", "city"), cos("United FC", "team"))
+	}
+}

@@ -1,0 +1,131 @@
+// Package expr implements the experimental harness of §V: the column-drop
+// recovery protocol with F-measure scoring (Exp-2), the 36-query workload
+// and heuristic-join relative accuracy (Table III), the end-to-end timing
+// comparisons (Exp-3), and incremental-maintenance sweeps (Exp-4, Fig
+// 5(h)). Each experiment runner returns typed rows that cmd/experiments
+// renders in the paper's table/figure layout.
+package expr
+
+import (
+	"fmt"
+	"sort"
+
+	"semjoin/internal/rel"
+)
+
+// PRF is a precision/recall/F-measure triple.
+type PRF struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// String renders the triple compactly.
+func (p PRF) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F=%.3f", p.Precision, p.Recall, p.F1)
+}
+
+func prf(correct, extracted, truth int) PRF {
+	var p PRF
+	if extracted > 0 {
+		p.Precision = float64(correct) / float64(extracted)
+	}
+	if truth > 0 {
+		p.Recall = float64(correct) / float64(truth)
+	}
+	if p.Precision+p.Recall > 0 {
+		p.F1 = 2 * p.Precision * p.Recall / (p.Precision + p.Recall)
+	}
+	return p
+}
+
+// ValueRecovery scores recovered attribute values against ground truth:
+// enriched must carry the key attribute keyAttr and the recovered attr;
+// truth maps key -> expected value. Nulls count as not-extracted.
+func ValueRecovery(enriched *rel.Relation, keyAttr, attr string, truth map[string]string) PRF {
+	keyCol := enriched.Schema.Col(keyAttr)
+	col := enriched.Schema.Col(attr)
+	if keyCol < 0 || col < 0 {
+		return PRF{}
+	}
+	got := map[string]rel.Value{}
+	for _, t := range enriched.Tuples {
+		got[t[keyCol].String()] = t[col]
+	}
+	correct, extracted := 0, 0
+	for key, want := range truth {
+		v, ok := got[key]
+		if !ok || v.IsNull() {
+			continue
+		}
+		extracted++
+		if v.String() == want {
+			correct++
+		}
+	}
+	return prf(correct, extracted, len(truth))
+}
+
+// RowSetF computes the F-measure of a result relation against a reference
+// relation, comparing canonicalised rows over the columns the two schemas
+// share (multiset semantics). Table III uses it with the exact join
+// result as ground truth.
+func RowSetF(got, want *rel.Relation) PRF {
+	if got.Len() == 0 && want.Len() == 0 {
+		return PRF{Precision: 1, Recall: 1, F1: 1} // vacuous agreement
+	}
+	shared := sharedColumns(got.Schema, want.Schema)
+	if len(shared) == 0 {
+		return PRF{}
+	}
+	wantRows := map[string]int{}
+	for _, t := range want.Tuples {
+		wantRows[rowKey(want, t, shared)]++
+	}
+	correct := 0
+	for _, t := range got.Tuples {
+		k := rowKey(got, t, shared)
+		if wantRows[k] > 0 {
+			wantRows[k]--
+			correct++
+		}
+	}
+	return prf(correct, got.Len(), want.Len())
+}
+
+func sharedColumns(a, b *rel.Schema) []string {
+	var out []string
+	for _, attr := range a.Attrs {
+		if b.Has(attr.Name) {
+			out = append(out, attr.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func rowKey(r *rel.Relation, t rel.Tuple, cols []string) string {
+	k := ""
+	for _, c := range cols {
+		k += r.Get(t, c).Key() + "\x1f"
+	}
+	return k
+}
+
+// Mean averages a slice of PRFs component-wise.
+func Mean(ps []PRF) PRF {
+	if len(ps) == 0 {
+		return PRF{}
+	}
+	var out PRF
+	for _, p := range ps {
+		out.Precision += p.Precision
+		out.Recall += p.Recall
+		out.F1 += p.F1
+	}
+	n := float64(len(ps))
+	out.Precision /= n
+	out.Recall /= n
+	out.F1 /= n
+	return out
+}

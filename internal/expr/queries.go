@@ -1,0 +1,242 @@
+package expr
+
+import (
+	"fmt"
+
+	"semjoin/internal/core"
+	"semjoin/internal/graph"
+	"semjoin/internal/gsql"
+	"semjoin/internal/rel"
+)
+
+// WorkloadQuery is one query of the §V workload with its feature tags.
+type WorkloadQuery struct {
+	ID          string
+	Collection  string
+	SQL         string
+	Link        bool // uses an l-join (otherwise enrichment)
+	Dynamic     bool // semantic join over a sub-query
+	MultiJoin   bool // more than one semantic join
+	Negation    bool
+	Aggregation bool
+	WellBehaved bool // expected planner verdict
+}
+
+// Workload returns the 36 queries of §V: 6 per collection; 32 enrichment
+// and 4 link joins; 4 dynamic; 10 with more than one semantic join; 17
+// with negation; 4 with aggregation; 4 not well-behaved.
+func Workload() []WorkloadQuery {
+	var qs []WorkloadQuery
+	add := func(q WorkloadQuery) {
+		q.ID = fmt.Sprintf("%s-q%d", q.Collection, len(byColl(qs, q.Collection))+1)
+		qs = append(qs, q)
+	}
+
+	// ---- Drugs (drug(cas, name), interact(cas1, cas2, type)) ----
+	add(WorkloadQuery{Collection: "Drugs", WellBehaved: true, Negation: true, SQL: `
+		select cas, name, disease from drug e-join G <disease> as T
+		where not T.disease = 'Influenza'`})
+	add(WorkloadQuery{Collection: "Drugs", WellBehaved: true, MultiJoin: true, Negation: true, SQL: `
+		select T1.cas, T2.cas, T1.disease
+		from drug e-join G <disease> as T1,
+		     drug e-join G <disease> as T2,
+		     interact
+		where interact.cas1 = T1.cas and interact.cas2 = T2.cas
+		  and interact.type = -1 and T1.disease = T2.disease
+		  and not T1.cas = T2.cas`})
+	add(WorkloadQuery{Collection: "Drugs", WellBehaved: true, Aggregation: true, SQL: `
+		select disease, count(*) as n from drug e-join G <disease> as T
+		group by disease order by disease`})
+	add(WorkloadQuery{Collection: "Drugs", WellBehaved: true, Dynamic: true, Negation: true, SQL: `
+		select cas, class
+		from (select cas, name from drug where not name = 'Spinosad') e-join G <class> as T`})
+	add(WorkloadQuery{Collection: "Drugs", WellBehaved: true, Link: true, SQL: `
+		select drug.cas, drug2.cas from drug l-join <G> drug as drug2
+		where drug.cas = 'CAS-0000'`})
+	add(WorkloadQuery{Collection: "Drugs", WellBehaved: false, MultiJoin: true, Negation: true, SQL: `
+		select cas1, name, class
+		from (select interact.cas1 as cas1, drug.name as name
+		      from interact, drug
+		      where drug.cas = interact.cas1 and interact.type = -1
+		        and not drug.name = 'Warfarin') e-join G <class> as T`})
+
+	// ---- FakeNews (fakenews(author, language)) ----
+	add(WorkloadQuery{Collection: "FakeNews", WellBehaved: true, SQL: `
+		select author, topic from fakenews e-join G <topic> as T
+		where T.language = 'English'`})
+	add(WorkloadQuery{Collection: "FakeNews", WellBehaved: true, Negation: true, SQL: `
+		select author, country from fakenews e-join G <country> as T
+		where not T.country = 'UK' and not T.country = 'US'`})
+	add(WorkloadQuery{Collection: "FakeNews", WellBehaved: true, Aggregation: true, SQL: `
+		select topic, count(*) as authors from fakenews e-join G <topic> as T
+		group by topic order by topic`})
+	add(WorkloadQuery{Collection: "FakeNews", WellBehaved: true, Dynamic: true, SQL: `
+		select author, topic
+		from (select author, language from fakenews where language = 'French') e-join G <topic> as T`})
+	add(WorkloadQuery{Collection: "FakeNews", WellBehaved: true, MultiJoin: true, SQL: `
+		select T1.author, T2.author, T1.topic
+		from fakenews e-join G <topic> as T1, fakenews e-join G <topic> as T2
+		where T1.topic = T2.topic and T1.language = 'English' and T2.language = 'German'`})
+	add(WorkloadQuery{Collection: "FakeNews", WellBehaved: false, Negation: true, MultiJoin: true, SQL: `
+		select author, country
+		from (select f1.author as author, f2.author as peer
+		      from fakenews as f1, fakenews as f2
+		      where f1.language = f2.language and not f1.author = f2.author) e-join G <country> as T`})
+
+	// ---- Movie (movie(mid, title, year)) ----
+	add(WorkloadQuery{Collection: "Movie", WellBehaved: true, SQL: `
+		select mid, title, director from movie e-join G <director> as T
+		where T.year >= 1960`})
+	add(WorkloadQuery{Collection: "Movie", WellBehaved: true, Negation: true, SQL: `
+		select mid, genre from movie e-join G <genre> as T
+		where not T.genre = 'Horror'`})
+	add(WorkloadQuery{Collection: "Movie", WellBehaved: true, Aggregation: true, SQL: `
+		select director, count(*) as films from movie e-join G <director> as T
+		group by director order by films desc, director`})
+	add(WorkloadQuery{Collection: "Movie", WellBehaved: true, MultiJoin: true, Negation: true, SQL: `
+		select T1.mid, T2.mid, T1.director
+		from movie e-join G <director> as T1, movie e-join G <director> as T2
+		where T1.director = T2.director and T1.year < T2.year
+		  and not T1.mid = T2.mid`})
+	add(WorkloadQuery{Collection: "Movie", WellBehaved: true, Link: true, SQL: `
+		select movie.mid, movie2.mid from movie l-join <G> movie as movie2
+		where movie.mid = 'm0000' and not movie2.mid = 'm0000'`})
+	add(WorkloadQuery{Collection: "Movie", WellBehaved: true, MultiJoin: true, SQL: `
+		select T1.mid, T1.director, T1.city
+		from movie e-join G <director, city> as T1
+		where T1.city = 'London' or T1.city = 'Paris'`})
+
+	// ---- MovKB (movie(mid, title)) ----
+	add(WorkloadQuery{Collection: "MovKB", WellBehaved: true, SQL: `
+		select mid, country from movie e-join G <country> as T
+		where T.country = 'UK'`})
+	add(WorkloadQuery{Collection: "MovKB", WellBehaved: true, Negation: true, SQL: `
+		select mid, studio, language from movie e-join G <studio, language> as T
+		where not T.language = 'English'`})
+	add(WorkloadQuery{Collection: "MovKB", WellBehaved: true, Dynamic: true, Negation: true, SQL: `
+		select mid, country
+		from (select mid, title from movie where not title = 'feature 000') e-join G <country> as T`})
+	add(WorkloadQuery{Collection: "MovKB", WellBehaved: true, MultiJoin: true, SQL: `
+		select T1.mid, T2.mid
+		from movie e-join G <studio> as T1, movie e-join G <studio> as T2
+		where T1.studio = T2.studio and T1.mid < T2.mid`})
+	add(WorkloadQuery{Collection: "MovKB", WellBehaved: true, Negation: true, SQL: `
+		select mid, studio from movie e-join G <studio> as T
+		where not T.studio = 'Acme Corp' and not T.studio = 'Globex Corp'`})
+	add(WorkloadQuery{Collection: "MovKB", WellBehaved: false, MultiJoin: true, SQL: `
+		select mid, country
+		from (select m1.mid as mid, m1.title as title, m2.mid as other
+		      from movie as m1, movie as m2
+		      where m1.mid < m2.mid and m1.title < m2.title) e-join G <country> as T`})
+
+	// ---- Paper (dblp(pid, title)) ----
+	add(WorkloadQuery{Collection: "Paper", WellBehaved: true, SQL: `
+		select pid, venue, volume from dblp e-join G <venue, volume> as T
+		where T.venue = 'VLDB'`})
+	add(WorkloadQuery{Collection: "Paper", WellBehaved: true, Negation: true, SQL: `
+		select pid, affiliation from dblp e-join G <affiliation> as T
+		where not T.affiliation = 'NASA'`})
+	add(WorkloadQuery{Collection: "Paper", WellBehaved: true, Dynamic: true, SQL: `
+		select pid, venue
+		from (select pid, title from dblp where title >= 'study 02') e-join G <venue> as T`})
+	add(WorkloadQuery{Collection: "Paper", WellBehaved: true, MultiJoin: true, Negation: true, SQL: `
+		select T1.pid, T2.pid, T1.affiliation
+		from dblp e-join G <affiliation> as T1, dblp e-join G <affiliation> as T2
+		where T1.affiliation = T2.affiliation and not T1.pid = T2.pid and T1.pid < T2.pid`})
+	add(WorkloadQuery{Collection: "Paper", WellBehaved: true, Link: true, Negation: true, SQL: `
+		select dblp.pid, dblp2.pid from dblp l-join <G> dblp as dblp2
+		where dblp.pid = 'p0000' and not dblp2.pid = 'p0000'`})
+	add(WorkloadQuery{Collection: "Paper", WellBehaved: true, SQL: `
+		select pid, venue, volume from dblp e-join G <venue, volume> as T
+		where T.volume = 'vol 5' or T.volume = 'vol 12'`})
+
+	// ---- Celebrity (celebrity(cid, name)) ----
+	add(WorkloadQuery{Collection: "Celebrity", WellBehaved: true, SQL: `
+		select cid, occupation from celebrity e-join G <occupation> as T
+		where T.occupation = 'Footballer'`})
+	add(WorkloadQuery{Collection: "Celebrity", WellBehaved: true, Negation: true, SQL: `
+		select cid, team, country from celebrity e-join G <team, country> as T
+		where not T.country = 'UK'`})
+	add(WorkloadQuery{Collection: "Celebrity", WellBehaved: true, Aggregation: true, SQL: `
+		select occupation, count(*) as n from celebrity e-join G <occupation> as T
+		group by occupation order by occupation`})
+	add(WorkloadQuery{Collection: "Celebrity", WellBehaved: true, Link: true, SQL: `
+		select celebrity.cid, celebrity2.cid from celebrity l-join <G> celebrity as celebrity2
+		where celebrity.cid = 'c0000'`})
+	add(WorkloadQuery{Collection: "Celebrity", WellBehaved: true, MultiJoin: true, Negation: true, SQL: `
+		select T1.cid, T2.cid, T1.team
+		from celebrity e-join G <team> as T1, celebrity e-join G <team> as T2
+		where T1.team = T2.team and not T1.cid = T2.cid and T1.cid < T2.cid`})
+	add(WorkloadQuery{Collection: "Celebrity", WellBehaved: false, Negation: true, SQL: `
+		select cid, occupation
+		from (select c1.cid as cid, c1.name as name, c2.cid as peer
+		      from celebrity as c1, celebrity as c2
+		      where c1.name < c2.name and not c1.cid = c2.cid) e-join G <occupation> as T`})
+
+	return qs
+}
+
+func byColl(qs []WorkloadQuery, coll string) []WorkloadQuery {
+	var out []WorkloadQuery
+	for _, q := range qs {
+		if q.Collection == coll {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// QueryEnv is a ready-to-query environment for one collection: the base
+// relations with the graph-derivable columns removed (they are what
+// semantic joins extract), the graph, trained models, offline
+// materialisation and heuristic profiles.
+type QueryEnv struct {
+	Run *Run
+	Cat *gsql.Catalog
+}
+
+// NewQueryEnv builds the environment, running the offline preprocessing
+// of §IV-A (materialisation for static joins, graph profiling for
+// heuristic joins).
+func NewQueryEnv(r *Run) (*QueryEnv, error) {
+	c := r.C
+	models := r.Models(VRExt)
+	reduced, _ := c.Drop(c.MainRel, c.Recoverable[c.MainRel])
+
+	relations := map[string]*rel.Relation{}
+	for name, rr := range c.Rels {
+		if name == c.MainRel {
+			relations[name] = reduced
+		} else {
+			relations[name] = rr
+		}
+	}
+	matcher := c.Oracle(c.MainRel)
+	mat, err := core.BuildMaterialized(c.G, models, map[string]core.BaseSpec{
+		c.MainRel: {D: reduced, AR: c.Recoverable[c.MainRel], Matcher: matcher},
+	}, core.Config{K: 3, H: 30, Seed: r.Seed})
+	if err != nil {
+		return nil, err
+	}
+	profiles := core.ProfileGraph(c.G, models, c.TypeKeywords, 2,
+		core.Config{K: 3, H: 30, Seed: r.Seed})
+
+	cat := &gsql.Catalog{
+		Relations: relations,
+		Graphs:    map[string]*graph.Graph{"G": c.G},
+		Models:    models,
+		Matcher:   matcher,
+		Mat:       mat,
+		Heur:      core.NewHeuristicJoiner(profiles),
+		K:         3,
+		RExt:      core.Config{H: 30, Seed: r.Seed},
+	}
+	return &QueryEnv{Run: r, Cat: cat}, nil
+}
+
+// Engine returns a fresh engine in the given mode.
+func (e *QueryEnv) Engine(mode gsql.Mode) *gsql.Engine {
+	eng := gsql.NewEngine(e.Cat)
+	eng.Mode = mode
+	return eng
+}

@@ -1,0 +1,99 @@
+package expr
+
+import (
+	"time"
+
+	"semjoin/internal/core"
+	"semjoin/internal/her"
+	"semjoin/internal/rel"
+)
+
+// RecoveryOptions parameterises one column-drop recovery run (Exp-2).
+type RecoveryOptions struct {
+	// Variant selects the method (default VRExt).
+	Variant Variant
+	// DropAttrs are the columns removed and recovered; empty means every
+	// recoverable attribute of the main relation (m = len(DropAttrs)).
+	DropAttrs []string
+	// ExtraKeywords appends value exemplars to A (the |A| sweep).
+	ExtraKeywords []string
+	// K, H override the RExt defaults when non-zero.
+	K, H int
+	// NoiseFrac injects clustering label noise (Fig 5(f)).
+	NoiseFrac float64
+	// HERNoise corrupts this fraction of HER matches (Fig 5(g), η).
+	HERNoise float64
+}
+
+// RecoveryResult is the outcome of one recovery run.
+type RecoveryResult struct {
+	PerAttr map[string]PRF
+	Mean    PRF
+	// Seconds is the wall time of pattern discovery + extraction.
+	Seconds float64
+}
+
+// Recovery runs the Exp-2 protocol on r's main relation: drop the chosen
+// columns, extract them back from the graph via a semantic join with
+// keywords equal to the dropped attribute names, and score against the
+// original columns.
+func Recovery(r *Run, opt RecoveryOptions) RecoveryResult {
+	if opt.Variant == "" {
+		opt.Variant = VRExt
+	}
+	c := r.C
+	drop := opt.DropAttrs
+	if len(drop) == 0 {
+		drop = c.Recoverable[c.MainRel]
+	}
+	reduced, truth := c.Drop(c.MainRel, drop)
+
+	keywords := append([]string(nil), drop...)
+
+	var matcher her.Matcher = c.Oracle(c.MainRel)
+	if opt.HERNoise > 0 {
+		matcher = her.WithNoise(matcher, opt.HERNoise, r.Seed+21)
+	}
+
+	cfg := core.Config{
+		K: opt.K, H: opt.H, Keywords: keywords,
+		Exemplars: opt.ExtraKeywords,
+		MaxAttrs:  len(drop),
+		Seed:      r.Seed,
+		NoiseFrac: opt.NoiseFrac,
+	}
+	models := r.Models(opt.Variant)
+
+	start := time.Now()
+	enriched, err := core.EnrichmentJoin(reduced, c.G, models, matcher, keywords, cfg)
+	secs := time.Since(start).Seconds()
+	if err != nil {
+		return RecoveryResult{PerAttr: map[string]PRF{}, Seconds: secs}
+	}
+
+	res := RecoveryResult{PerAttr: map[string]PRF{}, Seconds: secs}
+	var all []PRF
+	key := c.Main().Schema.Key
+	for _, attr := range drop {
+		p := ValueRecovery(enriched, key, attr, truth[attr])
+		res.PerAttr[attr] = p
+		all = append(all, p)
+	}
+	res.Mean = Mean(all)
+	return res
+}
+
+// RecoverRelation exposes the enriched relation itself (examples use it).
+func RecoverRelation(r *Run, opt RecoveryOptions) (*rel.Relation, error) {
+	if opt.Variant == "" {
+		opt.Variant = VRExt
+	}
+	c := r.C
+	drop := opt.DropAttrs
+	if len(drop) == 0 {
+		drop = c.Recoverable[c.MainRel]
+	}
+	reduced, _ := c.Drop(c.MainRel, drop)
+	cfg := core.Config{K: opt.K, H: opt.H, Keywords: drop, MaxAttrs: len(drop), Seed: r.Seed}
+	return core.EnrichmentJoin(reduced, c.G, r.Models(opt.Variant), c.Oracle(c.MainRel), drop, cfg)
+}

@@ -1,0 +1,80 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderFigure(t *testing.T) {
+	var b strings.Builder
+	RenderFigure(&b, Figure{
+		ID: "5x", Title: "demo", XLabel: "k", YLabel: "F",
+		Series: []Series{
+			{Name: "A", Points: []Point{{1, 0.5}, {2, 0.75}}},
+			{Name: "B", Points: []Point{{2, 0.9}}},
+		},
+	})
+	out := b.String()
+	for _, want := range []string{"Figure 5x", "demo", "k", "A", "B", "0.500", "0.900", "(y: F)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Series B has no point at x=1 → dash.
+	if !strings.Contains(out, "-") {
+		t.Error("missing placeholder for absent point")
+	}
+}
+
+func TestRenderIncRows(t *testing.T) {
+	var b strings.Builder
+	RenderIncRows(&b, []IncRow{
+		{Collection: "Drugs", DeltaPct: 5, IncSeconds: 0.1, ExtSeconds: 1.0, Affected: 7},
+		{Collection: "Drugs", DeltaPct: 45, IncSeconds: 0, ExtSeconds: 0, Affected: 0},
+	})
+	out := b.String()
+	if !strings.Contains(out, "10.0x") {
+		t.Errorf("missing speedup in:\n%s", out)
+	}
+	if !strings.Contains(out, "Drugs") || !strings.Contains(out, "45") {
+		t.Errorf("missing rows in:\n%s", out)
+	}
+}
+
+func TestRenderTableIII(t *testing.T) {
+	var b strings.Builder
+	RenderTableIII(&b, []TableIIIRow{{Group: "all", F: 0.881, N: 36}})
+	if !strings.Contains(b.String(), "0.88") || !strings.Contains(b.String(), "36") {
+		t.Errorf("table:\n%s", b.String())
+	}
+}
+
+func TestRenderEndToEnd(t *testing.T) {
+	var b strings.Builder
+	RenderEndToEnd(&b, EndToEndResult{
+		PerQuery: []QueryTiming{
+			{ID: "q1", Collection: "Drugs", OptimizedMS: 1, BaselineMS: 100, HeuristicMS: 10},
+			{ID: "q5", Collection: "Drugs", Link: true, OptimizedMS: 2, BaselineMS: 40, HeuristicMS: 8, WarmLinkMS: 1},
+		},
+		PrecomputeSeconds: map[string]float64{"Drugs": 3.5},
+	})
+	out := b.String()
+	for _, want := range []string{"Drugs", "base/opt", "overall:", "link joins: warm gL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsEdgeCases(t *testing.T) {
+	if p := prf(0, 0, 0); p.F1 != 0 || p.Precision != 0 {
+		t.Fatalf("empty prf = %+v", p)
+	}
+	if m := Mean(nil); m.F1 != 0 {
+		t.Fatal("Mean(nil) should be zero")
+	}
+	m := Mean([]PRF{{1, 1, 1}, {0, 0, 0}})
+	if m.F1 != 0.5 {
+		t.Fatalf("Mean = %+v", m)
+	}
+}

@@ -1,0 +1,96 @@
+package graph
+
+import "testing"
+
+func TestCloneIsDeep(t *testing.T) {
+	g := New()
+	a := g.AddVertex("a", "t")
+	b := g.AddVertex("b", "t")
+	g.AddEdge(a, "e", b)
+
+	c := g.Clone()
+	if c.NumVertices() != 2 || c.NumEdges() != 1 {
+		t.Fatalf("clone stats: %d vertices %d edges", c.NumVertices(), c.NumEdges())
+	}
+	// Mutating the original must not affect the clone and vice versa.
+	g.RemoveEdge(a, "e", b)
+	if c.NumEdges() != 1 {
+		t.Fatal("clone shares edge storage with original")
+	}
+	nv := c.AddVertex("c", "t")
+	c.AddEdge(a, "f", nv)
+	if g.NumVertices() != 2 {
+		t.Fatal("original gained clone's vertex")
+	}
+	c.RemoveVertex(b)
+	if !g.Live(b) {
+		t.Fatal("original lost clone's deleted vertex")
+	}
+	// Type index cloned correctly.
+	if got := len(c.VerticesOfType("t")); got != 2 { // a and nv; b deleted
+		t.Fatalf("clone type index = %d", got)
+	}
+}
+
+func TestMarkLabel(t *testing.T) {
+	if MarkLabel("x", true) != "x" || MarkLabel("x", false) != "^x" {
+		t.Fatal("MarkLabel wrong")
+	}
+}
+
+func TestSteps(t *testing.T) {
+	g := New()
+	a := g.AddVertex("a", "")
+	b := g.AddVertex("b", "")
+	g.AddEdge(a, "e", b)
+	sa := g.Steps(nil, a)
+	if len(sa) != 1 || !sa[0].Forward || sa[0].To != b {
+		t.Fatalf("steps from a: %+v", sa)
+	}
+	sb := g.Steps(nil, b)
+	if len(sb) != 1 || sb[0].Forward || sb[0].To != a {
+		t.Fatalf("steps from b: %+v", sb)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := New()
+	a := g.AddVertex("hub", "t1")
+	for i := 0; i < 5; i++ {
+		v := g.AddVertex("leaf", "t2")
+		g.AddEdge(a, "e", v)
+	}
+	iso := g.AddVertex("island", "t2")
+	_ = iso
+	st := g.ComputeStats()
+	if st.Vertices != 7 || st.Edges != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Components != 2 {
+		t.Fatalf("components = %d, want 2", st.Components)
+	}
+	if st.MaxDegree != 5 {
+		t.Fatalf("max degree = %d", st.MaxDegree)
+	}
+	if st.Types != 2 {
+		t.Fatalf("types = %d", st.Types)
+	}
+	if st.DegreeHist[0] != 1 { // the island
+		t.Fatalf("degree histogram = %v", st.DegreeHist)
+	}
+	if st.DegreeHist[1] != 5 { // the leaves
+		t.Fatalf("degree histogram = %v", st.DegreeHist)
+	}
+}
+
+func TestTopLabels(t *testing.T) {
+	g := New()
+	for i := 0; i < 3; i++ {
+		g.AddVertex("common", "")
+	}
+	g.AddVertex("rare", "")
+	top := g.TopLabels(1)
+	if len(top) != 1 || top[0].Label != "common" || top[0].Count != 3 {
+		t.Fatalf("top = %+v", top)
+	}
+}

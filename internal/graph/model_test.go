@@ -1,0 +1,163 @@
+package graph
+
+import (
+	"testing"
+
+	"semjoin/internal/mat"
+)
+
+// refGraph is a deliberately naive reference implementation used for
+// model-based testing: edges in a map, no adjacency lists.
+type refGraph struct {
+	labels  map[VertexID]string
+	types   map[VertexID]string
+	edges   map[[3]string]bool // from|label|to encoded
+	nextID  VertexID
+	deleted map[VertexID]bool
+}
+
+func newRefGraph() *refGraph {
+	return &refGraph{
+		labels: map[VertexID]string{}, types: map[VertexID]string{},
+		edges: map[[3]string]bool{}, deleted: map[VertexID]bool{},
+	}
+}
+
+func ekey(from VertexID, label string, to VertexID) [3]string {
+	return [3]string{itoa(int(from)), label, itoa(int(to))}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}
+
+func (r *refGraph) addVertex(label, typ string) VertexID {
+	id := r.nextID
+	r.nextID++
+	r.labels[id] = label
+	r.types[id] = typ
+	return id
+}
+
+func (r *refGraph) live(v VertexID) bool {
+	_, ok := r.labels[v]
+	return ok && !r.deleted[v]
+}
+
+func (r *refGraph) addEdge(from VertexID, label string, to VertexID) {
+	if r.live(from) && r.live(to) {
+		r.edges[ekey(from, label, to)] = true
+	}
+}
+
+func (r *refGraph) removeEdge(from VertexID, label string, to VertexID) {
+	delete(r.edges, ekey(from, label, to))
+}
+
+func (r *refGraph) removeVertex(v VertexID) {
+	if !r.live(v) {
+		return
+	}
+	r.deleted[v] = true
+	for k := range r.edges {
+		if k[0] == itoa(int(v)) || k[2] == itoa(int(v)) {
+			delete(r.edges, k)
+		}
+	}
+}
+
+func (r *refGraph) numEdges() int { return len(r.edges) }
+
+func (r *refGraph) numVertices() int {
+	n := 0
+	for v := range r.labels {
+		if !r.deleted[v] {
+			n++
+		}
+	}
+	return n
+}
+
+// TestGraphModelBased drives the real graph and the reference with the
+// same random operation stream and compares observable state.
+func TestGraphModelBased(t *testing.T) {
+	rng := mat.NewRNG(99)
+	g := New()
+	ref := newRefGraph()
+	var ids []VertexID
+
+	labels := []string{"a", "b", "c"}
+	for step := 0; step < 4000; step++ {
+		op := rng.Intn(10)
+		switch {
+		case op < 3 || len(ids) < 2: // add vertex
+			l := labels[rng.Intn(len(labels))]
+			gv := g.AddVertex(l, "t")
+			rv := ref.addVertex(l, "t")
+			if gv != rv {
+				t.Fatalf("step %d: vertex ids diverged %d vs %d", step, gv, rv)
+			}
+			ids = append(ids, gv)
+		case op < 7: // add edge
+			from := ids[rng.Intn(len(ids))]
+			to := ids[rng.Intn(len(ids))]
+			l := labels[rng.Intn(len(labels))]
+			if g.Live(from) && g.Live(to) {
+				g.AddEdge(from, l, to)
+			}
+			ref.addEdge(from, l, to)
+		case op < 9: // remove edge
+			from := ids[rng.Intn(len(ids))]
+			to := ids[rng.Intn(len(ids))]
+			l := labels[rng.Intn(len(labels))]
+			g.RemoveEdge(from, l, to)
+			ref.removeEdge(from, l, to)
+		default: // remove vertex (rarely)
+			if rng.Intn(4) == 0 {
+				v := ids[rng.Intn(len(ids))]
+				g.RemoveVertex(v)
+				ref.removeVertex(v)
+			}
+		}
+
+		if g.NumEdges() != ref.numEdges() {
+			t.Fatalf("step %d: edges %d vs ref %d", step, g.NumEdges(), ref.numEdges())
+		}
+		if g.NumVertices() != ref.numVertices() {
+			t.Fatalf("step %d: vertices %d vs ref %d", step, g.NumVertices(), ref.numVertices())
+		}
+	}
+
+	// Full edge-set equality at the end.
+	got := map[[3]string]bool{}
+	g.Edges(func(e Edge) { got[ekey(e.From, e.Label, e.To)] = true })
+	if len(got) != len(ref.edges) {
+		t.Fatalf("edge sets differ in size: %d vs %d", len(got), len(ref.edges))
+	}
+	for k := range ref.edges {
+		if !got[k] {
+			t.Fatalf("edge %v missing from graph", k)
+		}
+	}
+	// Adjacency consistency: undirected degree sums to 2×edges.
+	total := 0
+	g.Vertices(func(v Vertex) { total += g.Degree(v.ID) })
+	if total != 2*g.NumEdges() {
+		t.Fatalf("degree sum %d != 2×%d", total, g.NumEdges())
+	}
+}

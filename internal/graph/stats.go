@@ -1,0 +1,109 @@
+package graph
+
+import "sort"
+
+// Stats summarises a graph's structure; rextprofile prints it and the
+// dataset generators' tests assert on it.
+type Stats struct {
+	Vertices   int
+	Edges      int
+	Types      int
+	Components int
+	MaxDegree  int
+	AvgDegree  float64
+	// DegreeHist counts vertices per undirected-degree bucket
+	// (0, 1, 2, 3–4, 5–8, 9–16, 17+).
+	DegreeHist [7]int
+}
+
+// ComputeStats walks the graph once and returns its statistics.
+func (g *Graph) ComputeStats() Stats {
+	st := Stats{Vertices: g.NumVertices(), Edges: g.NumEdges(), Types: len(g.Types())}
+	var total int
+	g.Vertices(func(v Vertex) {
+		d := g.Degree(v.ID)
+		total += d
+		if d > st.MaxDegree {
+			st.MaxDegree = d
+		}
+		st.DegreeHist[degreeBucket(d)]++
+	})
+	if st.Vertices > 0 {
+		st.AvgDegree = float64(total) / float64(st.Vertices)
+	}
+	st.Components = g.countComponents()
+	return st
+}
+
+func degreeBucket(d int) int {
+	switch {
+	case d == 0:
+		return 0
+	case d == 1:
+		return 1
+	case d == 2:
+		return 2
+	case d <= 4:
+		return 3
+	case d <= 8:
+		return 4
+	case d <= 16:
+		return 5
+	}
+	return 6
+}
+
+// countComponents returns the number of connected components (undirected)
+// via iterative BFS.
+func (g *Graph) countComponents() int {
+	seen := make(map[VertexID]bool, g.NumVertices())
+	components := 0
+	var scratch []HalfEdge
+	g.Vertices(func(v Vertex) {
+		if seen[v.ID] {
+			return
+		}
+		components++
+		queue := []VertexID{v.ID}
+		seen[v.ID] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			scratch = g.Neighbors(scratch[:0], cur)
+			for _, he := range scratch {
+				if !seen[he.To] {
+					seen[he.To] = true
+					queue = append(queue, he.To)
+				}
+			}
+		}
+	})
+	return components
+}
+
+// TopLabels returns the n most frequent vertex labels with their counts
+// (ties alphabetical), a quick vocabulary profile.
+func (g *Graph) TopLabels(n int) []LabelCount {
+	counts := map[string]int{}
+	g.Vertices(func(v Vertex) { counts[v.Label]++ })
+	out := make([]LabelCount, 0, len(counts))
+	for l, c := range counts {
+		out = append(out, LabelCount{Label: l, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Label < out[j].Label
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// LabelCount pairs a label with its occurrence count.
+type LabelCount struct {
+	Label string
+	Count int
+}

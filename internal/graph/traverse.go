@@ -1,0 +1,255 @@
+package graph
+
+import "semjoin/internal/mat"
+
+// ReverseMark prefixes the label of an edge traversed against its
+// direction. Path patterns thereby distinguish drug→efficacy→symptom from
+// symptom←efficacy←drug, which the paper's q1 case study relies on.
+const ReverseMark = "^"
+
+// MarkLabel returns the traversal token for an edge label: the label
+// itself when traversed forward, ReverseMark+label when traversed against
+// the edge direction.
+func MarkLabel(label string, forward bool) string {
+	if forward {
+		return label
+	}
+	return ReverseMark + label
+}
+
+// Step is one undirected traversal option from a vertex: the edge label,
+// the vertex on the other side, and whether the edge is traversed in its
+// stored direction.
+type Step struct {
+	Label   string
+	To      VertexID
+	Forward bool
+}
+
+// Steps appends every undirected traversal option from v to dst and
+// returns the extended slice.
+func (g *Graph) Steps(dst []Step, v VertexID) []Step {
+	g.mustLive(v)
+	for _, he := range g.out[v] {
+		dst = append(dst, Step{Label: he.Label, To: he.To, Forward: true})
+	}
+	for _, he := range g.in[v] {
+		dst = append(dst, Step{Label: he.Label, To: he.To, Forward: false})
+	}
+	return dst
+}
+
+// Path is a simple undirected path in G, recorded as the visited vertices
+// plus the direction-marked labels of the traversed edges
+// (len(EdgeLabels) == len(Vertices)-1). The paper's path pattern pρ (§III)
+// is exactly EdgeLabels.
+type Path struct {
+	Vertices   []VertexID
+	EdgeLabels []string
+}
+
+// Start returns the first vertex of the path.
+func (p Path) Start() VertexID { return p.Vertices[0] }
+
+// End returns the last vertex of the path.
+func (p Path) End() VertexID { return p.Vertices[len(p.Vertices)-1] }
+
+// Len returns the number of edges on the path.
+func (p Path) Len() int { return len(p.EdgeLabels) }
+
+// Clone returns a deep copy of p.
+func (p Path) Clone() Path {
+	return Path{
+		Vertices:   append([]VertexID(nil), p.Vertices...),
+		EdgeLabels: append([]string(nil), p.EdgeLabels...),
+	}
+}
+
+// Extend returns a copy of p with one more hop appended.
+func (p Path) Extend(label string, to VertexID) Path {
+	q := Path{
+		Vertices:   make([]VertexID, len(p.Vertices), len(p.Vertices)+1),
+		EdgeLabels: make([]string, len(p.EdgeLabels), len(p.EdgeLabels)+1),
+	}
+	copy(q.Vertices, p.Vertices)
+	copy(q.EdgeLabels, p.EdgeLabels)
+	q.Vertices = append(q.Vertices, to)
+	q.EdgeLabels = append(q.EdgeLabels, label)
+	return q
+}
+
+// Contains reports whether v already appears on the path (cycle check for
+// simple paths).
+func (p Path) Contains(v VertexID) bool {
+	for _, u := range p.Vertices {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// WithinKHops reports whether u and v are connected by an undirected path
+// of length at most k, using bidirectional BFS (the link-join condition of
+// §II-B / §IV-A). It returns the discovered distance, or -1 when the
+// vertices are farther apart than k.
+func (g *Graph) WithinKHops(u, v VertexID, k int) int {
+	if !g.Live(u) || !g.Live(v) {
+		return -1
+	}
+	if u == v {
+		return 0
+	}
+	if k <= 0 {
+		return -1
+	}
+	distU := map[VertexID]int{u: 0}
+	distV := map[VertexID]int{v: 0}
+	frontU := []VertexID{u}
+	frontV := []VertexID{v}
+	depthU, depthV := 0, 0
+	var scratch []HalfEdge
+	for depthU+depthV < k && (len(frontU) > 0 || len(frontV) > 0) {
+		// Expand the smaller frontier for the usual bidirectional win.
+		if len(frontV) == 0 || (len(frontU) <= len(frontV) && len(frontU) > 0) {
+			depthU++
+			var next []VertexID
+			for _, x := range frontU {
+				scratch = g.Neighbors(scratch[:0], x)
+				for _, he := range scratch {
+					y := he.To
+					if _, ok := distU[y]; ok {
+						continue
+					}
+					if dv, ok := distV[y]; ok && depthU+dv <= k {
+						return depthU + dv
+					}
+					distU[y] = depthU
+					next = append(next, y)
+				}
+			}
+			frontU = next
+		} else {
+			depthV++
+			var next []VertexID
+			for _, x := range frontV {
+				scratch = g.Neighbors(scratch[:0], x)
+				for _, he := range scratch {
+					y := he.To
+					if _, ok := distV[y]; ok {
+						continue
+					}
+					if du, ok := distU[y]; ok && depthV+du <= k {
+						return depthV + du
+					}
+					distV[y] = depthV
+					next = append(next, y)
+				}
+			}
+			frontV = next
+		}
+	}
+	return -1
+}
+
+// KHopNeighborhood returns the set of live vertices within k undirected
+// hops of any seed, including the seeds themselves. IncExt uses it to find
+// entity vertices whose extracted values may be affected by ΔG (§III-B).
+func (g *Graph) KHopNeighborhood(seeds []VertexID, k int) map[VertexID]bool {
+	reach := make(map[VertexID]bool, len(seeds))
+	var front []VertexID
+	for _, s := range seeds {
+		if g.Live(s) && !reach[s] {
+			reach[s] = true
+			front = append(front, s)
+		}
+	}
+	var scratch []HalfEdge
+	for d := 0; d < k && len(front) > 0; d++ {
+		var next []VertexID
+		for _, x := range front {
+			scratch = g.Neighbors(scratch[:0], x)
+			for _, he := range scratch {
+				if !reach[he.To] && g.Live(he.To) {
+					reach[he.To] = true
+					next = append(next, he.To)
+				}
+			}
+		}
+		front = next
+	}
+	return reach
+}
+
+// RandomWalk performs an undirected random walk of at most steps edges from
+// start and returns the visited path. Dead ends terminate the walk early.
+// Random walks feed the unsupervised training corpus for the LSTM language
+// model Mρ (§III-A step 1).
+func (g *Graph) RandomWalk(rng *mat.RNG, start VertexID, steps int) Path {
+	p := Path{Vertices: []VertexID{start}}
+	cur := start
+	var scratch []Step
+	for i := 0; i < steps; i++ {
+		scratch = g.Steps(scratch[:0], cur)
+		if len(scratch) == 0 {
+			break
+		}
+		st := scratch[rng.Intn(len(scratch))]
+		p.Vertices = append(p.Vertices, st.To)
+		p.EdgeLabels = append(p.EdgeLabels, MarkLabel(st.Label, st.Forward))
+		cur = st.To
+	}
+	return p
+}
+
+// WalkSentence renders a walk as the alternating label sequence
+// (L(v0), L(e0), L(v1), ...) used as a training "sentence".
+func (g *Graph) WalkSentence(p Path) []string {
+	out := make([]string, 0, 2*len(p.Vertices))
+	for i, v := range p.Vertices {
+		if i > 0 {
+			out = append(out, p.EdgeLabels[i-1])
+		}
+		out = append(out, g.Label(v))
+	}
+	return out
+}
+
+// SimplePaths enumerates every simple undirected path of length in [1, k]
+// starting at v and calls fn for each. fn must not retain the path; clone
+// it if needed. This exhaustive enumeration is the fallback the paper's
+// LSTM guidance avoids; RExt calls it only for small neighbourhoods and for
+// the RndPath baseline.
+func (g *Graph) SimplePaths(v VertexID, k int, fn func(Path)) {
+	if !g.Live(v) || k <= 0 {
+		return
+	}
+	onPath := map[VertexID]bool{v: true}
+	p := Path{Vertices: []VertexID{v}}
+	var rec func(cur VertexID, depth int)
+	var scratch [][]Step // per-depth scratch to avoid aliasing during recursion
+	rec = func(cur VertexID, depth int) {
+		if depth >= k {
+			return
+		}
+		for len(scratch) <= depth {
+			scratch = append(scratch, nil)
+		}
+		scratch[depth] = g.Steps(scratch[depth][:0], cur)
+		neighbors := scratch[depth]
+		for _, st := range neighbors {
+			if onPath[st.To] {
+				continue
+			}
+			p.Vertices = append(p.Vertices, st.To)
+			p.EdgeLabels = append(p.EdgeLabels, MarkLabel(st.Label, st.Forward))
+			onPath[st.To] = true
+			fn(p)
+			rec(st.To, depth+1)
+			onPath[st.To] = false
+			p.Vertices = p.Vertices[:len(p.Vertices)-1]
+			p.EdgeLabels = p.EdgeLabels[:len(p.EdgeLabels)-1]
+		}
+	}
+	rec(v, 0)
+}

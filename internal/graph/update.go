@@ -1,0 +1,115 @@
+package graph
+
+import "semjoin/internal/mat"
+
+// UpdateOp is the kind of a single graph update.
+type UpdateOp int
+
+const (
+	// InsertEdge adds an edge (creating no vertices).
+	InsertEdge UpdateOp = iota
+	// DeleteEdge removes an edge.
+	DeleteEdge
+	// InsertVertex adds a vertex; Edge.From receives the new id on Apply.
+	InsertVertex
+	// DeleteVertex removes the vertex Edge.From and its incident edges.
+	DeleteVertex
+)
+
+// Update is one element of a batch ΔG.
+type Update struct {
+	Op    UpdateOp
+	Edge  Edge   // edge for edge ops; From used for vertex ops
+	Label string // vertex label for InsertVertex
+	Type  string // vertex type for InsertVertex
+}
+
+// Batch is an ordered set of updates ΔG.
+type Batch []Update
+
+// Apply applies every update to g and returns the vertices touched by the
+// batch: edge endpoints, deleted vertices and inserted vertices. IncExt
+// seeds its affected-vertex search from this set.
+func (b Batch) Apply(g *Graph) []VertexID {
+	touchedSet := make(map[VertexID]bool)
+	for i := range b {
+		u := &b[i]
+		switch u.Op {
+		case InsertEdge:
+			if g.Live(u.Edge.From) && g.Live(u.Edge.To) {
+				g.AddEdge(u.Edge.From, u.Edge.Label, u.Edge.To)
+				touchedSet[u.Edge.From] = true
+				touchedSet[u.Edge.To] = true
+			}
+		case DeleteEdge:
+			if g.RemoveEdge(u.Edge.From, u.Edge.Label, u.Edge.To) {
+				touchedSet[u.Edge.From] = true
+				touchedSet[u.Edge.To] = true
+			}
+		case InsertVertex:
+			id := g.AddVertex(u.Label, u.Type)
+			u.Edge.From = id
+			touchedSet[id] = true
+		case DeleteVertex:
+			if g.Live(u.Edge.From) {
+				// Neighbours of a deleted vertex lose paths through it.
+				for _, he := range g.Out(u.Edge.From) {
+					touchedSet[he.To] = true
+				}
+				for _, he := range g.In(u.Edge.From) {
+					touchedSet[he.To] = true
+				}
+				g.RemoveVertex(u.Edge.From)
+			}
+		}
+	}
+	touched := make([]VertexID, 0, len(touchedSet))
+	for v := range touchedSet {
+		if g.Live(v) {
+			touched = append(touched, v)
+		}
+	}
+	return touched
+}
+
+// RandomBatch builds a ΔG with n/2 edge deletions sampled from the live
+// edges of g and n/2 insertions of fresh edges between random live vertices
+// reusing existing edge labels, so that |G| stays (approximately) unchanged
+// as in Exp-4. The batch is not applied.
+func RandomBatch(g *Graph, rng *mat.RNG, n int) Batch {
+	var edges []Edge
+	g.Edges(func(e Edge) { edges = append(edges, e) })
+	var ids []VertexID
+	g.Vertices(func(v Vertex) { ids = append(ids, v.ID) })
+	labels := g.EdgeLabels()
+	if len(edges) == 0 || len(ids) < 2 || len(labels) == 0 {
+		return nil
+	}
+	half := n / 2
+	batch := make(Batch, 0, n)
+	perm := rng.Perm(len(edges))
+	for i := 0; i < half && i < len(perm); i++ {
+		batch = append(batch, Update{Op: DeleteEdge, Edge: edges[perm[i]]})
+	}
+	for i := 0; i < n-half; i++ {
+		from := ids[rng.Intn(len(ids))]
+		to := ids[rng.Intn(len(ids))]
+		if from == to {
+			to = ids[(rng.Intn(len(ids)-1)+1+indexOf(ids, from))%len(ids)]
+		}
+		batch = append(batch, Update{
+			Op:   InsertEdge,
+			Edge: Edge{From: from, Label: labels[rng.Intn(len(labels))], To: to},
+		})
+	}
+	return batch
+}
+
+func indexOf(ids []VertexID, v VertexID) int {
+	for i, id := range ids {
+		if id == v {
+			return i
+		}
+	}
+	return 0
+}

@@ -1,0 +1,371 @@
+package gsql
+
+import (
+	"strings"
+
+	"semjoin/internal/rel"
+)
+
+// Query is a parsed gSQL query of the §II-C form.
+type Query struct {
+	Distinct bool
+	Select   []SelectItem
+	From     []FromItem
+	Where    Expr // nil when absent
+	GroupBy  []string
+	Having   Expr // nil when absent; evaluated over the aggregate output
+	OrderBy  []OrderKey
+	Limit    int // -1 when absent
+}
+
+// SelectItem is one output column: '*', an attribute, or an aggregate.
+type SelectItem struct {
+	Star bool
+	Col  string // attribute reference when Agg == ""
+	Agg  string // "count", "sum", "avg", "min", "max" or ""
+	Arg  string // aggregate argument attribute or "*"
+	As   string // output name; defaults to Col or agg(arg)
+}
+
+// OutName returns the column name this item produces.
+func (s SelectItem) OutName() string {
+	if s.As != "" {
+		return s.As
+	}
+	if s.Agg != "" {
+		return s.Agg + "_" + strings.ReplaceAll(s.Arg, "*", "all")
+	}
+	return s.Col
+}
+
+// FromKind discriminates FROM items.
+type FromKind int
+
+// FROM item kinds.
+const (
+	FromTable FromKind = iota
+	FromSubquery
+	FromEJoin
+	FromLJoin
+)
+
+// FromItem is one entry of the FROM clause.
+type FromItem struct {
+	Kind  FromKind
+	Alias string
+
+	// FromTable
+	Table string
+
+	// FromSubquery
+	Sub *Query
+
+	// FromEJoin: Source e-join Graph⟨Keywords⟩
+	Source   *FromItem
+	Graph    string
+	Keywords []string
+
+	// FromLJoin: Left l-join ⟨Graph⟩ Right
+	Left, Right *FromItem
+}
+
+// Name returns the binding name of the item (alias, or table name).
+func (f *FromItem) Name() string {
+	if f.Alias != "" {
+		return f.Alias
+	}
+	switch f.Kind {
+	case FromTable:
+		return f.Table
+	case FromEJoin:
+		return f.Source.Name()
+	}
+	return ""
+}
+
+// Expr is a boolean/comparison expression tree over tuple attributes.
+type Expr interface {
+	// Eval evaluates the expression against a tuple of the given schema.
+	Eval(s *rel.Schema, t rel.Tuple) bool
+	// String renders the expression (diagnostics).
+	String() string
+}
+
+// Cmp is a binary comparison between two operands (columns or literals).
+type Cmp struct {
+	Op   string // "=", "<>", "<", "<=", ">", ">="
+	L, R Operand
+}
+
+// IsNull tests an attribute for (non-)nullness.
+type IsNull struct {
+	Col    string
+	Negate bool
+}
+
+// In tests membership of an operand in a literal list.
+type In struct {
+	L      Operand
+	Vals   []rel.Value
+	Negate bool
+}
+
+// Like matches an operand against a SQL LIKE pattern (% and _).
+type Like struct {
+	L       Operand
+	Pattern string
+	Negate  bool
+}
+
+// Between tests lo <= operand <= hi.
+type Between struct {
+	L      Operand
+	Lo, Hi rel.Value
+	Negate bool
+}
+
+// And is a conjunction.
+type And struct{ L, R Expr }
+
+// Or is a disjunction.
+type Or struct{ L, R Expr }
+
+// Not negates an expression.
+type Not struct{ E Expr }
+
+// Operand is a comparison operand.
+type Operand struct {
+	Col   string    // attribute name when IsCol
+	Val   rel.Value // literal otherwise
+	IsCol bool
+}
+
+func (o Operand) value(s *rel.Schema, t rel.Tuple) rel.Value {
+	if !o.IsCol {
+		return o.Val
+	}
+	c := s.Col(o.Col)
+	if c < 0 {
+		return rel.Null
+	}
+	return t[c]
+}
+
+func (o Operand) String() string {
+	if o.IsCol {
+		return o.Col
+	}
+	return "'" + o.Val.String() + "'"
+}
+
+// Eval implements Expr.
+func (c Cmp) Eval(s *rel.Schema, t rel.Tuple) bool {
+	l, r := c.L.value(s, t), c.R.value(s, t)
+	if l.IsNull() || r.IsNull() {
+		return false // SQL three-valued logic collapses to false
+	}
+	switch c.Op {
+	case "=":
+		return l.Equal(r)
+	case "<>", "!=":
+		return !l.Equal(r)
+	case "<":
+		return l.Compare(r) < 0
+	case "<=":
+		return l.Compare(r) <= 0
+	case ">":
+		return l.Compare(r) > 0
+	case ">=":
+		return l.Compare(r) >= 0
+	}
+	return false
+}
+
+func (c Cmp) String() string { return c.L.String() + " " + c.Op + " " + c.R.String() }
+
+// Eval implements Expr.
+func (i IsNull) Eval(s *rel.Schema, t rel.Tuple) bool {
+	col := s.Col(i.Col)
+	isNull := col < 0 || t[col].IsNull()
+	if i.Negate {
+		return !isNull
+	}
+	return isNull
+}
+
+func (i IsNull) String() string {
+	if i.Negate {
+		return i.Col + " is not null"
+	}
+	return i.Col + " is null"
+}
+
+// Eval implements Expr.
+func (i In) Eval(s *rel.Schema, t rel.Tuple) bool {
+	v := i.L.value(s, t)
+	if v.IsNull() {
+		return false
+	}
+	found := false
+	for _, x := range i.Vals {
+		if v.Equal(x) {
+			found = true
+			break
+		}
+	}
+	if i.Negate {
+		return !found
+	}
+	return found
+}
+
+func (i In) String() string {
+	out := i.L.String()
+	if i.Negate {
+		out += " not"
+	}
+	out += " in ("
+	for j, v := range i.Vals {
+		if j > 0 {
+			out += ", "
+		}
+		out += "'" + v.String() + "'"
+	}
+	return out + ")"
+}
+
+// Eval implements Expr.
+func (l Like) Eval(s *rel.Schema, t rel.Tuple) bool {
+	v := l.L.value(s, t)
+	if v.IsNull() {
+		return false
+	}
+	ok := likeMatch(v.String(), l.Pattern)
+	if l.Negate {
+		return !ok
+	}
+	return ok
+}
+
+func (l Like) String() string {
+	op := " like "
+	if l.Negate {
+		op = " not like "
+	}
+	return l.L.String() + op + "'" + l.Pattern + "'"
+}
+
+// likeMatch implements SQL LIKE: % matches any run, _ one character.
+// Matching is case-sensitive, like PostgreSQL's LIKE.
+func likeMatch(s, pattern string) bool {
+	// Iterative two-pointer matching with backtracking on %.
+	si, pi := 0, 0
+	star, sBack := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star = pi
+			sBack = si
+			pi++
+		case star >= 0:
+			sBack++
+			si = sBack
+			pi = star + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// Eval implements Expr.
+func (b Between) Eval(s *rel.Schema, t rel.Tuple) bool {
+	v := b.L.value(s, t)
+	if v.IsNull() || b.Lo.IsNull() || b.Hi.IsNull() {
+		return false
+	}
+	ok := v.Compare(b.Lo) >= 0 && v.Compare(b.Hi) <= 0
+	if b.Negate {
+		return !ok
+	}
+	return ok
+}
+
+func (b Between) String() string {
+	op := " between "
+	if b.Negate {
+		op = " not between "
+	}
+	return b.L.String() + op + "'" + b.Lo.String() + "' and '" + b.Hi.String() + "'"
+}
+
+// Eval implements Expr.
+func (a And) Eval(s *rel.Schema, t rel.Tuple) bool { return a.L.Eval(s, t) && a.R.Eval(s, t) }
+
+func (a And) String() string { return "(" + a.L.String() + " and " + a.R.String() + ")" }
+
+// Eval implements Expr.
+func (o Or) Eval(s *rel.Schema, t rel.Tuple) bool { return o.L.Eval(s, t) || o.R.Eval(s, t) }
+
+func (o Or) String() string { return "(" + o.L.String() + " or " + o.R.String() + ")" }
+
+// Eval implements Expr.
+func (n Not) Eval(s *rel.Schema, t rel.Tuple) bool { return !n.E.Eval(s, t) }
+
+func (n Not) String() string { return "not " + n.E.String() }
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Col  string
+	Desc bool
+}
+
+// Columns returns every attribute name referenced by the expression
+// (used by the planner for gL cache keys and diagnostics).
+func Columns(e Expr) []string {
+	var out []string
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case Cmp:
+			if x.L.IsCol {
+				out = append(out, x.L.Col)
+			}
+			if x.R.IsCol {
+				out = append(out, x.R.Col)
+			}
+		case IsNull:
+			out = append(out, x.Col)
+		case In:
+			if x.L.IsCol {
+				out = append(out, x.L.Col)
+			}
+		case Like:
+			if x.L.IsCol {
+				out = append(out, x.L.Col)
+			}
+		case Between:
+			if x.L.IsCol {
+				out = append(out, x.L.Col)
+			}
+		case And:
+			walk(x.L)
+			walk(x.R)
+		case Or:
+			walk(x.L)
+			walk(x.R)
+		case Not:
+			walk(x.E)
+		}
+	}
+	if e != nil {
+		walk(e)
+	}
+	return out
+}

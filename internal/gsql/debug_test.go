@@ -1,0 +1,50 @@
+package gsql
+
+import (
+	"testing"
+
+	"semjoin/internal/graph"
+)
+
+// TestDebugGtauQuality dumps the profiled g_product relation quality;
+// enable with -v.
+func TestDebugGtauQuality(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("debug helper")
+	}
+	f := getFintech(t)
+	gt := f.cat.Heur
+	_ = gt
+	// Reach into the profile via a fresh ProfileGraph-equivalent: easier
+	// to recompute vid->truth maps.
+	byVid := map[graph.VertexID]string{}
+	for pid, v := range f.truth {
+		if c, ok := f.companyOf[pid]; ok {
+			byVid[v] = c
+		}
+	}
+	// Run the heuristic enrich on the full product relation and measure.
+	out, typ, err := f.cat.Heur.Enrich(f.products, []string{"company"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("type=%s rows=%d", typ, out.Len())
+	vidCol := out.Schema.Col("vid")
+	companyCol := out.Schema.Col("company")
+	pidCol := out.Schema.Col("pid")
+	hits, vidHits := 0, 0
+	for _, tp := range out.Tuples {
+		pid := tp[pidCol].Str()
+		if tp[companyCol].Str() == f.companyOf[pid] {
+			hits++
+		}
+		if f.truth[pid] == graph.VertexID(tp[vidCol].Int()) {
+			vidHits++
+		} else {
+			t.Logf("pid %s matched wrong vid %d (gt company %q, want %q)",
+				pid, tp[vidCol].Int(), tp[companyCol].Str(), f.companyOf[pid])
+		}
+	}
+	t.Logf("company acc=%.2f vid acc=%.2f of %d", float64(hits)/float64(out.Len()),
+		float64(vidHits)/float64(out.Len()), out.Len())
+}

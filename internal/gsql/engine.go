@@ -1,0 +1,649 @@
+package gsql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"semjoin/internal/core"
+	"semjoin/internal/graph"
+	"semjoin/internal/her"
+	"semjoin/internal/rel"
+)
+
+// Mode selects the semantic-join execution strategy.
+type Mode int
+
+// Execution modes.
+const (
+	// ModeAuto uses the static/dynamic implementation for well-behaved
+	// joins, the heuristic joiner for non-well-behaved ones (when
+	// profiled), and falls back to the conceptual baseline.
+	ModeAuto Mode = iota
+	// ModeBaseline always runs HER and RExt online (§IV-A baseline).
+	ModeBaseline
+	// ModeHeuristic forces heuristic joins everywhere (used by the
+	// Table III accuracy experiment).
+	ModeHeuristic
+)
+
+// Catalog binds names to data and to the machinery the executor needs.
+type Catalog struct {
+	Relations map[string]*rel.Relation
+	Graphs    map[string]*graph.Graph
+
+	// Models and Matcher power the conceptual-level baseline.
+	Models  core.Models
+	Matcher her.Matcher
+	// Mat holds the offline pre-computation for static joins (optional).
+	Mat *core.Materialized
+	// Heur answers non-well-behaved joins without HER/RExt (optional).
+	Heur *core.HeuristicJoiner
+	// K is the path/hop bound for semantic joins (default 3).
+	K int
+	// RExt is the template configuration for online extractions.
+	RExt core.Config
+}
+
+// Engine executes gSQL queries against a catalog.
+type Engine struct {
+	Cat  *Catalog
+	Mode Mode
+
+	// Plan records, for the last query, one line per semantic join
+	// describing the strategy chosen (static / dynamic / heuristic /
+	// baseline) — the observable outcome of the well-behaved analysis.
+	Plan []string
+}
+
+// NewEngine returns an engine in ModeAuto.
+func NewEngine(cat *Catalog) *Engine {
+	if cat.K == 0 {
+		cat.K = 3
+	}
+	return &Engine{Cat: cat}
+}
+
+// Query parses and executes input, returning the result relation. An
+// input prefixed with EXPLAIN executes the query and returns the plan
+// notes (one row per semantic join, plus the well-behaved verdict)
+// instead of the data.
+func (e *Engine) Query(input string) (*rel.Relation, error) {
+	trimmed := strings.TrimSpace(input)
+	explain := false
+	if len(trimmed) >= 7 && strings.EqualFold(trimmed[:7], "explain") {
+		explain = true
+		input = trimmed[7:]
+	}
+	q, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	e.Plan = e.Plan[:0]
+	out, _, err := e.evalQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	if explain {
+		plan := rel.NewRelation(rel.NewSchema("plan", "",
+			rel.Attribute{Name: "step", Type: rel.KindInt},
+			rel.Attribute{Name: "note", Type: rel.KindString},
+		))
+		verdict := "well-behaved: false"
+		if e.WellBehaved(q) {
+			verdict = "well-behaved: true"
+		}
+		plan.InsertVals(rel.I(0), rel.S(verdict))
+		for i, p := range e.Plan {
+			plan.InsertVals(rel.I(int64(i+1)), rel.S(p))
+		}
+		return plan, nil
+	}
+	return out, err
+}
+
+// provenance tracks, bottom-up, whether a (sub-)result still refers to the
+// tuples of exactly one base relation — the well-behaved condition (2) of
+// §IV-A. keyed reports that the base's tuple id survives in the schema.
+type provenance struct {
+	base  string
+	keyed bool
+}
+
+// WellBehaved reports whether every semantic join in q is well-behaved
+// w.r.t. the catalog's materialisation (A ⊆ AR and single-base
+// provenance), via the linear-time bottom-up scan the paper describes.
+func (e *Engine) WellBehaved(q *Query) bool {
+	ok := true
+	var walkQuery func(*Query) provenance
+	var walkFrom func(*FromItem) provenance
+	walkFrom = func(f *FromItem) provenance {
+		switch f.Kind {
+		case FromTable:
+			r := e.Cat.Relations[f.Table]
+			if r == nil {
+				ok = false
+				return provenance{}
+			}
+			return provenance{base: f.Table, keyed: r.Schema.Key != ""}
+		case FromSubquery:
+			return walkQuery(f.Sub)
+		case FromEJoin:
+			p := walkFrom(f.Source)
+			if p.base == "" || e.Cat.Mat == nil ||
+				!e.Cat.Mat.WellBehavedKeywords(p.base, f.Keywords) {
+				ok = false
+			}
+			return p
+		case FromLJoin:
+			pl := walkFrom(f.Left)
+			pr := walkFrom(f.Right)
+			if pl.base == "" || pr.base == "" || e.Cat.Mat == nil ||
+				e.Cat.Mat.Base(pl.base) == nil || e.Cat.Mat.Base(pr.base) == nil {
+				ok = false
+			}
+			return provenance{}
+		}
+		return provenance{}
+	}
+	walkQuery = func(q *Query) provenance {
+		if len(q.From) == 1 && len(q.GroupBy) == 0 && !hasAgg(q.Select) {
+			p := walkFrom(&q.From[0])
+			// Projection may drop the key; condition (2)(b) still allows
+			// single-base provenance.
+			return p
+		}
+		for i := range q.From {
+			walkFrom(&q.From[i])
+		}
+		return provenance{}
+	}
+	walkQuery(q)
+	return ok
+}
+
+func hasAgg(items []SelectItem) bool {
+	for _, it := range items {
+		if it.Agg != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// evalQuery executes a query and returns its result plus provenance.
+func (e *Engine) evalQuery(q *Query) (*rel.Relation, provenance, error) {
+	if len(q.From) == 0 {
+		return nil, provenance{}, fmt.Errorf("gsql: empty FROM")
+	}
+	// Link-join predicate pushdown: the paper's Q3 algebra is
+	// σ_P1(S1) ⋈_G σ_P2(S2) — single-side conjuncts of the WHERE clause
+	// move into the join sides, shrinking the pairwise connectivity work
+	// and making the gL cache keyed by the actual predicates.
+	where := q.Where
+	var push *linkFilters
+	if len(q.From) == 1 && q.From[0].Kind == FromLJoin && where != nil {
+		push, where = e.splitLinkFilters(&q.From[0], where)
+	}
+
+	// Evaluate FROM items.
+	type bound struct {
+		r    *rel.Relation
+		prov provenance
+	}
+	var parts []bound
+	for i := range q.From {
+		var r *rel.Relation
+		var p provenance
+		var err error
+		if i == 0 && push != nil {
+			r, p, err = e.evalLJoinFiltered(&q.From[0], push)
+		} else {
+			r, p, err = e.evalFrom(&q.From[i])
+		}
+		if err != nil {
+			return nil, provenance{}, err
+		}
+		parts = append(parts, bound{r, p})
+	}
+	// Combine with an n-ary cross product (flat qualified names).
+	cur := parts[0].r
+	prov := parts[0].prov
+	if len(parts) > 1 {
+		rels := make([]*rel.Relation, len(parts))
+		names := make([]string, len(parts))
+		for i := range parts {
+			rels[i] = parts[i].r
+			names[i] = q.From[i].Name()
+			if names[i] == "" {
+				names[i] = fmt.Sprintf("f%d", i)
+			}
+		}
+		cur = rel.CrossJoinAll(rels, names)
+		prov = provenance{}
+	}
+	// WHERE (minus any conjuncts pushed into a link join).
+	if where != nil {
+		s := cur.Schema
+		w := where
+		cur = rel.Select(cur, func(t rel.Tuple) bool { return w.Eval(s, t) })
+	}
+	// Aggregation or projection.
+	var out *rel.Relation
+	var err error
+	if hasAgg(q.Select) || len(q.GroupBy) > 0 {
+		out, err = e.aggregate(q, cur)
+		if err == nil && q.Having != nil {
+			s := out.Schema
+			h := q.Having
+			out = rel.Select(out, func(t rel.Tuple) bool { return h.Eval(s, t) })
+		}
+		prov = provenance{}
+	} else {
+		out, err = e.project(q, cur)
+		if err == nil && prov.base != "" {
+			// Projection keeps provenance; key survival decides keyed.
+			if base := e.Cat.Relations[prov.base]; base != nil {
+				prov.keyed = out.Schema.Has(base.Schema.Key)
+			}
+		}
+	}
+	if err != nil {
+		return nil, provenance{}, err
+	}
+	if q.Distinct {
+		out = rel.Distinct(out)
+	}
+	for i := len(q.OrderBy) - 1; i >= 0; i-- { // stable sort: minor keys first
+		key := q.OrderBy[i]
+		out = rel.SortBy(out, key.Col)
+		if key.Desc {
+			rev := rel.NewRelation(out.Schema)
+			for j := len(out.Tuples) - 1; j >= 0; j-- {
+				rev.Tuples = append(rev.Tuples, out.Tuples[j])
+			}
+			out = rev
+		}
+	}
+	if q.Limit >= 0 && out.Len() > q.Limit {
+		lim := rel.NewRelation(out.Schema)
+		lim.Tuples = out.Tuples[:q.Limit]
+		out = lim
+	}
+	return out, prov, nil
+}
+
+// project applies the SELECT list (no aggregates).
+func (e *Engine) project(q *Query, cur *rel.Relation) (*rel.Relation, error) {
+	if len(q.Select) == 1 && q.Select[0].Star {
+		return cur, nil
+	}
+	var names []string
+	var outNames []string
+	for _, it := range q.Select {
+		switch {
+		case it.Star:
+			for _, a := range cur.Schema.Attrs {
+				names = append(names, a.Name)
+				outNames = append(outNames, a.Name)
+			}
+		case strings.HasSuffix(it.Col, ".*"):
+			prefix := strings.TrimSuffix(it.Col, "*")
+			found := false
+			for _, a := range cur.Schema.Attrs {
+				if strings.HasPrefix(a.Name, prefix) {
+					names = append(names, a.Name)
+					outNames = append(outNames, a.Name)
+					found = true
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("gsql: no columns match %q", it.Col)
+			}
+		default:
+			if cur.Schema.Col(it.Col) < 0 {
+				return nil, fmt.Errorf("gsql: unknown column %q in %s", it.Col, cur.Schema)
+			}
+			names = append(names, it.Col)
+			outNames = append(outNames, it.OutName())
+		}
+	}
+	out := rel.Project(cur, names...)
+	return renameColumns(out, outNames), nil
+}
+
+// aggregate applies GROUP BY + aggregates and projects in SELECT order.
+func (e *Engine) aggregate(q *Query, cur *rel.Relation) (*rel.Relation, error) {
+	var specs []rel.AggSpec
+	var order []string // output column order
+	for _, it := range q.Select {
+		switch {
+		case it.Star:
+			return nil, fmt.Errorf("gsql: SELECT * cannot be combined with aggregates")
+		case it.Agg != "":
+			var fn rel.AggFunc
+			switch it.Agg {
+			case "count":
+				fn = rel.AggCount
+			case "sum":
+				fn = rel.AggSum
+			case "avg":
+				fn = rel.AggAvg
+			case "min":
+				fn = rel.AggMin
+			case "max":
+				fn = rel.AggMax
+			}
+			specs = append(specs, rel.AggSpec{Func: fn, Attr: it.Arg, As: it.OutName()})
+			order = append(order, it.OutName())
+		default:
+			inGroup := false
+			for _, g := range q.GroupBy {
+				if g == it.Col {
+					inGroup = true
+				}
+			}
+			if !inGroup {
+				return nil, fmt.Errorf("gsql: column %q must appear in GROUP BY", it.Col)
+			}
+			order = append(order, it.Col)
+		}
+	}
+	agg := rel.Aggregate(cur, q.GroupBy, specs)
+	return rel.Project(agg, order...), nil
+}
+
+// renameColumns rebuilds r's schema with new attribute names (same arity).
+func renameColumns(r *rel.Relation, names []string) *rel.Relation {
+	changed := false
+	for i, a := range r.Schema.Attrs {
+		if a.Name != names[i] {
+			changed = true
+		}
+	}
+	if !changed {
+		return r
+	}
+	attrs := make([]rel.Attribute, len(names))
+	seen := map[string]int{}
+	for i, n := range names {
+		seen[n]++
+		if seen[n] > 1 {
+			n = fmt.Sprintf("%s_%d", n, seen[n])
+		}
+		attrs[i] = rel.Attribute{Name: n, Type: r.Schema.Attrs[i].Type}
+	}
+	key := ""
+	for _, a := range attrs {
+		if a.Name == r.Schema.Key {
+			key = a.Name
+		}
+	}
+	out := rel.NewRelation(rel.NewSchema(r.Schema.Name, key, attrs...))
+	out.Tuples = r.Tuples
+	return out
+}
+
+// evalFrom evaluates one FROM item.
+func (e *Engine) evalFrom(f *FromItem) (*rel.Relation, provenance, error) {
+	switch f.Kind {
+	case FromTable:
+		r := e.Cat.Relations[f.Table]
+		if r == nil {
+			return nil, provenance{}, fmt.Errorf("gsql: unknown relation %q", f.Table)
+		}
+		out := r
+		if f.Alias != "" {
+			out = rel.Rename(r, f.Alias)
+		}
+		return out, provenance{base: f.Table, keyed: r.Schema.Key != ""}, nil
+	case FromSubquery:
+		out, p, err := e.evalQuery(f.Sub)
+		if err != nil {
+			return nil, provenance{}, err
+		}
+		if f.Alias != "" {
+			out = rel.Rename(out, f.Alias)
+		}
+		return out, p, nil
+	case FromEJoin:
+		return e.evalEJoin(f)
+	case FromLJoin:
+		return e.evalLJoin(f)
+	}
+	return nil, provenance{}, fmt.Errorf("gsql: bad FROM item")
+}
+
+// evalEJoin executes an enrichment join, choosing the strategy per §IV.
+func (e *Engine) evalEJoin(f *FromItem) (*rel.Relation, provenance, error) {
+	s, prov, err := e.evalFrom(f.Source)
+	if err != nil {
+		return nil, provenance{}, err
+	}
+	g := e.Cat.Graphs[f.Graph]
+	if g == nil {
+		return nil, provenance{}, fmt.Errorf("gsql: unknown graph %q", f.Graph)
+	}
+	kind := f.Source.Kind
+	joinName := "dynamic"
+	if kind == FromTable {
+		joinName = "static"
+	}
+
+	var out *rel.Relation
+	switch {
+	case e.Mode != ModeBaseline && e.Mode != ModeHeuristic &&
+		prov.base != "" && prov.keyed && e.Cat.Mat != nil &&
+		e.Cat.Mat.WellBehavedKeywords(prov.base, f.Keywords):
+		out, err = e.Cat.Mat.StaticEnrich(prov.base, s, f.Keywords)
+		e.note("e-join(%s): well-behaved, %s over materialised h(D,G)", f.Graph, joinName)
+	case e.Mode != ModeBaseline && prov.base != "" && !prov.keyed && e.Cat.Mat != nil &&
+		e.Cat.Mat.WellBehavedKeywords(prov.base, f.Keywords) && e.Mode != ModeHeuristic:
+		// Condition (2)(b): recover tuple ids by joining back to the base
+		// on the surviving attributes, then join statically.
+		base := e.Cat.Relations[prov.base]
+		rejoined := rel.NaturalJoin(s, base)
+		out, err = e.Cat.Mat.StaticEnrich(prov.base, rejoined, f.Keywords)
+		e.note("e-join(%s): well-behaved via id recovery, %s", f.Graph, joinName)
+	case e.Mode != ModeBaseline && e.Cat.Heur != nil:
+		var typ string
+		out, typ, err = e.Cat.Heur.Enrich(s, f.Keywords)
+		e.note("e-join(%s): heuristic via gτ(%s)", f.Graph, typ)
+	default:
+		cfg := e.Cat.RExt
+		cfg.K = e.Cat.K
+		out, err = core.EnrichmentJoin(s, g, e.Cat.Models, e.Cat.Matcher, f.Keywords, cfg)
+		e.note("e-join(%s): conceptual baseline (HER+RExt online)", f.Graph)
+	}
+	if err != nil {
+		return nil, provenance{}, err
+	}
+	if f.Alias != "" {
+		out = rel.Rename(out, f.Alias)
+	}
+	return out, prov, nil
+}
+
+// linkFilters carries the WHERE conjuncts pushed into a link join's sides.
+type linkFilters struct {
+	left, right Expr
+	leftSig     string
+	rightSig    string
+}
+
+// splitLinkFilters partitions a WHERE conjunction into left-side,
+// right-side and residual predicates for a single l-join FROM clause.
+// A conjunct moves to a side iff every column it references resolves in
+// that side's (aliased) schema and not ambiguously in both.
+func (e *Engine) splitLinkFilters(f *FromItem, where Expr) (*linkFilters, Expr) {
+	leftRel, _, errL := e.evalFrom(f.Left)
+	rightRel, _, errR := e.evalFrom(f.Right)
+	if errL != nil || errR != nil {
+		return nil, where // let normal evaluation surface the error
+	}
+	n1, n2 := linkSideNames(f)
+	ls := leftRel.Schema.Qualified(n1)
+	rs := rightRel.Schema.Qualified(n2)
+
+	var lf, rf, rest Expr
+	addTo := func(dst *Expr, c Expr) {
+		if *dst == nil {
+			*dst = c
+		} else {
+			*dst = And{L: *dst, R: c}
+		}
+	}
+	for _, c := range splitConjuncts(where) {
+		cols := Columns(c)
+		inL, inR := true, true
+		for _, col := range cols {
+			if ls.Col(col) < 0 && leftRel.Schema.Col(col) < 0 {
+				inL = false
+			}
+			if rs.Col(col) < 0 && rightRel.Schema.Col(col) < 0 {
+				inR = false
+			}
+		}
+		switch {
+		case len(cols) == 0:
+			addTo(&rest, c)
+		case inL && !inR:
+			addTo(&lf, c)
+		case inR && !inL:
+			addTo(&rf, c)
+		default:
+			addTo(&rest, c)
+		}
+	}
+	if lf == nil && rf == nil {
+		return nil, where
+	}
+	out := &linkFilters{left: lf, right: rf, leftSig: "true", rightSig: "true"}
+	if lf != nil {
+		out.leftSig = lf.String()
+	}
+	if rf != nil {
+		out.rightSig = rf.String()
+	}
+	return out, rest
+}
+
+// splitConjuncts flattens a tree of ANDs into its conjuncts.
+func splitConjuncts(e Expr) []Expr {
+	if a, ok := e.(And); ok {
+		return append(splitConjuncts(a.L), splitConjuncts(a.R)...)
+	}
+	return []Expr{e}
+}
+
+func linkSideNames(f *FromItem) (string, string) {
+	n1, n2 := f.Left.Name(), f.Right.Name()
+	if n1 == "" {
+		n1 = "left"
+	}
+	if n2 == "" || n2 == n1 {
+		n2 += "2"
+		if n2 == "2" {
+			n2 = "right"
+		}
+	}
+	return n1, n2
+}
+
+// evalLJoinFiltered executes a link join with pushed-down side filters.
+func (e *Engine) evalLJoinFiltered(f *FromItem, filters *linkFilters) (*rel.Relation, provenance, error) {
+	return e.evalLJoinImpl(f, filters)
+}
+
+// evalLJoin executes a link join.
+func (e *Engine) evalLJoin(f *FromItem) (*rel.Relation, provenance, error) {
+	return e.evalLJoinImpl(f, nil)
+}
+
+func (e *Engine) evalLJoinImpl(f *FromItem, filters *linkFilters) (*rel.Relation, provenance, error) {
+	g := e.Cat.Graphs[f.Graph]
+	if g == nil {
+		return nil, provenance{}, fmt.Errorf("gsql: unknown graph %q", f.Graph)
+	}
+	s1, p1, err := e.evalFrom(f.Left)
+	if err != nil {
+		return nil, provenance{}, err
+	}
+	s2, p2, err := e.evalFrom(f.Right)
+	if err != nil {
+		return nil, provenance{}, err
+	}
+	// Give both sides distinct names for qualified output attributes.
+	n1, n2 := linkSideNames(f)
+	s1 = rel.Rename(s1, n1)
+	s2 = rel.Rename(s2, n2)
+
+	// Apply pushed-down side predicates (σ_P1 / σ_P2 of the paper's Q3
+	// algebra) before computing connectivity.
+	sig1, sig2 := predSignature(f.Left), predSignature(f.Right)
+	if filters != nil {
+		if lf := filters.left; lf != nil {
+			s := s1.Schema
+			s1 = rel.Select(s1, func(t rel.Tuple) bool { return lf.Eval(s, t) })
+		}
+		if rf := filters.right; rf != nil {
+			s := s2.Schema
+			s2 = rel.Select(s2, func(t rel.Tuple) bool { return rf.Eval(s, t) })
+		}
+		sig1 += "&" + filters.leftSig
+		sig2 += "&" + filters.rightSig
+	}
+
+	var out *rel.Relation
+	if e.Mode == ModeHeuristic && e.Cat.Heur != nil {
+		out, err = e.Cat.Heur.Link(s1, s2, g, e.Cat.K)
+		if err != nil {
+			return nil, provenance{}, err
+		}
+		e.note("l-join(%s): heuristic via gτ alignment", f.Graph)
+		if f.Alias != "" {
+			out = rel.Rename(out, f.Alias)
+		}
+		return out, provenance{}, nil
+	}
+	if e.Mode != ModeBaseline && p1.base != "" && p2.base != "" && e.Cat.Mat != nil &&
+		e.Cat.Mat.Base(p1.base) != nil && e.Cat.Mat.Base(p2.base) != nil {
+		key := core.LinkCacheKey(p1.base, sig1, p2.base, sig2, e.Cat.K)
+		out, err = e.Cat.Mat.StaticLink(p1.base, s1, p2.base, s2, e.Cat.K, key)
+		e.note("l-join(%s): well-behaved over pre-computed matches (gL key %s)", f.Graph, key)
+	} else {
+		out = core.LinkJoin(s1, s2, g, e.Cat.Matcher, e.Cat.K)
+		e.note("l-join(%s): online bidirectional search", f.Graph)
+	}
+	if err != nil {
+		return nil, provenance{}, err
+	}
+	if f.Alias != "" {
+		out = rel.Rename(out, f.Alias)
+	}
+	return out, provenance{}, nil
+}
+
+// predSignature renders the selection predicates of a FROM side for the
+// gL cache key (§IV-A: gL is keyed by the predicate sets of the two
+// sub-queries).
+func predSignature(f *FromItem) string {
+	switch f.Kind {
+	case FromTable:
+		return "true"
+	case FromSubquery:
+		parts := []string{}
+		if f.Sub.Where != nil {
+			parts = append(parts, f.Sub.Where.String())
+		}
+		sort.Strings(parts)
+		return strings.Join(parts, "&")
+	case FromEJoin:
+		return "e:" + predSignature(f.Source)
+	}
+	return "?"
+}
+
+func (e *Engine) note(format string, args ...any) {
+	e.Plan = append(e.Plan, fmt.Sprintf(format, args...))
+}

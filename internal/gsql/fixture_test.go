@@ -1,0 +1,141 @@
+package gsql
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"semjoin/internal/core"
+	"semjoin/internal/graph"
+	"semjoin/internal/her"
+	"semjoin/internal/rel"
+)
+
+// fintech is a Figure-1-style fixture: customers invest in products,
+// companies issue products and are registered in countries.
+type fintech struct {
+	g         *graph.Graph
+	customers *rel.Relation
+	products  *rel.Relation
+	truth     map[string]graph.VertexID
+	companyOf map[string]string // pid -> company
+	countryOf map[string]string // pid -> country
+	investOf  map[string][]string
+	models    core.Models
+	cat       *Catalog
+}
+
+var (
+	fintechOnce sync.Once
+	theFintech  *fintech
+)
+
+func getFintech(t *testing.T) *fintech {
+	t.Helper()
+	fintechOnce.Do(func() { theFintech = buildFintech() })
+	return theFintech
+}
+
+func buildFintech() *fintech {
+	g := graph.New()
+	companies := []string{"Acme Corp", "Globex Corp", "Initech Corp", "Umbrella Corp"}
+	countries := []string{"UK", "US", "Germany", "France"}
+	categories := []string{"Funds", "Stocks"}
+	risks := []string{"low", "medium", "high"}
+
+	countryV := make([]graph.VertexID, len(countries))
+	for i, c := range countries {
+		countryV[i] = g.AddVertex(c, "country")
+	}
+	companyV := make([]graph.VertexID, len(companies))
+	for i, c := range companies {
+		companyV[i] = g.AddVertex(c, "company")
+		g.AddEdge(companyV[i], "registered_in", countryV[i%len(countries)])
+	}
+	categoryV := make([]graph.VertexID, len(categories))
+	for i, c := range categories {
+		categoryV[i] = g.AddVertex(c, "category")
+	}
+
+	products := rel.NewRelation(rel.NewSchema("product", "pid",
+		rel.Attribute{Name: "pid", Type: rel.KindString},
+		rel.Attribute{Name: "name", Type: rel.KindString},
+		rel.Attribute{Name: "issuer", Type: rel.KindString},
+		rel.Attribute{Name: "type", Type: rel.KindString},
+		rel.Attribute{Name: "price", Type: rel.KindInt},
+		rel.Attribute{Name: "risk", Type: rel.KindString},
+	))
+	customers := rel.NewRelation(rel.NewSchema("customer", "cid",
+		rel.Attribute{Name: "cid", Type: rel.KindString},
+		rel.Attribute{Name: "name", Type: rel.KindString},
+		rel.Attribute{Name: "credit", Type: rel.KindString},
+		rel.Attribute{Name: "bal", Type: rel.KindInt},
+	))
+	truth := map[string]graph.VertexID{}
+	companyOf := map[string]string{}
+	countryOf := map[string]string{}
+	investOf := map[string][]string{}
+
+	const nProducts = 20
+	prodV := make([]graph.VertexID, nProducts)
+	for i := 0; i < nProducts; i++ {
+		pid := fmt.Sprintf("fd%d", i)
+		name := fmt.Sprintf("prod %02d", i)
+		ci := i % len(companies)
+		v := g.AddVertex(name, "product")
+		prodV[i] = v
+		g.AddEdge(companyV[ci], "issues", v)
+		g.AddEdge(v, "category", categoryV[i%len(categories)])
+		products.InsertVals(
+			rel.S(pid), rel.S(name), rel.S(companies[ci]),
+			rel.S(categories[i%len(categories)]), rel.I(int64(80+10*(i%5))),
+			rel.S(risks[i%len(risks)]))
+		truth[pid] = v
+		companyOf[pid] = companies[ci]
+		countryOf[pid] = countries[ci%len(countries)]
+	}
+	const nCustomers = 16
+	credits := []string{"good", "fair"}
+	for i := 0; i < nCustomers; i++ {
+		cid := fmt.Sprintf("cid%02d", i)
+		name := fmt.Sprintf("person %02d", i)
+		v := g.AddVertex(name, "person")
+		truth[cid] = v
+		// Each customer invests in two products.
+		p1, p2 := i%nProducts, (i*3+1)%nProducts
+		g.AddEdge(v, "invest", prodV[p1])
+		g.AddEdge(v, "invest", prodV[p2])
+		investOf[cid] = []string{fmt.Sprintf("fd%d", p1), fmt.Sprintf("fd%d", p2)}
+		customers.InsertVals(rel.S(cid), rel.S(name), rel.S(credits[i%2]), rel.I(int64(50000+i*10000)))
+	}
+
+	models := core.TrainModels(g, 8, 11)
+	oracle := her.NewOracleMatcher(truth)
+
+	mat, err := core.BuildMaterialized(g, models, map[string]core.BaseSpec{
+		"product":  {D: products, AR: []string{"company", "country"}, Matcher: oracle},
+		"customer": {D: customers, AR: []string{"company", "product"}, Matcher: oracle},
+	}, core.Config{K: 3, H: 14, Seed: 5})
+	if err != nil {
+		panic(err)
+	}
+	profiles := core.ProfileGraph(g, models, map[string][]string{
+		"product": {"company", "country"},
+	}, 2, core.Config{K: 3, H: 14, Seed: 5})
+
+	cat := &Catalog{
+		Relations: map[string]*rel.Relation{"product": products, "customer": customers},
+		Graphs:    map[string]*graph.Graph{"G": g, "Gp": g},
+		Models:    models,
+		Matcher:   oracle,
+		Mat:       mat,
+		Heur:      core.NewHeuristicJoiner(profiles),
+		K:         3,
+		RExt:      core.Config{H: 14, Seed: 5},
+	}
+	return &fintech{
+		g: g, customers: customers, products: products, truth: truth,
+		companyOf: companyOf, countryOf: countryOf, investOf: investOf,
+		models: models, cat: cat,
+	}
+}

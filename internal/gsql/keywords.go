@@ -1,0 +1,85 @@
+package gsql
+
+import "sort"
+
+// KeywordUsage aggregates how often each extraction keyword appears in a
+// query log, per graph name — the raw material for the reference keyword
+// lists AR of §IV-A ("RExt profiles graph G and extracts frequent
+// keywords ... from query logs, user specifications, and selected vertex
+// and edge labels").
+type KeywordUsage struct {
+	// ByGraph maps graph name -> keyword -> occurrence count.
+	ByGraph map[string]map[string]int
+	// Parsed and Failed count the log entries by parse outcome.
+	Parsed, Failed int
+}
+
+// CollectKeywords parses a gSQL query log and tallies every keyword used
+// in an e-join, per graph. Unparsable entries are counted and skipped.
+func CollectKeywords(log []string) KeywordUsage {
+	u := KeywordUsage{ByGraph: map[string]map[string]int{}}
+	for _, text := range log {
+		q, err := Parse(text)
+		if err != nil {
+			u.Failed++
+			continue
+		}
+		u.Parsed++
+		var walkQuery func(*Query)
+		var walkFrom func(*FromItem)
+		walkFrom = func(f *FromItem) {
+			switch f.Kind {
+			case FromSubquery:
+				walkQuery(f.Sub)
+			case FromEJoin:
+				m := u.ByGraph[f.Graph]
+				if m == nil {
+					m = map[string]int{}
+					u.ByGraph[f.Graph] = m
+				}
+				for _, kw := range f.Keywords {
+					m[kw]++
+				}
+				walkFrom(f.Source)
+			case FromLJoin:
+				walkFrom(f.Left)
+				walkFrom(f.Right)
+			}
+		}
+		walkQuery = func(q *Query) {
+			for i := range q.From {
+				walkFrom(&q.From[i])
+			}
+		}
+		walkQuery(q)
+	}
+	return u
+}
+
+// Reference returns the keywords for one graph whose usage count is at
+// least minCount, most frequent first (ties alphabetical) — a reference
+// list AR users can pick from and the materialisation can pre-extract.
+func (u KeywordUsage) Reference(graphName string, minCount int) []string {
+	m := u.ByGraph[graphName]
+	type kc struct {
+		k string
+		n int
+	}
+	var list []kc
+	for k, n := range m {
+		if n >= minCount {
+			list = append(list, kc{k, n})
+		}
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].n != list[j].n {
+			return list[i].n > list[j].n
+		}
+		return list[i].k < list[j].k
+	})
+	out := make([]string, len(list))
+	for i, e := range list {
+		out[i] = e.k
+	}
+	return out
+}

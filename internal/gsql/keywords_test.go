@@ -1,0 +1,46 @@
+package gsql
+
+import "testing"
+
+func TestCollectKeywords(t *testing.T) {
+	log := []string{
+		`select * from product e-join G <company, loc> as T`,
+		`select * from product e-join G <company> as T`,
+		`select * from (select pid from product) e-join G <risk> as T`,
+		`select * from a e-join H <topic> as T, b e-join G <company> as U`,
+		`select * from a l-join <G> b`,
+		`this is not sql at all`,
+	}
+	u := CollectKeywords(log)
+	if u.Parsed != 5 || u.Failed != 1 {
+		t.Fatalf("parsed=%d failed=%d", u.Parsed, u.Failed)
+	}
+	if u.ByGraph["G"]["company"] != 3 {
+		t.Fatalf("company count = %d", u.ByGraph["G"]["company"])
+	}
+	if u.ByGraph["H"]["topic"] != 1 {
+		t.Fatalf("topic count = %d", u.ByGraph["H"]["topic"])
+	}
+
+	ref := u.Reference("G", 1)
+	if len(ref) != 3 || ref[0] != "company" {
+		t.Fatalf("reference = %v", ref)
+	}
+	ref2 := u.Reference("G", 2)
+	if len(ref2) != 1 || ref2[0] != "company" {
+		t.Fatalf("minCount=2 reference = %v", ref2)
+	}
+	if got := u.Reference("NoGraph", 1); len(got) != 0 {
+		t.Fatalf("unknown graph reference = %v", got)
+	}
+}
+
+func TestCollectKeywordsNestedEJoin(t *testing.T) {
+	// Keywords inside sub-query e-joins count too.
+	u := CollectKeywords([]string{`
+		select * from (select pid from product e-join G <inner_kw> as X)
+		e-join G <outer_kw> as T`})
+	if u.ByGraph["G"]["inner_kw"] != 1 || u.ByGraph["G"]["outer_kw"] != 1 {
+		t.Fatalf("nested keywords = %v", u.ByGraph["G"])
+	}
+}

@@ -1,0 +1,147 @@
+// Package gsql implements the SQL dialect of §II-C: standard
+// select/from/where SQL extended with the `e-join` (enrichment join) and
+// `l-join` (link join) syntactic sugar, a recursive-descent parser, and an
+// executor that plans each semantic join as static (pre-materialised),
+// dynamic, heuristic, or conceptual-baseline — including the linear-time
+// well-behaved analysis of §IV-A.
+package gsql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token kinds.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokString
+	tokNumber
+	tokSymbol
+)
+
+// token is one lexical token with its position for error messages.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// keywords of gSQL, stored lowercase.
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "as": true,
+	"and": true, "or": true, "not": true,
+	"group": true, "by": true, "distinct": true,
+	"e-join": true, "l-join": true,
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+	"is": true, "null": true, "order": true, "asc": true, "desc": true,
+	"limit": true, "in": true, "like": true, "between": true, "having": true,
+	"explain": true,
+}
+
+// lex splits input into tokens. Identifiers may be qualified (a.b) and may
+// contain hyphens (so the e-join / l-join keywords lex naturally);
+// strings use single quotes with ” escapes.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= n {
+					return nil, fmt.Errorf("gsql: unterminated string at %d", start)
+				}
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			toks = append(toks, token{tokString, sb.String(), start})
+		case unicode.IsDigit(c) || (c == '-' && i+1 < n && unicode.IsDigit(rune(input[i+1])) && expectsValue(toks)):
+			start := i
+			if c == '-' {
+				i++
+			}
+			for i < n && (unicode.IsDigit(rune(input[i])) || input[i] == '.') {
+				i++
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < n && isIdentRune(rune(input[i])) {
+				i++
+			}
+			text := input[start:i]
+			kind := tokIdent
+			if keywords[strings.ToLower(text)] {
+				kind = tokKeyword
+				text = strings.ToLower(text)
+			}
+			toks = append(toks, token{kind, text, start})
+		default:
+			start := i
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				toks = append(toks, token{tokSymbol, two, start})
+				i += 2
+				continue
+			}
+			switch c {
+			case ',', '(', ')', '<', '>', '=', '*', '.':
+				toks = append(toks, token{tokSymbol, string(c), start})
+				i++
+			default:
+				return nil, fmt.Errorf("gsql: unexpected character %q at %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+// isIdentRune reports whether r may continue an identifier. Hyphens are
+// allowed so `e-join` lexes as one keyword; dots are NOT part of the
+// identifier token (qualification is parsed as ident '.' ident).
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+// expectsValue reports whether a '-' at the current position should start
+// a negative number literal (i.e. the previous token cannot end an
+// expression operand).
+func expectsValue(toks []token) bool {
+	if len(toks) == 0 {
+		return true
+	}
+	last := toks[len(toks)-1]
+	switch last.kind {
+	case tokIdent, tokString, tokNumber:
+		return false
+	case tokSymbol:
+		return last.text != ")" && last.text != "*"
+	}
+	return true
+}

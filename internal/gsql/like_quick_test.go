@@ -1,0 +1,52 @@
+package gsql
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// likeToRegexp builds the reference implementation: translate a LIKE
+// pattern into an anchored regexp.
+func likeToRegexp(pattern string) *regexp.Regexp {
+	var b strings.Builder
+	b.WriteString("^")
+	for _, r := range pattern {
+		switch r {
+		case '%':
+			b.WriteString("(?s).*")
+		case '_':
+			b.WriteString("(?s).")
+		default:
+			b.WriteString(regexp.QuoteMeta(string(r)))
+		}
+	}
+	b.WriteString("$")
+	return regexp.MustCompile(b.String())
+}
+
+// Property: likeMatch agrees with the regexp translation on random
+// inputs over a small alphabet (small alphabets maximise collisions and
+// backtracking).
+func TestLikeMatchAgainstRegexp(t *testing.T) {
+	alpha := []byte("ab%_")
+	mk := func(xs []uint8, n int) string {
+		var b strings.Builder
+		for _, x := range xs {
+			b.WriteByte(alpha[int(x)%n])
+		}
+		return b.String()
+	}
+	f := func(sRaw, pRaw []uint8) bool {
+		s := mk(sRaw, 2) // subject over {a, b}
+		p := mk(pRaw, 4) // pattern over {a, b, %, _}
+		if len(p) > 12 || len(s) > 24 {
+			return true // keep regexp backtracking bounded
+		}
+		return likeMatch(s, p) == likeToRegexp(p).MatchString(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,512 @@
+package gsql
+
+import (
+	"fmt"
+	"strconv"
+
+	"semjoin/internal/rel"
+)
+
+// Parse parses one gSQL query.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return token{}, p.errf("expected %q, found %q", text, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("gsql: at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+// parseQuery := SELECT [DISTINCT] selectList FROM fromList [WHERE expr]
+//
+//	[GROUP BY cols] [ORDER BY keys] [LIMIT n]
+func (p *parser) parseQuery() (*Query, error) {
+	if _, err := p.expect(tokKeyword, "select"); err != nil {
+		return nil, err
+	}
+	q := &Query{Limit: -1}
+	q.Distinct = p.accept(tokKeyword, "distinct")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokKeyword, "from"); err != nil {
+		return nil, err
+	}
+	for {
+		item, err := p.parseFromItem()
+		if err != nil {
+			return nil, err
+		}
+		q.From = append(q.From, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(tokKeyword, "where") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	if p.accept(tokKeyword, "group") {
+		if _, err := p.expect(tokKeyword, "by"); err != nil {
+			return nil, err
+		}
+		for {
+			name, err := p.parseQualifiedIdent()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, name)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "having") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Having = e
+	}
+	if p.accept(tokKeyword, "order") {
+		if _, err := p.expect(tokKeyword, "by"); err != nil {
+			return nil, err
+		}
+		for {
+			name, err := p.parseQualifiedIdent()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Col: name}
+			if p.accept(tokKeyword, "desc") {
+				key.Desc = true
+			} else {
+				p.accept(tokKeyword, "asc")
+			}
+			q.OrderBy = append(q.OrderBy, key)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "limit") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad limit %q", t.text)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(tokSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	// Aggregate?
+	if t := p.cur(); t.kind == tokKeyword {
+		switch t.text {
+		case "count", "sum", "avg", "min", "max":
+			p.next()
+			if _, err := p.expect(tokSymbol, "("); err != nil {
+				return SelectItem{}, err
+			}
+			arg := "*"
+			if !p.accept(tokSymbol, "*") {
+				name, err := p.parseQualifiedIdent()
+				if err != nil {
+					return SelectItem{}, err
+				}
+				arg = name
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return SelectItem{}, err
+			}
+			item := SelectItem{Agg: t.text, Arg: arg}
+			if p.accept(tokKeyword, "as") {
+				a, err := p.expect(tokIdent, "")
+				if err != nil {
+					return SelectItem{}, err
+				}
+				item.As = a.text
+			}
+			return item, nil
+		}
+	}
+	name, err := p.parseQualifiedIdent()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Col: name}
+	if p.accept(tokKeyword, "as") {
+		a, err := p.expect(tokIdent, "")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.As = a.text
+	}
+	return item, nil
+}
+
+// parseQualifiedIdent parses ident ('.' ident)? and also tolerates
+// alias '.' '*' — returned as "alias.*".
+func (p *parser) parseQualifiedIdent() (string, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return "", err
+	}
+	name := t.text
+	if p.accept(tokSymbol, ".") {
+		if p.accept(tokSymbol, "*") {
+			return name + ".*", nil
+		}
+		t2, err := p.expect(tokIdent, "")
+		if err != nil {
+			return "", err
+		}
+		name += "." + t2.text
+	}
+	return name, nil
+}
+
+// parseFromItem := primary [ 'e-join' ident '<' identList '>' ] [ 'l-join' '<' ident '>' primary ] [AS ident]
+func (p *parser) parseFromItem() (FromItem, error) {
+	prim, err := p.parseFromPrimary()
+	if err != nil {
+		return FromItem{}, err
+	}
+	item := prim
+	for {
+		switch {
+		case p.accept(tokKeyword, "e-join"):
+			g, err := p.expect(tokIdent, "")
+			if err != nil {
+				return FromItem{}, err
+			}
+			if _, err := p.expect(tokSymbol, "<"); err != nil {
+				return FromItem{}, err
+			}
+			var kws []string
+			for {
+				k, err := p.parseKeyword()
+				if err != nil {
+					return FromItem{}, err
+				}
+				kws = append(kws, k)
+				if !p.accept(tokSymbol, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tokSymbol, ">"); err != nil {
+				return FromItem{}, err
+			}
+			src := item
+			item = FromItem{Kind: FromEJoin, Source: &src, Graph: g.text, Keywords: kws}
+		case p.accept(tokKeyword, "l-join"):
+			if _, err := p.expect(tokSymbol, "<"); err != nil {
+				return FromItem{}, err
+			}
+			g, err := p.expect(tokIdent, "")
+			if err != nil {
+				return FromItem{}, err
+			}
+			if _, err := p.expect(tokSymbol, ">"); err != nil {
+				return FromItem{}, err
+			}
+			right, err := p.parseFromPrimary()
+			if err != nil {
+				return FromItem{}, err
+			}
+			if p.accept(tokKeyword, "as") {
+				a, err := p.expect(tokIdent, "")
+				if err != nil {
+					return FromItem{}, err
+				}
+				right.Alias = a.text
+			}
+			left := item
+			item = FromItem{Kind: FromLJoin, Graph: g.text, Left: &left, Right: &right}
+			return item, nil
+		default:
+			if p.accept(tokKeyword, "as") {
+				a, err := p.expect(tokIdent, "")
+				if err != nil {
+					return FromItem{}, err
+				}
+				item.Alias = a.text
+			}
+			return item, nil
+		}
+	}
+}
+
+// parseKeyword parses one extraction keyword: an identifier or a string
+// literal (value exemplars may contain spaces).
+func (p *parser) parseKeyword() (string, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokIdent:
+		p.next()
+		return t.text, nil
+	case tokString:
+		p.next()
+		return t.text, nil
+	}
+	return "", p.errf("expected keyword, found %q", t.text)
+}
+
+func (p *parser) parseFromPrimary() (FromItem, error) {
+	if p.accept(tokSymbol, "(") {
+		sub, err := p.parseQuery()
+		if err != nil {
+			return FromItem{}, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return FromItem{}, err
+		}
+		return FromItem{Kind: FromSubquery, Sub: sub}, nil
+	}
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return FromItem{}, err
+	}
+	return FromItem{Kind: FromTable, Table: t.text}, nil
+}
+
+// parseOr := parseAnd ('or' parseAnd)*
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+// parseAnd := parseNot ('and' parseNot)*
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tokKeyword, "not") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Not{E: e}, nil
+	}
+	if p.accept(tokSymbol, "(") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.accept(tokKeyword, "is") {
+		neg := p.accept(tokKeyword, "not")
+		if _, err := p.expect(tokKeyword, "null"); err != nil {
+			return nil, err
+		}
+		if !l.IsCol {
+			return nil, p.errf("IS NULL needs a column")
+		}
+		return IsNull{Col: l.Col, Negate: neg}, nil
+	}
+	// Operand-level NOT: a NOT IN (...), a NOT LIKE ..., a NOT BETWEEN ...
+	negate := false
+	if p.at(tokKeyword, "not") {
+		next := p.toks[p.pos+1]
+		if next.kind == tokKeyword && (next.text == "in" || next.text == "like" || next.text == "between") {
+			p.next()
+			negate = true
+		}
+	}
+	switch {
+	case p.accept(tokKeyword, "in"):
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var vals []rel.Value
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return In{L: l, Vals: vals, Negate: negate}, nil
+	case p.accept(tokKeyword, "like"):
+		t, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		return Like{L: l, Pattern: t.text, Negate: negate}, nil
+	case p.accept(tokKeyword, "between"):
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return Between{L: l, Lo: lo, Hi: hi, Negate: negate}, nil
+	}
+	if negate {
+		return nil, p.errf("dangling NOT")
+	}
+	op := p.cur()
+	if op.kind != tokSymbol {
+		return nil, p.errf("expected comparison operator, found %q", op.text)
+	}
+	switch op.text {
+	case "=", "<>", "!=", "<", "<=", ">", ">=":
+		p.next()
+	default:
+		return nil, p.errf("unsupported operator %q", op.text)
+	}
+	r, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	o := op.text
+	if o == "!=" {
+		o = "<>"
+	}
+	return Cmp{Op: o, L: l, R: r}, nil
+}
+
+// parseLiteral parses a string, number or NULL literal.
+func (p *parser) parseLiteral() (rel.Value, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokString:
+		p.next()
+		return rel.S(t.text), nil
+	case tokNumber:
+		p.next()
+		return rel.Parse(t.text), nil
+	case tokKeyword:
+		if t.text == "null" {
+			p.next()
+			return rel.Null, nil
+		}
+	}
+	return rel.Null, p.errf("expected literal, found %q", t.text)
+}
+
+func (p *parser) parseOperand() (Operand, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokString:
+		p.next()
+		return Operand{Val: rel.S(t.text)}, nil
+	case tokNumber:
+		p.next()
+		return Operand{Val: rel.Parse(t.text)}, nil
+	case tokKeyword:
+		if t.text == "null" {
+			p.next()
+			return Operand{Val: rel.Null}, nil
+		}
+	case tokIdent:
+		name, err := p.parseQualifiedIdent()
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Col: name, IsCol: true}, nil
+	}
+	return Operand{}, p.errf("expected operand, found %q", t.text)
+}

@@ -1,0 +1,240 @@
+package gsql
+
+import (
+	"testing"
+
+	"semjoin/internal/rel"
+)
+
+func mustParse(t *testing.T, q string) *Query {
+	t.Helper()
+	out, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("select a.b, 'it''s' from t where x <= -3.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.kind)
+		texts = append(texts, tok.text)
+	}
+	want := []string{"select", "a", ".", "b", ",", "it's", "from", "t", "where", "x", "<=", "-3.5", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens = %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Fatalf("token %d = %q, want %q (all: %v)", i, texts[i], want[i], texts)
+		}
+	}
+	if kinds[0] != tokKeyword || kinds[5] != tokString || kinds[11] != tokNumber {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestLexEJoinKeyword(t *testing.T) {
+	toks, err := lex("product e-join G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].kind != tokKeyword || toks[1].text != "e-join" {
+		t.Fatalf("e-join lexed as %v %q", toks[1].kind, toks[1].text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lex("select 'unterminated"); err == nil {
+		t.Fatal("unterminated string should fail")
+	}
+	if _, err := lex("select @"); err == nil {
+		t.Fatal("bad character should fail")
+	}
+}
+
+func TestParseQ1(t *testing.T) {
+	// The paper's Q1 from Section I.
+	q := mustParse(t, `
+		select risk, company
+		from product e-join G <company, loc> as T
+		where T.pid = 'fd1' and T.loc = 'UK'`)
+	if len(q.Select) != 2 || q.Select[0].Col != "risk" {
+		t.Fatalf("select = %+v", q.Select)
+	}
+	if len(q.From) != 1 || q.From[0].Kind != FromEJoin {
+		t.Fatalf("from = %+v", q.From)
+	}
+	ej := q.From[0]
+	if ej.Graph != "G" || ej.Alias != "T" {
+		t.Fatalf("ejoin = %+v", ej)
+	}
+	if len(ej.Keywords) != 2 || ej.Keywords[0] != "company" || ej.Keywords[1] != "loc" {
+		t.Fatalf("keywords = %v", ej.Keywords)
+	}
+	if ej.Source.Kind != FromTable || ej.Source.Table != "product" {
+		t.Fatalf("source = %+v", ej.Source)
+	}
+	and, ok := q.Where.(And)
+	if !ok {
+		t.Fatalf("where = %T", q.Where)
+	}
+	cmp := and.L.(Cmp)
+	if cmp.L.Col != "T.pid" || cmp.R.Val.Str() != "fd1" {
+		t.Fatalf("cmp = %+v", cmp)
+	}
+}
+
+func TestParseQ2TwoEJoins(t *testing.T) {
+	// The paper's Q2: a traditional join over two enrichment joins.
+	q := mustParse(t, `
+		select * from customer e-join G <stock, company> as T1,
+		              customer e-join G <stock, company> as T2
+		where T1.cid = 'cid04' and T2.cid = 'cid02' and T2.credit = 'good'
+		  and T1.company = T2.company`)
+	if len(q.From) != 2 {
+		t.Fatalf("from items = %d", len(q.From))
+	}
+	if q.From[0].Alias != "T1" || q.From[1].Alias != "T2" {
+		t.Fatalf("aliases = %q %q", q.From[0].Alias, q.From[1].Alias)
+	}
+	if !q.Select[0].Star {
+		t.Fatal("expected star select")
+	}
+}
+
+func TestParseQ3LinkJoin(t *testing.T) {
+	// The paper's Q3: customer l-join ⟨G'⟩ customer as customer2.
+	q := mustParse(t, `
+		select * from customer l-join <Gp> customer as customer2
+		where customer.cid = 'cid02' and customer2.credit = 'good'`)
+	lj := q.From[0]
+	if lj.Kind != FromLJoin || lj.Graph != "Gp" {
+		t.Fatalf("ljoin = %+v", lj)
+	}
+	if lj.Left.Table != "customer" || lj.Right.Table != "customer" || lj.Right.Alias != "customer2" {
+		t.Fatalf("sides = %+v %+v", lj.Left, lj.Right)
+	}
+}
+
+func TestParseSubquery(t *testing.T) {
+	q := mustParse(t, `
+		select * from (select pid from product where risk = 'medium') e-join G <company> as T`)
+	ej := q.From[0]
+	if ej.Kind != FromEJoin || ej.Source.Kind != FromSubquery {
+		t.Fatalf("from = %+v", ej)
+	}
+	if ej.Source.Sub.From[0].Table != "product" {
+		t.Fatal("inner table wrong")
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	q := mustParse(t, `
+		select type, count(*) as n, avg(price) as p
+		from product group by type order by n desc limit 5`)
+	if q.Select[1].Agg != "count" || q.Select[1].Arg != "*" || q.Select[1].As != "n" {
+		t.Fatalf("agg = %+v", q.Select[1])
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0] != "type" {
+		t.Fatalf("group by = %v", q.GroupBy)
+	}
+	if len(q.OrderBy) != 1 || !q.OrderBy[0].Desc {
+		t.Fatalf("order by = %+v", q.OrderBy)
+	}
+	if q.Limit != 5 {
+		t.Fatalf("limit = %d", q.Limit)
+	}
+}
+
+func TestParseNegationAndNulls(t *testing.T) {
+	q := mustParse(t, `
+		select * from t where not (a = 1 or b <> 2) and c is not null and d is null`)
+	if _, ok := q.Where.(And); !ok {
+		t.Fatalf("where = %T", q.Where)
+	}
+	s := q.Where.String()
+	if s == "" {
+		t.Fatal("expr should render")
+	}
+}
+
+func TestParseKeywordExemplars(t *testing.T) {
+	// Keywords may be quoted value exemplars ("vol. 41", "NASA").
+	q := mustParse(t, `select * from dblp e-join KG <'vol. 41', affiliation>`)
+	kws := q.From[0].Keywords
+	if kws[0] != "vol. 41" || kws[1] != "affiliation" {
+		t.Fatalf("keywords = %v", kws)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"select",
+		"select * from",
+		"select * from t where",
+		"select * from t where a =",
+		"select * from (select * from t",
+		"select * from t e-join G company>",
+		"select * from t extra garbage",
+		"select count(, from t",
+		"select * from t limit -1",
+		"select * from t where a is 3",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	s := rel.NewSchema("t", "",
+		rel.Attribute{Name: "a", Type: rel.KindInt},
+		rel.Attribute{Name: "b", Type: rel.KindString},
+	)
+	tup := rel.Tuple{rel.I(5), rel.S("x")}
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{"a = 5", true},
+		{"a <> 5", false},
+		{"a != 5", false},
+		{"a < 6 and b = 'x'", true},
+		{"a >= 6 or b = 'x'", true},
+		{"not a = 5", false},
+		{"a <= 4", false},
+		{"b > 'w'", true},
+		{"missing = 1", false}, // unresolved column reads null, compares false
+		{"b is not null", true},
+		{"missing is null", true},
+	}
+	for _, c := range cases {
+		q := mustParse(t, "select * from t where "+c.q)
+		if got := q.Where.Eval(s, tup); got != c.want {
+			t.Errorf("%q = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestColumnsWalk(t *testing.T) {
+	q := mustParse(t, "select * from t where a = 1 and (b.x <> c or not d is null)")
+	cols := Columns(q.Where)
+	want := map[string]bool{"a": true, "b.x": true, "c": true, "d": true}
+	if len(cols) != 4 {
+		t.Fatalf("cols = %v", cols)
+	}
+	for _, c := range cols {
+		if !want[c] {
+			t.Fatalf("unexpected column %q", c)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package gsql
+
+import (
+	"testing"
+
+	"semjoin/internal/rel"
+)
+
+func evalWhere(t *testing.T, where string, s *rel.Schema, tup rel.Tuple) bool {
+	t.Helper()
+	q := mustParse(t, "select * from t where "+where)
+	return q.Where.Eval(s, tup)
+}
+
+func predSchema() (*rel.Schema, rel.Tuple) {
+	s := rel.NewSchema("t", "",
+		rel.Attribute{Name: "a", Type: rel.KindInt},
+		rel.Attribute{Name: "b", Type: rel.KindString},
+		rel.Attribute{Name: "n", Type: rel.KindString},
+	)
+	return s, rel.Tuple{rel.I(5), rel.S("hello world"), rel.Null}
+}
+
+func TestInPredicate(t *testing.T) {
+	s, tup := predSchema()
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{"a in (1, 5, 9)", true},
+		{"a in (1, 2)", false},
+		{"a not in (1, 2)", true},
+		{"a not in (5)", false},
+		{"b in ('hello world', 'x')", true},
+		{"n in (1, 2)", false},     // null never matches
+		{"n not in (1, 2)", false}, // SQL: null NOT IN is unknown → false
+	}
+	for _, c := range cases {
+		if got := evalWhere(t, c.q, s, tup); got != c.want {
+			t.Errorf("%q = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestLikePredicate(t *testing.T) {
+	s, tup := predSchema()
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{"b like 'hello%'", true},
+		{"b like '%world'", true},
+		{"b like '%lo wo%'", true},
+		{"b like 'hello_world'", true},
+		{"b like 'h_llo world'", true},
+		{"b like 'hello'", false},
+		{"b like '%'", true},
+		{"b not like 'xyz%'", true},
+		{"b like 'HELLO%'", false}, // case sensitive
+		{"n like '%'", false},      // null never matches
+	}
+	for _, c := range cases {
+		if got := evalWhere(t, c.q, s, tup); got != c.want {
+			t.Errorf("%q = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestLikeMatchCorners(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"", "", true},
+		{"", "%", true},
+		{"", "_", false},
+		{"ab", "a%b", true},
+		{"aXXb", "a%b", true},
+		{"ab", "%%", true},
+		{"abc", "a%c%", true},
+		{"mississippi", "%iss%ippi", true},
+		{"mississippi", "%iss%x", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestBetweenPredicate(t *testing.T) {
+	s, tup := predSchema()
+	cases := []struct {
+		q    string
+		want bool
+	}{
+		{"a between 1 and 9", true},
+		{"a between 5 and 5", true},
+		{"a between 6 and 9", false},
+		{"a not between 6 and 9", true},
+		{"b between 'h' and 'i'", true},
+		{"n between 1 and 9", false},
+	}
+	for _, c := range cases {
+		if got := evalWhere(t, c.q, s, tup); got != c.want {
+			t.Errorf("%q = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestPredicateStrings(t *testing.T) {
+	q := mustParse(t, `select * from t where a in (1, 2) and b like 'x%' and a not between 3 and 4`)
+	s := q.Where.String()
+	for _, want := range []string{"in (", "like", "not between"} {
+		if !containsStr(s, want) {
+			t.Errorf("rendered %q missing %q", s, want)
+		}
+	}
+	cols := Columns(q.Where)
+	if len(cols) != 3 {
+		t.Fatalf("Columns = %v", cols)
+	}
+}
+
+func TestHavingClause(t *testing.T) {
+	f := getFintech(t)
+	e := NewEngine(f.cat)
+	out, err := e.Query(`
+		select credit, count(*) as n from customer
+		group by credit having n >= 8 order by credit`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range out.Tuples {
+		if out.Get(tup, "n").Int() < 8 {
+			t.Fatalf("having violated: %v", tup)
+		}
+	}
+	// All groups filtered out is fine.
+	empty, err := e.Query(`
+		select credit, count(*) as n from customer group by credit having n > 1000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Fatal("expected no groups")
+	}
+}
+
+func TestInLikeOverEJoin(t *testing.T) {
+	f := getFintech(t)
+	e := NewEngine(f.cat)
+	out, err := e.Query(`
+		select pid, company from product e-join G <company> as T
+		where T.company in ('Acme Corp', 'Globex Corp') and T.pid like 'fd1%'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range out.Tuples {
+		c := out.Get(tup, "company").Str()
+		if c != "Acme Corp" && c != "Globex Corp" {
+			t.Fatalf("IN violated: %q", c)
+		}
+		if pid := out.Get(tup, "pid").Str(); len(pid) < 3 || pid[:3] != "fd1" {
+			t.Fatalf("LIKE violated: %q", pid)
+		}
+	}
+}
+
+func TestParseErrorsForNewPredicates(t *testing.T) {
+	bad := []string{
+		"select * from t where a in ()",
+		"select * from t where a in (1",
+		"select * from t where a like x",
+		"select * from t where a between 1",
+		"select * from t where a not = 1",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

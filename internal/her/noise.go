@@ -1,0 +1,97 @@
+package her
+
+import (
+	"semjoin/internal/graph"
+	"semjoin/internal/mat"
+	"semjoin/internal/rel"
+)
+
+// NoisyMatcher wraps a Matcher and corrupts a fraction η of its matches by
+// redirecting them to uniformly random other vertices, simulating HER
+// mismatch for the cascading-error study of Exp-2(c) (Fig 5(g)).
+type NoisyMatcher struct {
+	inner Matcher
+	eta   float64
+	seed  uint64
+}
+
+// WithNoise wraps m so that a fraction eta of matches point at wrong
+// vertices.
+func WithNoise(m Matcher, eta float64, seed uint64) *NoisyMatcher {
+	return &NoisyMatcher{inner: m, eta: eta, seed: seed}
+}
+
+// Match runs the inner matcher and injects mismatches.
+func (n *NoisyMatcher) Match(s *rel.Relation, g *graph.Graph) []Match {
+	ms := n.inner.Match(s, g)
+	if n.eta <= 0 || len(ms) == 0 {
+		return ms
+	}
+	var ids []graph.VertexID
+	g.Vertices(func(v graph.Vertex) { ids = append(ids, v.ID) })
+	if len(ids) < 2 {
+		return ms
+	}
+	rng := mat.NewRNG(n.seed)
+	corrupt := int(float64(len(ms)) * n.eta)
+	perm := rng.Perm(len(ms))
+	for i := 0; i < corrupt && i < len(perm); i++ {
+		mi := perm[i]
+		// Pick any vertex other than the true match.
+		v := ids[rng.Intn(len(ids))]
+		for v == ms[mi].Vertex {
+			v = ids[rng.Intn(len(ids))]
+		}
+		ms[mi].Vertex = v
+	}
+	return ms
+}
+
+// OracleMatcher matches tuples to vertices via a caller-provided ground
+// truth (tid value -> vertex). Dataset generators expose exact alignments,
+// letting experiments isolate RExt quality from HER quality ("assuming HER
+// and RExt are accurate", Exp-2(II)).
+type OracleMatcher struct {
+	truth map[string]graph.VertexID
+}
+
+// NewOracleMatcher builds an oracle over the tid→vertex ground truth.
+func NewOracleMatcher(truth map[string]graph.VertexID) *OracleMatcher {
+	return &OracleMatcher{truth: truth}
+}
+
+// Match returns the ground-truth pairs for tuples whose tid is known. For
+// unkeyed relations (intermediate query results) it scans every attribute
+// for a value present in the ground truth, so Example-10-style sub-query
+// outputs that carry a base id in some column still align.
+func (o *OracleMatcher) Match(s *rel.Relation, g *graph.Graph) []Match {
+	keyCol := s.Schema.KeyCol()
+	var out []Match
+	for ti, t := range s.Tuples {
+		var tid rel.Value
+		var vertex graph.VertexID = graph.NoVertex
+		if keyCol >= 0 {
+			tid = t[keyCol]
+			if tid.IsNull() {
+				continue
+			}
+			if v, ok := o.truth[tid.String()]; ok {
+				vertex = v
+			}
+		} else {
+			for _, val := range t {
+				if val.IsNull() {
+					continue
+				}
+				if v, ok := o.truth[val.String()]; ok {
+					tid, vertex = val, v
+					break
+				}
+			}
+		}
+		if vertex != graph.NoVertex && g.Live(vertex) {
+			out = append(out, Match{TupleIdx: ti, TID: tid, Vertex: vertex, Score: 1})
+		}
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+package nn
+
+import "math"
+
+// Adam is the Adam optimiser state for one parameter tensor (flattened).
+type Adam struct {
+	lr, beta1, beta2, eps float64
+	m, v                  []float64
+	t                     int
+}
+
+// NewAdam returns an optimiser for a parameter vector of length n.
+func NewAdam(n int, lr float64) *Adam {
+	return &Adam{lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8,
+		m: make([]float64, n), v: make([]float64, n)}
+}
+
+// Step applies one Adam update to params given grads, then leaves grads
+// untouched (the caller zeroes them).
+func (a *Adam) Step(params, grads []float64) {
+	a.t++
+	b1c := 1 - math.Pow(a.beta1, float64(a.t))
+	b2c := 1 - math.Pow(a.beta2, float64(a.t))
+	for i, g := range grads {
+		a.m[i] = a.beta1*a.m[i] + (1-a.beta1)*g
+		a.v[i] = a.beta2*a.v[i] + (1-a.beta2)*g*g
+		mh := a.m[i] / b1c
+		vh := a.v[i] / b2c
+		params[i] -= a.lr * mh / (math.Sqrt(vh) + a.eps)
+	}
+}
+
+// SetLR changes the learning rate.
+func (a *Adam) SetLR(lr float64) { a.lr = lr }

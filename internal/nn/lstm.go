@@ -1,0 +1,411 @@
+package nn
+
+import (
+	"math"
+	"sort"
+
+	"semjoin/internal/mat"
+)
+
+// TokenProb pairs a token with its predicted next-token probability.
+type TokenProb struct {
+	Token string
+	Prob  float64
+}
+
+// SequenceModel is the contract RExt needs from Mρ (§III-A): score which
+// label plausibly follows a prefix, and embed a whole label sequence.
+// Both the LSTM and the Transformer baseline implement it.
+type SequenceModel interface {
+	// Start returns a fresh decoding state positioned after BOS.
+	Start() State
+	// EmbedSequence returns the model's representation of the token
+	// sequence (the network output at the last step, per §III-A step 2).
+	EmbedSequence(tokens []string) mat.Vector
+	// EmbedDim returns the dimensionality of EmbedSequence results.
+	EmbedDim() int
+	// Vocab returns the model's vocabulary.
+	Vocab() *Vocab
+}
+
+// State is an incremental decoding state. Path selection clones states to
+// branch over alternative edges without re-running the prefix.
+type State interface {
+	// Feed advances the state by one token.
+	Feed(token string)
+	// Probs returns the next-token distribution (indexed by vocab id).
+	// The returned vector is owned by the caller.
+	Probs() mat.Vector
+	// Hidden returns the current sequence representation. The returned
+	// vector is owned by the caller.
+	Hidden() mat.Vector
+	// Clone returns an independent copy of the state.
+	Clone() State
+}
+
+// LSTMConfig parameterises NewLSTM. Zero fields take defaults.
+type LSTMConfig struct {
+	EmbedDim  int     // token embedding size (default 32)
+	HiddenDim int     // LSTM hidden size (default 64; 50-wide ≈ RExtShortSeq)
+	LR        float64 // Adam learning rate (default 0.003)
+	Clip      float64 // gradient clip (default 5)
+	Seed      uint64  // init seed (default 1)
+}
+
+func (c LSTMConfig) withDefaults() LSTMConfig {
+	if c.EmbedDim == 0 {
+		c.EmbedDim = 32
+	}
+	if c.HiddenDim == 0 {
+		c.HiddenDim = 64
+	}
+	if c.LR == 0 {
+		c.LR = 0.003
+	}
+	if c.Clip == 0 {
+		c.Clip = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// LSTM is a single-layer LSTM language model with a softmax output layer,
+// trained with the perplexity (cross-entropy) loss of [16] on random-walk
+// label sentences.
+type LSTM struct {
+	vocab *Vocab
+	cfg   LSTMConfig
+
+	emb *mat.Matrix // V×d token embeddings
+	wx  *mat.Matrix // 4h×d input weights (gate order: i, f, g, o)
+	wh  *mat.Matrix // 4h×h recurrent weights
+	b   mat.Vector  // 4h gate biases
+	wo  *mat.Matrix // V×h output projection
+	bo  mat.Vector  // V output bias
+
+	// gradient buffers (same shapes)
+	gEmb, gWx, gWh, gWo *mat.Matrix
+	gB, gBo             mat.Vector
+
+	optEmb, optWx, optWh, optWo, optB, optBo *Adam
+}
+
+// NewLSTM builds an untrained model over vocab.
+func NewLSTM(vocab *Vocab, cfg LSTMConfig) *LSTM {
+	cfg = cfg.withDefaults()
+	V, d, h := vocab.Size(), cfg.EmbedDim, cfg.HiddenDim
+	m := &LSTM{
+		vocab: vocab, cfg: cfg,
+		emb: mat.NewMatrix(V, d),
+		wx:  mat.NewMatrix(4*h, d),
+		wh:  mat.NewMatrix(4*h, h),
+		b:   mat.NewVector(4 * h),
+		wo:  mat.NewMatrix(V, h),
+		bo:  mat.NewVector(V),
+
+		gEmb: mat.NewMatrix(V, d),
+		gWx:  mat.NewMatrix(4*h, d),
+		gWh:  mat.NewMatrix(4*h, h),
+		gB:   mat.NewVector(4 * h),
+		gWo:  mat.NewMatrix(V, h),
+		gBo:  mat.NewVector(V),
+	}
+	rng := mat.NewRNG(cfg.Seed)
+	initScale := func(mx *mat.Matrix, fanIn int) {
+		a := math.Sqrt(1.0 / float64(fanIn))
+		rng.FillUniform(mat.Vector(mx.Data), a)
+	}
+	initScale(m.emb, d)
+	initScale(m.wx, d)
+	initScale(m.wh, h)
+	initScale(m.wo, h)
+	// Forget-gate bias starts at 1 (standard trick for gradient flow).
+	for i := h; i < 2*h; i++ {
+		m.b[i] = 1
+	}
+	m.optEmb = NewAdam(len(m.emb.Data), cfg.LR)
+	m.optWx = NewAdam(len(m.wx.Data), cfg.LR)
+	m.optWh = NewAdam(len(m.wh.Data), cfg.LR)
+	m.optWo = NewAdam(len(m.wo.Data), cfg.LR)
+	m.optB = NewAdam(len(m.b), cfg.LR)
+	m.optBo = NewAdam(len(m.bo), cfg.LR)
+	return m
+}
+
+// Vocab returns the model vocabulary.
+func (m *LSTM) Vocab() *Vocab { return m.vocab }
+
+// EmbedDim returns the hidden size (the dimensionality of sequence
+// embeddings).
+func (m *LSTM) EmbedDim() int { return m.cfg.HiddenDim }
+
+// step holds the forward caches of one timestep for BPTT.
+type step struct {
+	id           int        // input token id
+	i, f, g, o   mat.Vector // post-activation gates
+	c, tanhC, h  mat.Vector
+	hPrev, cPrev mat.Vector
+	probs        mat.Vector // softmax output
+}
+
+// forwardStep advances (hPrev, cPrev) by token id, returning the caches.
+func (m *LSTM) forwardStep(id int, hPrev, cPrev mat.Vector, withOutput bool) step {
+	h := m.cfg.HiddenDim
+	x := m.emb.Row(id)
+	z := mat.NewVector(4 * h)
+	m.wx.MulVec(z, x)
+	tmp := mat.NewVector(4 * h)
+	m.wh.MulVec(tmp, hPrev)
+	z.Add(tmp)
+	z.Add(m.b)
+	st := step{
+		id: id, hPrev: hPrev, cPrev: cPrev,
+		i: mat.NewVector(h), f: mat.NewVector(h), g: mat.NewVector(h), o: mat.NewVector(h),
+		c: mat.NewVector(h), tanhC: mat.NewVector(h), h: mat.NewVector(h),
+	}
+	for j := 0; j < h; j++ {
+		st.i[j] = mat.Sigmoid(z[j])
+		st.f[j] = mat.Sigmoid(z[h+j])
+		st.g[j] = mat.Tanh(z[2*h+j])
+		st.o[j] = mat.Sigmoid(z[3*h+j])
+		st.c[j] = st.f[j]*cPrev[j] + st.i[j]*st.g[j]
+		st.tanhC[j] = mat.Tanh(st.c[j])
+		st.h[j] = st.o[j] * st.tanhC[j]
+	}
+	if withOutput {
+		logits := mat.NewVector(m.vocab.Size())
+		m.wo.MulVec(logits, st.h)
+		logits.Add(m.bo)
+		st.probs = mat.Softmax(logits, logits)
+	}
+	return st
+}
+
+// trainSentence runs forward + BPTT over one encoded sentence and applies
+// one Adam step. It returns the summed negative log-likelihood and the
+// number of predicted tokens.
+func (m *LSTM) trainSentence(ids []int) (nll float64, n int) {
+	nll, n = m.accumulateGrads(ids)
+	if n == 0 {
+		return nll, n
+	}
+	c := m.cfg.Clip
+	for _, g := range []*mat.Matrix{m.gEmb, m.gWx, m.gWh, m.gWo} {
+		g.Clip(c)
+	}
+	m.gB.Clip(c)
+	m.gBo.Clip(c)
+	m.optEmb.Step(m.emb.Data, m.gEmb.Data)
+	m.optWx.Step(m.wx.Data, m.gWx.Data)
+	m.optWh.Step(m.wh.Data, m.gWh.Data)
+	m.optWo.Step(m.wo.Data, m.gWo.Data)
+	m.optB.Step(m.b, m.gB)
+	m.optBo.Step(m.bo, m.gBo)
+	m.zeroGrads()
+	return nll, n
+}
+
+func (m *LSTM) zeroGrads() {
+	m.gEmb.Zero()
+	m.gWx.Zero()
+	m.gWh.Zero()
+	m.gWo.Zero()
+	m.gB.Zero()
+	m.gBo.Zero()
+}
+
+// accumulateGrads runs the forward pass and full BPTT for one sentence,
+// accumulating into the gradient buffers without stepping the optimiser.
+func (m *LSTM) accumulateGrads(ids []int) (nll float64, n int) {
+	if len(ids) < 2 {
+		return 0, 0
+	}
+	h := m.cfg.HiddenDim
+	steps := make([]step, 0, len(ids)-1)
+	hv, cv := mat.NewVector(h), mat.NewVector(h)
+	for t := 0; t+1 < len(ids); t++ {
+		st := m.forwardStep(ids[t], hv, cv, true)
+		target := ids[t+1]
+		p := st.probs[target]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		nll += -math.Log(p)
+		n++
+		steps = append(steps, st)
+		hv, cv = st.h, st.c
+	}
+
+	// Backward.
+	dhNext := mat.NewVector(h)
+	dcNext := mat.NewVector(h)
+	dz := mat.NewVector(4 * h)
+	dx := mat.NewVector(m.cfg.EmbedDim)
+	for t := len(steps) - 1; t >= 0; t-- {
+		st := &steps[t]
+		target := ids[t+1]
+		// Output layer: dlogits = probs - onehot(target).
+		dlogits := st.probs // reuse; forward caches not needed afterwards
+		dlogits[target] -= 1
+		m.gWo.AddOuter(1, dlogits, st.h)
+		m.gBo.Add(dlogits)
+		dh := mat.NewVector(h)
+		m.wo.MulVecT(dh, dlogits)
+		dh.Add(dhNext)
+
+		dc := mat.NewVector(h)
+		copy(dc, dcNext)
+		for j := 0; j < h; j++ {
+			do := dh[j] * st.tanhC[j]
+			dcj := dc[j] + dh[j]*st.o[j]*(1-st.tanhC[j]*st.tanhC[j])
+			di := dcj * st.g[j]
+			dg := dcj * st.i[j]
+			df := dcj * st.cPrev[j]
+			dcNext[j] = dcj * st.f[j]
+			dz[j] = di * st.i[j] * (1 - st.i[j])
+			dz[h+j] = df * st.f[j] * (1 - st.f[j])
+			dz[2*h+j] = dg * (1 - st.g[j]*st.g[j])
+			dz[3*h+j] = do * st.o[j] * (1 - st.o[j])
+		}
+		x := m.emb.Row(st.id)
+		m.gWx.AddOuter(1, dz, x)
+		m.gWh.AddOuter(1, dz, st.hPrev)
+		m.gB.Add(dz)
+		m.wx.MulVecT(dx, dz)
+		m.gEmb.Row(st.id).Add(dx)
+		m.wh.MulVecT(dhNext, dz)
+	}
+	return nll, n
+}
+
+// Train fits the model on the corpus for the given number of epochs and
+// returns the training perplexity of the final epoch.
+func (m *LSTM) Train(corpus [][]string, epochs int) float64 {
+	rng := mat.NewRNG(m.cfg.Seed + 77)
+	encoded := make([][]int, len(corpus))
+	for i, sent := range corpus {
+		encoded[i] = m.vocab.EncodeSentence(sent)
+	}
+	var ppl float64
+	for e := 0; e < epochs; e++ {
+		var nll float64
+		var n int
+		perm := rng.Perm(len(encoded))
+		for _, i := range perm {
+			dn, dc := m.trainSentence(encoded[i])
+			nll += dn
+			n += dc
+		}
+		if n > 0 {
+			ppl = math.Exp(nll / float64(n))
+		}
+	}
+	return ppl
+}
+
+// Perplexity evaluates the model on a corpus without training.
+func (m *LSTM) Perplexity(corpus [][]string) float64 {
+	var nll float64
+	var n int
+	h := m.cfg.HiddenDim
+	for _, sent := range corpus {
+		ids := m.vocab.EncodeSentence(sent)
+		hv, cv := mat.NewVector(h), mat.NewVector(h)
+		for t := 0; t+1 < len(ids); t++ {
+			st := m.forwardStep(ids[t], hv, cv, true)
+			p := st.probs[ids[t+1]]
+			if p < 1e-12 {
+				p = 1e-12
+			}
+			nll += -math.Log(p)
+			n++
+			hv, cv = st.h, st.c
+		}
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return math.Exp(nll / float64(n))
+}
+
+// lstmState implements State.
+type lstmState struct {
+	m    *LSTM
+	h, c mat.Vector
+}
+
+// Start returns a state positioned after BOS.
+func (m *LSTM) Start() State {
+	s := &lstmState{m: m, h: mat.NewVector(m.cfg.HiddenDim), c: mat.NewVector(m.cfg.HiddenDim)}
+	s.Feed(BOS)
+	return s
+}
+
+// Feed advances the state by one token.
+func (s *lstmState) Feed(token string) {
+	st := s.m.forwardStep(s.m.vocab.ID(token), s.h, s.c, false)
+	s.h, s.c = st.h, st.c
+}
+
+// Probs returns the next-token distribution.
+func (s *lstmState) Probs() mat.Vector {
+	logits := mat.NewVector(s.m.vocab.Size())
+	s.m.wo.MulVec(logits, s.h)
+	logits.Add(s.m.bo)
+	return mat.Softmax(logits, logits)
+}
+
+// Hidden returns a copy of the hidden state.
+func (s *lstmState) Hidden() mat.Vector { return s.h.Clone() }
+
+// Clone returns an independent copy.
+func (s *lstmState) Clone() State {
+	return &lstmState{m: s.m, h: s.h.Clone(), c: s.c.Clone()}
+}
+
+// EmbedSequence feeds tokens through the model and returns the final
+// hidden state, matching the paper's "network embedding output in the last
+// step as xρ".
+func (m *LSTM) EmbedSequence(tokens []string) mat.Vector {
+	s := m.Start()
+	for _, tok := range tokens {
+		s.Feed(tok)
+	}
+	return s.Hidden()
+}
+
+// PredictNext is a convenience over Start/Feed/Probs: it returns the
+// next-token distribution after the given prefix, sorted descending.
+func (m *LSTM) PredictNext(prefix []string) []TokenProb {
+	s := m.Start()
+	for _, tok := range prefix {
+		s.Feed(tok)
+	}
+	return topTokens(m.vocab, s.Probs())
+}
+
+// topTokens converts a distribution to a sorted TokenProb list, skipping
+// PAD/BOS which are never valid continuations.
+func topTokens(v *Vocab, probs mat.Vector) []TokenProb {
+	out := make([]TokenProb, 0, len(probs))
+	for id, p := range probs {
+		tok := v.Token(id)
+		if tok == PAD || tok == BOS {
+			continue
+		}
+		out = append(out, TokenProb{Token: tok, Prob: p})
+	}
+	sortTokenProbs(out)
+	return out
+}
+
+func sortTokenProbs(tp []TokenProb) {
+	sort.Slice(tp, func(i, j int) bool {
+		if tp[i].Prob != tp[j].Prob {
+			return tp[i].Prob > tp[j].Prob
+		}
+		return tp[i].Token < tp[j].Token
+	})
+}

@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"fmt"
+	"io"
+
+	"semjoin/internal/bin"
+	"semjoin/internal/mat"
+)
+
+// WriteTo persists the vocabulary.
+func (v *Vocab) WriteTo(w *bin.Writer) {
+	w.Strings(v.byID)
+}
+
+// ReadVocab restores a vocabulary written by WriteTo.
+func ReadVocab(r *bin.Reader) *Vocab {
+	ids := r.Strings()
+	v := &Vocab{byToken: make(map[string]int, len(ids)), byID: ids}
+	for i, tok := range ids {
+		v.byToken[tok] = i
+	}
+	return v
+}
+
+// Save persists the trained model (vocabulary, configuration and
+// parameters; optimiser state is not saved — a loaded model predicts and
+// embeds but resumes training from fresh optimiser moments).
+func (m *LSTM) Save(out io.Writer) error {
+	w := bin.NewWriter(out)
+	w.Header("lstm", 1)
+	m.vocab.WriteTo(w)
+	w.Int(m.cfg.EmbedDim)
+	w.Int(m.cfg.HiddenDim)
+	w.F64(m.cfg.LR)
+	w.F64(m.cfg.Clip)
+	w.U64(m.cfg.Seed)
+	for _, p := range []*mat.Matrix{m.emb, m.wx, m.wh, m.wo} {
+		w.F64s(p.Data)
+	}
+	w.F64s(m.b)
+	w.F64s(m.bo)
+	return w.Err()
+}
+
+// LoadLSTM restores a model written by Save.
+func LoadLSTM(in io.Reader) (*LSTM, error) {
+	r := bin.NewReader(in)
+	if v := r.Header("lstm"); r.Err() == nil && v != 1 {
+		return nil, fmt.Errorf("nn: unsupported lstm version %d", v)
+	}
+	vocab := ReadVocab(r)
+	cfg := LSTMConfig{
+		EmbedDim:  r.Int(),
+		HiddenDim: r.Int(),
+		LR:        r.F64(),
+		Clip:      r.F64(),
+		Seed:      r.U64(),
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	m := NewLSTM(vocab, cfg)
+	for _, p := range []*mat.Matrix{m.emb, m.wx, m.wh, m.wo} {
+		data := r.F64s()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if len(data) != len(p.Data) {
+			return nil, fmt.Errorf("nn: parameter size mismatch: %d vs %d", len(data), len(p.Data))
+		}
+		copy(p.Data, data)
+	}
+	for _, v := range []mat.Vector{m.b, m.bo} {
+		data := r.F64s()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if len(data) != len(v) {
+			return nil, fmt.Errorf("nn: bias size mismatch: %d vs %d", len(data), len(v))
+		}
+		copy(v, data)
+	}
+	return m, r.Err()
+}

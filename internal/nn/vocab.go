@@ -1,0 +1,113 @@
+// Package nn implements the learned sequence models of §III: an LSTM
+// language model Mρ trained on random-walk label "sentences" with the
+// perplexity loss, used both to guide path selection (predicting which
+// edge label plausibly follows a prefix) and to embed paths (the hidden
+// state after the last step). A small Transformer encoder and a narrow
+// LSTM serve as the RExtBertSeq / RExtShortSeq ablation baselines. All
+// models are pure Go over the internal/mat kernel.
+package nn
+
+import "sort"
+
+// Reserved vocabulary tokens.
+const (
+	// PAD is the padding token (id 0).
+	PAD = "<pad>"
+	// UNK represents out-of-vocabulary tokens.
+	UNK = "<unk>"
+	// BOS starts every sentence.
+	BOS = "<bos>"
+	// EOS ends every sentence; the path selector stops when Mρ predicts it
+	// (§III-A stop condition (a)).
+	EOS = "<eos>"
+)
+
+// Vocab maps tokens to dense ids. Ids 0..3 are PAD, UNK, BOS, EOS.
+type Vocab struct {
+	byToken map[string]int
+	byID    []string
+}
+
+// NewVocab returns a vocabulary holding only the reserved tokens.
+func NewVocab() *Vocab {
+	v := &Vocab{byToken: make(map[string]int)}
+	for _, t := range []string{PAD, UNK, BOS, EOS} {
+		v.byID = append(v.byID, t)
+		v.byToken[t] = len(v.byID) - 1
+	}
+	return v
+}
+
+// BuildVocab constructs a vocabulary from a corpus, keeping tokens with
+// frequency >= minCount. Tokens are added in decreasing frequency then
+// lexicographic order so ids are deterministic.
+func BuildVocab(corpus [][]string, minCount int) *Vocab {
+	freq := make(map[string]int)
+	for _, sent := range corpus {
+		for _, tok := range sent {
+			freq[tok]++
+		}
+	}
+	type tf struct {
+		tok string
+		n   int
+	}
+	var list []tf
+	for tok, n := range freq {
+		if n >= minCount {
+			list = append(list, tf{tok, n})
+		}
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].n != list[j].n {
+			return list[i].n > list[j].n
+		}
+		return list[i].tok < list[j].tok
+	})
+	v := NewVocab()
+	for _, e := range list {
+		v.Add(e.tok)
+	}
+	return v
+}
+
+// Add inserts tok if absent and returns its id.
+func (v *Vocab) Add(tok string) int {
+	if id, ok := v.byToken[tok]; ok {
+		return id
+	}
+	v.byID = append(v.byID, tok)
+	id := len(v.byID) - 1
+	v.byToken[tok] = id
+	return id
+}
+
+// ID returns tok's id, or the UNK id for unknown tokens.
+func (v *Vocab) ID(tok string) int {
+	if id, ok := v.byToken[tok]; ok {
+		return id
+	}
+	return v.byToken[UNK]
+}
+
+// Has reports whether tok is in the vocabulary.
+func (v *Vocab) Has(tok string) bool {
+	_, ok := v.byToken[tok]
+	return ok
+}
+
+// Token returns the token with the given id.
+func (v *Vocab) Token(id int) string { return v.byID[id] }
+
+// Size returns the vocabulary size including reserved tokens.
+func (v *Vocab) Size() int { return len(v.byID) }
+
+// EncodeSentence maps tokens to ids, wrapping with BOS/EOS.
+func (v *Vocab) EncodeSentence(sent []string) []int {
+	out := make([]int, 0, len(sent)+2)
+	out = append(out, v.ID(BOS))
+	for _, tok := range sent {
+		out = append(out, v.ID(tok))
+	}
+	return append(out, v.ID(EOS))
+}

@@ -1,0 +1,61 @@
+package rel
+
+// Index is a hash index from the values of one attribute to the tuples
+// carrying them. Static semantic joins use indexes over the materialised
+// match relation f(D,G) and extracted relation h(D,G) (§IV-A) so that
+// three-way natural joins probe instead of scan.
+type Index struct {
+	rel  *Relation
+	col  int
+	rows map[string][]int
+}
+
+// BuildIndex indexes r on attribute name. Null values are not indexed.
+func BuildIndex(r *Relation, name string) *Index {
+	c := r.Schema.Col(name)
+	if c < 0 {
+		panic("rel: index: no attribute " + name)
+	}
+	idx := &Index{rel: r, col: c, rows: make(map[string][]int, len(r.Tuples))}
+	for i, t := range r.Tuples {
+		if t[c].IsNull() {
+			continue
+		}
+		k := t[c].Key()
+		idx.rows[k] = append(idx.rows[k], i)
+	}
+	return idx
+}
+
+// Lookup returns the tuples whose indexed attribute equals v. The returned
+// slice must not be modified.
+func (idx *Index) Lookup(v Value) []Tuple {
+	if v.IsNull() {
+		return nil
+	}
+	rows := idx.rows[v.Key()]
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]Tuple, len(rows))
+	for i, r := range rows {
+		out[i] = idx.rel.Tuples[r]
+	}
+	return out
+}
+
+// LookupFirst returns the first tuple with the given key value and whether
+// one exists.
+func (idx *Index) LookupFirst(v Value) (Tuple, bool) {
+	if v.IsNull() {
+		return nil, false
+	}
+	rows := idx.rows[v.Key()]
+	if len(rows) == 0 {
+		return nil, false
+	}
+	return idx.rel.Tuples[rows[0]], true
+}
+
+// Len returns the number of distinct indexed keys.
+func (idx *Index) Len() int { return len(idx.rows) }

@@ -1,0 +1,99 @@
+package rel
+
+import (
+	"fmt"
+	"io"
+
+	"semjoin/internal/bin"
+)
+
+// Save persists the relation (schema and tuples).
+func (r *Relation) Save(out io.Writer) error {
+	w := bin.NewWriter(out)
+	w.Header("relation", 1)
+	writeSchema(w, r.Schema)
+	w.Int(len(r.Tuples))
+	for _, t := range r.Tuples {
+		for _, v := range t {
+			writeValue(w, v)
+		}
+	}
+	return w.Err()
+}
+
+// LoadRelation restores a relation written by Save.
+func LoadRelation(in io.Reader) (*Relation, error) {
+	rd := bin.NewReader(in)
+	if v := rd.Header("relation"); rd.Err() == nil && v != 1 {
+		return nil, fmt.Errorf("rel: unsupported relation version %d", v)
+	}
+	schema, err := readSchema(rd)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(schema)
+	n := rd.Len()
+	for i := 0; i < n; i++ {
+		t := make(Tuple, len(schema.Attrs))
+		for j := range t {
+			t[j] = readValue(rd)
+		}
+		if rd.Err() != nil {
+			return nil, rd.Err()
+		}
+		out.Tuples = append(out.Tuples, t)
+	}
+	return out, rd.Err()
+}
+
+func writeSchema(w *bin.Writer, s *Schema) {
+	w.String(s.Name)
+	w.String(s.Key)
+	w.Int(len(s.Attrs))
+	for _, a := range s.Attrs {
+		w.String(a.Name)
+		w.Int(int(a.Type))
+	}
+}
+
+func readSchema(r *bin.Reader) (*Schema, error) {
+	name := r.String()
+	key := r.String()
+	n := r.Len()
+	attrs := make([]Attribute, 0, n)
+	for i := 0; i < n; i++ {
+		attrs = append(attrs, Attribute{Name: r.String(), Type: Kind(r.Int())})
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	return NewSchema(name, key, attrs...), nil
+}
+
+func writeValue(w *bin.Writer, v Value) {
+	w.Int(int(v.kind))
+	switch v.kind {
+	case KindString:
+		w.String(v.s)
+	case KindInt:
+		w.I64(v.n)
+	case KindFloat:
+		w.F64(v.f)
+	case KindBool:
+		w.Bool(v.b)
+	}
+}
+
+func readValue(r *bin.Reader) Value {
+	switch Kind(r.Int()) {
+	case KindString:
+		return S(r.String())
+	case KindInt:
+		return I(r.I64())
+	case KindFloat:
+		return F(r.F64())
+	case KindBool:
+		return B(r.Bool())
+	}
+	return Null
+}

@@ -1,0 +1,60 @@
+package rel
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRelationSaveLoadRoundTrip(t *testing.T) {
+	r := NewRelation(NewSchema("mix", "id",
+		Attribute{Name: "id", Type: KindString},
+		Attribute{Name: "n", Type: KindInt},
+		Attribute{Name: "f", Type: KindFloat},
+		Attribute{Name: "b", Type: KindBool},
+		Attribute{Name: "s", Type: KindString},
+	))
+	r.InsertVals(S("a"), I(-5), F(2.25), B(true), S("hello 'world'"))
+	r.InsertVals(S("b"), Null, Null, Null, Null)
+	r.InsertVals(S("c"), I(1<<40), F(-0.0), B(false), S(""))
+
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRelation(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema.String() != r.Schema.String() || got.Schema.Key != r.Schema.Key {
+		t.Fatalf("schema changed: %v", got.Schema)
+	}
+	if got.Len() != r.Len() {
+		t.Fatalf("rows = %d", got.Len())
+	}
+	for i := range r.Tuples {
+		for j := range r.Tuples[i] {
+			a, b := r.Tuples[i][j], got.Tuples[i][j]
+			if a.IsNull() != b.IsNull() {
+				t.Fatalf("null mismatch at %d,%d", i, j)
+			}
+			if !a.IsNull() && a.Key() != b.Key() {
+				t.Fatalf("value mismatch at %d,%d: %v vs %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestRelationLoadCorrupt(t *testing.T) {
+	if _, err := LoadRelation(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("corrupt input should error")
+	}
+	r := NewRelation(NewSchema("r", "", Attribute{Name: "x"}))
+	r.InsertVals(S("value"))
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRelation(bytes.NewReader(buf.Bytes()[:buf.Len()-3])); err == nil {
+		t.Fatal("truncated input should error")
+	}
+}

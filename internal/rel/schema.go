@@ -1,0 +1,215 @@
+package rel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attribute is one column of a relation schema.
+type Attribute struct {
+	Name string
+	Type Kind
+}
+
+// Schema describes a relation: a name, an ordered attribute list and the
+// name of the key attribute (the tuple id of §II-A; may be empty for
+// derived relations that carry no entity identity).
+type Schema struct {
+	Name  string
+	Attrs []Attribute
+	Key   string // name of the tuple-id attribute, "" if none
+
+	index map[string]int
+}
+
+// NewSchema builds a schema. Attribute names must be unique.
+func NewSchema(name string, key string, attrs ...Attribute) *Schema {
+	s := &Schema{Name: name, Attrs: attrs, Key: key, index: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if _, dup := s.index[a.Name]; dup {
+			panic(fmt.Sprintf("rel: duplicate attribute %q in schema %q", a.Name, name))
+		}
+		s.index[a.Name] = i
+	}
+	if key != "" {
+		if _, ok := s.index[key]; !ok {
+			panic(fmt.Sprintf("rel: key %q not an attribute of schema %q", key, name))
+		}
+	}
+	return s
+}
+
+// Col returns the position of attribute name, or -1 if absent. Both the
+// bare name and the qualified "relation.name" form resolve.
+func (s *Schema) Col(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	if dot := strings.IndexByte(name, '.'); dot >= 0 {
+		rel, attr := name[:dot], name[dot+1:]
+		if rel == s.Name {
+			if i, ok := s.index[attr]; ok {
+				return i
+			}
+		}
+	} else {
+		// Bare name may match a single qualified attribute "rel.name".
+		found := -1
+		for i, a := range s.Attrs {
+			if strings.HasSuffix(a.Name, "."+name) {
+				if found >= 0 {
+					return -1 // ambiguous
+				}
+				found = i
+			}
+		}
+		return found
+	}
+	return -1
+}
+
+// Has reports whether the schema contains attribute name.
+func (s *Schema) Has(name string) bool { return s.Col(name) >= 0 }
+
+// AttrNames returns the attribute names in order.
+func (s *Schema) AttrNames() []string {
+	out := make([]string, len(s.Attrs))
+	for i, a := range s.Attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// KeyCol returns the position of the key attribute, or -1.
+func (s *Schema) KeyCol() int {
+	if s.Key == "" {
+		return -1
+	}
+	return s.Col(s.Key)
+}
+
+// Rename returns a copy of s with a new relation name.
+func (s *Schema) Rename(name string) *Schema {
+	return NewSchema(name, s.Key, append([]Attribute(nil), s.Attrs...)...)
+}
+
+// Qualified returns a copy of s whose attributes are prefixed "name.attr".
+// Joins use it to keep provenance when attribute names collide.
+func (s *Schema) Qualified(name string) *Schema {
+	attrs := make([]Attribute, len(s.Attrs))
+	for i, a := range s.Attrs {
+		attrs[i] = Attribute{Name: name + "." + a.Name, Type: a.Type}
+	}
+	key := ""
+	if s.Key != "" {
+		key = name + "." + s.Key
+	}
+	return NewSchema(name, key, attrs...)
+}
+
+// String renders the schema as R(a, b, ...).
+func (s *Schema) String() string {
+	return fmt.Sprintf("%s(%s)", s.Name, strings.Join(s.AttrNames(), ", "))
+}
+
+// Tuple is one row. Its length always equals the schema arity.
+type Tuple []Value
+
+// Clone returns a copy of t.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Relation is a schema plus its tuples. The zero value is unusable; build
+// with NewRelation.
+type Relation struct {
+	Schema *Schema
+	Tuples []Tuple
+}
+
+// NewRelation returns an empty relation of schema s.
+func NewRelation(s *Schema) *Relation {
+	return &Relation{Schema: s}
+}
+
+// Insert appends a tuple. It panics if the arity does not match.
+func (r *Relation) Insert(t Tuple) {
+	if len(t) != len(r.Schema.Attrs) {
+		panic(fmt.Sprintf("rel: arity mismatch inserting into %s: got %d values", r.Schema, len(t)))
+	}
+	r.Tuples = append(r.Tuples, t)
+}
+
+// InsertVals appends a tuple built from vals.
+func (r *Relation) InsertVals(vals ...Value) { r.Insert(Tuple(vals)) }
+
+// Len returns the tuple count.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Get returns the value of attribute name in tuple t, or Null if the
+// attribute is absent.
+func (r *Relation) Get(t Tuple, name string) Value {
+	i := r.Schema.Col(name)
+	if i < 0 {
+		return Null
+	}
+	return t[i]
+}
+
+// Clone returns a deep copy of the relation (tuples copied, schema shared).
+func (r *Relation) Clone() *Relation {
+	out := NewRelation(r.Schema)
+	out.Tuples = make([]Tuple, len(r.Tuples))
+	for i, t := range r.Tuples {
+		out.Tuples[i] = t.Clone()
+	}
+	return out
+}
+
+// String renders the relation as a small ASCII table (useful in examples
+// and the gSQL shell).
+func (r *Relation) String() string {
+	var b strings.Builder
+	names := r.Schema.AttrNames()
+	widths := make([]int, len(names))
+	for i, n := range names {
+		widths[i] = len(n)
+	}
+	rows := make([][]string, len(r.Tuples))
+	for ti, t := range r.Tuples {
+		row := make([]string, len(t))
+		for i, v := range t {
+			row[i] = v.String()
+			if len(row[i]) > widths[i] {
+				widths[i] = len(row[i])
+			}
+		}
+		rows[ti] = row
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(names)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("-+-")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

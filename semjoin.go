@@ -1,0 +1,297 @@
+// Package semjoin is an open-source implementation of "Extracting Graphs
+// Properties with Semantic Joins" (Cao, Fan, Fu, Jin, Ou, Yi — ICDE
+// 2023): querying a relational database D and a graph G taken together in
+// SQL, by semantically joining tuples with the graph vertices that denote
+// the same real-world entities.
+//
+// The package is a curated facade over the implementation packages:
+//
+//   - Graph, Relation, Schema — the data substrates.
+//   - TrainModels — unsupervised training of the LSTM language model Mρ
+//     and GloVe-style word embedder Me on random-walk label corpora.
+//   - Extractor / RExtConfig — the RExt extraction scheme (§III-A):
+//     LSTM-guided path selection, path-pattern clustering, majority-vote
+//     refinement, ranked attribute selection and value extraction, plus
+//     IncExt incremental maintenance (§III-B).
+//   - EnrichmentJoin / LinkJoin — the two semantic joins of §II-B.
+//   - BuildMaterialized / HeuristicJoiner — the static and heuristic
+//     implementations of §IV.
+//   - Engine / Catalog — the gSQL dialect of §II-C (SQL plus e-join /
+//     l-join) with the linear-time well-behaved analysis.
+//
+// Quick start (also in examples/quickstart):
+//
+//	g := semjoin.NewGraph()
+//	// ... add vertices/edges and a keyed relation products ...
+//	models := semjoin.TrainModels(g, 8, 1)
+//	out, err := semjoin.EnrichmentJoin(products, g, models, matcher,
+//	    []string{"company", "country"}, semjoin.RExtConfig{K: 3})
+package semjoin
+
+import (
+	"io"
+
+	"semjoin/internal/core"
+	"semjoin/internal/dataio"
+	"semjoin/internal/dataset"
+	"semjoin/internal/graph"
+	"semjoin/internal/gsql"
+	"semjoin/internal/her"
+	"semjoin/internal/mat"
+	"semjoin/internal/rel"
+)
+
+// Graph substrate (internal/graph).
+type (
+	// Graph is a directed labeled multigraph with typed vertices.
+	Graph = graph.Graph
+	// VertexID identifies a vertex.
+	VertexID = graph.VertexID
+	// Path is a simple undirected path with direction-marked edge labels.
+	Path = graph.Path
+	// Vertex is a labeled, typed graph vertex.
+	Vertex = graph.Vertex
+	// Edge is a directed labeled edge.
+	Edge = graph.Edge
+	// GraphUpdate is one element of an update batch ΔG.
+	GraphUpdate = graph.Update
+	// GraphBatch is a ΔG update batch.
+	GraphBatch = graph.Batch
+)
+
+// Graph update operations.
+const (
+	// InsertEdge adds an edge.
+	InsertEdge = graph.InsertEdge
+	// DeleteEdge removes an edge.
+	DeleteEdge = graph.DeleteEdge
+	// InsertVertex adds a vertex.
+	InsertVertex = graph.InsertVertex
+	// DeleteVertex removes a vertex and its incident edges.
+	DeleteVertex = graph.DeleteVertex
+)
+
+// NoVertex is the invalid vertex id.
+const NoVertex = graph.NoVertex
+
+// FindVertex returns the first live vertex carrying label, or NoVertex.
+func FindVertex(g *Graph, label string) VertexID {
+	id := NoVertex
+	g.Vertices(func(v Vertex) {
+		if id == NoVertex && v.Label == label {
+			id = v.ID
+		}
+	})
+	return id
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return graph.New() }
+
+// Relational substrate (internal/rel).
+type (
+	// Relation is a schema plus tuples.
+	Relation = rel.Relation
+	// Schema describes a relation.
+	Schema = rel.Schema
+	// Attribute is one column.
+	Attribute = rel.Attribute
+	// Tuple is one row.
+	Tuple = rel.Tuple
+	// Value is one attribute value.
+	Value = rel.Value
+)
+
+// NewSchema builds a relation schema (key may be "" for derived results).
+func NewSchema(name, key string, attrs ...Attribute) *Schema {
+	return rel.NewSchema(name, key, attrs...)
+}
+
+// NewRelation returns an empty relation of schema s.
+func NewRelation(s *Schema) *Relation { return rel.NewRelation(s) }
+
+// Value constructors.
+var (
+	// S builds a string value.
+	S = rel.S
+	// I builds an integer value.
+	I = rel.I
+	// F builds a float value.
+	F = rel.F
+	// B builds a boolean value.
+	B = rel.B
+	// Null is the SQL null.
+	Null = rel.Null
+)
+
+// HER (internal/her).
+type (
+	// Matcher computes the HER match relation f(S,G) of §II-B.
+	Matcher = her.Matcher
+	// Match pairs a tuple with a vertex.
+	Match = her.Match
+	// HERConfig parameterises the similarity matcher.
+	HERConfig = her.Config
+)
+
+// NewSimilarityMatcher returns the blocking + token-similarity HER.
+func NewSimilarityMatcher(cfg HERConfig) *her.SimilarityMatcher {
+	return her.NewSimilarityMatcher(cfg)
+}
+
+// NewOracleMatcher returns a ground-truth HER over tid→vertex alignments.
+func NewOracleMatcher(truth map[string]VertexID) *her.OracleMatcher {
+	return her.NewOracleMatcher(truth)
+}
+
+// Core: RExt, IncExt, semantic joins (internal/core).
+type (
+	// Models bundles the learned components (Mρ and Me).
+	Models = core.Models
+	// RExtConfig parameterises extraction (§III-A).
+	RExtConfig = core.Config
+	// Extractor runs RExt and IncExt.
+	Extractor = core.Extractor
+	// ExtractionScheme is the extracted schema RG plus pattern clusters.
+	ExtractionScheme = core.Scheme
+	// PathPattern is a list of direction-marked edge labels.
+	PathPattern = core.PathPattern
+	// Materialized holds the offline pre-computation for static joins.
+	Materialized = core.Materialized
+	// BaseSpec describes one base relation to pre-process.
+	BaseSpec = core.BaseSpec
+	// HeuristicJoiner answers non-well-behaved joins without HER/RExt.
+	HeuristicJoiner = core.HeuristicJoiner
+	// TypeExtraction is gτ(G) for one vertex type.
+	TypeExtraction = core.TypeExtraction
+	// IncStats reports one incremental maintenance step.
+	IncStats = core.IncStats
+)
+
+// TrainModels trains the default LSTM + GloVe pair on g (unsupervised).
+func TrainModels(g *Graph, epochs int, seed uint64) Models {
+	return core.TrainModels(g, epochs, seed)
+}
+
+// NewExtractor builds an RExt extractor.
+func NewExtractor(g *Graph, models Models, cfg RExtConfig) *Extractor {
+	return core.NewExtractor(g, models, cfg)
+}
+
+// EnrichmentJoin computes the exact enrichment join S ⋈_A G (§II-B).
+func EnrichmentJoin(s *Relation, g *Graph, models Models, matcher Matcher, keywords []string, cfg RExtConfig) (*Relation, error) {
+	return core.EnrichmentJoin(s, g, models, matcher, keywords, cfg)
+}
+
+// LinkJoin computes the exact link join S1 ⋈_G S2 with hop bound k.
+func LinkJoin(s1, s2 *Relation, g *Graph, matcher Matcher, k int) *Relation {
+	return core.LinkJoin(s1, s2, g, matcher, k)
+}
+
+// BuildMaterialized runs the offline pre-processing for static joins.
+func BuildMaterialized(g *Graph, models Models, specs map[string]BaseSpec, cfg RExtConfig) (*Materialized, error) {
+	return core.BuildMaterialized(g, models, specs, cfg)
+}
+
+// ProfileGraph extracts gτ(G) for each vertex type (heuristic joins).
+func ProfileGraph(g *Graph, models Models, keywordsByType map[string][]string, minVertices int, cfg RExtConfig) map[string]*TypeExtraction {
+	return core.ProfileGraph(g, models, keywordsByType, minVertices, cfg)
+}
+
+// NewHeuristicJoiner builds a heuristic joiner over profiled types.
+func NewHeuristicJoiner(profiles map[string]*TypeExtraction) *HeuristicJoiner {
+	return core.NewHeuristicJoiner(profiles)
+}
+
+// RandomGraphBatch samples a ΔG of n edge updates (half deletions, half
+// insertions) for incremental-maintenance experiments.
+func RandomGraphBatch(g *Graph, seed uint64, n int) GraphBatch {
+	return graph.RandomBatch(g, mat.NewRNG(seed), n)
+}
+
+// gSQL (internal/gsql).
+type (
+	// Engine executes gSQL queries.
+	Engine = gsql.Engine
+	// Catalog binds relations, graphs and join machinery.
+	Catalog = gsql.Catalog
+	// EngineMode selects the execution strategy.
+	EngineMode = gsql.Mode
+)
+
+// Engine modes.
+const (
+	// ModeAuto plans static/dynamic/heuristic per the well-behaved
+	// analysis.
+	ModeAuto = gsql.ModeAuto
+	// ModeBaseline always runs HER and RExt online.
+	ModeBaseline = gsql.ModeBaseline
+	// ModeHeuristic forces heuristic joins.
+	ModeHeuristic = gsql.ModeHeuristic
+)
+
+// NewEngine returns a gSQL engine over cat in ModeAuto.
+func NewEngine(cat *Catalog) *Engine { return gsql.NewEngine(cat) }
+
+// ParseGSQL parses one gSQL query without executing it.
+func ParseGSQL(input string) (*gsql.Query, error) { return gsql.Parse(input) }
+
+// Persistence (internal/core, internal/rel): binary save/load for the
+// offline artifacts — trained models, extraction schemes and relations —
+// so the §IV-A preprocessing runs once per graph version.
+
+// SaveModels persists a trained model pair (LSTM + type-aware GloVe).
+func SaveModels(w io.Writer, m Models) error { return core.SaveModels(w, m) }
+
+// LoadModels restores a model pair written by SaveModels.
+func LoadModels(r io.Reader) (Models, error) { return core.LoadModels(r) }
+
+// SaveScheme persists an extraction scheme for later ExtractWithScheme.
+func SaveScheme(w io.Writer, s *ExtractionScheme) error { return core.SaveScheme(w, s) }
+
+// LoadScheme restores a scheme written by SaveScheme.
+func LoadScheme(r io.Reader) (*ExtractionScheme, error) { return core.LoadScheme(r) }
+
+// SaveRelation persists a relation (schema and tuples) in binary form.
+func SaveRelation(w io.Writer, r *Relation) error { return r.Save(w) }
+
+// LoadRelation restores a relation written by SaveRelation.
+func LoadRelation(r io.Reader) (*Relation, error) { return rel.LoadRelation(r) }
+
+// Interchange (internal/dataio): plain-text loading of real data.
+
+// LoadRelationCSV reads a relation from CSV (header row; inferred types;
+// empty cells are NULL).
+func LoadRelationCSV(r io.Reader, name, key string) (*Relation, error) {
+	return dataio.LoadRelationCSV(r, name, key)
+}
+
+// WriteRelationCSV writes a relation as CSV.
+func WriteRelationCSV(w io.Writer, rel *Relation) error { return dataio.WriteRelationCSV(w, rel) }
+
+// LoadGraphTSV reads a graph from TSV triples (V id label type / E src
+// label dst), returning the file-id → vertex mapping.
+func LoadGraphTSV(r io.Reader) (*Graph, map[string]VertexID, error) {
+	return dataio.LoadGraphTSV(r)
+}
+
+// WriteGraphTSV writes a graph as TSV triples.
+func WriteGraphTSV(w io.Writer, g *Graph) error { return dataio.WriteGraphTSV(w, g) }
+
+// Datasets (internal/dataset): the six synthetic Table II collections.
+type (
+	// Collection is one generated relation/graph pair with ground truth.
+	Collection = dataset.Collection
+	// DatasetConfig scales a generator.
+	DatasetConfig = dataset.Config
+)
+
+// GenerateCollection builds one of the six named collections ("Drugs",
+// "FakeNews", "Movie", "MovKB", "Paper", "Celebrity").
+func GenerateCollection(name string, cfg DatasetConfig) *Collection {
+	gen := dataset.ByName(name)
+	if gen == nil {
+		return nil
+	}
+	return gen(cfg)
+}

@@ -1,0 +1,87 @@
+package semjoin
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFacadePersistence(t *testing.T) {
+	g, products, truth := buildPublicWorld()
+	models := TrainModels(g, 6, 1)
+
+	var mbuf bytes.Buffer
+	if err := SaveModels(&mbuf, models); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModels(bytes.NewReader(mbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Discover a scheme with the original, extract with the loaded pair.
+	ex := NewExtractor(g, models, RExtConfig{K: 3, H: 8, Keywords: []string{"company"}})
+	matches := NewOracleMatcher(truth).Match(products, g)
+	if _, err := ex.Run(products, matches); err != nil {
+		t.Fatal(err)
+	}
+	var sbuf bytes.Buffer
+	if err := SaveScheme(&sbuf, ex.Scheme()); err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := LoadScheme(bytes.NewReader(sbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex2 := NewExtractor(g, loaded, RExtConfig{K: 3, H: 8, Keywords: []string{"company"}})
+	dg := ex2.ExtractWithScheme(products, scheme, matches)
+	if dg.Len() != ex.Result().Len() {
+		t.Fatalf("reloaded extraction rows = %d, want %d", dg.Len(), ex.Result().Len())
+	}
+
+	var rbuf bytes.Buffer
+	if err := SaveRelation(&rbuf, dg); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadRelation(bytes.NewReader(rbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != dg.Len() {
+		t.Fatal("relation round trip changed rows")
+	}
+}
+
+func TestFacadeCSVAndTSV(t *testing.T) {
+	r, err := LoadRelationCSV(strings.NewReader("id,name\n1,alpha\n2,beta\n"), "t", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("rows = %d", r.Len())
+	}
+	var buf bytes.Buffer
+	if err := WriteRelationCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "alpha") {
+		t.Fatal("csv output missing data")
+	}
+
+	g, products, _ := buildPublicWorld()
+	_ = products
+	var gbuf bytes.Buffer
+	if err := WriteGraphTSV(&gbuf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, ids, err := LoadGraphTSV(bytes.NewReader(gbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("graph round trip changed shape")
+	}
+	if len(ids) != g.NumVertices() {
+		t.Fatal("id mapping incomplete")
+	}
+}

@@ -1,0 +1,194 @@
+package semjoin
+
+// Tests of the public facade: everything a downstream user touches is
+// exercised through the exported surface only.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// buildPublicWorld assembles a small typed world through the facade.
+func buildPublicWorld() (*Graph, *Relation, map[string]VertexID) {
+	g := NewGraph()
+	uk := g.AddVertex("UK", "country")
+	us := g.AddVertex("US", "country")
+	acme := g.AddVertex("Acme Corp", "company")
+	globex := g.AddVertex("Globex Corp", "company")
+	g.AddEdge(acme, "registered_in", uk)
+	g.AddEdge(globex, "registered_in", us)
+
+	products := NewRelation(NewSchema("product", "pid",
+		Attribute{Name: "pid"}, Attribute{Name: "name"}))
+	truth := map[string]VertexID{}
+	for i := 0; i < 10; i++ {
+		name := fmt.Sprintf("gadget %02d", i)
+		v := g.AddVertex(name, "product")
+		issuer := acme
+		if i%2 == 1 {
+			issuer = globex
+		}
+		g.AddEdge(issuer, "issues", v)
+		pid := fmt.Sprintf("p%02d", i)
+		products.InsertVals(S(pid), S(name))
+		truth[pid] = v
+	}
+	return g, products, truth
+}
+
+func TestFacadeEnrichmentJoin(t *testing.T) {
+	g, products, truth := buildPublicWorld()
+	models := TrainModels(g, 8, 1)
+	out, err := EnrichmentJoin(products, g, models, NewOracleMatcher(truth),
+		[]string{"company", "country"}, RExtConfig{K: 3, H: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != products.Len() {
+		t.Fatalf("rows = %d", out.Len())
+	}
+	hits := 0
+	for _, tp := range out.Tuples {
+		pid := out.Get(tp, "pid").Str()
+		want := "Acme Corp"
+		if strings.HasSuffix(pid, "1") || strings.HasSuffix(pid, "3") ||
+			strings.HasSuffix(pid, "5") || strings.HasSuffix(pid, "7") || strings.HasSuffix(pid, "9") {
+			want = "Globex Corp"
+		}
+		if out.Get(tp, "company").Str() == want {
+			hits++
+		}
+	}
+	if hits < 9 {
+		t.Fatalf("company accuracy %d/10", hits)
+	}
+}
+
+func TestFacadeSimilarityMatcher(t *testing.T) {
+	g, products, truth := buildPublicWorld()
+	matches := NewSimilarityMatcher(HERConfig{TypeFilter: "product"}).Match(products, g)
+	if len(matches) != products.Len() {
+		t.Fatalf("matches = %d", len(matches))
+	}
+	for _, m := range matches {
+		if truth[m.TID.String()] != m.Vertex {
+			t.Fatalf("similarity HER mismatched %s", m.TID)
+		}
+	}
+}
+
+func TestFacadeLinkJoin(t *testing.T) {
+	g, products, truth := buildPublicWorld()
+	// Products of the same issuer are 2 hops apart.
+	out := LinkJoin(products, products, g, NewOracleMatcher(truth), 2)
+	if out.Len() == 0 {
+		t.Fatal("no links")
+	}
+}
+
+func TestFacadeGSQLEngine(t *testing.T) {
+	g, products, truth := buildPublicWorld()
+	models := TrainModels(g, 8, 1)
+	matcher := NewOracleMatcher(truth)
+	mat, err := BuildMaterialized(g, models, map[string]BaseSpec{
+		"product": {D: products, AR: []string{"company", "country"}, Matcher: matcher},
+	}, RExtConfig{K: 3, H: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(&Catalog{
+		Relations: map[string]*Relation{"product": products},
+		Graphs:    map[string]*Graph{"G": g},
+		Models:    models, Matcher: matcher, Mat: mat, K: 3,
+	})
+	out, err := eng.Query(`
+		select pid, company from product e-join G <company, country> as T
+		where T.country = 'UK' order by pid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 5 {
+		t.Fatalf("UK products = %d, want 5\n%v", out.Len(), out)
+	}
+	q, err := ParseGSQL(`select * from product e-join G <company> as T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.WellBehaved(q) {
+		t.Fatal("base-table e-join with A ⊆ AR should be well-behaved")
+	}
+}
+
+func TestFacadeGraphUpdatesAndIncExt(t *testing.T) {
+	g, products, truth := buildPublicWorld()
+	models := TrainModels(g, 8, 1)
+	matcher := NewOracleMatcher(truth)
+	ex := NewExtractor(g, models, RExtConfig{K: 3, H: 8, Keywords: []string{"company"}})
+	if _, err := ex.Run(products, matcher.Match(products, g)); err != nil {
+		t.Fatal(err)
+	}
+	acme := FindVertex(g, "Acme Corp")
+	p0 := truth["p00"]
+	globex := FindVertex(g, "Globex Corp")
+	stats, err := ex.ApplyGraphUpdate(GraphBatch{
+		{Op: DeleteEdge, Edge: Edge{From: acme, Label: "issues", To: p0}},
+		{Op: InsertEdge, Edge: Edge{From: globex, Label: "issues", To: p0}},
+	}, matcher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Affected == 0 {
+		t.Fatal("update should affect entities")
+	}
+	dg := ex.Result()
+	for _, tp := range dg.Tuples {
+		if VertexID(dg.Get(tp, "vid").Int()) == p0 {
+			if got := dg.Get(tp, "company").Str(); got != "Globex Corp" {
+				t.Fatalf("p00 company after update = %q", got)
+			}
+		}
+	}
+}
+
+func TestFacadeCollections(t *testing.T) {
+	c := GenerateCollection("Movie", DatasetConfig{Entities: 20, Seed: 3})
+	if c == nil || c.Main().Len() != 20 {
+		t.Fatal("collection generation failed")
+	}
+	if GenerateCollection("NoSuch", DatasetConfig{}) != nil {
+		t.Fatal("unknown collection should be nil")
+	}
+	reduced, truthCols := c.Drop("movie", []string{"director"})
+	if reduced.Schema.Has("director") || len(truthCols["director"]) != 20 {
+		t.Fatal("Drop broken via facade")
+	}
+}
+
+func TestFacadeFindVertex(t *testing.T) {
+	g, _, _ := buildPublicWorld()
+	if FindVertex(g, "UK") == NoVertex {
+		t.Fatal("UK should be found")
+	}
+	if FindVertex(g, "Atlantis") != NoVertex {
+		t.Fatal("Atlantis should not be found")
+	}
+}
+
+func TestFacadeRandomGraphBatch(t *testing.T) {
+	g, _, _ := buildPublicWorld()
+	b := RandomGraphBatch(g, 5, 6)
+	if len(b) != 6 {
+		t.Fatalf("batch = %d", len(b))
+	}
+	b.Apply(g)
+}
+
+func TestFacadeValues(t *testing.T) {
+	if S("x").Str() != "x" || I(3).Int() != 3 || F(2.5).Float() != 2.5 || !B(true).Bool() {
+		t.Fatal("value constructors broken")
+	}
+	if !Null.IsNull() {
+		t.Fatal("Null should be null")
+	}
+}
