@@ -16,6 +16,7 @@ import (
 	"semjoin/internal/expr"
 	"semjoin/internal/gsql"
 	"semjoin/internal/nn"
+	"semjoin/internal/rel"
 )
 
 const (
@@ -259,6 +260,52 @@ func BenchmarkLinkJoinGL(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := eng.Query(q); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPipelineVsMaterialize contrasts the eager (materialise every
+// intermediate) and pipelined (Volcano iterator) executions of the
+// static enrichment join's three-way reduction S ⋈ f(D,G) ⋈ h(D,G): the
+// pipelined plan allocates no intermediate relations between operators.
+func BenchmarkPipelineVsMaterialize(b *testing.B) {
+	env := benchEnv(b, "Drugs")
+	base := env.Cat.Mat.Base("drug")
+	if base == nil {
+		b.Fatal("no drug materialisation")
+	}
+	s := env.Cat.Relations["drug"]
+	kw := base.AR()
+	cols := append(append([]string(nil), s.Schema.AttrNames()...), "vid")
+	cols = append(cols, kw...)
+
+	b.Run("materialize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			j := rel.NaturalJoin(rel.NaturalJoin(s, base.MatchRel), base.Extracted)
+			out, err := rel.Project(j, cols...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out.Len() == 0 {
+				b.Fatal("empty join")
+			}
+		}
+	})
+	b.Run("pipelined", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			it, err := env.Cat.Mat.StaticEnrichIter("drug", rel.NewScan(s), kw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out, err := rel.Materialize(nil, it)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out.Len() == 0 {
+				b.Fatal("empty join")
 			}
 		}
 	})

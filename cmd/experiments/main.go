@@ -167,6 +167,12 @@ func main() {
 		any = true
 		fmt.Fprintln(w, "Exp-3(II) — end-to-end gSQL evaluation")
 		expr.RenderEndToEnd(w, expr.EndToEnd(o))
+		if samples, err := expr.ExplainSamples(o); err == nil {
+			fmt.Fprintln(w, "sample annotated plans (per-operator rows out and wall time):")
+			fmt.Fprintln(w, samples)
+		} else {
+			fmt.Fprintln(w, "explain samples:", err)
+		}
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

@@ -140,6 +140,16 @@ func main() {
 }
 
 func runQuery(eng *gsql.Engine, q string) {
+	trimmed := strings.TrimSpace(q)
+	if len(trimmed) >= 7 && strings.EqualFold(trimmed[:7], "explain") {
+		text, err := eng.Explain(trimmed)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Print(text)
+		return
+	}
 	start := time.Now()
 	out, err := eng.Query(q)
 	elapsed := time.Since(start)

@@ -120,7 +120,10 @@ func (h *HeuristicJoiner) Enrich(q *rel.Relation, a []string) (*rel.Relation, st
 			}
 		}
 	}
-	out := rel.Project(joined, cols...)
+	out, err := rel.Project(joined, cols...)
+	if err != nil {
+		return nil, "", err
+	}
 	// Restore bare attribute names where unambiguous for downstream
 	// predicates: strip the qualifier from q's columns and keyword columns.
 	attrs := make([]rel.Attribute, len(out.Schema.Attrs))

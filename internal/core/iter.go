@@ -1,0 +1,194 @@
+// Iterator forms of the semantic joins. Enrichment and link joins are
+// input-side pipeline breakers: HER matching and match restriction
+// need whole relations, so the sources materialise at Open — but the
+// joined output streams tuple-at-a-time into the surrounding
+// relational plan, and the static enrichment join pipelines end to end
+// when its source schema is known at plan time.
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"semjoin/internal/graph"
+	"semjoin/internal/her"
+	"semjoin/internal/rel"
+)
+
+// StaticEnrichIter is the pipelined form of StaticEnrich: the paper's
+// three-way reduction S ⋈ f(D,G) ⋈ h(D,G) as a streaming natural-join
+// chain over the pre-computed relations, projected to S's attributes
+// plus vid plus A. When src's schema is unknown before Open (an opaque
+// upstream semantic join) it falls back to materialising src first.
+func (m *Materialized) StaticEnrichIter(base string, src rel.Iterator, a []string) (rel.Iterator, error) {
+	b := m.bases[base]
+	if b == nil {
+		return nil, fmt.Errorf("core: no materialisation for base %q", base)
+	}
+	if !m.WellBehavedKeywords(base, a) {
+		return nil, fmt.Errorf("core: keywords %v not covered by AR(%s)=%v", a, base, b.Spec.AR)
+	}
+	s := src.Schema()
+	if s == nil {
+		return rel.NewApply("e-join static "+base, []rel.Iterator{src},
+			func(ctx context.Context, in []*rel.Relation) (*rel.Relation, string, error) {
+				r, err := m.StaticEnrich(base, in[0], a)
+				return r, "", err
+			}), nil
+	}
+	j := rel.NewNaturalJoin(rel.NewNaturalJoin(src, rel.NewScan(b.MatchRel)), rel.NewScan(b.Extracted))
+	// Project to S's attributes plus vid plus the requested keywords,
+	// deduplicating: S may already carry vid or some keyword column from
+	// an earlier (chained) enrichment join.
+	cols := append([]string(nil), s.AttrNames()...)
+	seen := map[string]bool{}
+	for _, c := range cols {
+		seen[c] = true
+	}
+	for _, c := range append([]string{"vid"}, a...) {
+		if !seen[c] {
+			seen[c] = true
+			cols = append(cols, c)
+		}
+	}
+	return rel.NewProject(j, cols...), nil
+}
+
+// StaticLinkIter is the pipelined form of StaticLink: both sides
+// materialise at Open (match restriction needs whole relations), the
+// joined pairs stream out, and the operator's plan note records
+// whether the gL connectivity cache answered the query.
+func (m *Materialized) StaticLinkIter(base1 string, s1 rel.Iterator, base2 string, s2 rel.Iterator, k int, cacheKey string) rel.Iterator {
+	return rel.NewGenerate("l-join static", []rel.Iterator{s1, s2},
+		func(ctx context.Context, in []*rel.Relation) (rel.Generated, error) {
+			b1, b2 := m.bases[base1], m.bases[base2]
+			if b1 == nil || b2 == nil {
+				return rel.Generated{}, fmt.Errorf("core: no materialisation for %q/%q", base1, base2)
+			}
+			r1, r2 := in[0], in[1]
+			m1 := restrictMatches(b1, r1)
+			m2 := restrictMatches(b2, r2)
+			if cacheKey != "" {
+				if cached, ok := m.gl[cacheKey]; ok {
+					pairs := map[[2]graph.VertexID]bool{}
+					v1c, v2c := cached.Schema.Col("vid1"), cached.Schema.Col("vid2")
+					for _, t := range cached.Tuples {
+						pairs[[2]graph.VertexID{
+							graph.VertexID(t[v1c].Int()), graph.VertexID(t[v2c].Int()),
+						}] = true
+					}
+					g, err := linkGenerated(r1, r2, m1, m2, func(a, b her.Match) bool {
+						return pairs[[2]graph.VertexID{a.Vertex, b.Vertex}]
+					})
+					g.Note = "gL hit"
+					return g, err
+				}
+			}
+			reach := reachSets(m.G, m1, k)
+			note := "gL bypass"
+			if cacheKey != "" {
+				m.gl[cacheKey] = glRelation(cacheKey, m.G, m1, m2, k)
+				note = "gL miss, populated"
+			}
+			g, err := linkGenerated(r1, r2, m1, m2, func(a, b her.Match) bool {
+				r, ok := reach[a.Vertex]
+				return ok && r[b.Vertex]
+			})
+			g.Note = note
+			return g, err
+		})
+}
+
+// LinkJoinIter is the pipelined conceptual-level link join: HER runs
+// on the materialised sides at Open, pair connectivity streams out.
+func LinkJoinIter(g *graph.Graph, matcher her.Matcher, k int, s1, s2 rel.Iterator) rel.Iterator {
+	return rel.NewGenerate("l-join online", []rel.Iterator{s1, s2},
+		func(ctx context.Context, in []*rel.Relation) (rel.Generated, error) {
+			m1 := matcher.Match(in[0], g)
+			m2 := matcher.Match(in[1], g)
+			reach := reachSets(g, m1, k)
+			return linkGenerated(in[0], in[1], m1, m2, func(a, b her.Match) bool {
+				r, ok := reach[a.Vertex]
+				return ok && r[b.Vertex]
+			})
+		})
+}
+
+// BaselineEnrichIter wraps the conceptual-level EnrichmentJoin
+// (HER+RExt at query time) as an operator.
+func BaselineEnrichIter(g *graph.Graph, models Models, matcher her.Matcher, keywords []string, cfg Config, src rel.Iterator) rel.Iterator {
+	return rel.NewApply("e-join baseline", []rel.Iterator{src},
+		func(ctx context.Context, in []*rel.Relation) (*rel.Relation, string, error) {
+			out, err := EnrichmentJoin(in[0], g, models, matcher, keywords, cfg)
+			return out, "HER+RExt online", err
+		})
+}
+
+// HeuristicEnrichIter wraps HeuristicJoiner.Enrich; the gτ row type
+// chosen at Open becomes the operator's plan note.
+func HeuristicEnrichIter(h *HeuristicJoiner, src rel.Iterator, a []string) rel.Iterator {
+	return rel.NewApply("e-join heuristic", []rel.Iterator{src},
+		func(ctx context.Context, in []*rel.Relation) (*rel.Relation, string, error) {
+			out, typ, err := h.Enrich(in[0], a)
+			return out, "gτ(" + typ + ")", err
+		})
+}
+
+// HeuristicLinkIter wraps HeuristicJoiner.Link.
+func HeuristicLinkIter(h *HeuristicJoiner, g *graph.Graph, k int, s1, s2 rel.Iterator) rel.Iterator {
+	return rel.NewApply("l-join heuristic", []rel.Iterator{s1, s2},
+		func(ctx context.Context, in []*rel.Relation) (*rel.Relation, string, error) {
+			out, err := h.Link(in[0], in[1], g, k)
+			return out, "gτ alignment", err
+		})
+}
+
+// reachSets computes the k-hop set per distinct live left vertex
+// (equivalent to the paper's bidirectional search, and cheaper when
+// one side repeats vertices).
+func reachSets(g *graph.Graph, m1 []her.Match, k int) map[graph.VertexID]map[graph.VertexID]bool {
+	reach := map[graph.VertexID]map[graph.VertexID]bool{}
+	for _, m := range m1 {
+		if _, ok := reach[m.Vertex]; !ok && g.Live(m.Vertex) {
+			reach[m.Vertex] = g.KHopNeighborhood([]graph.VertexID{m.Vertex}, k)
+		}
+	}
+	return reach
+}
+
+// linkGenerated streams the m1 × m2 pairs passing connected, under the
+// qualified two-sided output schema shared by every link-join variant.
+func linkGenerated(s1, s2 *rel.Relation, m1, m2 []her.Match, connected func(a, b her.Match) bool) (rel.Generated, error) {
+	name2 := s2.Schema.Name
+	if name2 == s1.Schema.Name {
+		name2 += "2"
+	}
+	q1 := s1.Schema.Qualified(s1.Schema.Name)
+	q2 := s2.Schema.Qualified(name2)
+	attrs := append(append([]rel.Attribute(nil), q1.Attrs...), q2.Attrs...)
+	schema, err := rel.TrySchema(s1.Schema.Name+"_l_"+name2, "", attrs...)
+	if err != nil {
+		return rel.Generated{}, err
+	}
+	i, j := 0, 0
+	pull := func() (rel.Tuple, error) {
+		for i < len(m1) {
+			a := m1[i]
+			for j < len(m2) {
+				b := m2[j]
+				j++
+				if !connected(a, b) {
+					continue
+				}
+				t1 := s1.Tuples[a.TupleIdx]
+				t2 := s2.Tuples[b.TupleIdx]
+				nt := make(rel.Tuple, 0, len(t1)+len(t2))
+				return append(append(nt, t1...), t2...), nil
+			}
+			i++
+			j = 0
+		}
+		return nil, nil
+	}
+	return rel.Generated{Schema: schema, Pull: pull}, nil
+}

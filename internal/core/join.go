@@ -86,42 +86,11 @@ func enrichMatched(s *rel.Relation, g *graph.Graph, models Models, keywords []st
 // distinct left vertex (equivalent to the paper's bidirectional search,
 // and cheaper when one side repeats vertices).
 func LinkJoin(s1, s2 *rel.Relation, g *graph.Graph, matcher her.Matcher, k int) *rel.Relation {
-	m1 := matcher.Match(s1, g)
-	m2 := matcher.Match(s2, g)
-	return linkJoinMatched(s1, s2, g, m1, m2, k)
-}
-
-func linkJoinMatched(s1, s2 *rel.Relation, g *graph.Graph, m1, m2 []her.Match, k int) *rel.Relation {
-	// Hop-sets per distinct left vertex.
-	reach := map[graph.VertexID]map[graph.VertexID]bool{}
-	for _, m := range m1 {
-		if _, ok := reach[m.Vertex]; !ok && g.Live(m.Vertex) {
-			reach[m.Vertex] = g.KHopNeighborhood([]graph.VertexID{m.Vertex}, k)
-		}
-	}
-	q1 := s1.Schema.Qualified(s1.Schema.Name)
-	name2 := s2.Schema.Name
-	if name2 == s1.Schema.Name {
-		name2 += "2"
-	}
-	q2 := s2.Schema.Qualified(name2)
-	attrs := append(append([]rel.Attribute(nil), q1.Attrs...), q2.Attrs...)
-	out := rel.NewRelation(rel.NewSchema(s1.Schema.Name+"_l_"+name2, "", attrs...))
-	for _, a := range m1 {
-		r, ok := reach[a.Vertex]
-		if !ok {
-			continue
-		}
-		for _, b := range m2 {
-			if !r[b.Vertex] {
-				continue
-			}
-			t1 := s1.Tuples[a.TupleIdx]
-			t2 := s2.Tuples[b.TupleIdx]
-			nt := make(rel.Tuple, 0, len(t1)+len(t2))
-			nt = append(append(nt, t1...), t2...)
-			out.Tuples = append(out.Tuples, nt)
-		}
+	out, err := rel.Materialize(nil, LinkJoinIter(g, matcher, k, rel.NewScan(s1), rel.NewScan(s2)))
+	if err != nil {
+		// Only a schema collision between two identically-named sides can
+		// fail here; that is a caller bug, as it was when eager.
+		panic(err)
 	}
 	return out
 }
@@ -219,29 +188,11 @@ func (m *Materialized) WellBehavedKeywords(base string, a []string) bool {
 // S ⋈ f(D,G) ⋈ h(D,G) over the pre-computed relations, projected to S's
 // attributes plus vid plus A. Neither HER nor RExt runs.
 func (m *Materialized) StaticEnrich(base string, s *rel.Relation, a []string) (*rel.Relation, error) {
-	b := m.bases[base]
-	if b == nil {
-		return nil, fmt.Errorf("core: no materialisation for base %q", base)
+	it, err := m.StaticEnrichIter(base, rel.NewScan(s), a)
+	if err != nil {
+		return nil, err
 	}
-	if !m.WellBehavedKeywords(base, a) {
-		return nil, fmt.Errorf("core: keywords %v not covered by AR(%s)=%v", a, base, b.Spec.AR)
-	}
-	j := rel.NaturalJoin(rel.NaturalJoin(s, b.MatchRel), b.Extracted)
-	// Project to S's attributes plus vid plus the requested keywords,
-	// deduplicating: S may already carry vid or some keyword column from
-	// an earlier (chained) enrichment join.
-	cols := append([]string(nil), s.Schema.AttrNames()...)
-	seen := map[string]bool{}
-	for _, c := range cols {
-		seen[c] = true
-	}
-	for _, c := range append([]string{"vid"}, a...) {
-		if !seen[c] {
-			seen[c] = true
-			cols = append(cols, c)
-		}
-	}
-	return rel.Project(j, cols...), nil
+	return rel.Materialize(nil, it)
 }
 
 // LinkCacheKey builds the gL cache key for a pair of predicate
@@ -256,22 +207,8 @@ func LinkCacheKey(base1, pred1, base2, pred2 string, k int) string {
 // cached under cacheKey so repeated queries with the same predicates are
 // answered without traversing G.
 func (m *Materialized) StaticLink(base1 string, s1 *rel.Relation, base2 string, s2 *rel.Relation, k int, cacheKey string) (*rel.Relation, error) {
-	b1, b2 := m.bases[base1], m.bases[base2]
-	if b1 == nil || b2 == nil {
-		return nil, fmt.Errorf("core: no materialisation for %q/%q", base1, base2)
-	}
-	if cacheKey != "" {
-		if cached, ok := m.gl[cacheKey]; ok {
-			return m.linkFromGL(s1, b1, s2, b2, cached)
-		}
-	}
-	m1 := restrictMatches(b1, s1)
-	m2 := restrictMatches(b2, s2)
-	out := linkJoinMatched(s1, s2, m.G, m1, m2, k)
-	if cacheKey != "" {
-		m.gl[cacheKey] = glRelation(cacheKey, m.G, m1, m2, k)
-	}
-	return out, nil
+	return rel.Materialize(nil,
+		m.StaticLinkIter(base1, rel.NewScan(s1), base2, rel.NewScan(s2), k, cacheKey))
 }
 
 // GLCacheSize returns the number of cached connectivity relations and
@@ -308,38 +245,6 @@ func glRelation(name string, g *graph.Graph, m1, m2 []her.Match, k int) *rel.Rel
 	}
 	_ = name
 	return r
-}
-
-// linkFromGL answers a link join from a cached connectivity relation.
-func (m *Materialized) linkFromGL(s1 *rel.Relation, b1 *BaseMaterialization, s2 *rel.Relation, b2 *BaseMaterialization, gl *rel.Relation) (*rel.Relation, error) {
-	m1 := restrictMatches(b1, s1)
-	m2 := restrictMatches(b2, s2)
-	pairs := map[[2]graph.VertexID]bool{}
-	v1c, v2c := gl.Schema.Col("vid1"), gl.Schema.Col("vid2")
-	for _, t := range gl.Tuples {
-		pairs[[2]graph.VertexID{graph.VertexID(t[v1c].Int()), graph.VertexID(t[v2c].Int())}] = true
-	}
-	name2 := s2.Schema.Name
-	if name2 == s1.Schema.Name {
-		name2 += "2"
-	}
-	q1 := s1.Schema.Qualified(s1.Schema.Name)
-	q2 := s2.Schema.Qualified(name2)
-	attrs := append(append([]rel.Attribute(nil), q1.Attrs...), q2.Attrs...)
-	out := rel.NewRelation(rel.NewSchema(s1.Schema.Name+"_l_"+name2, "", attrs...))
-	for _, a := range m1 {
-		for _, b := range m2 {
-			if !pairs[[2]graph.VertexID{a.Vertex, b.Vertex}] {
-				continue
-			}
-			t1 := s1.Tuples[a.TupleIdx]
-			t2 := s2.Tuples[b.TupleIdx]
-			nt := make(rel.Tuple, 0, len(t1)+len(t2))
-			nt = append(append(nt, t1...), t2...)
-			out.Tuples = append(out.Tuples, nt)
-		}
-	}
-	return out, nil
 }
 
 // restrictMatches narrows a base's pre-computed matches to the tuples

@@ -280,7 +280,10 @@ func TestHeuristicJoin(t *testing.T) {
 
 	// A non-well-behaved query result: joined attributes from product
 	// plus a computed column (no single base tuple id requirement here).
-	q := rel.Project(w.products, "pid", "name", "category")
+	q, err2 := rel.Project(w.products, "pid", "name", "category")
+	if err2 != nil {
+		t.Fatal(err2)
+	}
 	out, typ, err := h.Enrich(q, []string{"company"})
 	if err != nil {
 		t.Fatal(err)

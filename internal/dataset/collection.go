@@ -70,7 +70,10 @@ func (c *Collection) Drop(relName string, attrs []string) (*rel.Relation, map[st
 			keep = append(keep, a.Name)
 		}
 	}
-	reduced := rel.Project(r, keep...)
+	reduced, err := rel.Project(r, keep...)
+	if err != nil {
+		panic(err) // keep names come from r's own schema
+	}
 
 	truth := map[string]map[string]string{}
 	keyCol := r.Schema.KeyCol()

@@ -1,6 +1,8 @@
 package expr
 
 import (
+	"fmt"
+	"strings"
 	"time"
 
 	"semjoin/internal/core"
@@ -422,6 +424,9 @@ type QueryTiming struct {
 	BaselineMS  float64 // ModeBaseline (HER+RExt online)
 	HeuristicMS float64 // ModeHeuristic
 	WarmLinkMS  float64 // second run, gL cache warm (link queries only)
+	// RowsProcessed totals the rows-out of every operator in the
+	// optimized run's plan (from the engine's per-operator ExecStats).
+	RowsProcessed int64
 }
 
 // EndToEndResult aggregates Exp-3(II).
@@ -446,11 +451,11 @@ func EndToEnd(o Options) EndToEndResult {
 		res.PrecomputeSeconds[coll] = time.Since(start).Seconds()
 		for _, q := range byColl(Workload(), coll) {
 			qt := QueryTiming{ID: q.ID, Collection: coll, WellBehaved: q.WellBehaved, Link: q.Link}
-			qt.OptimizedMS = timeQuery(env, gsql.ModeAuto, q.SQL)
-			qt.BaselineMS = timeQuery(env, gsql.ModeBaseline, q.SQL)
-			qt.HeuristicMS = timeQuery(env, gsql.ModeHeuristic, q.SQL)
+			qt.OptimizedMS, qt.RowsProcessed = timeQuery(env, gsql.ModeAuto, q.SQL)
+			qt.BaselineMS, _ = timeQuery(env, gsql.ModeBaseline, q.SQL)
+			qt.HeuristicMS, _ = timeQuery(env, gsql.ModeHeuristic, q.SQL)
 			if q.Link {
-				qt.WarmLinkMS = timeQuery(env, gsql.ModeAuto, q.SQL) // gL now cached
+				qt.WarmLinkMS, _ = timeQuery(env, gsql.ModeAuto, q.SQL) // gL now cached
 			}
 			res.PerQuery = append(res.PerQuery, qt)
 		}
@@ -458,13 +463,51 @@ func EndToEnd(o Options) EndToEndResult {
 	return res
 }
 
-func timeQuery(env *QueryEnv, mode gsql.Mode, sql string) float64 {
+func timeQuery(env *QueryEnv, mode gsql.Mode, sql string) (ms float64, rows int64) {
 	eng := env.Engine(mode)
 	start := time.Now()
 	if _, err := eng.Query(sql); err != nil {
-		return -1
+		return -1, 0
 	}
-	return float64(time.Since(start).Microseconds()) / 1000
+	ms = float64(time.Since(start).Microseconds()) / 1000
+	if eng.LastStats != nil {
+		rows = eng.LastStats.TotalRows()
+	}
+	return ms, rows
+}
+
+// ExplainSamples renders the annotated EXPLAIN plan (per-operator rows
+// out and wall time) for one enrichment-join and one link-join query of
+// the workload's first collection.
+func ExplainSamples(o Options) (string, error) {
+	o = o.withDefaults()
+	coll := o.Collections[0]
+	env, err := NewQueryEnv(Prepare(coll, o.Entities, o.Seed))
+	if err != nil {
+		return "", err
+	}
+	eng := env.Engine(gsql.ModeAuto)
+	var b strings.Builder
+	var gotEnrich, gotLink bool
+	for _, q := range byColl(Workload(), coll) {
+		if q.Link && gotLink || !q.Link && gotEnrich {
+			continue
+		}
+		text, err := eng.Explain(q.SQL)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "EXPLAIN %s\n%s\n", q.ID, text)
+		if q.Link {
+			gotLink = true
+		} else {
+			gotEnrich = true
+		}
+		if gotEnrich && gotLink {
+			break
+		}
+	}
+	return b.String(), nil
 }
 
 // TrainingRow reports model-training cost per collection (Exp-3(I)(a)).

@@ -76,6 +76,7 @@ func RenderTableIII(w io.Writer, rows []TableIIIRow) {
 func RenderEndToEnd(w io.Writer, res EndToEndResult) {
 	type agg struct {
 		opt, base, heur float64
+		rows            int64
 		n               int
 	}
 	per := map[string]*agg{}
@@ -91,6 +92,7 @@ func RenderEndToEnd(w io.Writer, res EndToEndResult) {
 			a.opt += q.OptimizedMS
 			a.base += q.BaselineMS
 			a.heur += q.HeuristicMS
+			a.rows += q.RowsProcessed
 			a.n++
 		}
 		if q.Link && q.WarmLinkMS >= 0 {
@@ -99,7 +101,7 @@ func RenderEndToEnd(w io.Writer, res EndToEndResult) {
 			linkN++
 		}
 	}
-	out := [][]string{{"collection", "optimized(ms)", "baseline(ms)", "heuristic(ms)", "base/opt", "base/heur", "precompute(s)"}}
+	out := [][]string{{"collection", "optimized(ms)", "baseline(ms)", "heuristic(ms)", "base/opt", "base/heur", "rows/query", "precompute(s)"}}
 	var colls []string
 	for c := range per {
 		colls = append(colls, c)
@@ -119,6 +121,7 @@ func RenderEndToEnd(w io.Writer, res EndToEndResult) {
 			fmt.Sprintf("%.2f", a.heur/float64(a.n)),
 			fmt.Sprintf("%.1fx", a.base/a.opt),
 			fmt.Sprintf("%.1fx", a.base/a.heur),
+			fmt.Sprintf("%d", a.rows/int64(a.n)),
 			fmt.Sprintf("%.1f", res.PrecomputeSeconds[c]),
 		})
 		totOpt += a.opt

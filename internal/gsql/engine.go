@@ -1,6 +1,7 @@
 package gsql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -45,7 +46,8 @@ type Catalog struct {
 	RExt core.Config
 }
 
-// Engine executes gSQL queries against a catalog.
+// Engine plans gSQL queries into pipelined operator trees and drains
+// them against a catalog.
 type Engine struct {
 	Cat  *Catalog
 	Mode Mode
@@ -54,6 +56,9 @@ type Engine struct {
 	// describing the strategy chosen (static / dynamic / heuristic /
 	// baseline) — the observable outcome of the well-behaved analysis.
 	Plan []string
+	// LastStats holds the per-operator counters (rows out, wall time)
+	// of the last executed query's operator tree.
+	LastStats *rel.ExecStats
 }
 
 // NewEngine returns an engine in ModeAuto.
@@ -66,9 +71,15 @@ func NewEngine(cat *Catalog) *Engine {
 
 // Query parses and executes input, returning the result relation. An
 // input prefixed with EXPLAIN executes the query and returns the plan
-// notes (one row per semantic join, plus the well-behaved verdict)
-// instead of the data.
+// notes (the well-behaved verdict, one row per semantic join, then the
+// annotated operator tree) instead of the data.
 func (e *Engine) Query(input string) (*rel.Relation, error) {
+	return e.QueryContext(context.Background(), input)
+}
+
+// QueryContext is Query with cancellation: ctx is checked periodically
+// while the operator tree drains.
+func (e *Engine) QueryContext(ctx context.Context, input string) (*rel.Relation, error) {
 	trimmed := strings.TrimSpace(input)
 	explain := false
 	if len(trimmed) >= 7 && strings.EqualFold(trimmed[:7], "explain") {
@@ -80,26 +91,85 @@ func (e *Engine) Query(input string) (*rel.Relation, error) {
 		return nil, err
 	}
 	e.Plan = e.Plan[:0]
-	out, _, err := e.evalQuery(q)
+	root, _, err := e.planQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	out, err := rel.Materialize(ctx, root)
+	e.LastStats = rel.CollectStats(root)
 	if err != nil {
 		return nil, err
 	}
 	if explain {
-		plan := rel.NewRelation(rel.NewSchema("plan", "",
-			rel.Attribute{Name: "step", Type: rel.KindInt},
-			rel.Attribute{Name: "note", Type: rel.KindString},
-		))
-		verdict := "well-behaved: false"
-		if e.WellBehaved(q) {
-			verdict = "well-behaved: true"
-		}
-		plan.InsertVals(rel.I(0), rel.S(verdict))
-		for i, p := range e.Plan {
-			plan.InsertVals(rel.I(int64(i+1)), rel.S(p))
-		}
-		return plan, nil
+		return e.explainRelation(q), nil
 	}
-	return out, err
+	return out, nil
+}
+
+// Explain executes input (with or without a leading EXPLAIN keyword)
+// and renders the well-behaved verdict, the strategy notes and the
+// operator tree annotated with per-operator rows-out and wall time.
+func (e *Engine) Explain(input string) (string, error) {
+	return e.ExplainContext(context.Background(), input)
+}
+
+// ExplainContext is Explain with cancellation.
+func (e *Engine) ExplainContext(ctx context.Context, input string) (string, error) {
+	trimmed := strings.TrimSpace(input)
+	if len(trimmed) >= 7 && strings.EqualFold(trimmed[:7], "explain") {
+		trimmed = trimmed[7:]
+	}
+	q, err := Parse(trimmed)
+	if err != nil {
+		return "", err
+	}
+	e.Plan = e.Plan[:0]
+	root, _, err := e.planQuery(q)
+	if err != nil {
+		return "", err
+	}
+	_, err = rel.Materialize(ctx, root)
+	e.LastStats = rel.CollectStats(root)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	verdict := "false"
+	if e.WellBehaved(q) {
+		verdict = "true"
+	}
+	fmt.Fprintf(&b, "well-behaved: %s\n", verdict)
+	for _, p := range e.Plan {
+		fmt.Fprintf(&b, "strategy: %s\n", p)
+	}
+	b.WriteString(e.LastStats.String())
+	return b.String(), nil
+}
+
+// explainRelation renders the EXPLAIN result as a (step, note)
+// relation: the verdict, the strategy notes, then the operator tree.
+func (e *Engine) explainRelation(q *Query) *rel.Relation {
+	plan := rel.NewRelation(rel.NewSchema("plan", "",
+		rel.Attribute{Name: "step", Type: rel.KindInt},
+		rel.Attribute{Name: "note", Type: rel.KindString},
+	))
+	verdict := "well-behaved: false"
+	if e.WellBehaved(q) {
+		verdict = "well-behaved: true"
+	}
+	plan.InsertVals(rel.I(0), rel.S(verdict))
+	step := int64(1)
+	for _, p := range e.Plan {
+		plan.InsertVals(rel.I(step), rel.S(p))
+		step++
+	}
+	if e.LastStats != nil {
+		for _, l := range e.LastStats.Lines {
+			plan.InsertVals(rel.I(step), rel.S(l.String()))
+			step++
+		}
+	}
+	return plan
 }
 
 // provenance tracks, bottom-up, whether a (sub-)result still refers to the
@@ -171,8 +241,10 @@ func hasAgg(items []SelectItem) bool {
 	return false
 }
 
-// evalQuery executes a query and returns its result plus provenance.
-func (e *Engine) evalQuery(q *Query) (*rel.Relation, provenance, error) {
+// planQuery builds the operator tree for a query and returns its root
+// plus provenance. Validation that needs only plan-time schemas
+// happens here; the rest surfaces through the root's Open.
+func (e *Engine) planQuery(q *Query) (rel.Iterator, provenance, error) {
 	if len(q.From) == 0 {
 		return nil, provenance{}, fmt.Errorf("gsql: empty FROM")
 	}
@@ -186,65 +258,72 @@ func (e *Engine) evalQuery(q *Query) (*rel.Relation, provenance, error) {
 		push, where = e.splitLinkFilters(&q.From[0], where)
 	}
 
-	// Evaluate FROM items.
+	// Plan FROM items.
 	type bound struct {
-		r    *rel.Relation
+		it   rel.Iterator
 		prov provenance
 	}
 	var parts []bound
 	for i := range q.From {
-		var r *rel.Relation
+		var it rel.Iterator
 		var p provenance
 		var err error
 		if i == 0 && push != nil {
-			r, p, err = e.evalLJoinFiltered(&q.From[0], push)
+			it, p, err = e.planLJoin(&q.From[0], push)
 		} else {
-			r, p, err = e.evalFrom(&q.From[i])
+			it, p, err = e.planFrom(&q.From[i])
 		}
 		if err != nil {
 			return nil, provenance{}, err
 		}
-		parts = append(parts, bound{r, p})
+		parts = append(parts, bound{it, p})
 	}
-	// Combine with an n-ary cross product (flat qualified names).
-	cur := parts[0].r
+	// Combine with an n-ary cross join (flat qualified names). The first
+	// binding streams; the rest materialise at Open.
+	cur := parts[0].it
 	prov := parts[0].prov
 	if len(parts) > 1 {
-		rels := make([]*rel.Relation, len(parts))
+		its := make([]rel.Iterator, len(parts))
 		names := make([]string, len(parts))
 		for i := range parts {
-			rels[i] = parts[i].r
+			its[i] = parts[i].it
 			names[i] = q.From[i].Name()
 			if names[i] == "" {
 				names[i] = fmt.Sprintf("f%d", i)
 			}
 		}
-		cur = rel.CrossJoinAll(rels, names)
+		cur = rel.NewCrossJoin(its, names)
 		prov = provenance{}
 	}
 	// WHERE (minus any conjuncts pushed into a link join).
 	if where != nil {
-		s := cur.Schema
 		w := where
-		cur = rel.Select(cur, func(t rel.Tuple) bool { return w.Eval(s, t) })
+		cur = rel.NewSelectWith("select", cur, func(s *rel.Schema) (rel.Pred, error) {
+			return func(t rel.Tuple) bool { return w.Eval(s, t) }, nil
+		})
 	}
 	// Aggregation or projection.
-	var out *rel.Relation
+	var out rel.Iterator
 	var err error
 	if hasAgg(q.Select) || len(q.GroupBy) > 0 {
-		out, err = e.aggregate(q, cur)
+		out, err = e.planAggregate(q, cur)
 		if err == nil && q.Having != nil {
-			s := out.Schema
 			h := q.Having
-			out = rel.Select(out, func(t rel.Tuple) bool { return h.Eval(s, t) })
+			out = rel.NewSelectWith("having", out, func(s *rel.Schema) (rel.Pred, error) {
+				return func(t rel.Tuple) bool { return h.Eval(s, t) }, nil
+			})
 		}
 		prov = provenance{}
 	} else {
-		out, err = e.project(q, cur)
+		out, err = e.planProject(q, cur)
 		if err == nil && prov.base != "" {
 			// Projection keeps provenance; key survival decides keyed.
 			if base := e.Cat.Relations[prov.base]; base != nil {
-				prov.keyed = out.Schema.Has(base.Schema.Key)
+				if s := out.Schema(); s != nil {
+					prov.keyed = s.Has(base.Schema.Key)
+				} else {
+					prov.keyed = selectKeepsKey(q.Select, base.Schema.Key, prov.keyed)
+				}
 			}
 		}
 	}
@@ -252,68 +331,135 @@ func (e *Engine) evalQuery(q *Query) (*rel.Relation, provenance, error) {
 		return nil, provenance{}, err
 	}
 	if q.Distinct {
-		out = rel.Distinct(out)
+		out = rel.NewDistinct(out)
 	}
 	for i := len(q.OrderBy) - 1; i >= 0; i-- { // stable sort: minor keys first
 		key := q.OrderBy[i]
-		out = rel.SortBy(out, key.Col)
+		out = rel.NewSort(out, key.Col)
 		if key.Desc {
-			rev := rel.NewRelation(out.Schema)
-			for j := len(out.Tuples) - 1; j >= 0; j-- {
-				rev.Tuples = append(rev.Tuples, out.Tuples[j])
-			}
-			out = rev
+			out = rel.NewReverse(out)
 		}
 	}
-	if q.Limit >= 0 && out.Len() > q.Limit {
-		lim := rel.NewRelation(out.Schema)
-		lim.Tuples = out.Tuples[:q.Limit]
-		out = lim
+	if q.Limit >= 0 {
+		out = rel.NewLimit(out, q.Limit)
 	}
 	return out, prov, nil
 }
 
-// project applies the SELECT list (no aggregates).
-func (e *Engine) project(q *Query, cur *rel.Relation) (*rel.Relation, error) {
+// selectKeepsKey approximates key survival from the SELECT list when
+// the output schema is only known after Open (opaque semantic-join
+// sources): stars keep whatever the source had, explicit items keep
+// the key if one of them names it.
+func selectKeepsKey(items []SelectItem, key string, fromKeyed bool) bool {
+	if key == "" {
+		return false
+	}
+	for _, it := range items {
+		if it.Star || strings.HasSuffix(it.Col, ".*") {
+			if fromKeyed {
+				return true
+			}
+			continue
+		}
+		if it.OutName() == key || it.Col == key || strings.HasSuffix(it.Col, "."+key) {
+			return true
+		}
+	}
+	return false
+}
+
+// planProject applies the SELECT list (no aggregates) as a transform
+// operator: star expansion, validation and column renaming bind once
+// the input schema is known.
+func (e *Engine) planProject(q *Query, cur rel.Iterator) (rel.Iterator, error) {
 	if len(q.Select) == 1 && q.Select[0].Star {
 		return cur, nil
 	}
-	var names []string
-	var outNames []string
-	for _, it := range q.Select {
-		switch {
-		case it.Star:
-			for _, a := range cur.Schema.Attrs {
-				names = append(names, a.Name)
-				outNames = append(outNames, a.Name)
-			}
-		case strings.HasSuffix(it.Col, ".*"):
-			prefix := strings.TrimSuffix(it.Col, "*")
-			found := false
-			for _, a := range cur.Schema.Attrs {
-				if strings.HasPrefix(a.Name, prefix) {
+	sel := q.Select
+	return rel.NewTransform("project", cur, func(in *rel.Schema) (*rel.Schema, func(rel.Tuple) (rel.Tuple, error), error) {
+		var names []string
+		var outNames []string
+		for _, it := range sel {
+			switch {
+			case it.Star:
+				for _, a := range in.Attrs {
 					names = append(names, a.Name)
 					outNames = append(outNames, a.Name)
-					found = true
 				}
+			case strings.HasSuffix(it.Col, ".*"):
+				prefix := strings.TrimSuffix(it.Col, "*")
+				found := false
+				for _, a := range in.Attrs {
+					if strings.HasPrefix(a.Name, prefix) {
+						names = append(names, a.Name)
+						outNames = append(outNames, a.Name)
+						found = true
+					}
+				}
+				if !found {
+					return nil, nil, fmt.Errorf("gsql: no columns match %q", it.Col)
+				}
+			default:
+				if in.Col(it.Col) < 0 {
+					return nil, nil, fmt.Errorf("gsql: unknown column %q in %s", it.Col, in)
+				}
+				names = append(names, it.Col)
+				outNames = append(outNames, it.OutName())
 			}
-			if !found {
-				return nil, fmt.Errorf("gsql: no columns match %q", it.Col)
-			}
-		default:
-			if cur.Schema.Col(it.Col) < 0 {
-				return nil, fmt.Errorf("gsql: unknown column %q in %s", it.Col, cur.Schema)
-			}
-			names = append(names, it.Col)
-			outNames = append(outNames, it.OutName())
 		}
-	}
-	out := rel.Project(cur, names...)
-	return renameColumns(out, outNames), nil
+		cols := make([]int, len(names))
+		attrs := make([]rel.Attribute, len(names))
+		for i, n := range names {
+			cols[i] = in.Col(n)
+			attrs[i] = rel.Attribute{Name: n, Type: in.Attrs[cols[i]].Type}
+		}
+		key := ""
+		for _, n := range names {
+			if n == in.Key {
+				key = n
+			}
+		}
+		schema, err := renamedSchema(in.Name, key, attrs, outNames)
+		if err != nil {
+			return nil, nil, err
+		}
+		fn := func(t rel.Tuple) (rel.Tuple, error) {
+			nt := make(rel.Tuple, len(cols))
+			for i, c := range cols {
+				nt[i] = t[c]
+			}
+			return nt, nil
+		}
+		return schema, fn, nil
+	}), nil
 }
 
-// aggregate applies GROUP BY + aggregates and projects in SELECT order.
-func (e *Engine) aggregate(q *Query, cur *rel.Relation) (*rel.Relation, error) {
+// renamedSchema renames projected attributes to their output names,
+// deduplicating collisions with an _N suffix and keeping the key when
+// an attribute still carries its name (the eager renameColumns rule).
+func renamedSchema(name, key string, attrs []rel.Attribute, outNames []string) (*rel.Schema, error) {
+	renamed := make([]rel.Attribute, len(outNames))
+	seen := map[string]int{}
+	for i, n := range outNames {
+		seen[n]++
+		if seen[n] > 1 {
+			n = fmt.Sprintf("%s_%d", n, seen[n])
+		}
+		renamed[i] = rel.Attribute{Name: n, Type: attrs[i].Type}
+	}
+	outKey := ""
+	for _, a := range renamed {
+		if a.Name == key {
+			outKey = a.Name
+		}
+	}
+	return rel.TrySchema(name, outKey, renamed...)
+}
+
+// planAggregate applies GROUP BY + aggregates and projects in SELECT
+// order (validation happens at plan time when the input schema is
+// static, otherwise at Open).
+func (e *Engine) planAggregate(q *Query, cur rel.Iterator) (rel.Iterator, error) {
 	var specs []rel.AggSpec
 	var order []string // output column order
 	for _, it := range q.Select {
@@ -349,74 +495,43 @@ func (e *Engine) aggregate(q *Query, cur *rel.Relation) (*rel.Relation, error) {
 			order = append(order, it.Col)
 		}
 	}
-	agg := rel.Aggregate(cur, q.GroupBy, specs)
-	return rel.Project(agg, order...), nil
+	agg := rel.NewAggregate(cur, q.GroupBy, specs)
+	return rel.NewProject(agg, order...), nil
 }
 
-// renameColumns rebuilds r's schema with new attribute names (same arity).
-func renameColumns(r *rel.Relation, names []string) *rel.Relation {
-	changed := false
-	for i, a := range r.Schema.Attrs {
-		if a.Name != names[i] {
-			changed = true
-		}
-	}
-	if !changed {
-		return r
-	}
-	attrs := make([]rel.Attribute, len(names))
-	seen := map[string]int{}
-	for i, n := range names {
-		seen[n]++
-		if seen[n] > 1 {
-			n = fmt.Sprintf("%s_%d", n, seen[n])
-		}
-		attrs[i] = rel.Attribute{Name: n, Type: r.Schema.Attrs[i].Type}
-	}
-	key := ""
-	for _, a := range attrs {
-		if a.Name == r.Schema.Key {
-			key = a.Name
-		}
-	}
-	out := rel.NewRelation(rel.NewSchema(r.Schema.Name, key, attrs...))
-	out.Tuples = r.Tuples
-	return out
-}
-
-// evalFrom evaluates one FROM item.
-func (e *Engine) evalFrom(f *FromItem) (*rel.Relation, provenance, error) {
+// planFrom plans one FROM item.
+func (e *Engine) planFrom(f *FromItem) (rel.Iterator, provenance, error) {
 	switch f.Kind {
 	case FromTable:
 		r := e.Cat.Relations[f.Table]
 		if r == nil {
 			return nil, provenance{}, fmt.Errorf("gsql: unknown relation %q", f.Table)
 		}
-		out := r
+		var it rel.Iterator = rel.NewScan(r)
 		if f.Alias != "" {
-			out = rel.Rename(r, f.Alias)
+			it = rel.NewRename(it, f.Alias)
 		}
-		return out, provenance{base: f.Table, keyed: r.Schema.Key != ""}, nil
+		return it, provenance{base: f.Table, keyed: r.Schema.Key != ""}, nil
 	case FromSubquery:
-		out, p, err := e.evalQuery(f.Sub)
+		it, p, err := e.planQuery(f.Sub)
 		if err != nil {
 			return nil, provenance{}, err
 		}
 		if f.Alias != "" {
-			out = rel.Rename(out, f.Alias)
+			it = rel.NewRename(it, f.Alias)
 		}
-		return out, p, nil
+		return it, p, nil
 	case FromEJoin:
-		return e.evalEJoin(f)
+		return e.planEJoin(f)
 	case FromLJoin:
-		return e.evalLJoin(f)
+		return e.planLJoin(f, nil)
 	}
 	return nil, provenance{}, fmt.Errorf("gsql: bad FROM item")
 }
 
-// evalEJoin executes an enrichment join, choosing the strategy per §IV.
-func (e *Engine) evalEJoin(f *FromItem) (*rel.Relation, provenance, error) {
-	s, prov, err := e.evalFrom(f.Source)
+// planEJoin plans an enrichment join, choosing the strategy per §IV.
+func (e *Engine) planEJoin(f *FromItem) (rel.Iterator, provenance, error) {
+	src, prov, err := e.planFrom(f.Source)
 	if err != nil {
 		return nil, provenance{}, err
 	}
@@ -430,36 +545,35 @@ func (e *Engine) evalEJoin(f *FromItem) (*rel.Relation, provenance, error) {
 		joinName = "static"
 	}
 
-	var out *rel.Relation
+	var out rel.Iterator
 	switch {
 	case e.Mode != ModeBaseline && e.Mode != ModeHeuristic &&
 		prov.base != "" && prov.keyed && e.Cat.Mat != nil &&
 		e.Cat.Mat.WellBehavedKeywords(prov.base, f.Keywords):
-		out, err = e.Cat.Mat.StaticEnrich(prov.base, s, f.Keywords)
+		out, err = e.Cat.Mat.StaticEnrichIter(prov.base, src, f.Keywords)
 		e.note("e-join(%s): well-behaved, %s over materialised h(D,G)", f.Graph, joinName)
 	case e.Mode != ModeBaseline && prov.base != "" && !prov.keyed && e.Cat.Mat != nil &&
 		e.Cat.Mat.WellBehavedKeywords(prov.base, f.Keywords) && e.Mode != ModeHeuristic:
 		// Condition (2)(b): recover tuple ids by joining back to the base
 		// on the surviving attributes, then join statically.
 		base := e.Cat.Relations[prov.base]
-		rejoined := rel.NaturalJoin(s, base)
-		out, err = e.Cat.Mat.StaticEnrich(prov.base, rejoined, f.Keywords)
+		rejoined := rel.NewNaturalJoin(src, rel.NewScan(base))
+		out, err = e.Cat.Mat.StaticEnrichIter(prov.base, rejoined, f.Keywords)
 		e.note("e-join(%s): well-behaved via id recovery, %s", f.Graph, joinName)
 	case e.Mode != ModeBaseline && e.Cat.Heur != nil:
-		var typ string
-		out, typ, err = e.Cat.Heur.Enrich(s, f.Keywords)
-		e.note("e-join(%s): heuristic via gτ(%s)", f.Graph, typ)
+		out = core.HeuristicEnrichIter(e.Cat.Heur, src, f.Keywords)
+		e.note("e-join(%s): heuristic via gτ", f.Graph)
 	default:
 		cfg := e.Cat.RExt
 		cfg.K = e.Cat.K
-		out, err = core.EnrichmentJoin(s, g, e.Cat.Models, e.Cat.Matcher, f.Keywords, cfg)
+		out = core.BaselineEnrichIter(g, e.Cat.Models, e.Cat.Matcher, f.Keywords, cfg, src)
 		e.note("e-join(%s): conceptual baseline (HER+RExt online)", f.Graph)
 	}
 	if err != nil {
 		return nil, provenance{}, err
 	}
 	if f.Alias != "" {
-		out = rel.Rename(out, f.Alias)
+		out = rel.NewRename(out, f.Alias)
 	}
 	return out, prov, nil
 }
@@ -474,16 +588,24 @@ type linkFilters struct {
 // splitLinkFilters partitions a WHERE conjunction into left-side,
 // right-side and residual predicates for a single l-join FROM clause.
 // A conjunct moves to a side iff every column it references resolves in
-// that side's (aliased) schema and not ambiguously in both.
+// that side's (aliased) schema and not ambiguously in both. The sides
+// are planned (not executed) just for their schemas; when a side's
+// schema is only known after Open, pushdown is skipped.
 func (e *Engine) splitLinkFilters(f *FromItem, where Expr) (*linkFilters, Expr) {
-	leftRel, _, errL := e.evalFrom(f.Left)
-	rightRel, _, errR := e.evalFrom(f.Right)
+	mark := len(e.Plan)
+	left, _, errL := e.planFrom(f.Left)
+	right, _, errR := e.planFrom(f.Right)
+	e.Plan = e.Plan[:mark] // probing must not leave strategy notes
 	if errL != nil || errR != nil {
-		return nil, where // let normal evaluation surface the error
+		return nil, where // let normal planning surface the error
+	}
+	leftSchema, rightSchema := left.Schema(), right.Schema()
+	if leftSchema == nil || rightSchema == nil {
+		return nil, where
 	}
 	n1, n2 := linkSideNames(f)
-	ls := leftRel.Schema.Qualified(n1)
-	rs := rightRel.Schema.Qualified(n2)
+	ls := leftSchema.Qualified(n1)
+	rs := rightSchema.Qualified(n2)
 
 	var lf, rf, rest Expr
 	addTo := func(dst *Expr, c Expr) {
@@ -497,10 +619,10 @@ func (e *Engine) splitLinkFilters(f *FromItem, where Expr) (*linkFilters, Expr) 
 		cols := Columns(c)
 		inL, inR := true, true
 		for _, col := range cols {
-			if ls.Col(col) < 0 && leftRel.Schema.Col(col) < 0 {
+			if ls.Col(col) < 0 && leftSchema.Col(col) < 0 {
 				inL = false
 			}
-			if rs.Col(col) < 0 && rightRel.Schema.Col(col) < 0 {
+			if rs.Col(col) < 0 && rightSchema.Col(col) < 0 {
 				inR = false
 			}
 		}
@@ -550,76 +672,59 @@ func linkSideNames(f *FromItem) (string, string) {
 	return n1, n2
 }
 
-// evalLJoinFiltered executes a link join with pushed-down side filters.
-func (e *Engine) evalLJoinFiltered(f *FromItem, filters *linkFilters) (*rel.Relation, provenance, error) {
-	return e.evalLJoinImpl(f, filters)
-}
-
-// evalLJoin executes a link join.
-func (e *Engine) evalLJoin(f *FromItem) (*rel.Relation, provenance, error) {
-	return e.evalLJoinImpl(f, nil)
-}
-
-func (e *Engine) evalLJoinImpl(f *FromItem, filters *linkFilters) (*rel.Relation, provenance, error) {
+// planLJoin plans a link join, with optional pushed-down side filters.
+func (e *Engine) planLJoin(f *FromItem, filters *linkFilters) (rel.Iterator, provenance, error) {
 	g := e.Cat.Graphs[f.Graph]
 	if g == nil {
 		return nil, provenance{}, fmt.Errorf("gsql: unknown graph %q", f.Graph)
 	}
-	s1, p1, err := e.evalFrom(f.Left)
+	s1, p1, err := e.planFrom(f.Left)
 	if err != nil {
 		return nil, provenance{}, err
 	}
-	s2, p2, err := e.evalFrom(f.Right)
+	s2, p2, err := e.planFrom(f.Right)
 	if err != nil {
 		return nil, provenance{}, err
 	}
 	// Give both sides distinct names for qualified output attributes.
 	n1, n2 := linkSideNames(f)
-	s1 = rel.Rename(s1, n1)
-	s2 = rel.Rename(s2, n2)
+	s1 = rel.NewRename(s1, n1)
+	s2 = rel.NewRename(s2, n2)
 
 	// Apply pushed-down side predicates (σ_P1 / σ_P2 of the paper's Q3
 	// algebra) before computing connectivity.
 	sig1, sig2 := predSignature(f.Left), predSignature(f.Right)
 	if filters != nil {
 		if lf := filters.left; lf != nil {
-			s := s1.Schema
-			s1 = rel.Select(s1, func(t rel.Tuple) bool { return lf.Eval(s, t) })
+			s1 = rel.NewSelectWith("select σ_P1", s1, func(s *rel.Schema) (rel.Pred, error) {
+				return func(t rel.Tuple) bool { return lf.Eval(s, t) }, nil
+			})
 		}
 		if rf := filters.right; rf != nil {
-			s := s2.Schema
-			s2 = rel.Select(s2, func(t rel.Tuple) bool { return rf.Eval(s, t) })
+			s2 = rel.NewSelectWith("select σ_P2", s2, func(s *rel.Schema) (rel.Pred, error) {
+				return func(t rel.Tuple) bool { return rf.Eval(s, t) }, nil
+			})
 		}
 		sig1 += "&" + filters.leftSig
 		sig2 += "&" + filters.rightSig
 	}
 
-	var out *rel.Relation
-	if e.Mode == ModeHeuristic && e.Cat.Heur != nil {
-		out, err = e.Cat.Heur.Link(s1, s2, g, e.Cat.K)
-		if err != nil {
-			return nil, provenance{}, err
-		}
+	var out rel.Iterator
+	switch {
+	case e.Mode == ModeHeuristic && e.Cat.Heur != nil:
+		out = core.HeuristicLinkIter(e.Cat.Heur, g, e.Cat.K, s1, s2)
 		e.note("l-join(%s): heuristic via gτ alignment", f.Graph)
-		if f.Alias != "" {
-			out = rel.Rename(out, f.Alias)
-		}
-		return out, provenance{}, nil
-	}
-	if e.Mode != ModeBaseline && p1.base != "" && p2.base != "" && e.Cat.Mat != nil &&
-		e.Cat.Mat.Base(p1.base) != nil && e.Cat.Mat.Base(p2.base) != nil {
+	case e.Mode != ModeBaseline && p1.base != "" && p2.base != "" && e.Cat.Mat != nil &&
+		e.Cat.Mat.Base(p1.base) != nil && e.Cat.Mat.Base(p2.base) != nil:
 		key := core.LinkCacheKey(p1.base, sig1, p2.base, sig2, e.Cat.K)
-		out, err = e.Cat.Mat.StaticLink(p1.base, s1, p2.base, s2, e.Cat.K, key)
+		out = e.Cat.Mat.StaticLinkIter(p1.base, s1, p2.base, s2, e.Cat.K, key)
 		e.note("l-join(%s): well-behaved over pre-computed matches (gL key %s)", f.Graph, key)
-	} else {
-		out = core.LinkJoin(s1, s2, g, e.Cat.Matcher, e.Cat.K)
+	default:
+		out = core.LinkJoinIter(g, e.Cat.Matcher, e.Cat.K, s1, s2)
 		e.note("l-join(%s): online bidirectional search", f.Graph)
 	}
-	if err != nil {
-		return nil, provenance{}, err
-	}
 	if f.Alias != "" {
-		out = rel.Rename(out, f.Alias)
+		out = rel.NewRename(out, f.Alias)
 	}
 	return out, provenance{}, nil
 }

@@ -13,7 +13,7 @@ func TestCrossJoinAll(t *testing.T) {
 	c.InsertVals(B(false))
 	c.InsertVals(Null)
 
-	j := CrossJoinAll([]*Relation{a, b, c}, []string{"A", "B", "C"})
+	j := must(CrossJoinAll([]*Relation{a, b, c}, []string{"A", "B", "C"}))
 	if j.Len() != 2*1*3 {
 		t.Fatalf("size = %d, want 6", j.Len())
 	}
@@ -39,19 +39,20 @@ func TestCrossJoinAllEmptyRelation(t *testing.T) {
 	a := NewRelation(NewSchema("a", "", Attribute{Name: "x"}))
 	a.InsertVals(I(1))
 	empty := NewRelation(NewSchema("b", "", Attribute{Name: "y"}))
-	j := CrossJoinAll([]*Relation{a, empty}, []string{"a", "b"})
+	j := must(CrossJoinAll([]*Relation{a, empty}, []string{"a", "b"}))
 	if j.Len() != 0 {
 		t.Fatal("cross with empty relation must be empty")
 	}
 }
 
-func TestCrossJoinAllPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	CrossJoinAll(nil, nil)
+func TestCrossJoinAllErrors(t *testing.T) {
+	if _, err := CrossJoinAll(nil, nil); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	a := NewRelation(NewSchema("a", "", Attribute{Name: "x"}))
+	if _, err := CrossJoinAll([]*Relation{a}, []string{"a", "b"}); err == nil {
+		t.Fatal("expected error for name/relation count mismatch")
+	}
 }
 
 func countDots(s string) int {

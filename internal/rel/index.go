@@ -1,5 +1,7 @@
 package rel
 
+import "errors"
+
 // Index is a hash index from the values of one attribute to the tuples
 // carrying them. Static semantic joins use indexes over the materialised
 // match relation f(D,G) and extracted relation h(D,G) (§IV-A) so that
@@ -11,10 +13,11 @@ type Index struct {
 }
 
 // BuildIndex indexes r on attribute name. Null values are not indexed.
-func BuildIndex(r *Relation, name string) *Index {
+// An unknown attribute is reported as an error.
+func BuildIndex(r *Relation, name string) (*Index, error) {
 	c := r.Schema.Col(name)
 	if c < 0 {
-		panic("rel: index: no attribute " + name)
+		return nil, errors.New("rel: index: no attribute " + name)
 	}
 	idx := &Index{rel: r, col: c, rows: make(map[string][]int, len(r.Tuples))}
 	for i, t := range r.Tuples {
@@ -24,7 +27,7 @@ func BuildIndex(r *Relation, name string) *Index {
 		k := t[c].Key()
 		idx.rows[k] = append(idx.rows[k], i)
 	}
-	return idx
+	return idx, nil
 }
 
 // Lookup returns the tuples whose indexed attribute equals v. The returned

@@ -1,0 +1,196 @@
+package rel
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// eq compares two relations tuple-by-tuple after stable-sorting both,
+// so pipelined and eager results can be checked for set equality.
+func eqSorted(t *testing.T, a, b *Relation) {
+	t.Helper()
+	if len(a.Schema.Attrs) != len(b.Schema.Attrs) {
+		t.Fatalf("arity %d vs %d", len(a.Schema.Attrs), len(b.Schema.Attrs))
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("size %d vs %d", a.Len(), b.Len())
+	}
+	key := func(tp Tuple) string {
+		var sb strings.Builder
+		for _, v := range tp {
+			sb.WriteString(v.Key())
+			sb.WriteByte('|')
+		}
+		return sb.String()
+	}
+	counts := map[string]int{}
+	for _, tp := range a.Tuples {
+		counts[key(tp)]++
+	}
+	for _, tp := range b.Tuples {
+		counts[key(tp)]--
+		if counts[key(tp)] < 0 {
+			t.Fatalf("tuple %v only in second relation", tp)
+		}
+	}
+}
+
+func TestPipelineEquivalenceWithEager(t *testing.T) {
+	c, p := customers(), products()
+	// Eager: σ → π over customers.
+	eagerSel := Select(c, func(tp Tuple) bool { return c.Get(tp, "credit").Equal(S("good")) })
+	eager := must(Project(eagerSel, "cid", "name"))
+	// Pipelined: same plan as an operator tree.
+	it := NewProject(
+		NewSelect(NewScan(c), func(tp Tuple) bool { return tp[2].Equal(S("good")) }),
+		"cid", "name")
+	piped := must(Materialize(context.Background(), it))
+	eqSorted(t, eager, piped)
+
+	// Hash join, both build sides.
+	iss := NewRelation(NewSchema("iss", "issuer", Attribute{Name: "issuer"}, Attribute{Name: "country"}))
+	iss.InsertVals(S("G&L"), S("UK"))
+	iss.InsertVals(S("company1"), S("UK"))
+	eagerJ := must(HashJoin(p, iss, "issuer", "issuer"))
+	for _, buildLeft := range []bool{true, false} {
+		jt := NewHashJoin(NewScan(p), NewScan(iss), "issuer", "issuer", buildLeft)
+		pj := must(Materialize(context.Background(), jt))
+		eqSorted(t, eagerJ, pj)
+	}
+}
+
+func TestHashJoinIterNullKeysBothSides(t *testing.T) {
+	a := NewRelation(NewSchema("a", "", Attribute{Name: "k"}, Attribute{Name: "v"}))
+	a.InsertVals(Null, I(1))
+	a.InsertVals(I(7), I(2))
+	b := NewRelation(NewSchema("b", "", Attribute{Name: "k"}))
+	b.InsertVals(Null)
+	b.InsertVals(I(7))
+	for _, buildLeft := range []bool{true, false} {
+		j := must(Materialize(context.Background(),
+			NewHashJoin(NewScan(a), NewScan(b), "k", "k", buildLeft)))
+		if j.Len() != 1 {
+			t.Fatalf("buildLeft=%v: rows = %d, want 1 (nulls must not join)", buildLeft, j.Len())
+		}
+		if j.Tuples[0][0].Int() != 7 {
+			t.Fatalf("joined wrong row: %v", j.Tuples[0])
+		}
+	}
+}
+
+func TestUnionArityMismatchError(t *testing.T) {
+	a := NewRelation(NewSchema("a", "", Attribute{Name: "x"}))
+	b := NewRelation(NewSchema("b", "", Attribute{Name: "x"}, Attribute{Name: "y"}))
+	if _, err := Union(a, b); err == nil {
+		t.Fatal("expected arity mismatch error")
+	}
+	it := NewUnion(NewScan(a), NewScan(b))
+	if err := it.Open(context.Background()); err == nil {
+		t.Fatal("iterator Open should surface the arity mismatch")
+	} else if !strings.Contains(err.Error(), "arity mismatch") {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestOpenErrorsInsteadOfPanics(t *testing.T) {
+	r := customers()
+	cases := []Iterator{
+		NewProject(NewScan(r), "no_such"),
+		NewSort(NewScan(r), "no_such"),
+		NewHashJoin(NewScan(r), NewScan(r), "no_such", "cid", true),
+		NewAggregate(NewScan(r), []string{"no_such"}, nil),
+	}
+	for i, it := range cases {
+		if _, err := Materialize(context.Background(), it); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestMaterializeCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Materialize(ctx, NewScan(customers())); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMaterializeOwnsFreshSlices(t *testing.T) {
+	r := customers()
+	out := must(Materialize(context.Background(), NewScan(r)))
+	if out.Len() != r.Len() {
+		t.Fatalf("rows = %d", out.Len())
+	}
+	// Appending to the materialised copy must not disturb the source.
+	before := r.Len()
+	out.Tuples = append(out.Tuples[:1], out.Tuples[2:]...)
+	if r.Len() != before {
+		t.Fatal("materialised relation shares its Tuples slice with the source")
+	}
+}
+
+func TestSelectRenameNoAliasing(t *testing.T) {
+	// Satellite (b): the eager Select/Rename shims must hand out Tuples
+	// slices whose backing arrays are not shared with the source, per the
+	// ownership rule on Relation.
+	r := customers()
+	sel := Select(r, func(Tuple) bool { return true })
+	if sel.Len() != r.Len() {
+		t.Fatalf("rows = %d", sel.Len())
+	}
+	sel.Tuples[0], sel.Tuples[1] = sel.Tuples[1], sel.Tuples[0]
+	if r.Get(r.Tuples[0], "cid").Str() != "cid01" {
+		t.Fatal("Select shares its Tuples backing array with the source")
+	}
+	ren := Rename(r, "alias")
+	ren.Tuples = ren.Tuples[:0]
+	if r.Len() == 0 {
+		t.Fatal("Rename shares its Tuples backing array with the source")
+	}
+}
+
+func TestCollectStatsCountsRows(t *testing.T) {
+	c := customers()
+	it := NewLimit(NewSort(NewScan(c), "cid"), 2)
+	out := must(Materialize(context.Background(), it))
+	if out.Len() != 2 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+	st := CollectStats(it)
+	if len(st.Lines) != 3 {
+		t.Fatalf("plan lines = %d, want 3\n%s", len(st.Lines), st)
+	}
+	// Pre-order: limit, sort, scan.
+	if st.Lines[0].Rows != 2 || st.Lines[1].Rows < 2 || st.Lines[2].Rows != int64(c.Len()) {
+		t.Fatalf("rows-out wrong:\n%s", st)
+	}
+	if st.Lines[2].Depth != 2 {
+		t.Fatalf("scan depth = %d", st.Lines[2].Depth)
+	}
+	if !strings.Contains(st.String(), "rows=") {
+		t.Fatalf("rendering missing rows=:\n%s", st)
+	}
+	if st.TotalRows() < int64(c.Len())+2 {
+		t.Fatalf("TotalRows = %d", st.TotalRows())
+	}
+}
+
+func TestIteratorRewind(t *testing.T) {
+	// Operators must be re-openable: the cross-join kernel re-opens its
+	// first child for every pass.
+	a := NewRelation(NewSchema("a", "", Attribute{Name: "x"}))
+	a.InsertVals(I(1))
+	a.InsertVals(I(2))
+	b := NewRelation(NewSchema("b", "", Attribute{Name: "y"}))
+	b.InsertVals(I(3))
+	b.InsertVals(I(4))
+	it := NewCrossJoin([]Iterator{NewScan(a), NewScan(b)}, []string{"a", "b"})
+	out := must(Materialize(context.Background(), it))
+	if out.Len() != 4 {
+		t.Fatalf("cross rows = %d", out.Len())
+	}
+	again := must(Materialize(context.Background(), it))
+	eqSorted(t, out, again)
+}

@@ -1,229 +1,76 @@
+// Eager operator shims. Each function materialises the corresponding
+// pipelined iterator (iter.go), so the two execution paths share one
+// implementation. Operators whose only failure modes are planner bugs
+// keep their single-return signature; the ones reachable with bad
+// attribute names from a query (Project, HashJoin, SortBy, Aggregate,
+// Union, CrossJoinAll) return errors.
 package rel
 
-import (
-	"fmt"
-	"sort"
-)
+import "errors"
 
 // Pred is a tuple predicate used by Select and NestedLoopJoin.
 type Pred func(Tuple) bool
 
-// Select returns the tuples of r satisfying p, sharing tuple storage.
+// Select returns the tuples of r satisfying p (tuple rows shared, the
+// Tuples slice freshly owned).
 func Select(r *Relation, p Pred) *Relation {
-	out := NewRelation(r.Schema)
-	for _, t := range r.Tuples {
-		if p(t) {
-			out.Tuples = append(out.Tuples, t)
-		}
-	}
-	return out
+	return mustMat(NewSelect(NewScan(r), p))
 }
 
 // Project returns r restricted to the named attributes, in the given
-// order. Unknown attribute names panic — the planner validates names
-// before execution, so reaching this is a bug.
-func Project(r *Relation, names ...string) *Relation {
-	cols := make([]int, len(names))
-	attrs := make([]Attribute, len(names))
-	for i, n := range names {
-		c := r.Schema.Col(n)
-		if c < 0 {
-			panic(fmt.Sprintf("rel: project: no attribute %q in %s", n, r.Schema))
-		}
-		cols[i] = c
-		attrs[i] = Attribute{Name: names[i], Type: r.Schema.Attrs[c].Type}
-	}
-	key := ""
-	for _, n := range names {
-		if n == r.Schema.Key {
-			key = n
-		}
-	}
-	out := NewRelation(NewSchema(r.Schema.Name, key, attrs...))
-	for _, t := range r.Tuples {
-		nt := make(Tuple, len(cols))
-		for i, c := range cols {
-			nt[i] = t[c]
-		}
-		out.Tuples = append(out.Tuples, nt)
-	}
-	return out
+// order. Unknown attribute names are reported as an error.
+func Project(r *Relation, names ...string) (*Relation, error) {
+	return Materialize(nil, NewProject(NewScan(r), names...))
 }
 
-// Rename returns r with a new relation name (schema copy, tuples shared).
+// Rename returns r with a new relation name (schema copy, tuple rows
+// shared, Tuples slice freshly owned — renaming no longer aliases the
+// input's slice storage).
 func Rename(r *Relation, name string) *Relation {
-	out := NewRelation(r.Schema.Rename(name))
-	out.Tuples = r.Tuples
-	return out
+	return mustMat(NewRename(NewScan(r), name))
 }
 
 // CrossProduct returns the Cartesian product of a and b with qualified
 // attribute names.
 func CrossProduct(a, b *Relation, aName, bName string) *Relation {
-	qa, qb := a.Schema.Qualified(aName), b.Schema.Qualified(bName)
-	attrs := append(append([]Attribute(nil), qa.Attrs...), qb.Attrs...)
-	out := NewRelation(NewSchema(aName+"x"+bName, "", attrs...))
-	for _, ta := range a.Tuples {
-		for _, tb := range b.Tuples {
-			nt := make(Tuple, 0, len(ta)+len(tb))
-			nt = append(append(nt, ta...), tb...)
-			out.Tuples = append(out.Tuples, nt)
-		}
-	}
-	return out
+	return mustMat(newCrossJoin(aName+"x"+bName,
+		[]Iterator{NewScan(a), NewScan(b)}, []string{aName, bName}))
 }
 
 // CrossJoinAll returns the Cartesian product of several relations with
-// attribute names qualified by the given binding names (flat, one level).
-func CrossJoinAll(rels []*Relation, names []string) *Relation {
+// attribute names qualified by the given binding names (flat, one
+// level).
+func CrossJoinAll(rels []*Relation, names []string) (*Relation, error) {
 	if len(rels) != len(names) || len(rels) == 0 {
-		panic("rel: CrossJoinAll needs one name per relation")
+		return nil, errors.New("rel: CrossJoinAll needs one name per relation")
 	}
-	var attrs []Attribute
+	its := make([]Iterator, len(rels))
 	for i, r := range rels {
-		attrs = append(attrs, r.Schema.Qualified(names[i]).Attrs...)
+		its[i] = NewScan(r)
 	}
-	out := NewRelation(NewSchema("cross", "", attrs...))
-	var build func(i int, acc Tuple)
-	build = func(i int, acc Tuple) {
-		if i == len(rels) {
-			out.Tuples = append(out.Tuples, acc.Clone())
-			return
-		}
-		for _, t := range rels[i].Tuples {
-			build(i+1, append(acc, t...))
-		}
-	}
-	build(0, make(Tuple, 0, len(attrs)))
-	return out
+	return Materialize(nil, NewCrossJoin(its, names))
 }
 
 // HashJoin equijoins a and b on a.leftAttr = b.rightAttr, producing the
 // concatenation of both tuple layouts with attribute names qualified by
-// the relation names. Null join keys never match (SQL semantics).
-func HashJoin(a, b *Relation, leftAttr, rightAttr string) *Relation {
-	lc := a.Schema.Col(leftAttr)
-	rc := b.Schema.Col(rightAttr)
-	if lc < 0 || rc < 0 {
-		panic(fmt.Sprintf("rel: hash join: missing attribute %q/%q", leftAttr, rightAttr))
-	}
-	// Build on the smaller side.
-	swap := len(b.Tuples) < len(a.Tuples)
-	build, probe := a, b
-	bc, pc := lc, rc
-	if swap {
-		build, probe = b, a
-		bc, pc = rc, lc
-	}
-	ht := make(map[string][]Tuple, len(build.Tuples))
-	for _, t := range build.Tuples {
-		if t[bc].IsNull() {
-			continue
-		}
-		k := t[bc].Key()
-		ht[k] = append(ht[k], t)
-	}
-	qa := a.Schema.Qualified(a.Schema.Name)
-	qb := b.Schema.Qualified(b.Schema.Name)
-	attrs := append(append([]Attribute(nil), qa.Attrs...), qb.Attrs...)
-	out := NewRelation(NewSchema(a.Schema.Name+"_"+b.Schema.Name, "", attrs...))
-	for _, pt := range probe.Tuples {
-		if pt[pc].IsNull() {
-			continue
-		}
-		for _, bt := range ht[pt[pc].Key()] {
-			// Output layout is always a's values then b's values.
-			left, right := bt, pt // build == a, probe == b
-			if swap {
-				left, right = pt, bt // probe == a, build == b
-			}
-			nt := make(Tuple, 0, len(left)+len(right))
-			nt = append(append(nt, left...), right...)
-			out.Tuples = append(out.Tuples, nt)
-		}
-	}
-	return out
+// the relation names. Null join keys never match (SQL semantics). The
+// hash table is built on the smaller side.
+func HashJoin(a, b *Relation, leftAttr, rightAttr string) (*Relation, error) {
+	buildLeft := len(b.Tuples) >= len(a.Tuples)
+	return Materialize(nil, NewHashJoin(NewScan(a), NewScan(b), leftAttr, rightAttr, buildLeft))
 }
 
 // NestedLoopJoin joins a and b with an arbitrary predicate over the
 // concatenated tuple (a's values first). Attribute names are qualified.
 func NestedLoopJoin(a, b *Relation, p func(joined Tuple) bool) *Relation {
-	qa := a.Schema.Qualified(a.Schema.Name)
-	qb := b.Schema.Qualified(b.Schema.Name)
-	attrs := append(append([]Attribute(nil), qa.Attrs...), qb.Attrs...)
-	out := NewRelation(NewSchema(a.Schema.Name+"_"+b.Schema.Name, "", attrs...))
-	joined := make(Tuple, len(attrs))
-	for _, ta := range a.Tuples {
-		copy(joined, ta)
-		for _, tb := range b.Tuples {
-			copy(joined[len(ta):], tb)
-			if p(joined) {
-				out.Tuples = append(out.Tuples, joined.Clone())
-			}
-		}
-	}
-	return out
+	return mustMat(NewNestedLoopJoin(NewScan(a), NewScan(b), p))
 }
 
 // NaturalJoin joins a and b on all shared attribute names (the paper's
 // S ⋈ f(S,G) ⋈ h(S,G) reduction uses natural joins on tid/vid). Shared
 // attributes appear once; remaining attributes keep their bare names.
 func NaturalJoin(a, b *Relation) *Relation {
-	var shared []string
-	for _, attr := range a.Schema.Attrs {
-		if b.Schema.Has(attr.Name) {
-			shared = append(shared, attr.Name)
-		}
-	}
-	if len(shared) == 0 {
-		return CrossProduct(a, b, a.Schema.Name, b.Schema.Name)
-	}
-	aCols := make([]int, len(shared))
-	bCols := make([]int, len(shared))
-	for i, n := range shared {
-		aCols[i] = a.Schema.Col(n)
-		bCols[i] = b.Schema.Col(n)
-	}
-	// Output schema: all of a, then b's non-shared attributes.
-	attrs := append([]Attribute(nil), a.Schema.Attrs...)
-	var bExtra []int
-	for i, attr := range b.Schema.Attrs {
-		if !a.Schema.Has(attr.Name) {
-			attrs = append(attrs, attr)
-			bExtra = append(bExtra, i)
-		}
-	}
-	key := a.Schema.Key
-	if key == "" {
-		key = b.Schema.Key
-		if key != "" && !NewSchema("tmp", "", attrs...).Has(key) {
-			key = ""
-		}
-	}
-	out := NewRelation(NewSchema(a.Schema.Name+"_"+b.Schema.Name, key, attrs...))
-	ht := make(map[string][]Tuple, len(b.Tuples))
-	for _, t := range b.Tuples {
-		k, ok := jointKey(t, bCols)
-		if !ok {
-			continue
-		}
-		ht[k] = append(ht[k], t)
-	}
-	for _, ta := range a.Tuples {
-		k, ok := jointKey(ta, aCols)
-		if !ok {
-			continue
-		}
-		for _, tb := range ht[k] {
-			nt := make(Tuple, 0, len(attrs))
-			nt = append(nt, ta...)
-			for _, c := range bExtra {
-				nt = append(nt, tb[c])
-			}
-			out.Tuples = append(out.Tuples, nt)
-		}
-	}
-	return out
+	return mustMat(NewNaturalJoin(NewScan(a), NewScan(b)))
 }
 
 func jointKey(t Tuple, cols []int) (string, bool) {
@@ -239,54 +86,19 @@ func jointKey(t Tuple, cols []int) (string, bool) {
 
 // Distinct returns r with duplicate tuples removed (first occurrence kept).
 func Distinct(r *Relation) *Relation {
-	out := NewRelation(r.Schema)
-	seen := make(map[string]bool, len(r.Tuples))
-	for _, t := range r.Tuples {
-		k := ""
-		for _, v := range t {
-			k += v.Key()
-		}
-		if !seen[k] {
-			seen[k] = true
-			out.Tuples = append(out.Tuples, t)
-		}
-	}
-	return out
+	return mustMat(NewDistinct(NewScan(r)))
 }
 
 // Union appends the tuples of b to a copy of a. Schemas must have equal
 // arity; b's tuples are reinterpreted under a's schema.
-func Union(a, b *Relation) *Relation {
-	if len(a.Schema.Attrs) != len(b.Schema.Attrs) {
-		panic("rel: union: arity mismatch")
-	}
-	out := NewRelation(a.Schema)
-	out.Tuples = append(append([]Tuple(nil), a.Tuples...), b.Tuples...)
-	return out
+func Union(a, b *Relation) (*Relation, error) {
+	return Materialize(nil, NewUnion(NewScan(a), NewScan(b)))
 }
 
-// SortBy sorts r by the named attributes ascending (stable) and returns a
-// new relation sharing tuple storage.
-func SortBy(r *Relation, names ...string) *Relation {
-	cols := make([]int, len(names))
-	for i, n := range names {
-		c := r.Schema.Col(n)
-		if c < 0 {
-			panic(fmt.Sprintf("rel: sort: no attribute %q in %s", n, r.Schema))
-		}
-		cols[i] = c
-	}
-	out := NewRelation(r.Schema)
-	out.Tuples = append([]Tuple(nil), r.Tuples...)
-	sort.SliceStable(out.Tuples, func(i, j int) bool {
-		for _, c := range cols {
-			if cmp := out.Tuples[i][c].Compare(out.Tuples[j][c]); cmp != 0 {
-				return cmp < 0
-			}
-		}
-		return false
-	})
-	return out
+// SortBy sorts r by the named attributes ascending (stable) and returns
+// a new relation.
+func SortBy(r *Relation, names ...string) (*Relation, error) {
+	return Materialize(nil, NewSort(NewScan(r), names...))
 }
 
 // AggFunc enumerates aggregate functions.
@@ -311,122 +123,6 @@ type AggSpec struct {
 // Aggregate groups r by the groupBy attributes and computes the given
 // aggregates per group. With no groupBy attributes a single global group
 // is produced (even over an empty input, matching SQL COUNT semantics).
-func Aggregate(r *Relation, groupBy []string, specs []AggSpec) *Relation {
-	gCols := make([]int, len(groupBy))
-	for i, n := range groupBy {
-		c := r.Schema.Col(n)
-		if c < 0 {
-			panic(fmt.Sprintf("rel: aggregate: no attribute %q in %s", n, r.Schema))
-		}
-		gCols[i] = c
-	}
-	type group struct {
-		key    Tuple
-		counts []int64
-		sums   []float64
-		mins   []Value
-		maxs   []Value
-	}
-	groups := make(map[string]*group)
-	var order []string
-	for _, t := range r.Tuples {
-		k := ""
-		for _, c := range gCols {
-			k += t[c].Key()
-		}
-		g, ok := groups[k]
-		if !ok {
-			key := make(Tuple, len(gCols))
-			for i, c := range gCols {
-				key[i] = t[c]
-			}
-			g = &group{
-				key:    key,
-				counts: make([]int64, len(specs)),
-				sums:   make([]float64, len(specs)),
-				mins:   make([]Value, len(specs)),
-				maxs:   make([]Value, len(specs)),
-			}
-			for i := range specs {
-				g.mins[i] = Null
-				g.maxs[i] = Null
-			}
-			groups[k] = g
-			order = append(order, k)
-		}
-		for i, sp := range specs {
-			var v Value
-			if sp.Attr == "*" {
-				v = I(1)
-			} else {
-				c := r.Schema.Col(sp.Attr)
-				if c < 0 {
-					panic(fmt.Sprintf("rel: aggregate: no attribute %q in %s", sp.Attr, r.Schema))
-				}
-				v = t[c]
-			}
-			if v.IsNull() {
-				continue
-			}
-			g.counts[i]++
-			g.sums[i] += v.Float()
-			if g.mins[i].IsNull() || v.Compare(g.mins[i]) < 0 {
-				g.mins[i] = v
-			}
-			if g.maxs[i].IsNull() || v.Compare(g.maxs[i]) > 0 {
-				g.maxs[i] = v
-			}
-		}
-	}
-	if len(groupBy) == 0 && len(groups) == 0 {
-		g := &group{
-			counts: make([]int64, len(specs)),
-			sums:   make([]float64, len(specs)),
-			mins:   make([]Value, len(specs)),
-			maxs:   make([]Value, len(specs)),
-		}
-		for i := range specs {
-			g.mins[i] = Null
-			g.maxs[i] = Null
-		}
-		groups[""] = g
-		order = append(order, "")
-	}
-	attrs := make([]Attribute, 0, len(groupBy)+len(specs))
-	for i, n := range groupBy {
-		attrs = append(attrs, Attribute{Name: n, Type: r.Schema.Attrs[gCols[i]].Type})
-	}
-	for _, sp := range specs {
-		k := KindFloat
-		if sp.Func == AggCount {
-			k = KindInt
-		}
-		attrs = append(attrs, Attribute{Name: sp.As, Type: k})
-	}
-	out := NewRelation(NewSchema(r.Schema.Name+"_agg", "", attrs...))
-	for _, k := range order {
-		g := groups[k]
-		nt := make(Tuple, 0, len(attrs))
-		nt = append(nt, g.key...)
-		for i, sp := range specs {
-			switch sp.Func {
-			case AggCount:
-				nt = append(nt, I(g.counts[i]))
-			case AggSum:
-				nt = append(nt, F(g.sums[i]))
-			case AggAvg:
-				if g.counts[i] == 0 {
-					nt = append(nt, Null)
-				} else {
-					nt = append(nt, F(g.sums[i]/float64(g.counts[i])))
-				}
-			case AggMin:
-				nt = append(nt, g.mins[i])
-			case AggMax:
-				nt = append(nt, g.maxs[i])
-			}
-		}
-		out.Tuples = append(out.Tuples, nt)
-	}
-	return out
+func Aggregate(r *Relation, groupBy []string, specs []AggSpec) (*Relation, error) {
+	return Materialize(nil, NewAggregate(NewScan(r), groupBy, specs))
 }

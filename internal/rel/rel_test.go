@@ -6,6 +6,15 @@ import (
 	"testing/quick"
 )
 
+// must unwraps the error-returning operators in tests where the inputs
+// are known-good fixtures.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // customers builds the paper's Figure 1 customer relation.
 func customers() *Relation {
 	s := NewSchema("customer", "cid",
@@ -158,14 +167,14 @@ func TestSelectProject(t *testing.T) {
 	if good.Len() != 2 {
 		t.Fatalf("good credit count = %d", good.Len())
 	}
-	p := Project(good, "cid", "name")
+	p := must(Project(good, "cid", "name"))
 	if p.Len() != 2 || len(p.Schema.Attrs) != 2 {
 		t.Fatal("projection wrong")
 	}
 	if p.Schema.Key != "cid" {
 		t.Fatal("projection should retain key when projected")
 	}
-	p2 := Project(good, "name")
+	p2 := must(Project(good, "name"))
 	if p2.Schema.Key != "" {
 		t.Fatal("projection should drop key when absent")
 	}
@@ -180,7 +189,7 @@ func TestHashJoin(t *testing.T) {
 	iss := NewRelation(NewSchema("iss", "issuer", Attribute{Name: "issuer"}, Attribute{Name: "country"}))
 	iss.InsertVals(S("G&L"), S("UK"))
 	iss.InsertVals(S("company1"), S("UK"))
-	j := HashJoin(p, iss, "issuer", "issuer")
+	j := must(HashJoin(p, iss, "issuer", "issuer"))
 	if j.Len() != 3 {
 		t.Fatalf("join size = %d, want 3", j.Len())
 	}
@@ -204,8 +213,8 @@ func TestHashJoinBuildSideSwap(t *testing.T) {
 	}
 	b := NewRelation(NewSchema("b", "", Attribute{Name: "k"}, Attribute{Name: "vb"}))
 	b.InsertVals(I(1), S("one"))
-	j1 := HashJoin(a, b, "k", "k")
-	j2 := HashJoin(b, a, "k", "k")
+	j1 := must(HashJoin(a, b, "k", "k"))
+	j2 := must(HashJoin(b, a, "k", "k"))
 	if j1.Len() != j2.Len() {
 		t.Fatalf("asymmetric join sizes: %d vs %d", j1.Len(), j2.Len())
 	}
@@ -221,7 +230,7 @@ func TestHashJoinNullKeysNeverMatch(t *testing.T) {
 	a.InsertVals(Null)
 	b := NewRelation(NewSchema("b", "", Attribute{Name: "k"}))
 	b.InsertVals(Null)
-	if j := HashJoin(a, b, "k", "k"); j.Len() != 0 {
+	if j := must(HashJoin(a, b, "k", "k")); j.Len() != 0 {
 		t.Fatal("null keys must not join")
 	}
 }
@@ -278,7 +287,7 @@ func TestThreeWayNaturalJoinReduction(t *testing.T) {
 	if q.Len() != 1 {
 		t.Fatalf("Q1 result size = %d, want 1", q.Len())
 	}
-	res := Project(q, "risk", "company")
+	res := must(Project(q, "risk", "company"))
 	if res.Tuples[0][0].Str() != "medium" || res.Tuples[0][1].Str() != "company1" {
 		t.Fatalf("Q1 answer = %v, want (medium, company1)", res.Tuples[0])
 	}
@@ -322,11 +331,11 @@ func TestDistinctUnionSort(t *testing.T) {
 	if d.Len() != 2 {
 		t.Fatalf("distinct = %d", d.Len())
 	}
-	u := Union(d, d)
+	u := must(Union(d, d))
 	if u.Len() != 4 {
 		t.Fatalf("union = %d", u.Len())
 	}
-	s := SortBy(r, "x")
+	s := must(SortBy(r, "x"))
 	if s.Tuples[0][0].Int() != 1 || s.Tuples[2][0].Int() != 2 {
 		t.Fatal("sort wrong")
 	}
@@ -337,7 +346,7 @@ func TestSortStability(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		r.InsertVals(I(int64(i%2)), I(int64(i)))
 	}
-	s := SortBy(r, "k")
+	s := must(SortBy(r, "k"))
 	last := int64(-1)
 	for _, t2 := range s.Tuples {
 		if t2[0].Int() == 0 {
@@ -351,13 +360,13 @@ func TestSortStability(t *testing.T) {
 
 func TestAggregate(t *testing.T) {
 	p := products()
-	a := Aggregate(p, []string{"type"}, []AggSpec{
+	a := must(Aggregate(p, []string{"type"}, []AggSpec{
 		{Func: AggCount, Attr: "*", As: "n"},
 		{Func: AggAvg, Attr: "price", As: "avg_price"},
 		{Func: AggMin, Attr: "price", As: "min_price"},
 		{Func: AggMax, Attr: "price", As: "max_price"},
 		{Func: AggSum, Attr: "price", As: "sum_price"},
-	})
+	}))
 	if a.Len() != 2 {
 		t.Fatalf("groups = %d", a.Len())
 	}
@@ -382,7 +391,7 @@ func TestAggregate(t *testing.T) {
 
 func TestAggregateGlobalEmptyInput(t *testing.T) {
 	r := NewRelation(NewSchema("r", "", Attribute{Name: "x"}))
-	a := Aggregate(r, nil, []AggSpec{{Func: AggCount, Attr: "*", As: "n"}, {Func: AggAvg, Attr: "x", As: "m"}})
+	a := must(Aggregate(r, nil, []AggSpec{{Func: AggCount, Attr: "*", As: "n"}, {Func: AggAvg, Attr: "x", As: "m"}}))
 	if a.Len() != 1 {
 		t.Fatal("global aggregate over empty input must yield one row")
 	}
@@ -395,10 +404,10 @@ func TestAggregateIgnoresNulls(t *testing.T) {
 	r := NewRelation(NewSchema("r", "", Attribute{Name: "x"}))
 	r.InsertVals(I(10))
 	r.InsertVals(Null)
-	a := Aggregate(r, nil, []AggSpec{
+	a := must(Aggregate(r, nil, []AggSpec{
 		{Func: AggCount, Attr: "x", As: "n"},
 		{Func: AggAvg, Attr: "x", As: "avg"},
-	})
+	}))
 	if a.Get(a.Tuples[0], "n").Int() != 1 || a.Get(a.Tuples[0], "avg").Float() != 10 {
 		t.Fatalf("null handling wrong: %v", a.Tuples[0])
 	}
@@ -406,7 +415,7 @@ func TestAggregateIgnoresNulls(t *testing.T) {
 
 func TestIndex(t *testing.T) {
 	p := products()
-	idx := BuildIndex(p, "issuer")
+	idx := must(BuildIndex(p, "issuer"))
 	got := idx.Lookup(S("G&L"))
 	if len(got) != 2 {
 		t.Fatalf("lookup = %d rows", len(got))

@@ -22,21 +22,33 @@ type Schema struct {
 	index map[string]int
 }
 
-// NewSchema builds a schema. Attribute names must be unique.
+// NewSchema builds a schema. Attribute names must be unique; invalid
+// input panics (use TrySchema where names come from a query).
 func NewSchema(name string, key string, attrs ...Attribute) *Schema {
+	s, err := TrySchema(name, key, attrs...)
+	if err != nil {
+		panic(err.Error())
+	}
+	return s
+}
+
+// TrySchema is NewSchema returning an error instead of panicking on
+// duplicate attribute names or an unknown key. Iterator kernels use it
+// so that planner-reachable schema collisions surface through Open.
+func TrySchema(name string, key string, attrs ...Attribute) (*Schema, error) {
 	s := &Schema{Name: name, Attrs: attrs, Key: key, index: make(map[string]int, len(attrs))}
 	for i, a := range attrs {
 		if _, dup := s.index[a.Name]; dup {
-			panic(fmt.Sprintf("rel: duplicate attribute %q in schema %q", a.Name, name))
+			return nil, fmt.Errorf("rel: duplicate attribute %q in schema %q", a.Name, name)
 		}
 		s.index[a.Name] = i
 	}
 	if key != "" {
 		if _, ok := s.index[key]; !ok {
-			panic(fmt.Sprintf("rel: key %q not an attribute of schema %q", key, name))
+			return nil, fmt.Errorf("rel: key %q not an attribute of schema %q", key, name)
 		}
 	}
-	return s
+	return s, nil
 }
 
 // Col returns the position of attribute name, or -1 if absent. Both the
@@ -124,6 +136,12 @@ func (t Tuple) Clone() Tuple {
 
 // Relation is a schema plus its tuples. The zero value is unusable; build
 // with NewRelation.
+//
+// Ownership rule: operators may share individual Tuple rows between
+// relations (rows are treated as immutable — Clone before mutating),
+// but the Tuples slice header and its backing array belong to exactly
+// one relation. Every operator and Materialize return a freshly-owned
+// slice, so appending to one relation can never corrupt another.
 type Relation struct {
 	Schema *Schema
 	Tuples []Tuple

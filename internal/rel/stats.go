@@ -1,0 +1,84 @@
+package rel
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// OpStats are one operator's live counters. Elapsed is inclusive of
+// the operator's children (time spent inside Open and Next of the
+// whole subtree), so the root's Elapsed approximates total plan time.
+type OpStats struct {
+	Label   string
+	Note    string // strategy annotation, e.g. "gL hit"
+	RowsOut int64
+	Elapsed time.Duration
+}
+
+// PlanLine is one operator of a rendered plan, in depth-first
+// pre-order.
+type PlanLine struct {
+	Depth   int
+	Label   string
+	Note    string
+	Rows    int64
+	Elapsed time.Duration
+}
+
+// String renders the line indented by depth, e.g.
+// "  hash join tid=tid  rows=42 time=1.2ms".
+func (l PlanLine) String() string {
+	label := l.Label
+	if l.Note != "" {
+		label += " [" + l.Note + "]"
+	}
+	return fmt.Sprintf("%s%s  rows=%d time=%s",
+		strings.Repeat("  ", l.Depth), label, l.Rows, l.Elapsed.Round(time.Microsecond))
+}
+
+// ExecStats is the per-operator account of one executed plan: the
+// query-level observability layer EXPLAIN and the experiment harness
+// report from.
+type ExecStats struct {
+	Lines []PlanLine
+}
+
+// CollectStats snapshots the counters of the operator tree rooted at
+// it into an ExecStats (depth-first pre-order, root first).
+func CollectStats(it Iterator) *ExecStats {
+	st := &ExecStats{}
+	var walk func(it Iterator, depth int)
+	walk = func(it Iterator, depth int) {
+		s := it.Stats()
+		st.Lines = append(st.Lines, PlanLine{
+			Depth: depth, Label: s.Label, Note: s.Note,
+			Rows: s.RowsOut, Elapsed: s.Elapsed,
+		})
+		for _, c := range it.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(it, 0)
+	return st
+}
+
+// TotalRows sums rows-out across all operators — a proxy for how much
+// tuple traffic the plan moved.
+func (st *ExecStats) TotalRows() int64 {
+	var n int64
+	for _, l := range st.Lines {
+		n += l.Rows
+	}
+	return n
+}
+
+// String renders the plan tree one operator per line.
+func (st *ExecStats) String() string {
+	var b strings.Builder
+	for _, l := range st.Lines {
+		b.WriteString(l.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
