@@ -283,7 +283,14 @@ func BenchmarkPipelineVsMaterialize(b *testing.B) {
 	b.Run("materialize", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			j := rel.NaturalJoin(rel.NaturalJoin(s, base.MatchRel), base.Extracted)
+			sm, err := rel.NaturalJoin(s, base.MatchRel)
+			if err != nil {
+				b.Fatal(err)
+			}
+			j, err := rel.NaturalJoin(sm, base.Extracted)
+			if err != nil {
+				b.Fatal(err)
+			}
 			out, err := rel.Project(j, cols...)
 			if err != nil {
 				b.Fatal(err)

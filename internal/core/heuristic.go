@@ -100,11 +100,14 @@ func (h *HeuristicJoiner) Enrich(q *rel.Relation, a []string) (*rel.Relation, st
 	}
 	idf := buildIDFMasked(gt, rowTokens)
 	// Step (3): join with ER as the join condition.
-	joined := rel.NestedLoopJoin(q, gt, func(t rel.Tuple) bool {
+	joined, err := rel.NestedLoopJoin(q, gt, func(t rel.Tuple) bool {
 		qt := tupleTokens(t[:len(q.Schema.Attrs)])
 		row := rowTokens(t[len(q.Schema.Attrs):])
 		return idf.sim(qt, row) >= h.Threshold
 	})
+	if err != nil {
+		return nil, "", err
+	}
 
 	// Keep q's attributes plus vid plus the requested attributes that gτ
 	// actually carries.

@@ -27,7 +27,10 @@ func TestHeuristicLink(t *testing.T) {
 		t.Fatal("heuristic link found nothing")
 	}
 	// Compare against the exact link join: high overlap expected.
-	exact := LinkJoin(one, rel.Rename(w.products, "p2"), w.g, oracle(w), 2)
+	exact, err := LinkJoin(one, rel.Rename(w.products, "p2"), w.g, oracle(w), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out.Len() < exact.Len()/2 || out.Len() > exact.Len()*2 {
 		t.Fatalf("heuristic link size %d far from exact %d", out.Len(), exact.Len())
 	}

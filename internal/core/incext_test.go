@@ -94,7 +94,7 @@ func TestIncExtMatchesFromScratch(t *testing.T) {
 
 	// And the semantics moved: fd00's company is now Globex.
 	m := matchRelation(w.products, ex.Matches())
-	joined := rel.NaturalJoin(rel.NaturalJoin(w.products, m), ex.Result())
+	joined := natJoin3(t, w.products, m, ex.Result())
 	for _, tp := range joined.Tuples {
 		if joined.Get(tp, "pid").Str() == "fd00" {
 			if got := joined.Get(tp, "company").Str(); got != "Globex Corp" {
@@ -199,7 +199,7 @@ func TestUpdateKeywordsAddsAttribute(t *testing.T) {
 	}
 	// New attribute is actually populated.
 	m := matchRelation(w.products, ex.Matches())
-	joined := rel.NaturalJoin(rel.NaturalJoin(w.products, m), dg)
+	joined := natJoin3(t, w.products, m, dg)
 	if acc := accuracy(t, joined, "country", w.country); acc < 0.9 {
 		t.Fatalf("country accuracy after keyword update = %.2f", acc)
 	}

@@ -57,8 +57,11 @@ func (m *Materialized) StaticEnrichIter(base string, src rel.Iterator, a []strin
 // StaticLinkIter is the pipelined form of StaticLink: both sides
 // materialise at Open (match restriction needs whole relations), the
 // joined pairs stream out, and the operator's plan note records
-// whether the gL connectivity cache answered the query.
-func (m *Materialized) StaticLinkIter(base1 string, s1 rel.Iterator, base2 string, s2 rel.Iterator, k int, cacheKey string) rel.Iterator {
+// whether the gL connectivity cache answered the query. The per-vertex
+// BFS fan-out runs on par workers (par <= 0 means GOMAXPROCS); the gL
+// cache is singleflighted, so concurrent queries sharing cacheKey
+// compute the connectivity relation exactly once.
+func (m *Materialized) StaticLinkIter(base1 string, s1 rel.Iterator, base2 string, s2 rel.Iterator, k, par int, cacheKey string) rel.Iterator {
 	return rel.NewGenerate("l-join static", []rel.Iterator{s1, s2},
 		func(ctx context.Context, in []*rel.Relation) (rel.Generated, error) {
 			b1, b2 := m.bases[base1], m.bases[base2]
@@ -69,48 +72,63 @@ func (m *Materialized) StaticLinkIter(base1 string, s1 rel.Iterator, base2 strin
 			m1 := restrictMatches(b1, r1)
 			m2 := restrictMatches(b2, r2)
 			if cacheKey != "" {
-				if cached, ok := m.gl[cacheKey]; ok {
-					pairs := map[[2]graph.VertexID]bool{}
-					v1c, v2c := cached.Schema.Col("vid1"), cached.Schema.Col("vid2")
-					for _, t := range cached.Tuples {
-						pairs[[2]graph.VertexID{
-							graph.VertexID(t[v1c].Int()), graph.VertexID(t[v2c].Int()),
-						}] = true
-					}
-					g, err := linkGenerated(r1, r2, m1, m2, func(a, b her.Match) bool {
-						return pairs[[2]graph.VertexID{a.Vertex, b.Vertex}]
-					})
-					g.Note = "gL hit"
-					return g, err
+				glr, hit, err := m.gl.getOrCompute(ctx, cacheKey, func() (*rel.Relation, error) {
+					return glRelation(ctx, m.G, m1, m2, k, par)
+				})
+				if err != nil {
+					return rel.Generated{}, err
 				}
+				pairs := map[[2]graph.VertexID]bool{}
+				v1c, v2c := glr.Schema.Col("vid1"), glr.Schema.Col("vid2")
+				for _, t := range glr.Tuples {
+					pairs[[2]graph.VertexID{
+						graph.VertexID(t[v1c].Int()), graph.VertexID(t[v2c].Int()),
+					}] = true
+				}
+				g, err := linkGenerated(r1, r2, m1, m2, func(a, b her.Match) bool {
+					return pairs[[2]graph.VertexID{a.Vertex, b.Vertex}]
+				})
+				if hit {
+					g.Note = "gL hit"
+				} else {
+					g.Note = "gL miss, populated"
+					g.Workers = normPar(par)
+				}
+				return g, err
 			}
-			reach := reachSets(m.G, m1, k)
-			note := "gL bypass"
-			if cacheKey != "" {
-				m.gl[cacheKey] = glRelation(cacheKey, m.G, m1, m2, k)
-				note = "gL miss, populated"
+			reach, workers, err := reachSets(ctx, m.G, m1, k, par)
+			if err != nil {
+				return rel.Generated{}, err
 			}
 			g, err := linkGenerated(r1, r2, m1, m2, func(a, b her.Match) bool {
 				r, ok := reach[a.Vertex]
 				return ok && r[b.Vertex]
 			})
-			g.Note = note
+			g.Note = "gL bypass"
+			g.Workers = workers
 			return g, err
 		})
 }
 
 // LinkJoinIter is the pipelined conceptual-level link join: HER runs
 // on the materialised sides at Open, pair connectivity streams out.
-func LinkJoinIter(g *graph.Graph, matcher her.Matcher, k int, s1, s2 rel.Iterator) rel.Iterator {
+// The per-vertex BFS fan-out runs on par workers (par <= 0 means
+// GOMAXPROCS).
+func LinkJoinIter(g *graph.Graph, matcher her.Matcher, k, par int, s1, s2 rel.Iterator) rel.Iterator {
 	return rel.NewGenerate("l-join online", []rel.Iterator{s1, s2},
 		func(ctx context.Context, in []*rel.Relation) (rel.Generated, error) {
 			m1 := matcher.Match(in[0], g)
 			m2 := matcher.Match(in[1], g)
-			reach := reachSets(g, m1, k)
-			return linkGenerated(in[0], in[1], m1, m2, func(a, b her.Match) bool {
+			reach, workers, err := reachSets(ctx, g, m1, k, par)
+			if err != nil {
+				return rel.Generated{}, err
+			}
+			gen, err := linkGenerated(in[0], in[1], m1, m2, func(a, b her.Match) bool {
 				r, ok := reach[a.Vertex]
 				return ok && r[b.Vertex]
 			})
+			gen.Workers = workers
+			return gen, err
 		})
 }
 
@@ -141,19 +159,6 @@ func HeuristicLinkIter(h *HeuristicJoiner, g *graph.Graph, k int, s1, s2 rel.Ite
 			out, err := h.Link(in[0], in[1], g, k)
 			return out, "gτ alignment", err
 		})
-}
-
-// reachSets computes the k-hop set per distinct live left vertex
-// (equivalent to the paper's bidirectional search, and cheaper when
-// one side repeats vertices).
-func reachSets(g *graph.Graph, m1 []her.Match, k int) map[graph.VertexID]map[graph.VertexID]bool {
-	reach := map[graph.VertexID]map[graph.VertexID]bool{}
-	for _, m := range m1 {
-		if _, ok := reach[m.Vertex]; !ok && g.Live(m.Vertex) {
-			reach[m.Vertex] = g.KHopNeighborhood([]graph.VertexID{m.Vertex}, k)
-		}
-	}
-	return reach
 }
 
 // linkGenerated streams the m1 × m2 pairs passing connected, under the

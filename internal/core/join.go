@@ -77,22 +77,21 @@ func enrichMatched(s *rel.Relation, g *graph.Graph, models Models, keywords []st
 		return nil, err
 	}
 	m := matchRelation(s, matches)
-	return rel.NaturalJoin(rel.NaturalJoin(s, m), dg), nil
+	sm, err := rel.NaturalJoin(s, m)
+	if err != nil {
+		return nil, err
+	}
+	return rel.NaturalJoin(sm, dg)
 }
 
 // LinkJoin computes the exact link join S1 ⋈_G S2 of §II-B: tuples t1, t2
 // join iff vertices matching them are within k hops in G. Matching uses
 // the supplied HER matcher on both sides; connectivity uses BFS from each
 // distinct left vertex (equivalent to the paper's bidirectional search,
-// and cheaper when one side repeats vertices).
-func LinkJoin(s1, s2 *rel.Relation, g *graph.Graph, matcher her.Matcher, k int) *rel.Relation {
-	out, err := rel.Materialize(nil, LinkJoinIter(g, matcher, k, rel.NewScan(s1), rel.NewScan(s2)))
-	if err != nil {
-		// Only a schema collision between two identically-named sides can
-		// fail here; that is a caller bug, as it was when eager.
-		panic(err)
-	}
-	return out
+// and cheaper when one side repeats vertices). A schema collision
+// between the two sides' qualified names surfaces as an error.
+func LinkJoin(s1, s2 *rel.Relation, g *graph.Graph, matcher her.Matcher, k int) (*rel.Relation, error) {
+	return rel.Materialize(nil, LinkJoinIter(g, matcher, k, 0, rel.NewScan(s1), rel.NewScan(s2)))
 }
 
 // BaseSpec describes one base relation to pre-process for static joins.
@@ -113,7 +112,7 @@ type Materialized struct {
 	cfg    Config
 
 	bases map[string]*BaseMaterialization
-	gl    map[string]*rel.Relation
+	gl    *glCache
 }
 
 // BaseMaterialization holds the pre-computation for one base relation.
@@ -133,7 +132,7 @@ func BuildMaterialized(g *graph.Graph, models Models, specs map[string]BaseSpec,
 	m := &Materialized{
 		G: g, models: models, cfg: cfg,
 		bases: map[string]*BaseMaterialization{},
-		gl:    map[string]*rel.Relation{},
+		gl:    newGLCache(),
 	}
 	names := make([]string, 0, len(specs))
 	for n := range specs {
@@ -205,46 +204,17 @@ func LinkCacheKey(base1, pred1, base2, pred2 string, k int) string {
 // StaticLink answers a link join S1 ⋈_G S2 over subsets of base
 // relations using pre-computed matches; the connectivity relation is
 // cached under cacheKey so repeated queries with the same predicates are
-// answered without traversing G.
+// answered without traversing G. BFS fan-out runs at the default
+// (GOMAXPROCS) parallelism; use StaticLinkIter for an explicit degree.
 func (m *Materialized) StaticLink(base1 string, s1 *rel.Relation, base2 string, s2 *rel.Relation, k int, cacheKey string) (*rel.Relation, error) {
 	return rel.Materialize(nil,
-		m.StaticLinkIter(base1, rel.NewScan(s1), base2, rel.NewScan(s2), k, cacheKey))
+		m.StaticLinkIter(base1, rel.NewScan(s1), base2, rel.NewScan(s2), k, 0, cacheKey))
 }
 
 // GLCacheSize returns the number of cached connectivity relations and
 // their total tuple count.
 func (m *Materialized) GLCacheSize() (relations, tuples int) {
-	for _, r := range m.gl {
-		relations++
-		tuples += r.Len()
-	}
-	return
-}
-
-// glRelation materialises the connectivity pairs (vid1, vid2) for the
-// matched vertices of two tuple sets.
-func glRelation(name string, g *graph.Graph, m1, m2 []her.Match, k int) *rel.Relation {
-	schema := rel.NewSchema("gl", "",
-		rel.Attribute{Name: "vid1", Type: rel.KindInt},
-		rel.Attribute{Name: "vid2", Type: rel.KindInt},
-	)
-	r := rel.NewRelation(schema)
-	seen := map[[2]graph.VertexID]bool{}
-	for _, a := range m1 {
-		if !g.Live(a.Vertex) {
-			continue
-		}
-		reach := g.KHopNeighborhood([]graph.VertexID{a.Vertex}, k)
-		for _, b := range m2 {
-			key := [2]graph.VertexID{a.Vertex, b.Vertex}
-			if reach[b.Vertex] && !seen[key] {
-				seen[key] = true
-				r.InsertVals(rel.I(int64(a.Vertex)), rel.I(int64(b.Vertex)))
-			}
-		}
-	}
-	_ = name
-	return r
+	return m.gl.stats()
 }
 
 // restrictMatches narrows a base's pre-computed matches to the tuples

@@ -93,7 +93,10 @@ func TestLinkJoin(t *testing.T) {
 		return w.products.Get(tp, "pid").Equal(rel.S("fd00"))
 	})
 	b := rel.Rename(w.products, "product2")
-	out := LinkJoin(a, b, w.g, oracle(w), 2)
+	out, err := LinkJoin(a, b, w.g, oracle(w), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out.Len() == 0 {
 		t.Fatal("expected 2-hop neighbours")
 	}
@@ -115,7 +118,7 @@ func TestLinkJoin(t *testing.T) {
 		}
 	}
 	// k=1: no product pairs are adjacent.
-	if got := LinkJoin(a, b, w.g, oracle(w), 1); got.Len() != 1 {
+	if got, err := LinkJoin(a, b, w.g, oracle(w), 1); err != nil || got.Len() != 1 {
 		// Only the self pair (fd00 with itself at distance 0).
 		t.Fatalf("k=1 rows = %d, want 1 (self)", got.Len())
 	}
@@ -126,7 +129,10 @@ func TestLinkJoinSelfRenaming(t *testing.T) {
 	a := rel.Select(w.products, func(tp rel.Tuple) bool {
 		return w.products.Get(tp, "pid").Equal(rel.S("fd00"))
 	})
-	out := LinkJoin(a, w.products, w.g, oracle(w), 2)
+	out, err := LinkJoin(a, w.products, w.g, oracle(w), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Same base name on both sides must still produce distinct qualified
 	// attribute names.
 	seen := map[string]bool{}
@@ -223,7 +229,10 @@ func TestStaticLinkAndGLCache(t *testing.T) {
 		t.Fatalf("cache hit changed result: %d vs %d", first.Len(), second.Len())
 	}
 	// Cached result must coincide with the online link join.
-	online := LinkJoin(a, b, w.g, oracle(w), 2)
+	online, err := LinkJoin(a, b, w.g, oracle(w), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if online.Len() != second.Len() {
 		t.Fatalf("gL answer diverges from online: %d vs %d", online.Len(), second.Len())
 	}
@@ -352,4 +361,19 @@ func TestFrequentLabels(t *testing.T) {
 	if !found {
 		t.Fatalf("edge labels = %v", fl[""])
 	}
+}
+
+// natJoin3 is the test shorthand for the paper's three-way reduction
+// S ⋈ f ⋈ h, failing the test on a join error.
+func natJoin3(t *testing.T, s, f, h *rel.Relation) *rel.Relation {
+	t.Helper()
+	sm, err := rel.NaturalJoin(s, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rel.NaturalJoin(sm, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
 }

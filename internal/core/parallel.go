@@ -1,0 +1,204 @@
+// Parallel kernels for the semantic-join hot paths. The dominant cost
+// of link joins is the per-source-vertex k-hop BFS fan-out, which is
+// embarrassingly parallel across distinct source vertices; this file
+// provides the bounded worker pool that computes it, and the
+// shard-locked singleflight cache that lets concurrent queries share
+// gL connectivity relations without duplicating BFS work. The graph
+// read path (Neighbors/Out/In/Live) is goroutine-safe once mutation
+// has stopped, which is the regime every pool here runs in.
+package core
+
+import (
+	"context"
+	"hash/maphash"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"semjoin/internal/graph"
+	"semjoin/internal/her"
+	"semjoin/internal/rel"
+)
+
+// normPar resolves a degree-of-parallelism knob: any value <= 0 means
+// "one worker per logical CPU" (GOMAXPROCS).
+func normPar(par int) int {
+	if par <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return par
+}
+
+// reachSets computes the k-hop set per distinct live left vertex
+// (equivalent to the paper's bidirectional search, and cheaper when
+// one side repeats vertices), fanning the per-vertex BFS out over a
+// bounded pool. It reports the number of workers actually used and
+// honours ctx cancellation between vertices.
+func reachSets(ctx context.Context, g *graph.Graph, m1 []her.Match, k, par int) (map[graph.VertexID]map[graph.VertexID]bool, int, error) {
+	var verts []graph.VertexID
+	seen := map[graph.VertexID]bool{}
+	for _, m := range m1 {
+		if !seen[m.Vertex] && g.Live(m.Vertex) {
+			seen[m.Vertex] = true
+			verts = append(verts, m.Vertex)
+		}
+	}
+	workers := normPar(par)
+	if workers > len(verts) {
+		workers = len(verts)
+	}
+	reach := make(map[graph.VertexID]map[graph.VertexID]bool, len(verts))
+	if workers <= 1 {
+		for _, v := range verts {
+			if err := ctx.Err(); err != nil {
+				return nil, 1, err
+			}
+			reach[v] = g.KHopNeighborhood([]graph.VertexID{v}, k)
+		}
+		return reach, 1, nil
+	}
+	sets := make([]map[graph.VertexID]bool, len(verts))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(verts) || ctx.Err() != nil {
+					return
+				}
+				sets[i] = g.KHopNeighborhood([]graph.VertexID{verts[i]}, k)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, workers, err
+	}
+	for i, v := range verts {
+		reach[v] = sets[i]
+	}
+	return reach, workers, nil
+}
+
+// glRelation materialises the connectivity pairs (vid1, vid2) for the
+// matched vertices of two tuple sets, with the per-vertex BFS fan-out
+// parallelised over par workers. Pair order is deterministic (m1 then
+// m2 order) regardless of parallelism.
+func glRelation(ctx context.Context, g *graph.Graph, m1, m2 []her.Match, k, par int) (*rel.Relation, error) {
+	reach, _, err := reachSets(ctx, g, m1, k, par)
+	if err != nil {
+		return nil, err
+	}
+	schema := rel.NewSchema("gl", "",
+		rel.Attribute{Name: "vid1", Type: rel.KindInt},
+		rel.Attribute{Name: "vid2", Type: rel.KindInt},
+	)
+	r := rel.NewRelation(schema)
+	seen := map[[2]graph.VertexID]bool{}
+	for _, a := range m1 {
+		set, ok := reach[a.Vertex]
+		if !ok {
+			continue
+		}
+		for _, b := range m2 {
+			key := [2]graph.VertexID{a.Vertex, b.Vertex}
+			if set[b.Vertex] && !seen[key] {
+				seen[key] = true
+				r.InsertVals(rel.I(int64(a.Vertex)), rel.I(int64(b.Vertex)))
+			}
+		}
+	}
+	return r, nil
+}
+
+// ------------------------------------------------------------ gL cache
+
+const glShards = 16
+
+var glHashSeed = maphash.MakeSeed()
+
+// glEntry is one in-flight or completed gL computation. ready is
+// closed once rel/err are set.
+type glEntry struct {
+	ready chan struct{}
+	rel   *rel.Relation
+	err   error
+}
+
+type glShard struct {
+	mu sync.Mutex
+	m  map[string]*glEntry
+}
+
+// glCache is the shard-locked singleflight cache of gL connectivity
+// relations: concurrent queries with the same predicate key share one
+// BFS computation — the first caller computes while the rest wait.
+type glCache struct {
+	shards [glShards]glShard
+}
+
+func newGLCache() *glCache {
+	c := &glCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*glEntry)
+	}
+	return c
+}
+
+func (c *glCache) shard(key string) *glShard {
+	return &c.shards[maphash.String(glHashSeed, key)%glShards]
+}
+
+// getOrCompute returns the relation cached under key, computing it at
+// most once across concurrent callers. hit reports whether the value
+// existed (or was being computed by someone else) before this call.
+// Errors are not cached: a failed computation is evicted so the next
+// caller retries.
+func (c *glCache) getOrCompute(ctx context.Context, key string, compute func() (*rel.Relation, error)) (r *rel.Relation, hit bool, err error) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if e, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		select {
+		case <-e.ready:
+			return e.rel, true, e.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	e := &glEntry{ready: make(chan struct{})}
+	sh.m[key] = e
+	sh.mu.Unlock()
+	e.rel, e.err = compute()
+	if e.err != nil {
+		sh.mu.Lock()
+		delete(sh.m, key)
+		sh.mu.Unlock()
+	}
+	close(e.ready)
+	return e.rel, false, e.err
+}
+
+// stats counts completed cache entries and their total tuples.
+// In-flight computations are not counted.
+func (c *glCache) stats() (relations, tuples int) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.m {
+			select {
+			case <-e.ready:
+				if e.err == nil && e.rel != nil {
+					relations++
+					tuples += e.rel.Len()
+				}
+			default:
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return
+}

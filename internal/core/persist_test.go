@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"semjoin/internal/mat"
-	"semjoin/internal/rel"
 )
 
 func TestSaveLoadModelsRoundTrip(t *testing.T) {
@@ -112,7 +111,7 @@ func TestSaveLoadBaseRoundTrip(t *testing.T) {
 	}
 	// The loaded materialisation answers static joins identically.
 	m2 := &Materialized{G: w.g, bases: map[string]*BaseMaterialization{"product": loaded},
-		gl: map[string]*rel.Relation{}}
+		gl: newGLCache()}
 	got, err := m2.StaticEnrich("product", w.products, []string{"company"})
 	if err != nil {
 		t.Fatal(err)

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"semjoin/internal/graph"
-	"semjoin/internal/rel"
 )
 
 func TestPatternMatching(t *testing.T) {
@@ -65,7 +64,7 @@ func TestRExtDiscoverAndExtract(t *testing.T) {
 	}
 	// Join back to pids and measure accuracy against ground truth.
 	m := matchRelation(w.products, ex.Matches())
-	joined := rel.NaturalJoin(rel.NaturalJoin(w.products, m), dg)
+	joined := natJoin3(t, w.products, m, dg)
 	if acc := accuracy(t, joined, "company", w.company); acc < 0.9 {
 		t.Fatalf("company accuracy = %.2f, want >= 0.9", acc)
 	}
@@ -286,7 +285,7 @@ func TestNoiseFracDegradesGracefully(t *testing.T) {
 			t.Fatal(err)
 		}
 		m := matchRelation(w.products, ex.Matches())
-		joined := rel.NaturalJoin(rel.NaturalJoin(w.products, m), dg)
+		joined := natJoin3(t, w.products, m, dg)
 		return accuracy(t, joined, "company", w.company)
 	}
 	clean := run(0)

@@ -211,7 +211,9 @@ func LoadGraphTSV(in io.Reader) (*graph.Graph, map[string]graph.VertexID, error)
 			if !ok {
 				return nil, nil, fmt.Errorf("dataio: line %d: unknown vertex %q", ln+1, fields[3])
 			}
-			g.AddEdge(src, fields[2], dst)
+			if _, err := g.AddEdge(src, fields[2], dst); err != nil {
+				return nil, nil, fmt.Errorf("dataio: line %d: %w", ln+1, err)
+			}
 		default:
 			return nil, nil, fmt.Errorf("dataio: line %d: unknown record %q", ln+1, fields[0])
 		}

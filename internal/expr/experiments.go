@@ -321,12 +321,14 @@ func ScaleSweep(o Options, scales []int) []ScaleRow {
 				Seconds: secs, Stages: ex.Timings(),
 			}
 			if err == nil && dg != nil {
-				out := joinBack(reduced, matches, dg)
-				var ps []PRF
-				for _, attr := range drop {
-					ps = append(ps, ValueRecovery(out, c.Main().Schema.Key, attr, truth[attr]))
+				out, jerr := joinBack(reduced, matches, dg)
+				if jerr == nil {
+					var ps []PRF
+					for _, attr := range drop {
+						ps = append(ps, ValueRecovery(out, c.Main().Schema.Key, attr, truth[attr]))
+					}
+					row.F = Mean(ps).F1
 				}
-				row.F = Mean(ps).F1
 			}
 			rows = append(rows, row)
 		}
@@ -336,14 +338,18 @@ func ScaleSweep(o Options, scales []int) []ScaleRow {
 
 // joinBack reattaches an extracted relation to its source tuples for
 // scoring.
-func joinBack(s *rel.Relation, matches []her.Match, dg *rel.Relation) *rel.Relation {
+func joinBack(s *rel.Relation, matches []her.Match, dg *rel.Relation) (*rel.Relation, error) {
 	m := rel.NewRelation(rel.NewSchema(s.Schema.Name+"_m", s.Schema.Key,
 		rel.Attribute{Name: s.Schema.Key, Type: rel.KindString},
 		rel.Attribute{Name: "vid", Type: rel.KindInt}))
 	for _, match := range matches {
 		m.InsertVals(match.TID, rel.I(int64(match.Vertex)))
 	}
-	return rel.NaturalJoin(rel.NaturalJoin(s, m), dg)
+	sm, err := rel.NaturalJoin(s, m)
+	if err != nil {
+		return nil, err
+	}
+	return rel.NaturalJoin(sm, dg)
 }
 
 // TableIIIRow is one relative-accuracy aggregate of Table III.

@@ -73,21 +73,28 @@ func (g *Graph) AddVertex(label, typ string) VertexID {
 	return id
 }
 
-// AddEdge inserts a directed labeled edge. Parallel edges with distinct
-// labels are allowed; inserting the exact same (from,label,to) twice is a
-// no-op so that random update streams remain idempotent.
-func (g *Graph) AddEdge(from VertexID, label string, to VertexID) bool {
-	g.mustLive(from)
-	g.mustLive(to)
+// AddEdge inserts a directed labeled edge and reports whether the graph
+// changed. Parallel edges with distinct labels are allowed; inserting
+// the exact same (from,label,to) twice is a no-op so that random update
+// streams remain idempotent. Referencing a missing or deleted endpoint
+// is an error (it used to panic), so malformed update streams degrade
+// into a reportable failure instead of crashing the process.
+func (g *Graph) AddEdge(from VertexID, label string, to VertexID) (bool, error) {
+	if !g.Live(from) {
+		return false, fmt.Errorf("graph: AddEdge: vertex %d does not exist", from)
+	}
+	if !g.Live(to) {
+		return false, fmt.Errorf("graph: AddEdge: vertex %d does not exist", to)
+	}
 	for _, he := range g.out[from] {
 		if he.To == to && he.Label == label {
-			return false
+			return false, nil
 		}
 	}
 	g.out[from] = append(g.out[from], HalfEdge{Label: label, To: to})
 	g.in[to] = append(g.in[to], HalfEdge{Label: label, To: from})
 	g.numEdges++
-	return true
+	return true, nil
 }
 
 // RemoveEdge deletes the edge (from,label,to) if present and reports

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"sync"
 	"testing"
 
 	"semjoin/internal/mat"
@@ -72,18 +73,18 @@ func TestDuplicateEdgeIsNoop(t *testing.T) {
 	g := New()
 	a := g.AddVertex("a", "")
 	b := g.AddVertex("b", "")
-	if !g.AddEdge(a, "l", b) {
-		t.Fatal("first insert should succeed")
+	if ok, err := g.AddEdge(a, "l", b); err != nil || !ok {
+		t.Fatalf("first insert should succeed: ok=%v err=%v", ok, err)
 	}
-	if g.AddEdge(a, "l", b) {
-		t.Fatal("duplicate insert should be a no-op")
+	if ok, err := g.AddEdge(a, "l", b); err != nil || ok {
+		t.Fatalf("duplicate insert should be a no-op: ok=%v err=%v", ok, err)
 	}
 	if g.NumEdges() != 1 {
 		t.Fatalf("NumEdges = %d", g.NumEdges())
 	}
 	// Parallel edge with a different label is allowed.
-	if !g.AddEdge(a, "m", b) {
-		t.Fatal("parallel edge with new label should succeed")
+	if ok, err := g.AddEdge(a, "m", b); err != nil || !ok {
+		t.Fatalf("parallel edge with new label should succeed: ok=%v err=%v", ok, err)
 	}
 }
 
@@ -418,4 +419,49 @@ func TestEdgeLabels(t *testing.T) {
 			t.Fatalf("EdgeLabels = %v, want %v", labels, want)
 		}
 	}
+}
+
+func TestAddEdgeMissingVertexError(t *testing.T) {
+	g := New()
+	a := g.AddVertex("a", "")
+	// Regression: an out-of-range endpoint used to panic the process.
+	if ok, err := g.AddEdge(a, "l", VertexID(99)); err == nil || ok {
+		t.Fatalf("edge to missing vertex: ok=%v err=%v, want error", ok, err)
+	}
+	if ok, err := g.AddEdge(VertexID(-1), "l", a); err == nil || ok {
+		t.Fatalf("edge from negative vertex: ok=%v err=%v, want error", ok, err)
+	}
+	b := g.AddVertex("b", "")
+	g.RemoveVertex(b)
+	if ok, err := g.AddEdge(a, "l", b); err == nil || ok {
+		t.Fatalf("edge to deleted vertex: ok=%v err=%v, want error", ok, err)
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("failed inserts must not change the graph: NumEdges = %d", g.NumEdges())
+	}
+}
+
+func TestConcurrentReadersAfterMutation(t *testing.T) {
+	// The documented regime of every parallel worker pool: concurrent
+	// readers are safe once mutation has stopped. Run under -race.
+	g, _ := buildFigure1(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			total := 0
+			g.Vertices(func(v Vertex) {
+				total += len(g.Out(v.ID)) + len(g.In(v.ID))
+				_ = g.Label(v.ID)
+				_ = g.Type(v.ID)
+			})
+			if total == 0 {
+				t.Error("reader saw an empty graph")
+			}
+			reach := g.KHopNeighborhood([]VertexID{VertexID(seed % int64(g.NumVertices()))}, 2)
+			_ = reach
+		}(int64(w))
+	}
+	wg.Wait()
 }

@@ -3,7 +3,9 @@ package gsql
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 
 	"semjoin/internal/core"
@@ -52,6 +54,13 @@ type Engine struct {
 	Cat  *Catalog
 	Mode Mode
 
+	// Parallelism is the degree of parallelism for morsel-driven
+	// operators (exchange over WHERE/projection) and the per-vertex BFS
+	// fan-out of link joins: 0 (the default) means one worker per
+	// logical CPU, 1 forces serial execution. Settable per session with
+	// the statement SET PARALLELISM n.
+	Parallelism int
+
 	// Plan records, for the last query, one line per semantic join
 	// describing the strategy chosen (static / dynamic / heuristic /
 	// baseline) — the observable outcome of the well-behaved analysis.
@@ -69,6 +78,15 @@ func NewEngine(cat *Catalog) *Engine {
 	return &Engine{Cat: cat}
 }
 
+// Par resolves the engine's degree of parallelism: Parallelism when
+// positive, GOMAXPROCS otherwise.
+func (e *Engine) Par() int {
+	if e.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return e.Parallelism
+}
+
 // Query parses and executes input, returning the result relation. An
 // input prefixed with EXPLAIN executes the query and returns the plan
 // notes (the well-behaved verdict, one row per semantic join, then the
@@ -81,6 +99,10 @@ func (e *Engine) Query(input string) (*rel.Relation, error) {
 // while the operator tree drains.
 func (e *Engine) QueryContext(ctx context.Context, input string) (*rel.Relation, error) {
 	trimmed := strings.TrimSpace(input)
+	if f := strings.Fields(trimmed); len(f) >= 2 &&
+		strings.EqualFold(f[0], "set") && strings.EqualFold(f[1], "parallelism") {
+		return e.setParallelism(f[2:])
+	}
 	explain := false
 	if len(trimmed) >= 7 && strings.EqualFold(trimmed[:7], "explain") {
 		explain = true
@@ -103,6 +125,25 @@ func (e *Engine) QueryContext(ctx context.Context, input string) (*rel.Relation,
 	if explain {
 		return e.explainRelation(q), nil
 	}
+	return out, nil
+}
+
+// setParallelism handles the session statement SET PARALLELISM n
+// (n = 0 restores the GOMAXPROCS default). It returns a one-row status
+// relation carrying the effective degree of parallelism.
+func (e *Engine) setParallelism(args []string) (*rel.Relation, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("gsql: usage: SET PARALLELISM n (0 = GOMAXPROCS)")
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("gsql: SET PARALLELISM: want a non-negative integer, got %q", args[0])
+	}
+	e.Parallelism = n
+	out := rel.NewRelation(rel.NewSchema("status", "",
+		rel.Attribute{Name: "parallelism", Type: rel.KindInt},
+	))
+	out.InsertVals(rel.I(int64(e.Par())))
 	return out, nil
 }
 
@@ -295,40 +336,53 @@ func (e *Engine) planQuery(q *Query) (rel.Iterator, provenance, error) {
 		cur = rel.NewCrossJoin(its, names)
 		prov = provenance{}
 	}
-	// WHERE (minus any conjuncts pushed into a link join).
+	// WHERE (minus any conjuncts pushed into a link join) and, when no
+	// aggregation follows, the projection — collected as per-tuple
+	// stages. With parallelism the stage chain becomes one exchange's
+	// sub-pipeline: the input splits into morsels, each filtered and
+	// projected on its own worker, and the outputs merge back in morsel
+	// order — the exact serial tuple sequence, just produced on Par()
+	// workers.
+	var stages []rel.PipelineBuilder
 	if where != nil {
 		w := where
-		cur = rel.NewSelectWith("select", cur, func(s *rel.Schema) (rel.Pred, error) {
-			return func(t rel.Tuple) bool { return w.Eval(s, t) }, nil
+		stages = append(stages, func(in rel.Iterator) rel.Iterator {
+			return rel.NewSelectWith("select", in, func(s *rel.Schema) (rel.Pred, error) {
+				return func(t rel.Tuple) bool { return w.Eval(s, t) }, nil
+			})
 		})
 	}
-	// Aggregation or projection.
-	var out rel.Iterator
-	var err error
-	if hasAgg(q.Select) || len(q.GroupBy) > 0 {
+	agg := hasAgg(q.Select) || len(q.GroupBy) > 0
+	if !agg {
+		if proj := e.projectStage(q); proj != nil {
+			stages = append(stages, proj)
+		}
+	}
+	cur = e.applyStages(cur, stages)
+	// Aggregation (the projection stage is already applied otherwise).
+	out := cur
+	if agg {
+		var err error
 		out, err = e.planAggregate(q, cur)
-		if err == nil && q.Having != nil {
+		if err != nil {
+			return nil, provenance{}, err
+		}
+		if q.Having != nil {
 			h := q.Having
 			out = rel.NewSelectWith("having", out, func(s *rel.Schema) (rel.Pred, error) {
 				return func(t rel.Tuple) bool { return h.Eval(s, t) }, nil
 			})
 		}
 		prov = provenance{}
-	} else {
-		out, err = e.planProject(q, cur)
-		if err == nil && prov.base != "" {
-			// Projection keeps provenance; key survival decides keyed.
-			if base := e.Cat.Relations[prov.base]; base != nil {
-				if s := out.Schema(); s != nil {
-					prov.keyed = s.Has(base.Schema.Key)
-				} else {
-					prov.keyed = selectKeepsKey(q.Select, base.Schema.Key, prov.keyed)
-				}
+	} else if prov.base != "" {
+		// Projection keeps provenance; key survival decides keyed.
+		if base := e.Cat.Relations[prov.base]; base != nil {
+			if s := out.Schema(); s != nil {
+				prov.keyed = s.Has(base.Schema.Key)
+			} else {
+				prov.keyed = selectKeepsKey(q.Select, base.Schema.Key, prov.keyed)
 			}
 		}
-	}
-	if err != nil {
-		return nil, provenance{}, err
 	}
 	if q.Distinct {
 		out = rel.NewDistinct(out)
@@ -368,70 +422,92 @@ func selectKeepsKey(items []SelectItem, key string, fromKeyed bool) bool {
 	return false
 }
 
-// planProject applies the SELECT list (no aggregates) as a transform
-// operator: star expansion, validation and column renaming bind once
-// the input schema is known.
-func (e *Engine) planProject(q *Query, cur rel.Iterator) (rel.Iterator, error) {
+// applyStages chains per-tuple pipeline stages onto cur: inline when
+// serial, as one morsel-driven exchange when the engine is parallel.
+func (e *Engine) applyStages(cur rel.Iterator, stages []rel.PipelineBuilder) rel.Iterator {
+	if len(stages) == 0 {
+		return cur
+	}
+	combined := func(in rel.Iterator) rel.Iterator {
+		for _, s := range stages {
+			in = s(in)
+		}
+		return in
+	}
+	if p := e.Par(); p > 1 {
+		return rel.NewExchange(cur, p, combined)
+	}
+	return combined(cur)
+}
+
+// projectStage returns the SELECT list (no aggregates) as a transform
+// stage: star expansion, validation and column renaming bind once the
+// input schema is known. A bare SELECT * is the identity (nil stage).
+// The transform is stateless per tuple, so with parallelism it runs as
+// part of an exchange's sub-pipeline over morsels.
+func (e *Engine) projectStage(q *Query) rel.PipelineBuilder {
 	if len(q.Select) == 1 && q.Select[0].Star {
-		return cur, nil
+		return nil
 	}
 	sel := q.Select
-	return rel.NewTransform("project", cur, func(in *rel.Schema) (*rel.Schema, func(rel.Tuple) (rel.Tuple, error), error) {
-		var names []string
-		var outNames []string
-		for _, it := range sel {
-			switch {
-			case it.Star:
-				for _, a := range in.Attrs {
-					names = append(names, a.Name)
-					outNames = append(outNames, a.Name)
-				}
-			case strings.HasSuffix(it.Col, ".*"):
-				prefix := strings.TrimSuffix(it.Col, "*")
-				found := false
-				for _, a := range in.Attrs {
-					if strings.HasPrefix(a.Name, prefix) {
+	return func(in rel.Iterator) rel.Iterator {
+		return rel.NewTransform("project", in, func(in *rel.Schema) (*rel.Schema, func(rel.Tuple) (rel.Tuple, error), error) {
+			var names []string
+			var outNames []string
+			for _, it := range sel {
+				switch {
+				case it.Star:
+					for _, a := range in.Attrs {
 						names = append(names, a.Name)
 						outNames = append(outNames, a.Name)
-						found = true
 					}
+				case strings.HasSuffix(it.Col, ".*"):
+					prefix := strings.TrimSuffix(it.Col, "*")
+					found := false
+					for _, a := range in.Attrs {
+						if strings.HasPrefix(a.Name, prefix) {
+							names = append(names, a.Name)
+							outNames = append(outNames, a.Name)
+							found = true
+						}
+					}
+					if !found {
+						return nil, nil, fmt.Errorf("gsql: no columns match %q", it.Col)
+					}
+				default:
+					if in.Col(it.Col) < 0 {
+						return nil, nil, fmt.Errorf("gsql: unknown column %q in %s", it.Col, in)
+					}
+					names = append(names, it.Col)
+					outNames = append(outNames, it.OutName())
 				}
-				if !found {
-					return nil, nil, fmt.Errorf("gsql: no columns match %q", it.Col)
+			}
+			cols := make([]int, len(names))
+			attrs := make([]rel.Attribute, len(names))
+			for i, n := range names {
+				cols[i] = in.Col(n)
+				attrs[i] = rel.Attribute{Name: n, Type: in.Attrs[cols[i]].Type}
+			}
+			key := ""
+			for _, n := range names {
+				if n == in.Key {
+					key = n
 				}
-			default:
-				if in.Col(it.Col) < 0 {
-					return nil, nil, fmt.Errorf("gsql: unknown column %q in %s", it.Col, in)
+			}
+			schema, err := renamedSchema(in.Name, key, attrs, outNames)
+			if err != nil {
+				return nil, nil, err
+			}
+			fn := func(t rel.Tuple) (rel.Tuple, error) {
+				nt := make(rel.Tuple, len(cols))
+				for i, c := range cols {
+					nt[i] = t[c]
 				}
-				names = append(names, it.Col)
-				outNames = append(outNames, it.OutName())
+				return nt, nil
 			}
-		}
-		cols := make([]int, len(names))
-		attrs := make([]rel.Attribute, len(names))
-		for i, n := range names {
-			cols[i] = in.Col(n)
-			attrs[i] = rel.Attribute{Name: n, Type: in.Attrs[cols[i]].Type}
-		}
-		key := ""
-		for _, n := range names {
-			if n == in.Key {
-				key = n
-			}
-		}
-		schema, err := renamedSchema(in.Name, key, attrs, outNames)
-		if err != nil {
-			return nil, nil, err
-		}
-		fn := func(t rel.Tuple) (rel.Tuple, error) {
-			nt := make(rel.Tuple, len(cols))
-			for i, c := range cols {
-				nt[i] = t[c]
-			}
-			return nt, nil
-		}
-		return schema, fn, nil
-	}), nil
+			return schema, fn, nil
+		})
+	}
 }
 
 // renamedSchema renames projected attributes to their output names,
@@ -717,10 +793,10 @@ func (e *Engine) planLJoin(f *FromItem, filters *linkFilters) (rel.Iterator, pro
 	case e.Mode != ModeBaseline && p1.base != "" && p2.base != "" && e.Cat.Mat != nil &&
 		e.Cat.Mat.Base(p1.base) != nil && e.Cat.Mat.Base(p2.base) != nil:
 		key := core.LinkCacheKey(p1.base, sig1, p2.base, sig2, e.Cat.K)
-		out = e.Cat.Mat.StaticLinkIter(p1.base, s1, p2.base, s2, e.Cat.K, key)
+		out = e.Cat.Mat.StaticLinkIter(p1.base, s1, p2.base, s2, e.Cat.K, e.Par(), key)
 		e.note("l-join(%s): well-behaved over pre-computed matches (gL key %s)", f.Graph, key)
 	default:
-		out = core.LinkJoinIter(g, e.Cat.Matcher, e.Cat.K, s1, s2)
+		out = core.LinkJoinIter(g, e.Cat.Matcher, e.Cat.K, e.Par(), s1, s2)
 		e.note("l-join(%s): online bidirectional search", f.Graph)
 	}
 	if f.Alias != "" {

@@ -1,0 +1,161 @@
+package gsql
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden EXPLAIN files")
+
+var (
+	redactTime    = regexp.MustCompile(`time=[^ \n]+`)
+	redactWorkers = regexp.MustCompile(`workers=\d+`)
+	// The gL cache is engine-shared state, so hit/miss depends on which
+	// test ran first; the golden files pin the plan shape, not the cache
+	// temperature.
+	redactGL = regexp.MustCompile(`\[gL [^\]]*\]`)
+)
+
+// redactExplain replaces the run-dependent parts of an EXPLAIN
+// rendering (timings, worker counts, gL cache state) with stable
+// placeholders so the operator tree can be golden-tested.
+func redactExplain(text string) string {
+	text = redactTime.ReplaceAllString(text, "time=<T>")
+	text = redactWorkers.ReplaceAllString(text, "workers=<W>")
+	text = redactGL.ReplaceAllString(text, "[gL <STATE>]")
+	// A gL miss runs the BFS pool (workers= present), a hit serves from
+	// cache (absent) — cache temperature is shared engine state, so the
+	// annotation itself has to go on that line.
+	lines := strings.Split(text, "\n")
+	for i, l := range lines {
+		if strings.Contains(l, "[gL <STATE>]") {
+			lines[i] = strings.TrimSuffix(l, " workers=<W>")
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestExplainGolden(t *testing.T) {
+	f := getFintech(t)
+	cases := []struct {
+		name  string
+		par   int
+		query string
+	}{
+		{"select_order_limit", 2, `
+			select pid, risk from product
+			where price >= 100 order by pid limit 5`},
+		{"select_serial", 1, `
+			select pid, risk from product
+			where price >= 100 order by pid limit 5`},
+		{"aggregate_group", 2, `
+			select risk, count(*) as n from product
+			group by risk order by risk`},
+		{"ejoin_static", 2, `
+			select risk, company
+			from product e-join G <company, country> as T
+			where T.country = 'UK'`},
+		{"ljoin_static", 2, `
+			select customer.cid, customer2.cid
+			from customer l-join <Gp> customer as customer2
+			where customer.credit = 'fair'`},
+		{"cross_join_distinct", 2, `
+			select distinct c.credit
+			from customer as c, product as p
+			where c.bal >= 100000 and p.risk = 'high'`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEngine(f.cat)
+			e.Parallelism = tc.par
+			text, err := e.Explain(tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := redactExplain(text)
+			path := filepath.Join("testdata", "explain_"+tc.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("EXPLAIN drifted from %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+func TestExplainGoldenRedaction(t *testing.T) {
+	in := "l-join static [gL miss, populated]  rows=3 time=1.234ms workers=8\n" +
+		"exchange  rows=10 time=57µs workers=4\n"
+	got := redactExplain(in)
+	for _, leak := range []string{"1.234ms", "57µs", "workers=8", "workers=4", "miss, populated"} {
+		if strings.Contains(got, leak) {
+			t.Fatalf("redaction leaked %q: %s", leak, got)
+		}
+	}
+	if !strings.Contains(got, "[gL <STATE>]") || !strings.Contains(got, "workers=<W>") || !strings.Contains(got, "time=<T>") {
+		t.Fatalf("placeholders missing: %s", got)
+	}
+}
+
+func TestSetParallelismStatement(t *testing.T) {
+	f := getFintech(t)
+	e := NewEngine(f.cat)
+	out, err := e.Query(`set parallelism 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Parallelism != 3 || e.Par() != 3 {
+		t.Fatalf("Parallelism = %d, Par = %d", e.Parallelism, e.Par())
+	}
+	if out.Len() != 1 || out.Get(out.Tuples[0], "parallelism").Int() != 3 {
+		t.Fatalf("status relation = %v", out)
+	}
+	// 0 restores the GOMAXPROCS default.
+	if _, err := e.Query(`SET PARALLELISM 0`); err != nil {
+		t.Fatal(err)
+	}
+	if e.Parallelism != 0 || e.Par() < 1 {
+		t.Fatalf("reset failed: Parallelism=%d Par=%d", e.Parallelism, e.Par())
+	}
+	for _, bad := range []string{`set parallelism`, `set parallelism -1`, `set parallelism x`, `set parallelism 2 3`} {
+		if _, err := e.Query(bad); err == nil {
+			t.Fatalf("%q should error", bad)
+		}
+	}
+	// The statement changes the engine's plans: P=1 has no exchange, P>1 does.
+	if _, err := e.Query(`set parallelism 1`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(`select pid from product where price >= 100`); err != nil {
+		t.Fatal(err)
+	}
+	serial := e.LastStats.String()
+	if strings.Contains(serial, "exchange") {
+		t.Fatalf("P=1 plan should not contain an exchange:\n%s", serial)
+	}
+	if _, err := e.Query(`set parallelism 4`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(`select pid from product where price >= 100`); err != nil {
+		t.Fatal(err)
+	}
+	par := e.LastStats.String()
+	if !strings.Contains(par, "exchange") {
+		t.Fatalf("P=4 plan should contain an exchange:\n%s", par)
+	}
+}

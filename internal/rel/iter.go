@@ -191,17 +191,6 @@ func Materialize(ctx context.Context, it Iterator) (*Relation, error) {
 	return out, nil
 }
 
-// mustMat materializes an iterator that cannot fail on well-formed
-// inputs; it backs the eager shims that keep their panic-free
-// single-return signatures.
-func mustMat(it Iterator) *Relation {
-	r, err := Materialize(nil, it)
-	if err != nil {
-		panic(err)
-	}
-	return r
-}
-
 // errKernel always fails with a fixed error; construction-time
 // invariant violations (e.g. mismatched argument lengths) become
 // operators whose Open reports the problem.
@@ -462,11 +451,17 @@ type hashJoinKernel struct {
 	baseKernel
 	leftAttr, rightAttr string
 	buildLeft           bool
+	workers             int
 	lc, rc              int
-	ht                  map[string][]Tuple
+	ht                  map[string][]Tuple   // serial build
+	parts               []map[string][]Tuple // parallel partitioned build
 	pending             []Tuple
 	probe               Tuple
 }
+
+// parallelBuildMin is the build-side row count below which a parallel
+// hash-join build is not worth the partitioning pass.
+const parallelBuildMin = 512
 
 func (k *hashJoinKernel) resolve(o *op) error {
 	ls, rs := o.children[0].Schema(), o.children[1].Schema()
@@ -497,16 +492,33 @@ func (k *hashJoinKernel) open(o *op) error {
 	if err != nil {
 		return err
 	}
-	k.ht = make(map[string][]Tuple, len(ts))
-	for _, t := range ts {
-		if t[bc].IsNull() {
-			continue
+	if k.workers > 1 && len(ts) >= parallelBuildMin {
+		k.parts = buildPartitioned(ts, bc, k.workers)
+		k.ht = nil
+		o.stats.Workers = k.workers
+	} else {
+		k.parts = nil
+		k.ht = make(map[string][]Tuple, len(ts))
+		for _, t := range ts {
+			if t[bc].IsNull() {
+				continue
+			}
+			key := t[bc].Key()
+			k.ht[key] = append(k.ht[key], t)
 		}
-		key := t[bc].Key()
-		k.ht[key] = append(k.ht[key], t)
 	}
 	k.pending, k.probe = nil, nil
 	return nil
+}
+
+// lookup returns the build-side matches for a probe key under either
+// build layout. Both layouts keep tuples in build-input order, so probe
+// output is identical regardless of the build parallelism.
+func (k *hashJoinKernel) lookup(key string) []Tuple {
+	if k.parts != nil {
+		return k.parts[partitionOf(key, len(k.parts))][key]
+	}
+	return k.ht[key]
 }
 
 func (k *hashJoinKernel) next(o *op) (Tuple, error) {
@@ -534,7 +546,7 @@ func (k *hashJoinKernel) next(o *op) (Tuple, error) {
 		if t[pc].IsNull() {
 			continue
 		}
-		k.pending = k.ht[t[pc].Key()]
+		k.pending = k.lookup(t[pc].Key())
 		k.probe = t
 	}
 }
@@ -544,7 +556,15 @@ func (k *hashJoinKernel) next(o *op) (Tuple, error) {
 // the hash table at Open; the other side streams. Null join keys never
 // match (SQL semantics). Output layout is always left-then-right.
 func NewHashJoin(left, right Iterator, leftAttr, rightAttr string, buildLeft bool) Iterator {
-	k := &hashJoinKernel{leftAttr: leftAttr, rightAttr: rightAttr, buildLeft: buildLeft}
+	return NewHashJoinP(left, right, leftAttr, rightAttr, buildLeft, 1)
+}
+
+// NewHashJoinP is NewHashJoin with a parallel build: when workers > 1
+// and the build side is large enough, the hash table is built as
+// hash-partitioned sub-tables, one goroutine per partition. The probe
+// stream and its output order are unchanged.
+func NewHashJoinP(left, right Iterator, leftAttr, rightAttr string, buildLeft bool, workers int) Iterator {
+	k := &hashJoinKernel{leftAttr: leftAttr, rightAttr: rightAttr, buildLeft: buildLeft, workers: workers}
 	return newOp("hash join "+leftAttr+"="+rightAttr, k, left, right)
 }
 
@@ -1216,9 +1236,10 @@ func NewTransform(label string, child Iterator, bind func(in *Schema) (*Schema, 
 // note surfaced in EXPLAIN (e.g. "gL hit") and a pull function that
 // returns tuples until (nil, nil).
 type Generated struct {
-	Schema *Schema
-	Note   string
-	Pull   func() (Tuple, error)
+	Schema  *Schema
+	Note    string
+	Workers int // worker count used to generate, surfaced in EXPLAIN when > 0
+	Pull    func() (Tuple, error)
 }
 
 // Generator consumes fully-materialised inputs and produces a streamed
@@ -1256,6 +1277,9 @@ func (k *generateKernel) open(o *op) error {
 	o.schema = g.Schema
 	if g.Note != "" {
 		o.stats.Note = g.Note
+	}
+	if g.Workers > 0 {
+		o.stats.Workers = g.Workers
 	}
 	k.pull = g.Pull
 	return nil

@@ -1,9 +1,10 @@
-// Eager operator shims. Each function materialises the corresponding
-// pipelined iterator (iter.go), so the two execution paths share one
-// implementation. Operators whose only failure modes are planner bugs
-// keep their single-return signature; the ones reachable with bad
-// attribute names from a query (Project, HashJoin, SortBy, Aggregate,
-// Union, CrossJoinAll) return errors.
+// Eager operator shims. The fallible ones materialise the
+// corresponding pipelined iterator (iter.go), so the two execution
+// paths share one implementation and every failure (bad attribute
+// name, schema collision) surfaces as an error — never a panic,
+// matching the iterator engine's no-panic contract. Select, Rename and
+// Distinct have no failure modes at all and keep their single-return
+// signatures with direct implementations.
 package rel
 
 import "errors"
@@ -14,7 +15,13 @@ type Pred func(Tuple) bool
 // Select returns the tuples of r satisfying p (tuple rows shared, the
 // Tuples slice freshly owned).
 func Select(r *Relation, p Pred) *Relation {
-	return mustMat(NewSelect(NewScan(r), p))
+	out := NewRelation(r.Schema)
+	for _, t := range r.Tuples {
+		if p(t) {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
 }
 
 // Project returns r restricted to the named attributes, in the given
@@ -27,13 +34,16 @@ func Project(r *Relation, names ...string) (*Relation, error) {
 // shared, Tuples slice freshly owned — renaming no longer aliases the
 // input's slice storage).
 func Rename(r *Relation, name string) *Relation {
-	return mustMat(NewRename(NewScan(r), name))
+	out := NewRelation(r.Schema.Rename(name))
+	out.Tuples = append(out.Tuples, r.Tuples...)
+	return out
 }
 
 // CrossProduct returns the Cartesian product of a and b with qualified
-// attribute names.
-func CrossProduct(a, b *Relation, aName, bName string) *Relation {
-	return mustMat(newCrossJoin(aName+"x"+bName,
+// attribute names. Colliding qualified names (e.g. identical binding
+// names) are reported as an error.
+func CrossProduct(a, b *Relation, aName, bName string) (*Relation, error) {
+	return Materialize(nil, newCrossJoin(aName+"x"+bName,
 		[]Iterator{NewScan(a), NewScan(b)}, []string{aName, bName}))
 }
 
@@ -61,16 +71,20 @@ func HashJoin(a, b *Relation, leftAttr, rightAttr string) (*Relation, error) {
 }
 
 // NestedLoopJoin joins a and b with an arbitrary predicate over the
-// concatenated tuple (a's values first). Attribute names are qualified.
-func NestedLoopJoin(a, b *Relation, p func(joined Tuple) bool) *Relation {
-	return mustMat(NewNestedLoopJoin(NewScan(a), NewScan(b), p))
+// concatenated tuple (a's values first). Attribute names are
+// qualified; colliding qualified names are reported as an error.
+func NestedLoopJoin(a, b *Relation, p func(joined Tuple) bool) (*Relation, error) {
+	return Materialize(nil, NewNestedLoopJoin(NewScan(a), NewScan(b), p))
 }
 
 // NaturalJoin joins a and b on all shared attribute names (the paper's
 // S ⋈ f(S,G) ⋈ h(S,G) reduction uses natural joins on tid/vid). Shared
 // attributes appear once; remaining attributes keep their bare names.
-func NaturalJoin(a, b *Relation) *Relation {
-	return mustMat(NewNaturalJoin(NewScan(a), NewScan(b)))
+// With no shared attributes the join degenerates to a Cartesian
+// product whose qualified names may collide — that surfaces as an
+// error instead of a panic.
+func NaturalJoin(a, b *Relation) (*Relation, error) {
+	return Materialize(nil, NewNaturalJoin(NewScan(a), NewScan(b)))
 }
 
 func jointKey(t Tuple, cols []int) (string, bool) {
@@ -86,7 +100,19 @@ func jointKey(t Tuple, cols []int) (string, bool) {
 
 // Distinct returns r with duplicate tuples removed (first occurrence kept).
 func Distinct(r *Relation) *Relation {
-	return mustMat(NewDistinct(NewScan(r)))
+	out := NewRelation(r.Schema)
+	seen := make(map[string]bool, len(r.Tuples))
+	for _, t := range r.Tuples {
+		key := ""
+		for _, v := range t {
+			key += v.Key()
+		}
+		if !seen[key] {
+			seen[key] = true
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
 }
 
 // Union appends the tuples of b to a copy of a. Schemas must have equal

@@ -1,0 +1,266 @@
+// Morsel-driven parallel execution. NewExchange splits its input into
+// fixed-size morsels, runs an independent copy of a sub-pipeline over
+// each morsel on a bounded worker pool, and merges the per-morsel
+// outputs back into one stream *in morsel order* — so a parallel plan
+// produces exactly the tuple sequence of its serial counterpart, which
+// keeps SORT/LIMIT plans deterministic and lets the differential test
+// harness compare serial and parallel executions row for row.
+package rel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMorselSize is the tuple count per morsel when NewExchange is
+// used without an explicit size. Small enough that short inputs still
+// fan out, large enough that per-morsel pipeline setup is noise.
+const DefaultMorselSize = 256
+
+// PipelineBuilder constructs one worker's sub-pipeline over a morsel
+// source. It is called once per morsel (pipeline construction is cheap)
+// and must be reusable: any state it closes over has to be read-only.
+type PipelineBuilder func(source Iterator) Iterator
+
+type exchangeTask struct {
+	done chan struct{}
+	out  []Tuple
+	err  error
+}
+
+type exchangeKernel struct {
+	baseKernel
+	p      int
+	morsel int
+	build  PipelineBuilder
+
+	tasks  []*exchangeTask
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	cur    int // morsel being drained
+	i      int // next tuple within the current morsel
+}
+
+func (k *exchangeKernel) resolve(o *op) error {
+	in := o.children[0].Schema()
+	if in == nil {
+		return errSchemaPending
+	}
+	// Probe the sub-pipeline over an empty input to learn the output
+	// schema; builders whose schema needs data (generators) force a
+	// short open/close round trip.
+	probe := k.build(NewScan(NewRelation(in)))
+	if probe.Schema() == nil {
+		if err := probe.Open(context.Background()); err != nil {
+			probe.Close()
+			return err
+		}
+		defer probe.Close()
+	}
+	s := probe.Schema()
+	if s == nil {
+		return fmt.Errorf("rel: exchange: sub-pipeline produced no schema")
+	}
+	o.schema = s
+	// The per-morsel operators never appear as children in the plan
+	// tree, so record the sub-pipeline's spine as the exchange's note:
+	// "exchange [project <- select]".
+	if o.stats.Note == "" {
+		var labels []string
+		for it := probe; it != nil; {
+			cs := it.Children()
+			if len(cs) == 0 {
+				break // the morsel source scan
+			}
+			labels = append(labels, it.Stats().Label)
+			it = cs[0]
+		}
+		o.stats.Note = strings.Join(labels, " <- ")
+	}
+	return nil
+}
+
+func (k *exchangeKernel) open(o *op) error {
+	rows, err := drain(o.children[0])
+	if err != nil {
+		return err
+	}
+	in := o.children[0].Schema()
+	morsel := k.morsel
+	if morsel <= 0 {
+		morsel = DefaultMorselSize
+	}
+	n := (len(rows) + morsel - 1) / morsel
+	if n == 0 {
+		n = 1 // one empty morsel keeps generators/edge cases uniform
+	}
+	k.tasks = make([]*exchangeTask, n)
+	for i := range k.tasks {
+		k.tasks[i] = &exchangeTask{done: make(chan struct{})}
+	}
+	workers := k.p
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	o.stats.Workers = workers
+
+	ctx, cancel := context.WithCancel(o.ctx)
+	k.cancel = cancel
+	var next atomic.Int64
+	k.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer k.wg.Done()
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= n || ctx.Err() != nil {
+					return
+				}
+				lo := idx * morsel
+				hi := lo + morsel
+				if hi > len(rows) {
+					hi = len(rows)
+				}
+				t := k.tasks[idx]
+				t.out, t.err = runMorsel(ctx, k.build, in, rows[lo:hi])
+				close(t.done)
+			}
+		}()
+	}
+	k.cur, k.i = 0, 0
+	return nil
+}
+
+// runMorsel executes one sub-pipeline over a morsel of tuples.
+func runMorsel(ctx context.Context, build PipelineBuilder, schema *Schema, rows []Tuple) ([]Tuple, error) {
+	src := &Relation{Schema: schema, Tuples: rows}
+	sub := build(NewScan(src))
+	if err := sub.Open(ctx); err != nil {
+		sub.Close()
+		return nil, err
+	}
+	var out []Tuple
+	for {
+		t, err := sub.Next()
+		if err != nil {
+			sub.Close()
+			return nil, err
+		}
+		if t == nil {
+			break
+		}
+		out = append(out, t)
+		if len(out)&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				sub.Close()
+				return nil, err
+			}
+		}
+	}
+	return out, sub.Close()
+}
+
+func (k *exchangeKernel) next(o *op) (Tuple, error) {
+	for k.cur < len(k.tasks) {
+		t := k.tasks[k.cur]
+		select {
+		case <-t.done:
+		case <-o.ctx.Done():
+			return nil, o.ctx.Err()
+		}
+		if t.err != nil {
+			return nil, t.err
+		}
+		if k.i < len(t.out) {
+			tup := t.out[k.i]
+			k.i++
+			return tup, nil
+		}
+		t.out = nil // release drained morsel memory early
+		k.cur++
+		k.i = 0
+	}
+	return nil, nil
+}
+
+func (k *exchangeKernel) close(o *op) error {
+	if k.cancel != nil {
+		k.cancel()
+		k.wg.Wait() // no goroutine outlives Close
+		k.cancel = nil
+	}
+	k.tasks = nil
+	return nil
+}
+
+// NewExchange is the morsel-driven parallelism operator: it
+// materialises child at Open, splits the rows into morsels of
+// DefaultMorselSize, runs build's sub-pipeline over the morsels on p
+// workers, and merges outputs in morsel order. With p <= 1 it
+// degenerates to running the sub-pipeline inline over one morsel
+// stream. Cancellation of the Open context stops the workers, and
+// Close waits for them, so a cancelled plan leaks no goroutines.
+func NewExchange(child Iterator, p int, build PipelineBuilder) Iterator {
+	return NewExchangeMorsel(child, p, 0, build)
+}
+
+// NewExchangeMorsel is NewExchange with an explicit morsel size
+// (tuples per morsel); size <= 0 means DefaultMorselSize. Tests use
+// tiny morsels to force multi-worker schedules on small inputs.
+func NewExchangeMorsel(child Iterator, p int, morsel int, build PipelineBuilder) Iterator {
+	if build == nil {
+		return errOp("exchange", errors.New("rel: exchange: nil pipeline builder"))
+	}
+	return newOp("exchange", &exchangeKernel{p: p, morsel: morsel, build: build}, child)
+}
+
+// ---------------------------------------------------- parallel build
+
+var hashSeed = maphash.MakeSeed()
+
+// partitionOf assigns a join key to one of n hash partitions.
+func partitionOf(key string, n int) int {
+	return int(maphash.String(hashSeed, key) % uint64(n))
+}
+
+// buildPartitioned builds per-partition hash tables over ts in
+// parallel: a sequential pass splits the tuples by key hash (keeping
+// input order within each partition, so probe results match the serial
+// build exactly), then one goroutine per partition builds its table.
+func buildPartitioned(ts []Tuple, col, workers int) []map[string][]Tuple {
+	parts := make([][]Tuple, workers)
+	keys := make([][]string, workers)
+	for _, t := range ts {
+		if t[col].IsNull() {
+			continue
+		}
+		key := t[col].Key()
+		p := partitionOf(key, workers)
+		parts[p] = append(parts[p], t)
+		keys[p] = append(keys[p], key)
+	}
+	tables := make([]map[string][]Tuple, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for p := 0; p < workers; p++ {
+		go func(p int) {
+			defer wg.Done()
+			ht := make(map[string][]Tuple, len(parts[p]))
+			for i, t := range parts[p] {
+				key := keys[p][i]
+				ht[key] = append(ht[key], t)
+			}
+			tables[p] = ht
+		}(p)
+	}
+	wg.Wait()
+	return tables
+}

@@ -1,0 +1,342 @@
+package rel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// numbered builds a single-column relation 0..n-1.
+func numbered(n int) *Relation {
+	r := NewRelation(NewSchema("nums", "", Attribute{Name: "x", Type: KindInt}))
+	for i := 0; i < n; i++ {
+		r.InsertVals(I(int64(i)))
+	}
+	return r
+}
+
+func evenPred(t Tuple) bool { return t[0].Int()%2 == 0 }
+
+func TestExchangeMatchesSerialExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 1000, 1024} {
+		for _, p := range []int{1, 2, 4, 7} {
+			r := numbered(n)
+			build := func(in Iterator) Iterator { return NewSelect(in, evenPred) }
+			serial, err := Materialize(nil, build(NewScan(r)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := Materialize(nil, NewExchangeMorsel(NewScan(r), p, 64, build))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par.Tuples) != len(serial.Tuples) {
+				t.Fatalf("n=%d p=%d: %d rows, want %d", n, p, len(par.Tuples), len(serial.Tuples))
+			}
+			// Order-preserving merge: the exact serial tuple sequence.
+			for i := range par.Tuples {
+				if !par.Tuples[i][0].Equal(serial.Tuples[i][0]) {
+					t.Fatalf("n=%d p=%d: row %d = %v, want %v", n, p, i, par.Tuples[i], serial.Tuples[i])
+				}
+			}
+		}
+	}
+}
+
+func TestExchangeLimitDeterministic(t *testing.T) {
+	// LIMIT without ORDER BY is only deterministic because the exchange
+	// merges morsels in index order.
+	r := numbered(500)
+	build := func(in Iterator) Iterator { return NewSelect(in, evenPred) }
+	for i := 0; i < 5; i++ {
+		out, err := Materialize(nil, NewLimit(NewExchangeMorsel(NewScan(r), 4, 32, build), 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Len() != 10 {
+			t.Fatalf("limit rows = %d", out.Len())
+		}
+		for j, tp := range out.Tuples {
+			if tp[0].Int() != int64(2*j) {
+				t.Fatalf("run %d row %d = %d, want %d", i, j, tp[0].Int(), 2*j)
+			}
+		}
+	}
+}
+
+func TestExchangeWorkersStat(t *testing.T) {
+	r := numbered(300)
+	ex := NewExchangeMorsel(NewScan(r), 4, 64, func(in Iterator) Iterator { return in })
+	if _, err := Materialize(nil, ex); err != nil {
+		t.Fatal(err)
+	}
+	// 300 rows / morsel 64 = 5 morsels, capped by p=4.
+	if got := ex.Stats().Workers; got != 4 {
+		t.Fatalf("workers = %d, want 4", got)
+	}
+	line := CollectStats(ex).Lines[0].String()
+	if want := "workers=4"; !contains(line, want) {
+		t.Fatalf("plan line %q missing %q", line, want)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestExchangeSubPipelineError(t *testing.T) {
+	boom := errors.New("boom")
+	r := numbered(400)
+	ex := NewExchangeMorsel(NewScan(r), 4, 64, func(in Iterator) Iterator {
+		return NewTransform("explode", in, func(s *Schema) (*Schema, func(Tuple) (Tuple, error), error) {
+			return s, func(tp Tuple) (Tuple, error) {
+				if tp[0].Int() == 137 {
+					return nil, boom
+				}
+				return tp, nil
+			}, nil
+		})
+	})
+	_, err := Materialize(nil, ex)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestExchangeNilBuilder(t *testing.T) {
+	if _, err := Materialize(nil, NewExchange(NewScan(numbered(3)), 2, nil)); err == nil {
+		t.Fatal("nil builder should error")
+	}
+}
+
+// settleGoroutines polls until the goroutine count returns to at most
+// base (with slack for runtime helpers) or the deadline expires.
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not settle: %d > %d", runtime.NumGoroutine(), base)
+}
+
+func TestExchangeCancellationLeaksNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	r := numbered(10000)
+	slow := func(in Iterator) Iterator {
+		return NewTransform("slow", in, func(s *Schema) (*Schema, func(Tuple) (Tuple, error), error) {
+			return s, func(tp Tuple) (Tuple, error) {
+				time.Sleep(50 * time.Microsecond)
+				return tp, nil
+			}, nil
+		})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ex := NewExchangeMorsel(NewScan(r), 4, 16, slow)
+	if err := ex.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Drain a few rows, then cancel mid-stream.
+	for i := 0; i < 3; i++ {
+		if _, err := ex.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cancel()
+	for {
+		tp, err := ex.Next()
+		if err != nil || tp == nil {
+			break
+		}
+	}
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+	settleGoroutines(t, base)
+}
+
+func TestExchangeCloseWithoutDrainLeaksNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ex := NewExchangeMorsel(NewScan(numbered(5000)), 8, 16,
+		func(in Iterator) Iterator { return NewSelect(in, evenPred) })
+	if err := ex.Open(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+	settleGoroutines(t, base)
+}
+
+func TestParallelHashJoinBuildMatchesSerial(t *testing.T) {
+	// Enough build rows to cross parallelBuildMin, with duplicate keys to
+	// exercise per-key chains and some probe misses.
+	n := 2 * parallelBuildMin
+	build := NewRelation(NewSchema("b", "", Attribute{Name: "k", Type: KindInt}, Attribute{Name: "v", Type: KindInt}))
+	for i := 0; i < n; i++ {
+		build.InsertVals(I(int64(i%97)), I(int64(i)))
+	}
+	probe := NewRelation(NewSchema("p", "", Attribute{Name: "k", Type: KindInt}, Attribute{Name: "w", Type: KindInt}))
+	for i := 0; i < 300; i++ {
+		probe.InsertVals(I(int64(i%131)), I(int64(i)))
+	}
+	serial, err := Materialize(nil, NewHashJoinP(NewScan(probe), NewScan(build), "k", "k", false, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		it := NewHashJoinP(NewScan(probe), NewScan(build), "k", "k", false, workers)
+		par, err := Materialize(nil, it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Len() != serial.Len() {
+			t.Fatalf("workers=%d: %d rows, want %d", workers, par.Len(), serial.Len())
+		}
+		// The partitioned build preserves insertion order within each key,
+		// so probe output is identical tuple for tuple.
+		for i := range par.Tuples {
+			for c := range par.Tuples[i] {
+				if !par.Tuples[i][c].Equal(serial.Tuples[i][c]) {
+					t.Fatalf("workers=%d row %d col %d: %v != %v",
+						workers, i, c, par.Tuples[i][c], serial.Tuples[i][c])
+				}
+			}
+		}
+		if workers > 1 && it.Stats().Workers != workers {
+			t.Fatalf("workers stat = %d, want %d", it.Stats().Workers, workers)
+		}
+	}
+}
+
+func TestParallelHashJoinSmallBuildStaysSerial(t *testing.T) {
+	// Below the threshold the parallel build must not engage.
+	build := NewRelation(NewSchema("b", "", Attribute{Name: "k", Type: KindInt}))
+	for i := 0; i < 10; i++ {
+		build.InsertVals(I(int64(i)))
+	}
+	probe := NewRelation(NewSchema("p", "", Attribute{Name: "k", Type: KindInt}))
+	probe.InsertVals(I(3))
+	it := NewHashJoinP(NewScan(probe), NewScan(build), "k", "k", false, 8)
+	out, err := Materialize(nil, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+	if it.Stats().Workers != 0 {
+		t.Fatalf("small build should stay serial, workers = %d", it.Stats().Workers)
+	}
+}
+
+func TestBuildPartitionedCoversAllKeys(t *testing.T) {
+	var ts []Tuple
+	for i := 0; i < 1000; i++ {
+		ts = append(ts, Tuple{I(int64(i % 50))})
+	}
+	ts = append(ts, Tuple{Null}) // null keys never enter the table
+	parts := buildPartitioned(ts, 0, 4)
+	total := 0
+	for _, p := range parts {
+		for _, chain := range p {
+			total += len(chain)
+		}
+	}
+	if total != 1000 {
+		t.Fatalf("partitioned %d tuples, want 1000", total)
+	}
+	for k := 0; k < 50; k++ {
+		key := I(int64(k)).Key()
+		chain := parts[partitionOf(key, 4)][key]
+		if len(chain) != 20 {
+			t.Fatalf("key %d chain = %d, want 20", k, len(chain))
+		}
+	}
+}
+
+func TestExchangeGeneratorSchemaProbe(t *testing.T) {
+	// A sub-pipeline whose schema is only known after Open (NewGenerate)
+	// still resolves under an exchange via the empty-input probe.
+	r := numbered(100)
+	build := func(in Iterator) Iterator {
+		return NewGenerate("gen", []Iterator{in}, func(ctx context.Context, ins []*Relation) (Generated, error) {
+			i := 0
+			return Generated{Schema: ins[0].Schema, Pull: func() (Tuple, error) {
+				if i >= len(ins[0].Tuples) {
+					return nil, nil
+				}
+				tp := ins[0].Tuples[i]
+				i++
+				return tp, nil
+			}}, nil
+		})
+	}
+	out, err := Materialize(nil, NewExchangeMorsel(NewScan(r), 3, 16, build))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 100 {
+		t.Fatalf("rows = %d, want 100", out.Len())
+	}
+	for i, tp := range out.Tuples {
+		if tp[0].Int() != int64(i) {
+			t.Fatalf("row %d = %v", i, tp)
+		}
+	}
+}
+
+// BenchmarkParallelHashJoin measures the hash join with its
+// partitioned parallel build at P ∈ {1, 2, GOMAXPROCS}. Only the build
+// side parallelises, so the end-to-end speedup is bounded by the
+// probe's serial share.
+func BenchmarkParallelHashJoin(b *testing.B) {
+	build := NewRelation(NewSchema("b", "", Attribute{Name: "k", Type: KindInt}, Attribute{Name: "v", Type: KindInt}))
+	for i := 0; i < 200000; i++ {
+		build.InsertVals(I(int64(i%50021)), I(int64(i)))
+	}
+	probe := NewRelation(NewSchema("p", "", Attribute{Name: "k", Type: KindInt}, Attribute{Name: "w", Type: KindInt}))
+	for i := 0; i < 20000; i++ {
+		probe.InsertVals(I(int64(i%60013)), I(int64(i)))
+	}
+	for _, p := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Materialize(nil, NewHashJoinP(NewScan(probe), NewScan(build), "k", "k", false, p)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkExchangeSelect(b *testing.B) {
+	r := numbered(100000)
+	build := func(in Iterator) Iterator {
+		return NewSelect(in, func(tp Tuple) bool {
+			// A predicate with some arithmetic weight per tuple.
+			x := tp[0].Int()
+			return (x*2654435761)%7 == 0
+		})
+	}
+	for _, p := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Materialize(nil, NewExchange(NewScan(r), p, build)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

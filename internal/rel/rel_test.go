@@ -243,7 +243,7 @@ func TestNaturalJoin(t *testing.T) {
 	ext := NewRelation(NewSchema("ext", "vid", Attribute{Name: "vid"}, Attribute{Name: "loc"}))
 	ext.InsertVals(I(1), S("UK"))
 	ext.InsertVals(I(3), S("US"))
-	j := NaturalJoin(match, ext)
+	j := must(NaturalJoin(match, ext))
 	if j.Len() != 1 {
 		t.Fatalf("natural join size = %d, want 1", j.Len())
 	}
@@ -261,7 +261,7 @@ func TestNaturalJoinNoSharedIsCross(t *testing.T) {
 	a.InsertVals(I(2))
 	b := NewRelation(NewSchema("b", "", Attribute{Name: "y"}))
 	b.InsertVals(I(3))
-	j := NaturalJoin(a, b)
+	j := must(NaturalJoin(a, b))
 	if j.Len() != 2 {
 		t.Fatalf("cross size = %d", j.Len())
 	}
@@ -277,7 +277,7 @@ func TestThreeWayNaturalJoinReduction(t *testing.T) {
 	ext := NewRelation(NewSchema("ext", "", Attribute{Name: "vid"}, Attribute{Name: "company"}, Attribute{Name: "loc"}))
 	ext.InsertVals(I(101), S("company1"), S("UK"))
 	ext.InsertVals(I(102), S("company1"), S("US"))
-	j := NaturalJoin(NaturalJoin(p, match), ext)
+	j := must(NaturalJoin(must(NaturalJoin(p, match)), ext))
 	if j.Len() != 2 {
 		t.Fatalf("enrichment size = %d", j.Len())
 	}
@@ -296,11 +296,11 @@ func TestThreeWayNaturalJoinReduction(t *testing.T) {
 func TestNestedLoopJoin(t *testing.T) {
 	c, p := customers(), products()
 	// Example 10's Q': bal >= 1000*price.
-	j := NestedLoopJoin(c, p, func(joined Tuple) bool {
+	j := must(NestedLoopJoin(c, p, func(joined Tuple) bool {
 		bal := joined[3]     // customer.bal
 		price := joined[5+4] // product.price (customer has 5 attrs)
 		return !bal.IsNull() && bal.Float() >= 1000*price.Float()
-	})
+	}))
 	for _, tp := range j.Tuples {
 		if tp[3].Float() < 1000*tp[9].Float() {
 			t.Fatal("predicate violated")
@@ -313,7 +313,7 @@ func TestNestedLoopJoin(t *testing.T) {
 
 func TestCrossProduct(t *testing.T) {
 	c, p := customers(), products()
-	x := CrossProduct(c, p, "c", "p")
+	x := must(CrossProduct(c, p, "c", "p"))
 	if x.Len() != c.Len()*p.Len() {
 		t.Fatalf("cross size = %d", x.Len())
 	}
@@ -492,7 +492,7 @@ func TestNaturalJoinProperty(t *testing.T) {
 		for i, v := range bv {
 			b.InsertVals(I(int64(v%4)), I(int64(i)))
 		}
-		j := NaturalJoin(a, b)
+		j := must(NaturalJoin(a, b))
 		if j.Len() > a.Len()*b.Len() {
 			return false
 		}

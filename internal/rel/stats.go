@@ -14,6 +14,7 @@ type OpStats struct {
 	Note    string // strategy annotation, e.g. "gL hit"
 	RowsOut int64
 	Elapsed time.Duration
+	Workers int // goroutines used by a parallel operator, 0 if serial
 }
 
 // PlanLine is one operator of a rendered plan, in depth-first
@@ -24,17 +25,22 @@ type PlanLine struct {
 	Note    string
 	Rows    int64
 	Elapsed time.Duration
+	Workers int
 }
 
 // String renders the line indented by depth, e.g.
-// "  hash join tid=tid  rows=42 time=1.2ms".
+// "  hash join tid=tid  rows=42 time=1.2ms workers=4".
 func (l PlanLine) String() string {
 	label := l.Label
 	if l.Note != "" {
 		label += " [" + l.Note + "]"
 	}
-	return fmt.Sprintf("%s%s  rows=%d time=%s",
+	s := fmt.Sprintf("%s%s  rows=%d time=%s",
 		strings.Repeat("  ", l.Depth), label, l.Rows, l.Elapsed.Round(time.Microsecond))
+	if l.Workers > 0 {
+		s += fmt.Sprintf(" workers=%d", l.Workers)
+	}
+	return s
 }
 
 // ExecStats is the per-operator account of one executed plan: the
@@ -53,7 +59,7 @@ func CollectStats(it Iterator) *ExecStats {
 		s := it.Stats()
 		st.Lines = append(st.Lines, PlanLine{
 			Depth: depth, Label: s.Label, Note: s.Note,
-			Rows: s.RowsOut, Elapsed: s.Elapsed,
+			Rows: s.RowsOut, Elapsed: s.Elapsed, Workers: s.Workers,
 		})
 		for _, c := range it.Children() {
 			walk(c, depth+1)

@@ -183,8 +183,10 @@ func EnrichmentJoin(s *Relation, g *Graph, models Models, matcher Matcher, keywo
 	return core.EnrichmentJoin(s, g, models, matcher, keywords, cfg)
 }
 
-// LinkJoin computes the exact link join S1 ⋈_G S2 with hop bound k.
-func LinkJoin(s1, s2 *Relation, g *Graph, matcher Matcher, k int) *Relation {
+// LinkJoin computes the exact link join S1 ⋈_G S2 with hop bound k. A
+// schema collision between the two sides' qualified names surfaces as
+// an error.
+func LinkJoin(s1, s2 *Relation, g *Graph, matcher Matcher, k int) (*Relation, error) {
 	return core.LinkJoin(s1, s2, g, matcher, k)
 }
 

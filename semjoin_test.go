@@ -81,7 +81,10 @@ func TestFacadeSimilarityMatcher(t *testing.T) {
 func TestFacadeLinkJoin(t *testing.T) {
 	g, products, truth := buildPublicWorld()
 	// Products of the same issuer are 2 hops apart.
-	out := LinkJoin(products, products, g, NewOracleMatcher(truth), 2)
+	out, err := LinkJoin(products, products, g, NewOracleMatcher(truth), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out.Len() == 0 {
 		t.Fatal("no links")
 	}
