@@ -22,6 +22,8 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -33,6 +35,7 @@ import (
 	"semjoin/internal/graph"
 	"semjoin/internal/gsql"
 	"semjoin/internal/her"
+	"semjoin/internal/obs"
 	"semjoin/internal/rel"
 )
 
@@ -51,9 +54,24 @@ func main() {
 	query := flag.String("query", "", "execute one query and exit (batch mode)")
 	saveModels := flag.String("savemodels", "", "after training, persist the model pair to this file")
 	loadModels := flag.String("loadmodels", "", "load a persisted model pair instead of training (real-data mode)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /queries, expvar and pprof on this address (e.g. :8077)")
 	var tables tableFlags
 	flag.Var(&tables, "table", "name=file.csv[:keycol], repeatable (real-data mode)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "debug-addr:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("debug server listening on http://%s\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, obs.DebugMux(obs.Default, obs.DefaultQueries)); err != nil {
+				fmt.Fprintln(os.Stderr, "debug server:", err)
+			}
+		}()
+	}
 
 	start := time.Now()
 	var env *expr.QueryEnv
@@ -86,7 +104,7 @@ func main() {
 		}
 	}
 	printTables(env)
-	fmt.Println(`type a gSQL query ending in ';' (prefix with 'explain' for the plan), or \tables, \mode auto|baseline|heuristic, \plan, \quit`)
+	fmt.Println(`type a gSQL query ending in ';' (prefix with 'explain' for the plan, 'explain analyze' for the trace; 'show metrics;' dumps counters), or \tables, \mode auto|baseline|heuristic, \plan, \quit`)
 
 	mode := gsql.ModeAuto
 	eng := env.Engine(mode)
@@ -142,7 +160,13 @@ func main() {
 func runQuery(eng *gsql.Engine, q string) {
 	trimmed := strings.TrimSpace(q)
 	if len(trimmed) >= 7 && strings.EqualFold(trimmed[:7], "explain") {
-		text, err := eng.Explain(trimmed)
+		var text string
+		var err error
+		if rest := strings.TrimSpace(trimmed[7:]); len(rest) >= 7 && strings.EqualFold(rest[:7], "analyze") {
+			text, err = eng.ExplainAnalyze(trimmed)
+		} else {
+			text, err = eng.Explain(trimmed)
+		}
 		if err != nil {
 			fmt.Println("error:", err)
 			return
@@ -262,7 +286,7 @@ func loadRealData(graphPath string, tables tableFlags, keywordCSV string, epochs
 	var mat *core.Materialized
 	if len(specs) > 0 {
 		fmt.Println("materialising f(D,G) and h(D,G)...")
-		if mat, err = core.BuildMaterialized(g, models, specs, core.Config{Seed: seed}); err != nil {
+		if mat, err = core.BuildMaterialized(g, models, specs, core.Config{Seed: seed, Obs: obs.Default}); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"semjoin/internal/obs"
+	"semjoin/internal/rel"
+)
+
+func glTestRel(n int) *rel.Relation {
+	schema := rel.NewSchema("gl", "",
+		rel.Attribute{Name: "vid1", Type: rel.KindInt},
+		rel.Attribute{Name: "vid2", Type: rel.KindInt},
+	)
+	r := rel.NewRelation(schema)
+	for i := 0; i < n; i++ {
+		r.InsertVals(rel.I(int64(i)), rel.I(int64(i+1)))
+	}
+	return r
+}
+
+func TestGLCacheLRUEviction(t *testing.T) {
+	// One shard would make capacity exact; with 16 shards a total cap of
+	// 16 gives one slot per shard, so inserting two keys landing in the
+	// same shard must evict the older.
+	c := newGLCacheCap(16)
+	ctx := context.Background()
+	computes := 0
+	get := func(key string) {
+		_, _, err := c.getOrCompute(ctx, key, func() (*rel.Relation, error) {
+			computes++
+			return glTestRel(2), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Insert far more keys than capacity: the resident count must stay
+	// at or below 16 regardless of shard skew.
+	for i := 0; i < 100; i++ {
+		get(fmt.Sprintf("key-%d", i))
+	}
+	if n, _ := c.stats(); n > 16 {
+		t.Fatalf("resident entries = %d, want <= 16", n)
+	}
+	if got := c.resident.Load(); got > 16 {
+		t.Fatalf("resident gauge = %d, want <= 16", got)
+	}
+
+	// An entry touched on every round survives while cold keys churn
+	// past it (LRU, not FIFO): re-getting it must not recompute. Total
+	// cap 32 = two slots per shard, room for the hot key plus churn.
+	c2 := newGLCacheCap(32)
+	gets := 0
+	hot := func() {
+		_, hit, err := c2.getOrCompute(ctx, "hot", func() (*rel.Relation, error) {
+			gets++
+			return glTestRel(1), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = hit
+	}
+	hot()
+	sh := c2.shard("hot")
+	for i := 0; gets == 1 && i < 200; i++ {
+		// Cold keys in the hot key's shard push toward its eviction; the
+		// refresh below must keep rescuing it.
+		key := fmt.Sprintf("cold-%d", i)
+		if c2.shard(key) == sh {
+			_, _, _ = c2.getOrCompute(ctx, key, func() (*rel.Relation, error) {
+				return glTestRel(1), nil
+			})
+		}
+		hot()
+	}
+	if gets != 1 {
+		t.Fatalf("hot key recomputed %d times; LRU should have kept it", gets)
+	}
+}
+
+func TestGLCacheObsCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	c := newGLCacheCap(0) // unbounded: no evictions in this test
+	compute := func() (*rel.Relation, error) { return glTestRel(3), nil }
+	if _, hit, _ := c.getOrCompute(ctx, "a", compute); hit {
+		t.Fatal("first get should miss")
+	}
+	if _, hit, _ := c.getOrCompute(ctx, "a", compute); !hit {
+		t.Fatal("second get should hit")
+	}
+	vals := reg.CounterValues()
+	if vals["core_gl_misses_total"] != 1 || vals["core_gl_hits_total"] != 1 {
+		t.Fatalf("counters = %v", vals)
+	}
+	if reg.Gauge("core_gl_entries").Value() != 1 {
+		t.Fatalf("entries gauge = %d", reg.Gauge("core_gl_entries").Value())
+	}
+	if reg.Gauge("core_gl_tuples").Value() != 3 {
+		t.Fatalf("tuples gauge = %d", reg.Gauge("core_gl_tuples").Value())
+	}
+}
+
+func TestGLCacheSingleflightCoalesce(t *testing.T) {
+	reg := obs.NewRegistry()
+	ctx := obs.WithRegistry(context.Background(), reg)
+	c := newGLCacheCap(0)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = c.getOrCompute(ctx, "k", func() (*rel.Relation, error) {
+			close(started)
+			<-release
+			return glTestRel(1), nil
+		})
+	}()
+	<-started
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, hit, _ := c.getOrCompute(ctx, "k", func() (*rel.Relation, error) {
+			t.Error("coalesced caller must not recompute")
+			return nil, nil
+		})
+		if !hit {
+			t.Error("coalesced caller should report hit")
+		}
+	}()
+	// The coalesce counter is incremented before the second caller
+	// blocks on the in-flight entry; releasing only after it ticks
+	// guarantees the caller really rode along.
+	for reg.CounterValues()["core_gl_coalesces_total"] == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	<-done
+	wg.Wait()
+	if n := reg.CounterValues()["core_gl_coalesces_total"]; n != 1 {
+		t.Fatalf("coalesces = %d, want 1", n)
+	}
+}
+
+func TestGLCacheErrorNotCached(t *testing.T) {
+	c := newGLCacheCap(16)
+	ctx := context.Background()
+	calls := 0
+	fail := func() (*rel.Relation, error) { calls++; return nil, fmt.Errorf("boom") }
+	if _, _, err := c.getOrCompute(ctx, "e", fail); err == nil {
+		t.Fatal("want error")
+	}
+	if _, _, err := c.getOrCompute(ctx, "e", fail); err == nil {
+		t.Fatal("want error on retry")
+	}
+	if calls != 2 {
+		t.Fatalf("compute calls = %d, want 2 (errors must not be cached)", calls)
+	}
+	if n, _ := c.stats(); n != 0 {
+		t.Fatalf("resident after errors = %d, want 0", n)
+	}
+}
+
+func TestGLCacheSetCapShrinks(t *testing.T) {
+	c := newGLCacheCap(0)
+	ctx := context.Background()
+	for i := 0; i < 64; i++ {
+		_, _, _ = c.getOrCompute(ctx, fmt.Sprintf("k%d", i), func() (*rel.Relation, error) {
+			return glTestRel(1), nil
+		})
+	}
+	if n, _ := c.stats(); n != 64 {
+		t.Fatalf("resident = %d, want 64", n)
+	}
+	c.setCap(16)
+	if n, _ := c.stats(); n > 16 {
+		t.Fatalf("resident after shrink = %d, want <= 16", n)
+	}
+}

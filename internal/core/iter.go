@@ -9,9 +9,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"semjoin/internal/graph"
 	"semjoin/internal/her"
+	"semjoin/internal/obs"
 	"semjoin/internal/rel"
 )
 
@@ -117,8 +119,11 @@ func (m *Materialized) StaticLinkIter(base1 string, s1 rel.Iterator, base2 strin
 func LinkJoinIter(g *graph.Graph, matcher her.Matcher, k, par int, s1, s2 rel.Iterator) rel.Iterator {
 	return rel.NewGenerate("l-join online", []rel.Iterator{s1, s2},
 		func(ctx context.Context, in []*rel.Relation) (rel.Generated, error) {
+			matchStart := time.Now()
 			m1 := matcher.Match(in[0], g)
 			m2 := matcher.Match(in[1], g)
+			obs.FromContext(ctx).Histogram("core_her_match_seconds", nil).
+				Observe(time.Since(matchStart).Seconds())
 			reach, workers, err := reachSets(ctx, g, m1, k, par)
 			if err != nil {
 				return rel.Generated{}, err

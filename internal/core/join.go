@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"semjoin/internal/graph"
 	"semjoin/internal/her"
+	"semjoin/internal/obs"
 	"semjoin/internal/rel"
 )
 
@@ -39,14 +41,22 @@ func EnrichmentJoin(s *rel.Relation, g *graph.Graph, models Models, matcher her.
 		// Unkeyed intermediate results (e.g. Example 10's Q′, which joins
 		// two base relations) get a synthetic row id so the three-way
 		// reduction still works; HER matches are re-keyed accordingly.
-		matches := matcher.Match(s, g)
+		matches := timedMatch(cfg.Obs, matcher, s, g)
 		keyed := withRowIDs(s)
 		for i := range matches {
 			matches[i].TID = rel.I(int64(matches[i].TupleIdx))
 		}
 		return enrichMatched(keyed, g, models, keywords, cfg, matches)
 	}
-	return enrichMatched(s, g, models, keywords, cfg, matcher.Match(s, g))
+	return enrichMatched(s, g, models, keywords, cfg, timedMatch(cfg.Obs, matcher, s, g))
+}
+
+// timedMatch runs HER matching, reporting its latency to reg.
+func timedMatch(reg *obs.Registry, matcher her.Matcher, s *rel.Relation, g *graph.Graph) []her.Match {
+	start := time.Now()
+	matches := matcher.Match(s, g)
+	reg.Histogram("core_her_match_seconds", nil).Observe(time.Since(start).Seconds())
+	return matches
 }
 
 // withRowIDs copies s adding a "_rid" key column holding the row index.
@@ -215,6 +225,14 @@ func (m *Materialized) StaticLink(base1 string, s1 *rel.Relation, base2 string, 
 // their total tuple count.
 func (m *Materialized) GLCacheSize() (relations, tuples int) {
 	return m.gl.stats()
+}
+
+// SetGLCacheCap rebounds the gL cache to at most n resident relations
+// (split evenly over the shards), evicting least-recently-used entries
+// immediately if the current contents exceed the new cap. n <= 0
+// removes the bound. The default is DefaultGLCacheCap.
+func (m *Materialized) SetGLCacheCap(n int) {
+	m.gl.setCap(n)
 }
 
 // restrictMatches narrows a base's pre-computed matches to the tuples

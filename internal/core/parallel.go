@@ -9,6 +9,7 @@
 package core
 
 import (
+	"container/list"
 	"context"
 	"hash/maphash"
 	"runtime"
@@ -17,6 +18,7 @@ import (
 
 	"semjoin/internal/graph"
 	"semjoin/internal/her"
+	"semjoin/internal/obs"
 	"semjoin/internal/rel"
 )
 
@@ -47,6 +49,9 @@ func reachSets(ctx context.Context, g *graph.Graph, m1 []her.Match, k, par int) 
 	if workers > len(verts) {
 		workers = len(verts)
 	}
+	reg := obs.FromContext(ctx)
+	reg.Counter("core_bfs_sources_total").Add(int64(len(verts)))
+	frontier := reg.Histogram("core_bfs_reach_size", obs.SizeBuckets)
 	reach := make(map[graph.VertexID]map[graph.VertexID]bool, len(verts))
 	if workers <= 1 {
 		for _, v := range verts {
@@ -54,6 +59,7 @@ func reachSets(ctx context.Context, g *graph.Graph, m1 []her.Match, k, par int) 
 				return nil, 1, err
 			}
 			reach[v] = g.KHopNeighborhood([]graph.VertexID{v}, k)
+			frontier.Observe(float64(len(reach[v])))
 		}
 		return reach, 1, nil
 	}
@@ -79,6 +85,7 @@ func reachSets(ctx context.Context, g *graph.Graph, m1 []her.Match, k, par int) 
 	}
 	for i, v := range verts {
 		reach[v] = sets[i]
+		frontier.Observe(float64(len(sets[i])))
 	}
 	return reach, workers, nil
 }
@@ -118,6 +125,13 @@ func glRelation(ctx context.Context, g *graph.Graph, m1, m2 []her.Match, k, par 
 
 const glShards = 16
 
+// DefaultGLCacheCap bounds the total number of resident gL relations
+// across all shards. Long-running engines see an unbounded stream of
+// distinct predicate pairs, so without a cap the cache grows without
+// limit; 256 relations comfortably covers a working set of repeated
+// queries. Use Materialized.SetGLCacheCap to change it (0 = unbounded).
+const DefaultGLCacheCap = 256
+
 var glHashSeed = maphash.MakeSeed()
 
 // glEntry is one in-flight or completed gL computation. ready is
@@ -128,40 +142,130 @@ type glEntry struct {
 	err   error
 }
 
+// glNode ties a cache entry to its LRU list position.
+type glNode struct {
+	key  string
+	e    *glEntry
+	elem *list.Element
+}
+
 type glShard struct {
-	mu sync.Mutex
-	m  map[string]*glEntry
+	mu  sync.Mutex
+	m   map[string]*glNode
+	lru *list.List // front = most recently used; values are *glNode
+	cap int        // max entries in this shard, 0 = unbounded
 }
 
 // glCache is the shard-locked singleflight cache of gL connectivity
 // relations: concurrent queries with the same predicate key share one
 // BFS computation — the first caller computes while the rest wait.
+// Each shard keeps an LRU list so the resident set stays under a cap;
+// in-flight computations are pinned (never evicted mid-compute).
 type glCache struct {
-	shards [glShards]glShard
+	shards   [glShards]glShard
+	resident atomic.Int64 // completed, non-error entries across shards
+	tuples   atomic.Int64 // their total tuple count
 }
 
-func newGLCache() *glCache {
+func newGLCache() *glCache { return newGLCacheCap(DefaultGLCacheCap) }
+
+func newGLCacheCap(total int) *glCache {
 	c := &glCache{}
+	per := perShardCap(total)
 	for i := range c.shards {
-		c.shards[i].m = make(map[string]*glEntry)
+		c.shards[i].m = make(map[string]*glNode)
+		c.shards[i].lru = list.New()
+		c.shards[i].cap = per
 	}
 	return c
+}
+
+func perShardCap(total int) int {
+	if total <= 0 {
+		return 0
+	}
+	per := total / glShards
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// setCap rebounds every shard and evicts immediately if shrinking.
+func (c *glCache) setCap(total int) {
+	per := perShardCap(total)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.cap = per
+		c.evictLocked(sh, nil)
+		sh.mu.Unlock()
+	}
 }
 
 func (c *glCache) shard(key string) *glShard {
 	return &c.shards[maphash.String(glHashSeed, key)%glShards]
 }
 
+// evictLocked drops least-recently-used completed entries until the
+// shard fits its cap. Entries still computing are skipped: evicting
+// them would detach waiters from the singleflight. Caller holds sh.mu.
+func (c *glCache) evictLocked(sh *glShard, reg *obs.Registry) {
+	if sh.cap <= 0 {
+		return
+	}
+	for sh.lru.Len() > sh.cap {
+		evicted := false
+		for el := sh.lru.Back(); el != nil; el = el.Prev() {
+			n := el.Value.(*glNode)
+			select {
+			case <-n.e.ready:
+			default:
+				continue // in-flight; pinned
+			}
+			sh.lru.Remove(el)
+			delete(sh.m, n.key)
+			if n.e.err == nil && n.e.rel != nil {
+				c.resident.Add(-1)
+				c.tuples.Add(-int64(n.e.rel.Len()))
+			}
+			reg.Counter("core_gl_evictions_total").Inc()
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything over cap is still computing
+		}
+	}
+}
+
+func (c *glCache) updateGauges(reg *obs.Registry) {
+	reg.Gauge("core_gl_entries").Set(c.resident.Load())
+	reg.Gauge("core_gl_tuples").Set(c.tuples.Load())
+}
+
 // getOrCompute returns the relation cached under key, computing it at
 // most once across concurrent callers. hit reports whether the value
 // existed (or was being computed by someone else) before this call.
 // Errors are not cached: a failed computation is evicted so the next
-// caller retries.
+// caller retries. Cache traffic is reported to the registry on ctx
+// (hits, misses, singleflight coalesces, evictions, resident gauges).
 func (c *glCache) getOrCompute(ctx context.Context, key string, compute func() (*rel.Relation, error)) (r *rel.Relation, hit bool, err error) {
+	reg := obs.FromContext(ctx)
 	sh := c.shard(key)
 	sh.mu.Lock()
-	if e, ok := sh.m[key]; ok {
+	if n, ok := sh.m[key]; ok {
+		sh.lru.MoveToFront(n.elem)
+		e := n.e
 		sh.mu.Unlock()
+		select {
+		case <-e.ready:
+			reg.Counter("core_gl_hits_total").Inc()
+		default:
+			// Someone else is computing this key right now; we ride
+			// along on their result instead of duplicating the BFS.
+			reg.Counter("core_gl_coalesces_total").Inc()
+		}
 		select {
 		case <-e.ready:
 			return e.rel, true, e.err
@@ -170,15 +274,29 @@ func (c *glCache) getOrCompute(ctx context.Context, key string, compute func() (
 		}
 	}
 	e := &glEntry{ready: make(chan struct{})}
-	sh.m[key] = e
+	n := &glNode{key: key, e: e}
+	n.elem = sh.lru.PushFront(n)
+	sh.m[key] = n
+	c.evictLocked(sh, reg)
 	sh.mu.Unlock()
+	reg.Counter("core_gl_misses_total").Inc()
+
 	e.rel, e.err = compute()
-	if e.err != nil {
-		sh.mu.Lock()
-		delete(sh.m, key)
-		sh.mu.Unlock()
-	}
 	close(e.ready)
+	sh.mu.Lock()
+	if e.err != nil {
+		// Remove only if the map still points at our node — an eviction
+		// may already have raced it out.
+		if cur, ok := sh.m[key]; ok && cur == n {
+			delete(sh.m, key)
+			sh.lru.Remove(n.elem)
+		}
+	} else {
+		c.resident.Add(1)
+		c.tuples.Add(int64(e.rel.Len()))
+	}
+	sh.mu.Unlock()
+	c.updateGauges(reg)
 	return e.rel, false, e.err
 }
 
@@ -188,12 +306,12 @@ func (c *glCache) stats() (relations, tuples int) {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
-		for _, e := range sh.m {
+		for _, n := range sh.m {
 			select {
-			case <-e.ready:
-				if e.err == nil && e.rel != nil {
+			case <-n.e.ready:
+				if n.e.err == nil && n.e.rel != nil {
 					relations++
-					tuples += e.rel.Len()
+					tuples += n.e.rel.Len()
 				}
 			default:
 			}

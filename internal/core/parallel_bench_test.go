@@ -9,6 +9,7 @@ import (
 
 	"semjoin/internal/graph"
 	"semjoin/internal/her"
+	"semjoin/internal/obs"
 )
 
 // benchLinkGraph builds a connected synthetic graph (ring plus random
@@ -48,6 +49,31 @@ func BenchmarkParallelLinkJoin(b *testing.B) {
 		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := glRelation(ctx, g, m1, m2, 3, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelLinkJoinObs isolates the metrics layer's cost on
+// the link-join hot path: the identical gL computation with no
+// registry on the context (every obs call is a nil-receiver no-op,
+// the shipped default) and with a live registry recording BFS
+// counters and reach-size histograms. The acceptance bar for the
+// observability work is < 3% overhead with metrics enabled.
+func BenchmarkParallelLinkJoinObs(b *testing.B) {
+	g, m1, m2 := benchLinkGraph(4000, 6, 300)
+	for _, bc := range []struct {
+		name string
+		ctx  context.Context
+	}{
+		{"metrics=off", context.Background()},
+		{"metrics=on", obs.WithRegistry(context.Background(), obs.NewRegistry())},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := glRelation(bc.ctx, g, m1, m2, 3, 1); err != nil {
 					b.Fatal(err)
 				}
 			}

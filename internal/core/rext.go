@@ -12,6 +12,7 @@ import (
 	"semjoin/internal/her"
 	"semjoin/internal/mat"
 	"semjoin/internal/nn"
+	"semjoin/internal/obs"
 	"semjoin/internal/rel"
 )
 
@@ -76,6 +77,10 @@ type Config struct {
 	// pattern on embedding noise. Default 0.05; set negative to disable
 	// and recover the exact paper ranking (see DESIGN.md, ablation 4).
 	LengthPenalty float64
+	// Obs, when non-nil, receives per-phase extraction timings
+	// (core_rext_phase_seconds) and HER match timings. Extractors built
+	// by the gSQL engine inherit the engine's registry here.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -240,7 +245,30 @@ func (e *Extractor) Run(s *rel.Relation, matches []her.Match) (*rel.Relation, er
 	if err := e.Discover(s, matches); err != nil {
 		return nil, err
 	}
-	return e.Extract(), nil
+	r := e.Extract()
+	e.publishTimings()
+	return r, nil
+}
+
+// publishTimings reports the most recent stage breakdown to the
+// configured registry as per-phase latency histograms.
+func (e *Extractor) publishTimings() {
+	reg := e.cfg.Obs
+	if reg == nil {
+		return
+	}
+	for _, p := range []struct {
+		phase string
+		sec   float64
+	}{
+		{"selection", e.timings.Selection},
+		{"embedding", e.timings.Embedding},
+		{"clustering", e.timings.Clustering},
+		{"ranking", e.timings.Ranking},
+		{"extraction", e.timings.Extraction},
+	} {
+		reg.Histogram("core_rext_phase_seconds", nil, "phase", p.phase).Observe(p.sec)
+	}
 }
 
 // Discover is phase I of §III-A: LSTM-guided path selection from every

@@ -7,10 +7,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"semjoin/internal/core"
 	"semjoin/internal/graph"
 	"semjoin/internal/her"
+	"semjoin/internal/obs"
 	"semjoin/internal/rel"
 )
 
@@ -68,6 +70,18 @@ type Engine struct {
 	// LastStats holds the per-operator counters (rows out, wall time)
 	// of the last executed query's operator tree.
 	LastStats *rel.ExecStats
+
+	// Obs receives the engine's metrics (query counters and latency,
+	// operator row counts, gL cache traffic, ...). Nil means the
+	// process-wide obs.Default registry — the one -debug-addr serves.
+	Obs *obs.Registry
+	// Queries is the recent/slow query log; nil means obs.DefaultQueries.
+	// The slow threshold is settable per session with SET SLOW_QUERY_MS n.
+	Queries *obs.QueryLog
+	// LastTrace is the root span of the last executed query: parse,
+	// plan and execute children with wall times. EXPLAIN ANALYZE renders
+	// it merged with LastStats.
+	LastTrace *obs.Span
 }
 
 // NewEngine returns an engine in ModeAuto.
@@ -87,6 +101,22 @@ func (e *Engine) Par() int {
 	return e.Parallelism
 }
 
+// reg resolves the engine's metrics registry (obs.Default unless set).
+func (e *Engine) reg() *obs.Registry {
+	if e.Obs != nil {
+		return e.Obs
+	}
+	return obs.Default
+}
+
+// qlog resolves the engine's query log (obs.DefaultQueries unless set).
+func (e *Engine) qlog() *obs.QueryLog {
+	if e.Queries != nil {
+		return e.Queries
+	}
+	return obs.DefaultQueries
+}
+
 // Query parses and executes input, returning the result relation. An
 // input prefixed with EXPLAIN executes the query and returns the plan
 // notes (the well-behaved verdict, one row per semantic join, then the
@@ -99,33 +129,91 @@ func (e *Engine) Query(input string) (*rel.Relation, error) {
 // while the operator tree drains.
 func (e *Engine) QueryContext(ctx context.Context, input string) (*rel.Relation, error) {
 	trimmed := strings.TrimSpace(input)
-	if f := strings.Fields(trimmed); len(f) >= 2 &&
-		strings.EqualFold(f[0], "set") && strings.EqualFold(f[1], "parallelism") {
-		return e.setParallelism(f[2:])
+	if f := strings.Fields(trimmed); len(f) >= 2 {
+		switch {
+		case strings.EqualFold(f[0], "set") && strings.EqualFold(f[1], "parallelism"):
+			return e.setParallelism(f[2:])
+		case strings.EqualFold(f[0], "set") && strings.EqualFold(f[1], "slow_query_ms"):
+			return e.setSlowQueryMS(f[2:])
+		case strings.EqualFold(f[0], "show") && strings.EqualFold(f[1], "metrics"):
+			return e.showMetrics(f[2:])
+		}
 	}
-	explain := false
+	explain, analyze := false, false
 	if len(trimmed) >= 7 && strings.EqualFold(trimmed[:7], "explain") {
 		explain = true
 		input = trimmed[7:]
+		if rest := strings.TrimSpace(input); len(rest) >= 7 && strings.EqualFold(rest[:7], "analyze") {
+			analyze = true
+			input = rest[7:]
+		}
 	}
-	q, err := Parse(input)
+	out, q, err := e.run(ctx, input)
 	if err != nil {
 		return nil, err
 	}
-	e.Plan = e.Plan[:0]
-	root, _, err := e.planQuery(q)
-	if err != nil {
-		return nil, err
-	}
-	out, err := rel.Materialize(ctx, root)
-	e.LastStats = rel.CollectStats(root)
-	if err != nil {
-		return nil, err
+	if analyze {
+		return e.analyzeRelation(q), nil
 	}
 	if explain {
 		return e.explainRelation(q), nil
 	}
 	return out, nil
+}
+
+// run parses, plans and executes one query under a root trace span,
+// recording latency metrics and a query-log entry for every outcome
+// (parse and plan errors included). The span tree is kept on LastTrace.
+func (e *Engine) run(ctx context.Context, input string) (*rel.Relation, *Query, error) {
+	reg := e.reg()
+	ctx = obs.WithRegistry(ctx, reg)
+	root := obs.StartSpan("query")
+	e.LastTrace = root
+	out, q, err := e.runSpanned(ctx, root, input)
+	root.End()
+
+	reg.Counter("gsql_queries_total").Inc()
+	if err != nil {
+		reg.Counter("gsql_query_errors_total").Inc()
+	}
+	reg.Histogram("gsql_query_seconds", nil).Observe(root.Duration.Seconds())
+	rec := obs.QueryRecord{Query: strings.TrimSpace(input), Start: root.Start, Duration: root.Duration}
+	if out != nil {
+		rec.Rows = out.Len()
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	if e.qlog().Record(rec) {
+		reg.Counter("gsql_slow_queries_total").Inc()
+	}
+	return out, q, err
+}
+
+// runSpanned is run's traced body: parse, plan and execute children
+// hang off root, and LastStats is collected even when execution fails.
+func (e *Engine) runSpanned(ctx context.Context, root *obs.Span, input string) (*rel.Relation, *Query, error) {
+	sp := root.StartChild("parse")
+	q, err := Parse(input)
+	sp.End()
+	if err != nil {
+		return nil, nil, err
+	}
+	e.Plan = e.Plan[:0]
+	sp = root.StartChild("plan")
+	top, _, err := e.planQuery(q)
+	sp.End()
+	if err != nil {
+		return nil, q, err
+	}
+	sp = root.StartChild("execute")
+	out, err := rel.Materialize(ctx, top)
+	sp.End()
+	e.LastStats = rel.CollectStats(top)
+	if err != nil {
+		return nil, q, err
+	}
+	return out, q, nil
 }
 
 // setParallelism handles the session statement SET PARALLELISM n
@@ -147,6 +235,48 @@ func (e *Engine) setParallelism(args []string) (*rel.Relation, error) {
 	return out, nil
 }
 
+// setSlowQueryMS handles SET SLOW_QUERY_MS n: queries slower than n
+// milliseconds land in the slow-query ring (/queries and /metrics
+// surface them); n = 0 disables the classification.
+func (e *Engine) setSlowQueryMS(args []string) (*rel.Relation, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("gsql: usage: SET SLOW_QUERY_MS n (0 = disabled)")
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("gsql: SET SLOW_QUERY_MS: want a non-negative integer, got %q", args[0])
+	}
+	e.qlog().SetSlowThreshold(time.Duration(n) * time.Millisecond)
+	out := rel.NewRelation(rel.NewSchema("status", "",
+		rel.Attribute{Name: "slow_query_ms", Type: rel.KindInt},
+	))
+	out.InsertVals(rel.I(int64(n)))
+	return out, nil
+}
+
+// showMetrics handles SHOW METRICS: the engine registry's snapshot as
+// a sorted (metric, value) relation, histograms exploded into _count,
+// _sum and quantile series.
+func (e *Engine) showMetrics(extra []string) (*rel.Relation, error) {
+	if len(extra) != 0 {
+		return nil, fmt.Errorf("gsql: usage: SHOW METRICS")
+	}
+	snap := e.reg().Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := rel.NewRelation(rel.NewSchema("metrics", "metric",
+		rel.Attribute{Name: "metric", Type: rel.KindString},
+		rel.Attribute{Name: "value", Type: rel.KindString},
+	))
+	for _, k := range keys {
+		out.InsertVals(rel.S(k), rel.S(strconv.FormatFloat(snap[k], 'g', -1, 64)))
+	}
+	return out, nil
+}
+
 // Explain executes input (with or without a leading EXPLAIN keyword)
 // and renders the well-behaved verdict, the strategy notes and the
 // operator tree annotated with per-operator rows-out and wall time.
@@ -160,31 +290,92 @@ func (e *Engine) ExplainContext(ctx context.Context, input string) (string, erro
 	if len(trimmed) >= 7 && strings.EqualFold(trimmed[:7], "explain") {
 		trimmed = trimmed[7:]
 	}
-	q, err := Parse(trimmed)
-	if err != nil {
-		return "", err
-	}
-	e.Plan = e.Plan[:0]
-	root, _, err := e.planQuery(q)
-	if err != nil {
-		return "", err
-	}
-	_, err = rel.Materialize(ctx, root)
-	e.LastStats = rel.CollectStats(root)
+	_, q, err := e.run(ctx, trimmed)
 	if err != nil {
 		return "", err
 	}
 	var b strings.Builder
+	e.writeVerdict(&b, q)
+	b.WriteString(e.LastStats.String())
+	return b.String(), nil
+}
+
+// ExplainAnalyze executes input (stripping a leading EXPLAIN ANALYZE if
+// present) and renders the verdict and strategy notes followed by the
+// query's trace: the parse/plan/execute spans with wall times, the
+// executed operator tree nested under the execute span.
+func (e *Engine) ExplainAnalyze(input string) (string, error) {
+	return e.ExplainAnalyzeContext(context.Background(), input)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze with cancellation.
+func (e *Engine) ExplainAnalyzeContext(ctx context.Context, input string) (string, error) {
+	trimmed := strings.TrimSpace(input)
+	if len(trimmed) >= 7 && strings.EqualFold(trimmed[:7], "explain") {
+		trimmed = strings.TrimSpace(trimmed[7:])
+	}
+	if len(trimmed) >= 7 && strings.EqualFold(trimmed[:7], "analyze") {
+		trimmed = trimmed[7:]
+	}
+	_, q, err := e.run(ctx, trimmed)
+	if err != nil {
+		return "", err
+	}
+	return e.renderAnalyze(q), nil
+}
+
+// writeVerdict writes the well-behaved verdict and strategy notes.
+func (e *Engine) writeVerdict(b *strings.Builder, q *Query) {
 	verdict := "false"
 	if e.WellBehaved(q) {
 		verdict = "true"
 	}
-	fmt.Fprintf(&b, "well-behaved: %s\n", verdict)
+	fmt.Fprintf(b, "well-behaved: %s\n", verdict)
 	for _, p := range e.Plan {
-		fmt.Fprintf(&b, "strategy: %s\n", p)
+		fmt.Fprintf(b, "strategy: %s\n", p)
 	}
-	b.WriteString(e.LastStats.String())
-	return b.String(), nil
+}
+
+// renderAnalyze merges the last trace with the last operator stats:
+// the span tree renders one line per span, and the operator PlanLines
+// nest under the execute span one level deeper.
+func (e *Engine) renderAnalyze(q *Query) string {
+	var b strings.Builder
+	e.writeVerdict(&b, q)
+	if e.LastTrace == nil {
+		return b.String()
+	}
+	e.LastTrace.Walk(func(s *obs.Span, depth int) {
+		indent := strings.Repeat("  ", depth)
+		note := ""
+		if s.Note != "" {
+			note = " [" + s.Note + "]"
+		}
+		fmt.Fprintf(&b, "%s%s%s  time=%s\n", indent, s.Name, note, s.Duration.Round(time.Microsecond))
+		if s.Name == "execute" && e.LastStats != nil {
+			for _, l := range e.LastStats.Lines {
+				nl := l
+				nl.Depth += depth + 1
+				b.WriteString(nl.String())
+				b.WriteByte('\n')
+			}
+		}
+	})
+	return b.String()
+}
+
+// analyzeRelation renders the EXPLAIN ANALYZE output as a (step, note)
+// relation, one line per row.
+func (e *Engine) analyzeRelation(q *Query) *rel.Relation {
+	plan := rel.NewRelation(rel.NewSchema("plan", "",
+		rel.Attribute{Name: "step", Type: rel.KindInt},
+		rel.Attribute{Name: "note", Type: rel.KindString},
+	))
+	text := strings.TrimRight(e.renderAnalyze(q), "\n")
+	for i, line := range strings.Split(text, "\n") {
+		plan.InsertVals(rel.I(int64(i)), rel.S(line))
+	}
+	return plan
 }
 
 // explainRelation renders the EXPLAIN result as a (step, note)
@@ -642,6 +833,9 @@ func (e *Engine) planEJoin(f *FromItem) (rel.Iterator, provenance, error) {
 	default:
 		cfg := e.Cat.RExt
 		cfg.K = e.Cat.K
+		if cfg.Obs == nil {
+			cfg.Obs = e.reg()
+		}
 		out = core.BaselineEnrichIter(g, e.Cat.Models, e.Cat.Matcher, f.Keywords, cfg, src)
 		e.note("e-join(%s): conceptual baseline (HER+RExt online)", f.Graph)
 	}

@@ -4,37 +4,50 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
-	"regexp"
+	"strconv"
 	"strings"
 	"testing"
+
+	"semjoin/internal/rel"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden EXPLAIN files")
 
-var (
-	redactTime    = regexp.MustCompile(`time=[^ \n]+`)
-	redactWorkers = regexp.MustCompile(`workers=\d+`)
-	// The gL cache is engine-shared state, so hit/miss depends on which
-	// test ran first; the golden files pin the plan shape, not the cache
-	// temperature.
-	redactGL = regexp.MustCompile(`\[gL [^\]]*\]`)
-)
-
 // redactExplain replaces the run-dependent parts of an EXPLAIN
 // rendering (timings, worker counts, gL cache state) with stable
-// placeholders so the operator tree can be golden-tested.
+// placeholders so the operator tree can be golden-tested. It parses
+// each plan line into fields rather than pattern-matching the text:
+// notes may themselves contain ']' (e.g. "gL miss [cap=4]"), which a
+// `\[gL [^\]]*\]` regex would split at the wrong bracket, leaving a
+// dangling tail in the golden. Non-plan lines (the verdict, strategy
+// notes) pass through untouched.
 func redactExplain(text string) string {
-	text = redactTime.ReplaceAllString(text, "time=<T>")
-	text = redactWorkers.ReplaceAllString(text, "workers=<W>")
-	text = redactGL.ReplaceAllString(text, "[gL <STATE>]")
-	// A gL miss runs the BFS pool (workers= present), a hit serves from
-	// cache (absent) — cache temperature is shared engine state, so the
-	// annotation itself has to go on that line.
 	lines := strings.Split(text, "\n")
-	for i, l := range lines {
-		if strings.Contains(l, "[gL <STATE>]") {
-			lines[i] = strings.TrimSuffix(l, " workers=<W>")
+	for i, line := range lines {
+		l, ok := rel.ParsePlanLine(line)
+		if !ok {
+			continue
 		}
+		// The gL cache is engine-shared state, so hit/miss depends on
+		// which test ran first; the goldens pin the plan shape, not the
+		// cache temperature.
+		gl := strings.HasPrefix(l.Note, "gL ")
+		note := l.Note
+		if gl {
+			note = "gL <STATE>"
+		}
+		out := strings.Repeat("  ", l.Depth) + l.Label
+		if note != "" {
+			out += " [" + note + "]"
+		}
+		out += "  rows=" + strconv.FormatInt(l.Rows, 10) + " time=<T>"
+		// A gL miss runs the BFS pool (workers= present), a hit serves
+		// from cache (absent) — cache temperature decides the worker
+		// annotation too, so it is dropped with the state.
+		if l.Workers > 0 && !gl {
+			out += " workers=<W>"
+		}
+		lines[i] = out
 	}
 	return strings.Join(lines, "\n")
 }
@@ -109,6 +122,20 @@ func TestExplainGoldenRedaction(t *testing.T) {
 	}
 	if !strings.Contains(got, "[gL <STATE>]") || !strings.Contains(got, "workers=<W>") || !strings.Contains(got, "time=<T>") {
 		t.Fatalf("placeholders missing: %s", got)
+	}
+	// Notes containing ']' must redact cleanly: the old regex matched
+	// up to the FIRST ']', leaving a dangling "]" behind the placeholder.
+	nested := "  l-join static [gL miss [cap=4]]  rows=3 time=9ms workers=2\n"
+	got = redactExplain(nested)
+	want := "  l-join static [gL <STATE>]  rows=3 time=<T>\n"
+	if got != want {
+		t.Fatalf("bracketed note redaction:\n got %q\nwant %q", got, want)
+	}
+	// Non-plan lines (verdict, strategy notes) pass through untouched,
+	// even when they mention rows or brackets.
+	passthrough := "well-behaved: true\nstrategy: l-join(Gp): well-behaved (gL key customer[x]|customer[y]|k=3)\n"
+	if got := redactExplain(passthrough); got != passthrough {
+		t.Fatalf("non-plan lines altered:\n got %q\nwant %q", got, passthrough)
 	}
 }
 

@@ -1,0 +1,24 @@
+package obs
+
+import "context"
+
+type ctxKey struct{}
+
+// WithRegistry installs r as the registry recording sites below ctx
+// report to. Operators and caches read it back with FromContext, so a
+// whole query's metrics can be redirected (or disabled by never
+// installing one) without any global state.
+func WithRegistry(ctx context.Context, r *Registry) context.Context {
+	return context.WithValue(ctx, ctxKey{}, r)
+}
+
+// FromContext returns the registry installed by WithRegistry, or nil
+// when none is (recording through a nil registry is a no-op). A nil
+// ctx is tolerated and yields nil.
+func FromContext(ctx context.Context) *Registry {
+	if ctx == nil {
+		return nil
+	}
+	r, _ := ctx.Value(ctxKey{}).(*Registry)
+	return r
+}

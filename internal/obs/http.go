@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// queriesPayload is the JSON shape of the /queries endpoint.
+type queriesPayload struct {
+	SlowQueryMS int64          `json:"slow_query_ms"`
+	Recent      []queryJSON    `json:"recent"`
+	Slow        []queryJSON    `json:"slow"`
+	Counts      map[string]int `json:"counts"`
+}
+
+type queryJSON struct {
+	Query      string    `json:"query"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Rows       int       `json:"rows"`
+	Err        string    `json:"err,omitempty"`
+}
+
+func toJSON(recs []QueryRecord) []queryJSON {
+	out := make([]queryJSON, len(recs))
+	for i, r := range recs {
+		out[i] = queryJSON{
+			Query: r.Query, Start: r.Start,
+			DurationMS: float64(r.Duration) / float64(time.Millisecond),
+			Rows:       r.Rows, Err: r.Err,
+		}
+	}
+	return out
+}
+
+// Handler serves the live introspection endpoints over r and l:
+//
+//	/metrics  Prometheus text exposition of every registered series
+//	/queries  recent + slow queries as JSON
+//
+// Either argument may be nil; the corresponding endpoint then serves
+// an empty document rather than failing.
+func Handler(r *Registry, l *QueryLog) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(r.PrometheusText()))
+	})
+	mux.HandleFunc("/queries", func(w http.ResponseWriter, _ *http.Request) {
+		recent, slow := l.Recent(), l.Slow()
+		payload := queriesPayload{
+			SlowQueryMS: l.SlowThreshold().Milliseconds(),
+			Recent:      toJSON(recent),
+			Slow:        toJSON(slow),
+			Counts:      map[string]int{"recent": len(recent), "slow": len(slow)},
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(payload)
+	})
+	return mux
+}
+
+// publishOnce guards the expvar registration: expvar panics on
+// duplicate names, and DebugMux may be built more than once in tests.
+var publishOnce sync.Once
+
+// DebugMux is the full debug surface for -debug-addr: Handler's
+// /metrics and /queries, net/http/pprof under /debug/pprof/, and
+// expvar under /debug/vars with the registry snapshot published as
+// the "semjoin_metrics" var. The first call wires r into expvar;
+// later calls reuse that registration.
+func DebugMux(r *Registry, l *QueryLog) *http.ServeMux {
+	publishOnce.Do(func() {
+		expvar.Publish("semjoin_metrics", expvar.Func(func() any { return r.Snapshot() }))
+	})
+	h := Handler(r, l)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", h)
+	mux.Handle("/queries", h)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(`<html><body><h1>semjoin debug</h1><ul>
+<li><a href="/metrics">/metrics</a> (Prometheus text)</li>
+<li><a href="/queries">/queries</a> (recent + slow queries)</li>
+<li><a href="/debug/vars">/debug/vars</a> (expvar)</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a></li>
+</ul></body></html>`))
+	})
+	return mux
+}

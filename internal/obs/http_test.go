@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core_gl_hits_total").Add(2)
+	r.Counter("core_gl_misses_total").Add(1)
+	r.Histogram("gsql_query_seconds", nil).Observe(0.002)
+	srv := httptest.NewServer(Handler(r, NewQueryLog()))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{
+		"core_gl_hits_total 2",
+		"core_gl_misses_total 1",
+		"# TYPE gsql_query_seconds histogram",
+		"gsql_query_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestQueriesEndpoint(t *testing.T) {
+	l := NewQueryLog()
+	l.SetSlowThreshold(5 * time.Millisecond)
+	l.Record(QueryRecord{Query: "select 1", Duration: time.Millisecond, Rows: 1})
+	l.Record(QueryRecord{Query: "select slow", Duration: 50 * time.Millisecond, Rows: 9})
+	srv := httptest.NewServer(Handler(NewRegistry(), l))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/queries")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	var payload struct {
+		SlowQueryMS int64 `json:"slow_query_ms"`
+		Recent      []struct {
+			Query string `json:"query"`
+		} `json:"recent"`
+		Slow []struct {
+			Query      string  `json:"query"`
+			DurationMS float64 `json:"duration_ms"`
+		} `json:"slow"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if payload.SlowQueryMS != 5 {
+		t.Fatalf("slow_query_ms = %d", payload.SlowQueryMS)
+	}
+	if len(payload.Recent) != 2 || len(payload.Slow) != 1 {
+		t.Fatalf("recent=%d slow=%d", len(payload.Recent), len(payload.Slow))
+	}
+	if payload.Slow[0].Query != "select slow" || payload.Slow[0].DurationMS != 50 {
+		t.Fatalf("slow entry = %+v", payload.Slow[0])
+	}
+}
+
+func TestDebugMuxSurfaces(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total").Inc()
+	srv := httptest.NewServer(DebugMux(r, NewQueryLog()))
+	defer srv.Close()
+
+	for path, want := range map[string]string{
+		"/":            "/debug/pprof/",
+		"/metrics":     "x_total 1",
+		"/queries":     `"recent"`,
+		"/debug/vars":  "semjoin_metrics",
+		"/debug/pprof": "", // redirect or index both acceptable, just not 500
+	} {
+		code, body := get(t, srv, path)
+		if code != http.StatusOK && code != http.StatusMovedPermanently {
+			t.Errorf("%s: status %d", path, code)
+		}
+		if want != "" && !strings.Contains(body, want) {
+			t.Errorf("%s missing %q:\n%s", path, want, body)
+		}
+	}
+	// Building a second mux must not panic on duplicate expvar names.
+	DebugMux(NewRegistry(), nil)
+}

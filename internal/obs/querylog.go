@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// QueryRecord is one executed query as the slow-query log sees it.
+type QueryRecord struct {
+	Query    string        `json:"query"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Rows     int           `json:"rows"`
+	Err      string        `json:"err,omitempty"`
+}
+
+const (
+	recentRingCap = 128
+	slowRingCap   = 64
+)
+
+// QueryLog is a pair of fixed-size ring buffers over executed
+// queries: every query lands in the recent ring, and queries at or
+// above the slow threshold also land in the slow ring. A zero
+// threshold disables slow classification. Safe for concurrent use;
+// all methods no-op on a nil receiver.
+type QueryLog struct {
+	mu     sync.Mutex
+	recent ring
+	slow   ring
+	slowNS atomic.Int64 // threshold in nanoseconds, 0 = disabled
+}
+
+// ring is a fixed-capacity append-only ring of query records.
+type ring struct {
+	buf  []QueryRecord
+	next int
+	full bool
+}
+
+func (r *ring) push(cap int, rec QueryRecord) {
+	if r.buf == nil {
+		r.buf = make([]QueryRecord, cap)
+	}
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	if r.next == 0 {
+		r.full = true
+	}
+}
+
+// list returns the records oldest-first.
+func (r *ring) list() []QueryRecord {
+	if r.buf == nil {
+		return nil
+	}
+	var out []QueryRecord
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	return append(out, r.buf[:r.next]...)
+}
+
+// NewQueryLog returns an empty log with slow classification disabled.
+func NewQueryLog() *QueryLog { return &QueryLog{} }
+
+// DefaultQueries is the process-wide query log, the one the debug
+// endpoint serves unless a session installs its own.
+var DefaultQueries = NewQueryLog()
+
+// SetSlowThreshold sets the duration at or above which a query counts
+// as slow; 0 disables the slow ring.
+func (l *QueryLog) SetSlowThreshold(d time.Duration) {
+	if l != nil {
+		l.slowNS.Store(int64(d))
+	}
+}
+
+// SlowThreshold returns the current slow threshold (0 = disabled).
+func (l *QueryLog) SlowThreshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return time.Duration(l.slowNS.Load())
+}
+
+// Record logs one executed query and reports whether it classified as
+// slow.
+func (l *QueryLog) Record(rec QueryRecord) (slow bool) {
+	if l == nil {
+		return false
+	}
+	thr := l.SlowThreshold()
+	slow = thr > 0 && rec.Duration >= thr
+	l.mu.Lock()
+	l.recent.push(recentRingCap, rec)
+	if slow {
+		l.slow.push(slowRingCap, rec)
+	}
+	l.mu.Unlock()
+	return slow
+}
+
+// Recent returns the retained recent queries, oldest first.
+func (l *QueryLog) Recent() []QueryRecord {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recent.list()
+}
+
+// Slow returns the retained slow queries, oldest first.
+func (l *QueryLog) Slow() []QueryRecord {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.slow.list()
+}

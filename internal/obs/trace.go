@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Span is one timed region of a query trace. Spans form a tree: the
+// engine opens a root span per query with parse/plan/execute children,
+// and EXPLAIN ANALYZE grafts the operator tree under the execute span.
+// A span tree is built and read by one goroutine (the session driving
+// the query); it is not goroutine-safe.
+type Span struct {
+	Name     string
+	Note     string
+	Start    time.Time
+	Duration time.Duration
+	Children []*Span
+}
+
+// StartSpan begins a new root span.
+func StartSpan(name string) *Span {
+	return &Span{Name: name, Start: time.Now()}
+}
+
+// StartChild begins a child span (nil-safe: returns nil on a nil
+// receiver so dependent Ends stay no-ops).
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, Start: time.Now()}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// End freezes the span's duration; repeated Ends keep the first.
+func (s *Span) End() {
+	if s != nil && s.Duration == 0 {
+		s.Duration = time.Since(s.Start)
+	}
+}
+
+// Walk visits the span tree depth-first pre-order with each span's
+// depth (root = 0).
+func (s *Span) Walk(fn func(sp *Span, depth int)) {
+	if s == nil {
+		return
+	}
+	var walk func(sp *Span, depth int)
+	walk = func(sp *Span, depth int) {
+		fn(sp, depth)
+		for _, c := range sp.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(s, 0)
+}
+
+// String renders the tree one span per line, indented by depth, in
+// the same "label  time=..." shape PlanLine uses so EXPLAIN ANALYZE
+// output reads uniformly.
+func (s *Span) String() string {
+	var b strings.Builder
+	s.Walk(func(sp *Span, depth int) {
+		label := sp.Name
+		if sp.Note != "" {
+			label += " [" + sp.Note + "]"
+		}
+		fmt.Fprintf(&b, "%s%s  time=%s\n",
+			strings.Repeat("  ", depth), label, sp.Duration.Round(time.Microsecond))
+	})
+	return b.String()
+}

@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
+
+	"semjoin/internal/obs"
 )
 
 // Iterator is a Volcano-style pull operator. Plans are trees of
@@ -54,14 +57,16 @@ type kernel interface {
 // op wraps a kernel with the shared Iterator plumbing: child
 // management, schema caching, stats accounting and cancellation.
 type op struct {
-	k        kernel
-	children []Iterator
-	schema   *Schema
-	stats    OpStats
-	ctx      context.Context
-	opened   bool
-	done     bool
-	resolved bool
+	k         kernel
+	children  []Iterator
+	schema    *Schema
+	stats     OpStats
+	ctx       context.Context
+	opened    bool
+	done      bool
+	resolved  bool
+	metered   bool // rows-out not yet reported to the registry
+	unmetered bool // never report (internal morsel sources)
 }
 
 func newOp(label string, k kernel, children ...Iterator) *op {
@@ -69,6 +74,15 @@ func newOp(label string, k kernel, children ...Iterator) *op {
 	o.stats.Label = label
 	o.resolved = k.resolve(o) == nil
 	return o
+}
+
+// opKind reduces an operator label to its metric label: the leading
+// word ("hash join tid=tid" -> "hash", "l-join static" -> "l-join").
+func opKind(label string) string {
+	if i := strings.IndexByte(label, ' '); i > 0 {
+		return label[:i]
+	}
+	return label
 }
 
 func (o *op) Schema() *Schema      { return o.schema }
@@ -101,6 +115,7 @@ func (o *op) Open(ctx context.Context) error {
 		return err
 	}
 	o.opened = true
+	o.metered = !o.unmetered
 	return nil
 }
 
@@ -132,6 +147,13 @@ func (o *op) Close() error {
 			first = err
 		}
 		o.opened = false
+	}
+	if o.metered {
+		// Aggregate accounting happens once per execution, at Close, so
+		// the per-tuple path stays untouched. The registry travels on the
+		// Open context; without one this is a nil no-op.
+		o.metered = false
+		obs.FromContext(o.ctx).Counter("rel_op_rows_total", "op", opKind(o.stats.Label)).Add(o.stats.RowsOut)
 	}
 	for _, c := range o.children {
 		if err := c.Close(); err != nil && first == nil {
@@ -226,6 +248,16 @@ func (k *scanKernel) next(o *op) (Tuple, error) {
 // NewScan streams the tuples of r.
 func NewScan(r *Relation) Iterator {
 	return newOp("scan "+r.Schema.Name, &scanKernel{r: r})
+}
+
+// newMorselScan is NewScan for the exchange's internal morsel
+// sources. Those tuples were already counted once flowing into the
+// exchange, so the morsel scans stay unmetered — serial and parallel
+// plans then report identical per-operator row counters.
+func newMorselScan(r *Relation) Iterator {
+	o := newOp("scan "+r.Schema.Name, &scanKernel{r: r})
+	o.unmetered = true
+	return o
 }
 
 // -------------------------------------------------------------- select
@@ -492,7 +524,10 @@ func (k *hashJoinKernel) open(o *op) error {
 	if err != nil {
 		return err
 	}
+	reg := obs.FromContext(o.ctx)
+	reg.Counter("rel_hashjoin_build_rows_total").Add(int64(len(ts)))
 	if k.workers > 1 && len(ts) >= parallelBuildMin {
+		reg.Counter("rel_hashjoin_parallel_builds_total").Inc()
 		k.parts = buildPartitioned(ts, bc, k.workers)
 		k.ht = nil
 		o.stats.Workers = k.workers

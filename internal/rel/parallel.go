@@ -15,6 +15,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"semjoin/internal/obs"
 )
 
 // DefaultMorselSize is the tuple count per morsel when NewExchange is
@@ -112,6 +114,14 @@ func (k *exchangeKernel) open(o *op) error {
 	}
 	o.stats.Workers = workers
 
+	// Worker-occupancy metrics: morsel count (batches), input rows and
+	// the realised worker count per exchange. Recorded once per Open, so
+	// the morsel hot loop stays clean.
+	reg := obs.FromContext(o.ctx)
+	reg.Counter("rel_exchange_morsels_total").Add(int64(n))
+	reg.Counter("rel_exchange_input_rows_total").Add(int64(len(rows)))
+	reg.Histogram("rel_exchange_workers", obs.SizeBuckets).Observe(float64(workers))
+
 	ctx, cancel := context.WithCancel(o.ctx)
 	k.cancel = cancel
 	var next atomic.Int64
@@ -139,10 +149,13 @@ func (k *exchangeKernel) open(o *op) error {
 	return nil
 }
 
-// runMorsel executes one sub-pipeline over a morsel of tuples.
+// runMorsel executes one sub-pipeline over a morsel of tuples. The
+// morsel source scan is unmetered (its rows were already counted
+// entering the exchange); the sub-pipeline's own operators record
+// normally, summing across morsels to the serial plan's counts.
 func runMorsel(ctx context.Context, build PipelineBuilder, schema *Schema, rows []Tuple) ([]Tuple, error) {
 	src := &Relation{Schema: schema, Tuples: rows}
-	sub := build(NewScan(src))
+	sub := build(newMorselScan(src))
 	if err := sub.Open(ctx); err != nil {
 		sub.Close()
 		return nil, err

@@ -43,6 +43,56 @@ func (l PlanLine) String() string {
 	return s
 }
 
+// ParsePlanLine is the inverse of PlanLine.String. It is field-aware
+// rather than regex-based: the note may itself contain ']' (e.g.
+// "gL miss [cap=4]"), which position-blind patterns mis-split. The
+// second return is false when line is not a rendered plan line.
+func ParsePlanLine(line string) (PlanLine, bool) {
+	var l PlanLine
+	// Trailing counters start at the LAST "  rows=" — labels and notes
+	// never contain two consecutive spaces, so the split is unambiguous.
+	cut := strings.LastIndex(line, "  rows=")
+	if cut < 0 {
+		return l, false
+	}
+	head, tail := line[:cut], line[cut+2:]
+
+	fields := strings.Fields(tail)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "rows=") || !strings.HasPrefix(fields[1], "time=") {
+		return l, false
+	}
+	if _, err := fmt.Sscanf(fields[0], "rows=%d", &l.Rows); err != nil {
+		return l, false
+	}
+	d, err := time.ParseDuration(strings.TrimPrefix(fields[1], "time="))
+	if err != nil {
+		return l, false
+	}
+	l.Elapsed = d
+	if len(fields) >= 3 {
+		if !strings.HasPrefix(fields[2], "workers=") {
+			return l, false
+		}
+		if _, err := fmt.Sscanf(fields[2], "workers=%d", &l.Workers); err != nil {
+			return l, false
+		}
+	}
+
+	for strings.HasPrefix(head, "  ") {
+		l.Depth++
+		head = head[2:]
+	}
+	// The note spans from the FIRST " [" to the final ']' — everything
+	// in between, brackets included, belongs to the note.
+	if i := strings.Index(head, " ["); i >= 0 && strings.HasSuffix(head, "]") {
+		l.Label = head[:i]
+		l.Note = head[i+2 : len(head)-1]
+	} else {
+		l.Label = head
+	}
+	return l, true
+}
+
 // ExecStats is the per-operator account of one executed plan: the
 // query-level observability layer EXPLAIN and the experiment harness
 // report from.

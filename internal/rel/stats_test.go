@@ -1,0 +1,44 @@
+package rel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParsePlanLineRoundTrip(t *testing.T) {
+	cases := []PlanLine{
+		{Label: "scan drug", Rows: 12, Elapsed: 42 * time.Microsecond},
+		{Depth: 1, Label: "select", Note: "pushdown", Rows: 3, Elapsed: time.Millisecond},
+		{Depth: 2, Label: "exchange", Note: "project <- select", Rows: 9, Elapsed: 2 * time.Millisecond, Workers: 4},
+		// Notes containing ']' are the regression this parser exists
+		// for: regex-based redaction split these at the wrong bracket.
+		{Depth: 1, Label: "link join", Note: "gL miss [cap=4]", Rows: 7, Elapsed: 500 * time.Microsecond},
+		{Label: "her", Note: "k=2 [bounded]", Rows: 0, Elapsed: 0},
+	}
+	for _, want := range cases {
+		line := want.String()
+		got, ok := ParsePlanLine(line)
+		if !ok {
+			t.Errorf("ParsePlanLine(%q) failed", line)
+			continue
+		}
+		if got != want {
+			t.Errorf("round trip %q:\n got %+v\nwant %+v", line, got, want)
+		}
+	}
+}
+
+func TestParsePlanLineRejectsNonPlanText(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"strategy: l-join (static gL)",
+		"rows=5",
+		"scan  rows=x time=1ms",
+		"scan  rows=5 time=banana",
+		"scan  rows=5 time=1ms extra=2",
+	} {
+		if _, ok := ParsePlanLine(line); ok {
+			t.Errorf("ParsePlanLine(%q) accepted non-plan line", line)
+		}
+	}
+}
