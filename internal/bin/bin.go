@@ -140,16 +140,30 @@ func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
 // Bool reads a boolean.
 func (r *Reader) Bool() bool { return r.U64() != 0 }
 
+// allocChunk bounds the upfront allocation for length-prefixed reads: a
+// corrupt length within the Len() bound could still demand a ~1 GiB
+// allocation before the first payload byte is read. Growing in chunks
+// means a short stream poisons the reader after at most one chunk.
+const allocChunk = 1 << 16
+
 // String reads a length-prefixed string.
 func (r *Reader) String() string {
 	n := r.Len()
 	if r.err != nil || n == 0 {
 		return ""
 	}
-	p := make([]byte, n)
-	r.read(p)
-	if r.err != nil {
-		return ""
+	var p []byte
+	for len(p) < n {
+		c := n - len(p)
+		if c > allocChunk {
+			c = allocChunk
+		}
+		chunk := make([]byte, c)
+		r.read(chunk)
+		if r.err != nil {
+			return ""
+		}
+		p = append(p, chunk...)
 	}
 	return string(p)
 }
@@ -160,9 +174,13 @@ func (r *Reader) F64s() []float64 {
 	if r.err != nil {
 		return nil
 	}
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = r.F64()
+	var out []float64
+	for i := 0; i < n; i++ {
+		x := r.F64()
+		if r.err != nil {
+			return nil
+		}
+		out = append(out, x)
 	}
 	return out
 }
@@ -173,9 +191,13 @@ func (r *Reader) Strings() []string {
 	if r.err != nil {
 		return nil
 	}
-	out := make([]string, n)
-	for i := range out {
-		out[i] = r.String()
+	var out []string
+	for i := 0; i < n; i++ {
+		s := r.String()
+		if r.err != nil {
+			return nil
+		}
+		out = append(out, s)
 	}
 	return out
 }

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"semjoin/internal/graph"
+)
+
+// fuzzGraph decodes a bounded graph from fuzz bytes: two bytes per
+// operation, small vertex/label pools, every reference taken modulo
+// the live universe so any byte string is a valid program.
+func fuzzGraph(data []byte) *graph.Graph {
+	const maxVerts, maxOps = 12, 48
+	labels := []string{"issues", "invest", "registered_in"}
+	types := []string{"product", "company", "person"}
+	g := graph.New()
+	g.AddVertex("seed 0", types[0])
+	g.AddVertex("seed 1", types[1])
+	ops := 0
+	for i := 0; i+1 < len(data) && ops < maxOps; i, ops = i+2, ops+1 {
+		a, b := int(data[i]), int(data[i+1])
+		n := g.MaxVertexID()
+		switch a % 4 {
+		case 0:
+			if n < maxVerts {
+				g.AddVertex("v", types[b%len(types)])
+			}
+		case 1:
+			g.AddEdge(graph.VertexID(a/4%n), labels[b%len(labels)], graph.VertexID(b%n))
+		case 2:
+			g.RemoveEdge(graph.VertexID(a/4%n), labels[b%len(labels)], graph.VertexID(b%n))
+		default:
+			g.RemoveVertex(graph.VertexID(b % n))
+		}
+	}
+	return g
+}
+
+// FuzzPatternMatch cross-checks the three traversal primitives RExt and
+// the link join build on, over arbitrary small graphs:
+//
+//   - SimplePaths emits only valid simple paths (start vertex, length
+//     in [1,k], no repeated vertices, pattern arity consistent);
+//   - the set of simple-path endpoints equals KHopNeighborhood minus
+//     the seed — two independent traversals of the same neighbourhood;
+//   - WithinKHops (bidirectional BFS) agrees with KHopNeighborhood
+//     membership and is symmetric in sign.
+func FuzzPatternMatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{4, 1, 4, 2, 1, 1})
+	f.Add([]byte("\x01\x05\x01\x0a\x00\x02\x03\x01\x01\x07"))
+	f.Add([]byte("graph bytes with mixed ops \xff\x00\x10\x20"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := fuzzGraph(data)
+		k := 1 + len(data)%2
+		var live []graph.VertexID
+		g.Vertices(func(v graph.Vertex) { live = append(live, v.ID) })
+
+		starts := live
+		if len(starts) > 4 {
+			starts = starts[:4]
+		}
+		for _, v := range starts {
+			ends := map[graph.VertexID]bool{}
+			g.SimplePaths(v, k, func(p graph.Path) {
+				if p.Start() != v {
+					t.Fatalf("path from %d starts at %d", v, p.Start())
+				}
+				if len(p.EdgeLabels) < 1 || len(p.EdgeLabels) > k {
+					t.Fatalf("path length %d outside [1,%d]", len(p.EdgeLabels), k)
+				}
+				if len(p.Vertices) != len(p.EdgeLabels)+1 {
+					t.Fatalf("path arity mismatch: %d vertices, %d edges", len(p.Vertices), len(p.EdgeLabels))
+				}
+				seen := map[graph.VertexID]bool{}
+				for _, u := range p.Vertices {
+					if seen[u] {
+						t.Fatalf("path repeats vertex %d: %v", u, p.Vertices)
+					}
+					seen[u] = true
+				}
+				if pat := PatternOf(p); len(pat) != len(p.EdgeLabels) {
+					t.Fatalf("PatternOf arity %d for %d edges", len(pat), len(p.EdgeLabels))
+				}
+				ends[p.End()] = true
+			})
+			nb := g.KHopNeighborhood([]graph.VertexID{v}, k)
+			for u := range ends {
+				if !nb[u] {
+					t.Fatalf("simple-path endpoint %d missing from KHopNeighborhood(%d, %d)", u, v, k)
+				}
+			}
+			for u := range nb {
+				if u != v && !ends[u] {
+					t.Fatalf("KHopNeighborhood(%d, %d) contains %d but no simple path reaches it", v, k, u)
+				}
+			}
+		}
+
+		pairs := live
+		if len(pairs) > 8 {
+			pairs = pairs[:8]
+		}
+		for _, u := range pairs {
+			nb := g.KHopNeighborhood([]graph.VertexID{u}, k)
+			for _, v := range pairs {
+				duv := g.WithinKHops(u, v, k)
+				dvu := g.WithinKHops(v, u, k)
+				if (duv >= 0) != (dvu >= 0) {
+					t.Fatalf("WithinKHops sign asymmetry: d(%d,%d)=%d d(%d,%d)=%d", u, v, duv, v, u, dvu)
+				}
+				if duv > k {
+					t.Fatalf("WithinKHops(%d,%d,%d) = %d exceeds the bound", u, v, k, duv)
+				}
+				inNb := u == v || nb[v]
+				if (duv >= 0) != inNb {
+					t.Fatalf("WithinKHops(%d,%d,%d)=%d disagrees with KHopNeighborhood membership %v",
+						u, v, k, duv, inNb)
+				}
+			}
+		}
+	})
+}

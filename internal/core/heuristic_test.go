@@ -117,3 +117,119 @@ func TestExtractWithSchemeReuse(t *testing.T) {
 		t.Fatal("scheme reuse must reproduce the extraction")
 	}
 }
+
+// TestHeuristicLinkVsExact compares the heuristic link join (§IV-B: no
+// HER, alignment by pairwise ER against the profiled gτ relation) against
+// the exact LinkJoin with the oracle matcher, across k values and graph
+// shapes. The heuristic trades recall for speed but must stay precise:
+// at least minPrecision of its output pairs appear in the exact result.
+func TestHeuristicLinkVsExact(t *testing.T) {
+	pairKey := func(r *rel.Relation, c1, c2 string) map[string]int {
+		i1, i2 := r.Schema.Col(c1), r.Schema.Col(c2)
+		if i1 < 0 || i2 < 0 {
+			t.Fatalf("columns %q/%q missing in %v", c1, c2, r.Schema)
+		}
+		out := map[string]int{}
+		for _, tp := range r.Tuples {
+			out[tp[i1].Key()+"\x1f"+tp[i2].Key()]++
+		}
+		return out
+	}
+
+	cases := []struct {
+		name         string
+		k            int
+		orphan       bool // add a disconnected product vertex + tuple
+		minPrecision float64
+		identityOnly bool // every output pair must be (x, x)
+	}{
+		{name: "k0-colocated-only", k: 0, minPrecision: 1.0, identityOnly: true},
+		{name: "k2-company-neighbourhood", k: 2, minPrecision: 0.9},
+		{name: "k3-wide", k: 3, minPrecision: 0.9},
+		{name: "k2-with-disconnected-vertex", k: 2, orphan: true, minPrecision: 0.9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := freshWorld()
+			if tc.orphan {
+				// A product vertex with no edges at all: reachable from
+				// nothing, so neither join may pair it with another entity.
+				v := w.g.AddVertex("orphan prod 99", "product")
+				w.products.InsertVals(rel.S("fd99"), rel.S("orphan prod 99"), rel.S("Funds"))
+				w.truth["fd99"] = v
+			}
+			h := NewHeuristicJoiner(movieProfiles(t, w))
+			q2 := rel.Rename(w.products, "p2")
+
+			heur, err := h.Link(w.products, q2, w.g, tc.k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, err := LinkJoin(w.products, q2, w.g, oracle(w), tc.k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if exact.Len() == 0 || heur.Len() == 0 {
+				t.Fatalf("degenerate case: heur=%d exact=%d rows", heur.Len(), exact.Len())
+			}
+
+			hp := pairKey(heur, "product.pid", "p2.pid")
+			ep := pairKey(exact, "product.pid", "p2.pid")
+			hit, total := 0, 0
+			for k, n := range hp {
+				total += n
+				if m := ep[k]; m > 0 {
+					if n < m {
+						hit += n
+					} else {
+						hit += m
+					}
+				}
+			}
+			precision := float64(hit) / float64(total)
+			t.Logf("k=%d: heuristic %d rows, exact %d rows, precision %.3f",
+				tc.k, heur.Len(), exact.Len(), precision)
+			if precision < tc.minPrecision {
+				t.Fatalf("precision %.3f below bound %.2f", precision, tc.minPrecision)
+			}
+
+			if tc.identityOnly {
+				// k=0 reaches only the vertex itself, so both joins may
+				// emit only co-located (identical-entity) pairs.
+				for _, r := range []*rel.Relation{heur, exact} {
+					i1, i2 := r.Schema.Col("product.pid"), r.Schema.Col("p2.pid")
+					for _, tp := range r.Tuples {
+						if !tp[i1].Equal(tp[i2]) {
+							t.Fatalf("k=0 pair %v / %v crosses entities", tp[i1], tp[i2])
+						}
+					}
+				}
+			}
+			if tc.orphan {
+				// The disconnected vertex must never link across entities.
+				for name, r := range map[string]*rel.Relation{"heuristic": heur, "exact": exact} {
+					i1, i2 := r.Schema.Col("product.pid"), r.Schema.Col("p2.pid")
+					for _, tp := range r.Tuples {
+						a, b := tp[i1].Str(), tp[i2].Str()
+						if (a == "fd99" || b == "fd99") && a != b {
+							t.Fatalf("%s links disconnected fd99 with %s/%s", name, a, b)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestHeuristicLinkEmptySide(t *testing.T) {
+	w := getWorld(t)
+	h := NewHeuristicJoiner(movieProfiles(t, w))
+	empty := rel.NewRelation(w.products.Schema)
+	out, err := h.Link(empty, rel.Rename(w.products, "p2"), w.g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("empty left side produced %d rows", out.Len())
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"semjoin/internal/graph"
 	"semjoin/internal/her"
@@ -69,9 +70,16 @@ func (e *Extractor) ApplyGraphUpdate(delta graph.Batch, matcher her.Matcher) (In
 		}
 	}
 
-	// Invalidate cached paths for affected vertices — their length-≤k
-	// neighbourhood changed — and re-extract them.
+	// Invalidate cached paths for every vertex whose length-≤k
+	// neighbourhood changed — matched or not. Invalidating only the
+	// affected (matched) set is not enough: an unmatched vertex may be
+	// re-matched by a later ΔD update, and ApplyRelationUpdate would
+	// then extract its values from paths cached before this ΔG. (Found
+	// by the internal/prop IncExt oracle.)
 	e.mu.Lock()
+	for v := range reach {
+		delete(e.pathCache, v)
+	}
 	for v := range affected {
 		delete(e.pathCache, v)
 	}
@@ -98,7 +106,7 @@ func (e *Extractor) ApplyGraphUpdate(delta graph.Batch, matcher her.Matcher) (In
 		if affected[v] {
 			continue // replaced below
 		}
-		if _, ok := e.vertexTuple[v]; !ok || !e.g.Live(v) {
+		if _, ok := e.vertexTuple[v]; (!ok || !e.g.Live(v)) && !e.skipDeleteMaintenance {
 			removed++
 			continue
 		}
@@ -116,26 +124,40 @@ func (e *Extractor) ApplyGraphUpdate(delta graph.Batch, matcher her.Matcher) (In
 // that were not matched before; rows for vertices no longer matched are
 // dropped, and rows for still-matched vertices are reused verbatim (the
 // graph is unchanged, so their paths and values cannot have changed).
+//
+// The update is transactional: every validation runs and every new row is
+// computed before any extractor state is replaced, so a failed update —
+// nil input, or a matcher emitting out-of-range tuple indexes — leaves
+// the extractor exactly as it was.
 func (e *Extractor) ApplyRelationUpdate(newS *rel.Relation, matcher her.Matcher) (IncStats, error) {
 	if e.scheme == nil || e.result == nil {
 		return IncStats{}, fmt.Errorf("core: IncExt requires a completed RExt run")
+	}
+	if newS == nil {
+		return IncStats{}, fmt.Errorf("core: ApplyRelationUpdate: nil relation")
+	}
+	if matcher == nil {
+		return IncStats{}, fmt.Errorf("core: ApplyRelationUpdate: nil matcher")
 	}
 	oldMatched := make(map[graph.VertexID]bool, len(e.vertexTuple))
 	for v := range e.vertexTuple {
 		oldMatched[v] = true
 	}
-	e.s = newS
 	newMatches := matcher.Match(newS, e.g)
-	e.matches = newMatches
-	e.vertexTuple = make(map[graph.VertexID]int, len(newMatches))
 	for _, m := range newMatches {
-		if _, ok := e.vertexTuple[m.Vertex]; !ok {
-			e.vertexTuple[m.Vertex] = m.TupleIdx
+		if m.TupleIdx < 0 || m.TupleIdx >= newS.Len() {
+			return IncStats{}, fmt.Errorf("core: ApplyRelationUpdate: matcher returned tuple index %d outside [0,%d)", m.TupleIdx, newS.Len())
+		}
+	}
+	vertexTuple := make(map[graph.VertexID]int, len(newMatches))
+	for _, m := range newMatches {
+		if _, ok := vertexTuple[m.Vertex]; !ok {
+			vertexTuple[m.Vertex] = m.TupleIdx
 		}
 	}
 
 	var fresh []graph.VertexID
-	for v := range e.vertexTuple {
+	for v := range vertexTuple {
 		if !oldMatched[v] && e.g.Live(v) {
 			fresh = append(fresh, v)
 		}
@@ -150,13 +172,18 @@ func (e *Extractor) ApplyRelationUpdate(newS *rel.Relation, matcher her.Matcher)
 	removed := 0
 	for _, t := range e.result.Tuples {
 		v := graph.VertexID(t[vidCol].Int())
-		if _, ok := e.vertexTuple[v]; !ok || !e.g.Live(v) {
+		if _, ok := vertexTuple[v]; !ok || !e.g.Live(v) {
 			removed++
 			continue
 		}
 		newRows = append(newRows, t)
 	}
 	newRows = append(newRows, rows...)
+
+	// Commit point: nothing below can fail.
+	e.s = newS
+	e.matches = newMatches
+	e.vertexTuple = vertexTuple
 	e.result.Tuples = newRows
 	return IncStats{Affected: len(fresh), Removed: removed}, nil
 }
@@ -166,12 +193,20 @@ func (e *Extractor) ApplyRelationUpdate(newS *rel.Relation, matcher her.Matcher)
 // refined clusters and their W sets are re-ranked with the new keywords —
 // and values are extracted only for attributes that were not already in
 // the old scheme; retained attributes copy their existing column.
+// The update is transactional: the keyword set is validated and the new
+// relation fully computed before e.scheme/e.result are replaced, so a
+// failed update leaves the extractor unchanged.
 func (e *Extractor) UpdateKeywords(keywords []string) (*rel.Relation, error) {
 	if e.scheme == nil || e.result == nil {
 		return nil, fmt.Errorf("core: IncExt requires a completed RExt run")
 	}
 	if len(keywords) == 0 {
 		return nil, fmt.Errorf("core: empty keyword set")
+	}
+	for _, kw := range keywords {
+		if strings.TrimSpace(kw) == "" {
+			return nil, fmt.Errorf("core: blank keyword in update %q", keywords)
+		}
 	}
 	old := e.result
 	oldScheme := e.scheme
@@ -188,7 +223,6 @@ func (e *Extractor) UpdateKeywords(keywords []string) (*rel.Relation, error) {
 	e.cfg.MaxAttrs = len(keywords)
 	e.rankClusters(keywords)
 	newScheme := e.selectScheme(keywords)
-	e.scheme = newScheme
 
 	// Row order: one per previously extracted vertex.
 	vidCol := old.Schema.Col("vid")
@@ -215,9 +249,19 @@ func (e *Extractor) UpdateKeywords(keywords []string) (*rel.Relation, error) {
 		rows[i] = row
 	})
 	dg.Tuples = rows
+
+	// Commit point: nothing below can fail.
+	e.scheme = newScheme
 	e.result = dg
 	return dg, nil
 }
+
+// SetSkipDeleteMaintenance is a fault-injection hook for the metamorphic
+// harness (internal/prop): when enabled, ApplyGraphUpdate keeps rows for
+// vertices that are no longer matched or no longer live — the class of
+// bug the IncExt-vs-RExt oracle must catch and shrink to a minimal
+// counterexample. It has no place outside tests.
+func (e *Extractor) SetSkipDeleteMaintenance(on bool) { e.skipDeleteMaintenance = on }
 
 func samePatKeys(a, b map[string]bool) bool {
 	if len(a) != len(b) {

@@ -288,3 +288,87 @@ func TestApplyRelationUpdate(t *testing.T) {
 		t.Fatalf("shrink: removed=%d rows=%d", stats.Removed, ex.Result().Len())
 	}
 }
+
+// badIdxMatcher wraps a real matcher but corrupts one tuple index, so
+// ApplyRelationUpdate fails validation after the matcher has already run.
+type badIdxMatcher struct{ inner her.Matcher }
+
+func (m badIdxMatcher) Match(s *rel.Relation, g *graph.Graph) []her.Match {
+	ms := m.inner.Match(s, g)
+	if len(ms) > 0 {
+		ms[0].TupleIdx = s.Len() + 7
+	}
+	return ms
+}
+
+func TestFailedUpdatesLeaveExtractorUnchanged(t *testing.T) {
+	// Regression: ApplyRelationUpdate and UpdateKeywords used to replace
+	// e.s / e.matches / e.cfg before validating their inputs, so a failed
+	// update left the extractor half-mutated and every later operation ran
+	// against torn state. Both must now be transactional.
+	w := freshWorld()
+	ex := NewExtractor(w.g, w.models, Config{
+		K: 3, H: 12, Keywords: []string{"company"}, Seed: 3,
+	})
+	if _, err := ex.Run(w.products, oracle(w).Match(w.products, w.g)); err != nil {
+		t.Fatal(err)
+	}
+	beforeRows := relationKey(ex.Result())
+	beforeMatches := len(ex.Matches())
+	beforeAttrs := ex.Scheme().Attrs()
+
+	check := func(op string) {
+		t.Helper()
+		got := relationKey(ex.Result())
+		if len(got) != len(beforeRows) {
+			t.Fatalf("%s: result rows changed: %d -> %d", op, len(beforeRows), len(got))
+		}
+		for i := range got {
+			if got[i] != beforeRows[i] {
+				t.Fatalf("%s: result content changed at row %d", op, i)
+			}
+		}
+		if len(ex.Matches()) != beforeMatches {
+			t.Fatalf("%s: matches changed: %d -> %d", op, beforeMatches, len(ex.Matches()))
+		}
+		if a := ex.Scheme().Attrs(); len(a) != len(beforeAttrs) {
+			t.Fatalf("%s: scheme attrs changed: %v -> %v", op, beforeAttrs, a)
+		}
+	}
+
+	if _, err := ex.ApplyRelationUpdate(nil, oracle(w)); err == nil {
+		t.Fatal("nil relation should fail")
+	}
+	check("nil relation")
+	if _, err := ex.ApplyRelationUpdate(w.products, nil); err == nil {
+		t.Fatal("nil matcher should fail")
+	}
+	check("nil matcher")
+	// The hard case: the matcher runs (so naive code would already have
+	// stored its output) and only then validation fails on a tuple index
+	// outside the new relation.
+	if _, err := ex.ApplyRelationUpdate(w.products, badIdxMatcher{oracle(w)}); err == nil {
+		t.Fatal("out-of-range tuple index should fail")
+	}
+	check("bad tuple index")
+
+	if _, err := ex.UpdateKeywords(nil); err == nil {
+		t.Fatal("empty keyword set should fail")
+	}
+	check("empty keywords")
+	if _, err := ex.UpdateKeywords([]string{"company", "  "}); err == nil {
+		t.Fatal("blank keyword should fail")
+	}
+	check("blank keyword")
+
+	// The extractor is still fully usable: a good update succeeds and
+	// matches a from-scratch extraction.
+	if _, err := ex.ApplyRelationUpdate(w.products, oracle(w)); err != nil {
+		t.Fatalf("good update after failed ones: %v", err)
+	}
+	fresh := NewExtractor(w.g, w.models, Config{K: 3, H: 12, Keywords: []string{"company"}, Seed: 3})
+	want := fresh.ExtractWithScheme(w.products, ex.Scheme(), oracle(w).Match(w.products, w.g))
+	if !sameRelation(ex.Result(), want) {
+		t.Fatal("extractor diverged from from-scratch extraction after failed updates")
+	}
+}

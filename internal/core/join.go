@@ -227,6 +227,15 @@ func (m *Materialized) GLCacheSize() (relations, tuples int) {
 	return m.gl.stats()
 }
 
+// ClearGLCache discards every completed gL connectivity relation,
+// returning the cache to its cold state (in-flight computations are left
+// to finish and are dropped on completion by normal eviction pressure).
+// Metamorphic tests use it to compare cache-cold against cache-warm
+// executions of the same query on one materialisation.
+func (m *Materialized) ClearGLCache() {
+	m.gl.clear()
+}
+
 // SetGLCacheCap rebounds the gL cache to at most n resident relations
 // (split evenly over the shards), evicting least-recently-used entries
 // immediately if the current contents exceed the new cap. n <= 0

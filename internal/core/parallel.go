@@ -191,6 +191,29 @@ func perShardCap(total int) int {
 	return per
 }
 
+// clear drops every completed entry from every shard. Entries still
+// computing are kept: removing them would detach their singleflight
+// waiters.
+func (c *glCache) clear() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for key, n := range sh.m {
+			select {
+			case <-n.e.ready:
+				sh.lru.Remove(n.elem)
+				delete(sh.m, key)
+				if n.e.err == nil && n.e.rel != nil {
+					c.resident.Add(-1)
+					c.tuples.Add(-int64(n.e.rel.Len()))
+				}
+			default: // in-flight; pinned
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // setCap rebounds every shard and evicts immediately if shrinking.
 func (c *glCache) setCap(total int) {
 	per := perShardCap(total)

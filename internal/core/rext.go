@@ -194,6 +194,11 @@ type Extractor struct {
 	scheme     *Scheme
 	result     *rel.Relation
 
+	// skipDeleteMaintenance disables the stale-row drop in
+	// ApplyGraphUpdate. Fault-injection hook for the metamorphic harness
+	// (internal/prop) only — see SetSkipDeleteMaintenance.
+	skipDeleteMaintenance bool
+
 	timings Timings
 }
 

@@ -105,6 +105,74 @@ func RandomBatch(g *Graph, rng *mat.RNG, n int) Batch {
 	return batch
 }
 
+// RandomMixedBatch builds a ΔG of n updates drawing from all four update
+// kinds: edge deletions and insertions (as RandomBatch), vertex
+// insertions (fresh label, type sampled from the live types, wired to a
+// random live vertex by a follow-up edge insertion so the newcomer is
+// reachable), and vertex deletions sampled from the live vertices.
+// Property-based IncExt oracles use it to exercise the delete and
+// insert maintenance paths that edge-only batches never reach. The
+// batch is not applied.
+func RandomMixedBatch(g *Graph, rng *mat.RNG, n int) Batch {
+	var edges []Edge
+	g.Edges(func(e Edge) { edges = append(edges, e) })
+	var ids []VertexID
+	g.Vertices(func(v Vertex) { ids = append(ids, v.ID) })
+	labels := g.EdgeLabels()
+	types := g.Types()
+	if len(ids) < 2 || len(labels) == 0 {
+		return nil
+	}
+	batch := make(Batch, 0, n)
+	nextEdge := 0
+	inserted := 0
+	perm := rng.Perm(len(edges))
+	for len(batch) < n {
+		switch rng.Intn(6) {
+		case 0, 1: // insert edge between random live vertices
+			from := ids[rng.Intn(len(ids))]
+			to := ids[rng.Intn(len(ids))]
+			if from == to {
+				to = ids[(indexOf(ids, from)+1)%len(ids)]
+			}
+			batch = append(batch, Update{
+				Op:   InsertEdge,
+				Edge: Edge{From: from, Label: labels[rng.Intn(len(labels))], To: to},
+			})
+		case 2, 3: // delete a (distinct) existing edge
+			if nextEdge >= len(perm) {
+				continue
+			}
+			batch = append(batch, Update{Op: DeleteEdge, Edge: edges[perm[nextEdge]]})
+			nextEdge++
+		case 4: // insert a vertex and wire it in
+			typ := ""
+			if len(types) > 0 {
+				typ = types[rng.Intn(len(types))]
+			}
+			label := typ + " new " + string(rune('a'+rng.Intn(26))) + string(rune('a'+rng.Intn(26)))
+			batch = append(batch, Update{Op: InsertVertex, Label: label, Type: typ})
+			// Vertex ids are allocated sequentially, so the id the new
+			// vertex will receive at Apply time is predictable; wire it to
+			// a random live vertex so the newcomer is reachable. If a
+			// shrinker later drops the InsertVertex, Apply skips the edge
+			// (its endpoint is not live) instead of failing.
+			predicted := VertexID(g.MaxVertexID() + inserted)
+			inserted++
+			batch = append(batch, Update{
+				Op:   InsertEdge,
+				Edge: Edge{From: ids[rng.Intn(len(ids))], Label: labels[rng.Intn(len(labels))], To: predicted},
+			})
+		default: // delete a random live vertex
+			batch = append(batch, Update{
+				Op:   DeleteVertex,
+				Edge: Edge{From: ids[rng.Intn(len(ids))]},
+			})
+		}
+	}
+	return batch
+}
+
 func indexOf(ids []VertexID, v VertexID) int {
 	for i, id := range ids {
 		if id == v {

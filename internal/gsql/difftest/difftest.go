@@ -10,6 +10,15 @@
 // tuple, but aggregate group order depends on map iteration, so the
 // harness compares bags (multisets of canonical tuple keys), which is
 // the semantics SQL promises anyway.
+//
+// Determinism invariant: the harness must never assume anything about
+// the order in which morsel-driven workers finish. The parallel
+// exchange reassembles output morsels by input morsel index (an
+// explicit merge step), which makes scan-rooted plans order-stable,
+// but that is an implementation courtesy — not a contract. Any
+// assertion added here has to go through Diff's bag comparison (or
+// sort first); asserting on raw tuple positions would flake under
+// -count=N whenever GOMAXPROCS, morsel size, or scheduling changes.
 package difftest
 
 import (

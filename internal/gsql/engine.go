@@ -217,15 +217,22 @@ func (e *Engine) runSpanned(ctx context.Context, root *obs.Span, input string) (
 }
 
 // setParallelism handles the session statement SET PARALLELISM n
-// (n = 0 restores the GOMAXPROCS default). It returns a one-row status
-// relation carrying the effective degree of parallelism.
+// (n >= 1; SET PARALLELISM DEFAULT restores the GOMAXPROCS default).
+// A zero or negative degree is rejected: there is no zero-worker
+// execution, and silently treating 0 as "default" used to mask typos.
+// It returns a one-row status relation carrying the effective degree of
+// parallelism.
 func (e *Engine) setParallelism(args []string) (*rel.Relation, error) {
 	if len(args) != 1 {
-		return nil, fmt.Errorf("gsql: usage: SET PARALLELISM n (0 = GOMAXPROCS)")
+		return nil, fmt.Errorf("gsql: usage: SET PARALLELISM n|DEFAULT (n >= 1)")
 	}
-	n, err := strconv.Atoi(args[0])
-	if err != nil || n < 0 {
-		return nil, fmt.Errorf("gsql: SET PARALLELISM: want a non-negative integer, got %q", args[0])
+	n := 0
+	if !strings.EqualFold(args[0], "default") {
+		var err error
+		n, err = strconv.Atoi(args[0])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("gsql: SET PARALLELISM: want a positive integer or DEFAULT, got %q", args[0])
+		}
 	}
 	e.Parallelism = n
 	out := rel.NewRelation(rel.NewSchema("status", "",

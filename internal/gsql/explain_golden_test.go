@@ -152,14 +152,16 @@ func TestSetParallelismStatement(t *testing.T) {
 	if out.Len() != 1 || out.Get(out.Tuples[0], "parallelism").Int() != 3 {
 		t.Fatalf("status relation = %v", out)
 	}
-	// 0 restores the GOMAXPROCS default.
-	if _, err := e.Query(`SET PARALLELISM 0`); err != nil {
+	// DEFAULT restores the GOMAXPROCS default.
+	if _, err := e.Query(`SET PARALLELISM DEFAULT`); err != nil {
 		t.Fatal(err)
 	}
 	if e.Parallelism != 0 || e.Par() < 1 {
 		t.Fatalf("reset failed: Parallelism=%d Par=%d", e.Parallelism, e.Par())
 	}
-	for _, bad := range []string{`set parallelism`, `set parallelism -1`, `set parallelism x`, `set parallelism 2 3`} {
+	// Zero and negative degrees are rejected: there is no zero-worker
+	// execution (0 used to silently mean "default", masking typos).
+	for _, bad := range []string{`set parallelism`, `set parallelism 0`, `set parallelism -1`, `set parallelism x`, `set parallelism 2 3`} {
 		if _, err := e.Query(bad); err == nil {
 			t.Fatalf("%q should error", bad)
 		}

@@ -1,0 +1,107 @@
+package gsql
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"semjoin/internal/core"
+	"semjoin/internal/embed"
+	"semjoin/internal/graph"
+	"semjoin/internal/her"
+	"semjoin/internal/obs"
+	"semjoin/internal/rel"
+)
+
+// fuzzCatOnce builds one tiny catalog shared by every fuzz execution:
+// two products, one company, a materialised base — big enough to reach
+// every plan family, small enough that any query finishes instantly.
+var fuzzCatOnce struct {
+	sync.Once
+	cat *Catalog
+}
+
+func fuzzCatalog() *Catalog {
+	fuzzCatOnce.Do(func() {
+		g := graph.New()
+		uk := g.AddVertex("UK", "country")
+		acme := g.AddVertex("Acme", "company")
+		g.AddEdge(acme, "registered_in", uk)
+		p0 := g.AddVertex("asset 0", "product")
+		p1 := g.AddVertex("asset 1", "product")
+		g.AddEdge(acme, "issues", p0)
+		g.AddEdge(acme, "issues", p1)
+		products := rel.NewRelation(rel.NewSchema("product", "pid",
+			rel.Attribute{Name: "pid", Type: rel.KindString},
+			rel.Attribute{Name: "name", Type: rel.KindString},
+			rel.Attribute{Name: "price", Type: rel.KindInt},
+		))
+		products.InsertVals(rel.S("p0"), rel.S("asset 0"), rel.I(60))
+		products.InsertVals(rel.S("p1"), rel.S("asset 1"), rel.I(90))
+		oracle := her.NewOracleMatcher(map[string]graph.VertexID{"p0": p0, "p1": p1})
+		models := core.Models{Word: embed.NewCharEmbedder(16, 1), RandomPaths: true}
+		cfg := core.Config{K: 2, H: 6, Seed: 7}
+		mat, err := core.BuildMaterialized(g, models, map[string]core.BaseSpec{
+			"product": {D: products, AR: []string{"company"}, Matcher: oracle},
+		}, cfg)
+		if err != nil {
+			mat = nil // degrade to the online plan families
+		}
+		fuzzCatOnce.cat = &Catalog{
+			Relations: map[string]*rel.Relation{"product": products},
+			Graphs:    map[string]*graph.Graph{"G": g},
+			Models:    models,
+			Matcher:   oracle,
+			Mat:       mat,
+			K:         2,
+			RExt:      core.Config{H: 6, Seed: 7},
+		}
+	})
+	return fuzzCatOnce.cat
+}
+
+// FuzzParseGSQL feeds arbitrary strings through the full query path:
+// lexer, parser, planner and executor must return errors — never panic
+// or hang — and the engine must stay usable afterwards (a broken query
+// must not poison session state for the next one).
+func FuzzParseGSQL(f *testing.F) {
+	for _, q := range []string{
+		"select pid, name from product where price >= 60 order by pid limit 5",
+		"select distinct name from product where not (price < 70)",
+		"select pid, count(*) as n from product group by pid",
+		"select pid, company from product e-join G <company> as T where T.company = 'Acme'",
+		"select product.pid, product2.pid from product l-join <G> product as product2",
+		"select a.pid, b.pid from product as a, product as b where a.price between 50 and 95",
+		"explain select pid from product",
+		"explain analyze select pid from product",
+		"set parallelism 2",
+		"set parallelism default",
+		"show metrics",
+		"select from where",
+		"select pid from product e-join",
+		"l-join <G> <G> <G>",
+		"select * from product where pid in (",
+		"\x00\xff select",
+	} {
+		f.Add(q)
+	}
+	f.Fuzz(func(t *testing.T, query string) {
+		if len(query) > 4096 {
+			return // bound lexer work; long inputs add nothing new
+		}
+		if _, err := Parse(query); err != nil {
+			_ = err // rejecting is fine; panicking is the bug
+		}
+		e := NewEngine(fuzzCatalog())
+		e.Obs = obs.NewRegistry()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if _, err := e.QueryContext(ctx, query); err != nil {
+			_ = err
+		}
+		if _, err := e.QueryContext(ctx, "select pid from product"); err != nil {
+			t.Fatalf("engine unusable after %q: %v", query, err)
+		}
+	})
+}

@@ -60,6 +60,13 @@ func NewOracleMatcher(truth map[string]graph.VertexID) *OracleMatcher {
 	return &OracleMatcher{truth: truth}
 }
 
+// Extend registers one additional ground-truth pair. Update streams in
+// property-based tests use it to keep the oracle aligned as generated
+// relation updates introduce tuples for fresh graph vertices.
+func (o *OracleMatcher) Extend(tid string, v graph.VertexID) {
+	o.truth[tid] = v
+}
+
 // Match returns the ground-truth pairs for tuples whose tid is known. For
 // unkeyed relations (intermediate query results) it scans every attribute
 // for a value present in the ground truth, so Example-10-style sub-query

@@ -1,0 +1,124 @@
+package prop
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"semjoin/internal/graph"
+)
+
+// Oracle is one property of the system. Check must be deterministic in
+// (seed, stream): the shrinker and the PROP_SEED replay workflow both
+// rely on re-running it with identical inputs reproducing the verdict.
+// Stream-less oracles (StreamLen == 0) receive a nil stream.
+type Oracle struct {
+	Name      string
+	StreamLen int
+	Check     func(seed int64, stream Stream) error
+}
+
+// Counterexample is a failing (seed, stream) pair, minimised by the
+// shrinker.
+type Counterexample struct {
+	Seed   int64
+	Stream Stream // shrunk; nil for stream-less oracles
+	Err    error  // the property violation the shrunk input reproduces
+	Checks int    // Check invocations the shrinker spent
+}
+
+// Hunt runs the oracle on each seed in order and returns the first
+// failure, shrunk, or nil when every seed passes.
+func Hunt(o Oracle, seeds []int64) *Counterexample {
+	for _, seed := range seeds {
+		var stream Stream
+		if o.StreamLen > 0 {
+			stream = NewWorkload(seed).GenStream(o.StreamLen)
+		}
+		err := o.Check(seed, stream)
+		if err == nil {
+			continue
+		}
+		ce := &Counterexample{Seed: seed, Stream: stream, Err: err}
+		if o.StreamLen > 0 {
+			ce.shrink(o)
+		}
+		return ce
+	}
+	return nil
+}
+
+// shrinkBudget caps the Check invocations one shrink may spend, so a
+// pathological failure still reports promptly.
+const shrinkBudget = 200
+
+// shrink minimises c.Stream while the failure reproduces: first whole
+// steps are removed delta-debugging style (halving chunk sizes, then
+// singles), then individual updates inside surviving graph batches.
+// Relation steps carry positional selectors and graph batches skip
+// operations on dead endpoints, so any sub-stream remains applicable.
+func (c *Counterexample) shrink(o Oracle) {
+	fails := func(s Stream) error {
+		c.Checks++
+		return o.Check(c.Seed, s)
+	}
+	stream := c.Stream
+	for chunk := (len(stream) + 1) / 2; chunk >= 1; chunk /= 2 {
+		for i := 0; i+chunk <= len(stream) && c.Checks < shrinkBudget; {
+			cand := append(append(Stream{}, stream[:i]...), stream[i+chunk:]...)
+			if err := fails(cand); err != nil {
+				stream = cand
+				c.Err = err
+			} else {
+				i += chunk
+			}
+		}
+	}
+	for si := 0; si < len(stream); si++ {
+		if stream[si].Kind != StepGraph {
+			continue
+		}
+		for i := 0; i < len(stream[si].Batch) && c.Checks < shrinkBudget; {
+			b := stream[si].Batch
+			cand := append(Stream{}, stream...)
+			cand[si].Batch = append(append(graph.Batch{}, b[:i]...), b[i+1:]...)
+			if err := fails(cand); err != nil {
+				stream = cand
+				c.Err = err
+			} else {
+				i++
+			}
+		}
+	}
+	c.Stream = stream
+}
+
+// Report renders the counterexample with its one-line replay recipe.
+// testName is the `go test -run` pattern that reaches the oracle.
+func (c *Counterexample) Report(testName string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "property violated: %v\n", c.Err)
+	if c.Stream != nil {
+		fmt.Fprintf(&b, "shrunk to %d steps / %d graph updates (%d checks spent):\n%s\n",
+			len(c.Stream), c.Stream.Updates(), c.Checks, c.Stream)
+	}
+	fmt.Fprintf(&b, "replay: PROP_SEED=%d go test ./internal/prop -run %s -prop.rounds=1\n",
+		c.Seed, testName)
+	return b.String()
+}
+
+// SaveArtifact writes the report to $PROP_ARTIFACT_DIR (if set) so CI
+// can upload failing counterexamples; it returns the file path, or ""
+// when the variable is unset.
+func (c *Counterexample) SaveArtifact(testName string) (string, error) {
+	dir := os.Getenv("PROP_ARTIFACT_DIR")
+	if dir == "" {
+		return "", nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-seed%d.txt", testName, c.Seed))
+	return path, os.WriteFile(path, []byte(c.Report(testName)), 0o644)
+}

@@ -33,6 +33,12 @@ func LoadRelation(in io.Reader) (*Relation, error) {
 	}
 	out := NewRelation(schema)
 	n := rd.Len()
+	if n > 0 && len(schema.Attrs) == 0 {
+		// A zero-arity schema reads no bytes per tuple, so a corrupt tuple
+		// count would otherwise allocate unboundedly without ever hitting
+		// a read error.
+		return nil, fmt.Errorf("rel: %d tuples declared for zero-attribute schema", n)
+	}
 	for i := 0; i < n; i++ {
 		t := make(Tuple, len(schema.Attrs))
 		for j := range t {
@@ -60,14 +66,24 @@ func readSchema(r *bin.Reader) (*Schema, error) {
 	name := r.String()
 	key := r.String()
 	n := r.Len()
-	attrs := make([]Attribute, 0, n)
+	// Grow incrementally rather than pre-allocating n entries: the count
+	// is attacker-controlled in fuzzed/corrupt files, and every loop turn
+	// consumes bytes, so a lying header hits a read error long before any
+	// large allocation.
+	var attrs []Attribute
 	for i := 0; i < n; i++ {
 		attrs = append(attrs, Attribute{Name: r.String(), Type: Kind(r.Int())})
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
 	}
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
-	return NewSchema(name, key, attrs...), nil
+	// TrySchema, not NewSchema: persisted bytes are external input, and a
+	// corrupt file with duplicate attribute names or a dangling key must
+	// surface as an error, not a panic (found by FuzzPersistRoundTrip).
+	return TrySchema(name, key, attrs...)
 }
 
 func writeValue(w *bin.Writer, v Value) {
