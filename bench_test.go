@@ -37,7 +37,10 @@ func benchRun(b *testing.B, coll string) *expr.Run {
 	if r, ok := benchRuns[coll]; ok {
 		return r
 	}
-	r := expr.Prepare(coll, benchEntities, benchSeed)
+	r, err := expr.Prepare(coll, benchEntities, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
 	r.Models(expr.VRExt) // train outside the timed region
 	benchRuns[coll] = r
 	return r
@@ -452,13 +455,17 @@ func BenchmarkAblationPathCache(b *testing.B) {
 	}
 	b.Run("cached", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			ex.Extract()
+			if _, err := ex.Extract(); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	b.Run("cold", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			ex.ClearPathCache()
-			ex.Extract()
+			if _, err := ex.Extract(); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

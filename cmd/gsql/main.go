@@ -80,8 +80,11 @@ func main() {
 		env, err = loadRealData(*graphPath, tables, *keywords, *epochs, *seed, *loadModels)
 	} else {
 		fmt.Printf("loading %s (%d entities), training models and materialising...\n", *collection, *entities)
-		r := expr.Prepare(*collection, *entities, *seed)
-		env, err = expr.NewQueryEnv(r)
+		var r *expr.Run
+		r, err = expr.Prepare(*collection, *entities, *seed)
+		if err == nil {
+			env, err = expr.NewQueryEnv(r)
+		}
 		if err == nil {
 			fmt.Printf("graph: %d vertices, %d edges\n", r.C.G.NumVertices(), r.C.G.NumEdges())
 		}

@@ -28,7 +28,11 @@ func main() {
 	verbose := flag.Bool("verbose", false, "dump cluster diagnostics")
 	flag.Parse()
 
-	r := expr.Prepare(*collection, *entities, *seed)
+	r, err := expr.Prepare(*collection, *entities, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "setup:", err)
+		os.Exit(1)
+	}
 	c := r.C
 	st := c.Stats()
 	gs := c.G.ComputeStats()

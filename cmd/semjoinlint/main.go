@@ -1,0 +1,259 @@
+// Command semjoinlint runs the internal/lint analyzer suite: the
+// engine's cross-layer invariants (no-panic library code, iterator
+// Open/Close discipline, mutex release on every path, context-aware
+// worker loops, nil-safe obs construction) checked at compile time.
+//
+// Two modes:
+//
+//	semjoinlint [-analyzers a,b] [packages]
+//
+// loads, type-checks and analyzes the module packages matching the
+// patterns (default ./...) and prints file:line:col: msg [analyzer]
+// diagnostics, exiting 1 when any are found.
+//
+//	go vet -vettool=$(which semjoinlint) ./...
+//
+// speaks cmd/go's vet tool protocol (-V=full, -flags, and the
+// JSON vet.cfg unit files), so the suite also runs under the standard
+// vet driver with its build cache.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"semjoin/internal/lint"
+)
+
+func main() {
+	// The vet driver probes the tool before any unit of work:
+	// `tool -V=full` must print a stable fingerprint line and
+	// `tool -flags` the JSON list of analyzer flags (none here).
+	if len(os.Args) == 2 {
+		switch {
+		case strings.HasPrefix(os.Args[1], "-V="):
+			printVersion()
+			return
+		case os.Args[1] == "-flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	analyzerNames := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: semjoinlint [-analyzers a,b] [packages]\n       go vet -vettool=$(which semjoinlint) [packages]\n\nanalyzers:\n")
+		for _, a := range lint.All {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	analyzers, err := selectAnalyzers(*analyzerNames)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semjoinlint:", err)
+		os.Exit(2)
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetUnit(analyzers, args[0]))
+	}
+	os.Exit(runStandalone(analyzers, args))
+}
+
+func selectAnalyzers(names string) ([]*lint.Analyzer, error) {
+	if names == "" {
+		return lint.All, nil
+	}
+	var out []*lint.Analyzer
+	for _, n := range strings.Split(names, ",") {
+		a := lint.ByName(strings.TrimSpace(n))
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// printVersion emits the `name version devel buildID=...` line the go
+// command requires of a vet tool. The buildID is a content hash of
+// the tool binary, so rebuilding semjoinlint invalidates go's vet
+// cache exactly when the analyzers change.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("semjoinlint version devel buildID=%x\n", h.Sum(nil)[:16])
+}
+
+// ---------------------------------------------------------------- standalone
+
+func runStandalone(analyzers []*lint.Analyzer, patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semjoinlint:", err)
+		return 2
+	}
+	root, err := lint.ModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semjoinlint:", err)
+		return 2
+	}
+	prog, err := lint.Load(root, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semjoinlint:", err)
+		return 2
+	}
+	diags, err := lint.RunAnalyzers(analyzers, prog.Targets())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semjoinlint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(relativize(root, d))
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func relativize(root string, d lint.Diagnostic) string {
+	if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d.String()
+}
+
+// ---------------------------------------------------------------- vet mode
+
+// vetConfig is the subset of cmd/go's vet.cfg unit file the tool
+// consumes (the driver writes more fields; unknown ones are ignored).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one compilation unit described by a vet.cfg
+// file, per the go vet tool protocol: diagnostics go to stderr, the
+// (empty — this suite exports no facts) .vetx output must be written
+// so the driver can cache the run, and the exit status is 0 for
+// clean, 1 for diagnostics, 2 for failure.
+func runVetUnit(analyzers []*lint.Analyzer, cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semjoinlint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "semjoinlint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: the driver only wants exported facts, and
+		// this suite has none.
+		writeVetx()
+		return 0
+	}
+	pkg, err := checkVetUnit(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "semjoinlint:", err)
+		return 2
+	}
+	diags, err := lint.RunAnalyzers(analyzers, []*lint.Package{pkg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semjoinlint:", err)
+		return 2
+	}
+	writeVetx()
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// checkVetUnit parses and type-checks one unit using the export data
+// the go command staged for its imports.
+func checkVetUnit(cfg *vetConfig) (*lint.Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if actual, ok := cfg.ImportMap[path]; ok {
+			path = actual
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, cfg.Compiler, lookup)
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp, FakeImportC: true}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &lint.Package{
+		Path:  cfg.ImportPath,
+		Dir:   cfg.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -34,15 +35,17 @@ type Result struct {
 	Iters int
 }
 
-// KMeans clusters points into cfg.K groups. Points must be non-empty and
-// share one dimensionality. If K >= len(points) each point gets its own
-// cluster.
-func KMeans(points []mat.Vector, cfg Config) Result {
+// KMeans clusters points into cfg.K groups. Points must share one
+// dimensionality; an empty input yields an empty Result. A
+// non-positive K is a configuration error, reported rather than
+// panicked so callers wiring user-supplied parameters (H from a query
+// or a config file) get a diagnosable failure.
+func KMeans(points []mat.Vector, cfg Config) (Result, error) {
 	if len(points) == 0 {
-		return Result{}
+		return Result{}, nil
 	}
 	if cfg.K < 1 {
-		panic("cluster: K must be >= 1")
+		return Result{}, fmt.Errorf("cluster: K must be >= 1, got %d", cfg.K)
 	}
 	if cfg.MaxIter == 0 {
 		cfg.MaxIter = 25
@@ -105,7 +108,7 @@ func KMeans(points []mat.Vector, cfg Config) Result {
 			break
 		}
 	}
-	return res
+	return res, nil
 }
 
 // seedPlusPlus picks k initial centroids with k-means++ (D² sampling).

@@ -6,6 +6,16 @@ import (
 	"semjoin/internal/mat"
 )
 
+// mustKMeans runs KMeans and fails the test on a configuration error.
+func mustKMeans(t *testing.T, pts []mat.Vector, cfg Config) Result {
+	t.Helper()
+	res, err := KMeans(pts, cfg)
+	if err != nil {
+		t.Fatalf("KMeans: %v", err)
+	}
+	return res
+}
+
 // blobs generates n points around each of the given centres with the given
 // spread.
 func blobs(centres []mat.Vector, n int, spread float64, seed uint64) ([]mat.Vector, []int) {
@@ -28,7 +38,7 @@ func blobs(centres []mat.Vector, n int, spread float64, seed uint64) ([]mat.Vect
 func TestKMeansSeparatesBlobs(t *testing.T) {
 	centres := []mat.Vector{{0, 0}, {10, 10}, {-10, 10}}
 	pts, truth := blobs(centres, 40, 0.5, 3)
-	res := KMeans(pts, Config{K: 3, Seed: 5})
+	res := mustKMeans(t, pts, Config{K: 3, Seed: 5})
 	// Every ground-truth blob must map to exactly one cluster id.
 	blobToCluster := map[int]int{}
 	for i, g := range truth {
@@ -50,7 +60,7 @@ func TestKMeansInertiaDecreasesWithK(t *testing.T) {
 	pts, _ := blobs([]mat.Vector{{0, 0}, {8, 8}, {-8, 8}, {8, -8}}, 30, 1.0, 7)
 	var last float64
 	for i, k := range []int{1, 2, 4, 8} {
-		res := KMeans(pts, Config{K: k, Seed: 2})
+		res := mustKMeans(t, pts, Config{K: k, Seed: 2})
 		if i > 0 && res.Inertia > last {
 			t.Fatalf("inertia should not increase with K: k=%d %.2f > %.2f", k, res.Inertia, last)
 		}
@@ -60,8 +70,8 @@ func TestKMeansInertiaDecreasesWithK(t *testing.T) {
 
 func TestKMeansDeterministic(t *testing.T) {
 	pts, _ := blobs([]mat.Vector{{0, 0}, {5, 5}}, 25, 0.8, 9)
-	a := KMeans(pts, Config{K: 2, Seed: 4, Parallel: 1})
-	b := KMeans(pts, Config{K: 2, Seed: 4, Parallel: 4})
+	a := mustKMeans(t, pts, Config{K: 2, Seed: 4, Parallel: 1})
+	b := mustKMeans(t, pts, Config{K: 2, Seed: 4, Parallel: 4})
 	for i := range a.Assign {
 		if a.Assign[i] != b.Assign[i] {
 			t.Fatal("parallelism must not change the result for a fixed seed")
@@ -71,7 +81,7 @@ func TestKMeansDeterministic(t *testing.T) {
 
 func TestKMeansMoreClustersThanPoints(t *testing.T) {
 	pts := []mat.Vector{{0, 0}, {1, 1}}
-	res := KMeans(pts, Config{K: 10, Seed: 1})
+	res := mustKMeans(t, pts, Config{K: 10, Seed: 1})
 	if len(res.Centroids) != 2 {
 		t.Fatalf("centroids = %d, want 2", len(res.Centroids))
 	}
@@ -81,11 +91,11 @@ func TestKMeansMoreClustersThanPoints(t *testing.T) {
 }
 
 func TestKMeansSinglePointAndEmpty(t *testing.T) {
-	res := KMeans([]mat.Vector{{3, 4}}, Config{K: 3})
+	res := mustKMeans(t, []mat.Vector{{3, 4}}, Config{K: 3})
 	if len(res.Assign) != 1 || res.Assign[0] != 0 {
 		t.Fatalf("single point: %+v", res)
 	}
-	empty := KMeans(nil, Config{K: 3})
+	empty := mustKMeans(t, nil, Config{K: 3})
 	if empty.Assign != nil {
 		t.Fatal("empty input should give empty result")
 	}
@@ -96,19 +106,19 @@ func TestKMeansIdenticalPoints(t *testing.T) {
 	for i := range pts {
 		pts[i] = mat.Vector{1, 2, 3}
 	}
-	res := KMeans(pts, Config{K: 4, Seed: 1})
+	res := mustKMeans(t, pts, Config{K: 4, Seed: 1})
 	if res.Inertia != 0 {
 		t.Fatalf("identical points inertia = %v", res.Inertia)
 	}
 }
 
-func TestKMeansPanicsOnBadK(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	KMeans([]mat.Vector{{1}}, Config{K: 0})
+func TestKMeansRejectsBadK(t *testing.T) {
+	if _, err := KMeans([]mat.Vector{{1}}, Config{K: 0}); err == nil {
+		t.Fatal("expected an error for K < 1")
+	}
+	if _, err := KMeans([]mat.Vector{{1}}, Config{K: -3}); err == nil {
+		t.Fatal("expected an error for negative K")
+	}
 }
 
 func TestInjectNoise(t *testing.T) {

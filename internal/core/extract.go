@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -17,10 +18,15 @@ import (
 // pattern cluster Pj, and assigns θj = L(ρ.vl) of the conforming path
 // whose end label maximises cos(x_{L(ρ.vl)}, x_{Aj}); "null" if no
 // pattern in Pj matches. The extracted relation DG has schema
-// RG(vid, A1, ..., Am).
-func (e *Extractor) Extract() *rel.Relation {
+// RG(vid, A1, ..., Am). Calling it before a successful Discover (or
+// without a scheme via ExtractWithScheme) is an ordering error,
+// reported rather than panicked.
+func (e *Extractor) Extract() (*rel.Relation, error) {
+	if e.initErr != nil {
+		return nil, e.initErr
+	}
 	if e.scheme == nil {
-		panic("core: Extract before Discover")
+		return nil, fmt.Errorf("core: Extract before Discover")
 	}
 	stageStart := time.Now()
 	defer func() { e.timings.Extraction = time.Since(stageStart).Seconds() }()
@@ -39,7 +45,7 @@ func (e *Extractor) Extract() *rel.Relation {
 	})
 	dg.Tuples = rows
 	e.result = dg
-	return dg
+	return dg, nil
 }
 
 // extractTuple computes one row of DG for entity vertex v.
@@ -100,7 +106,7 @@ func (e *Extractor) pathsFor(v graph.VertexID) []graph.Path {
 // ExtractWithScheme runs Algorithm 1 against a previously discovered
 // scheme — e.g. one computed on an earlier graph version or shipped with a
 // catalog — skipping pattern discovery entirely.
-func (e *Extractor) ExtractWithScheme(s *rel.Relation, scheme *Scheme, matches []her.Match) *rel.Relation {
+func (e *Extractor) ExtractWithScheme(s *rel.Relation, scheme *Scheme, matches []her.Match) (*rel.Relation, error) {
 	e.s = s
 	e.scheme = scheme
 	e.matches = matches
@@ -136,7 +142,10 @@ func ExtractForType(g *graph.Graph, models Models, typ string, keywords []string
 	if err := ex.Discover(nil, matches); err != nil {
 		return nil, err
 	}
-	dg := ex.Extract()
+	dg, err := ex.Extract()
+	if err != nil {
+		return nil, err
+	}
 
 	// Rτ carries the entity's own label alongside the extracted
 	// attributes: the pairwise-ER step of heuristic joins needs identity

@@ -112,7 +112,10 @@ func TestExtractWithSchemeReuse(t *testing.T) {
 	}
 	// A second extractor applies the saved scheme without discovery.
 	ex2 := NewExtractor(w.g, w.models, Config{K: 3, H: 12, Keywords: []string{"company"}, Seed: 3})
-	dg2 := ex2.ExtractWithScheme(w.products, ex.Scheme(), oracle(w).Match(w.products, w.g))
+	dg2, err := ex2.ExtractWithScheme(w.products, ex.Scheme(), oracle(w).Match(w.products, w.g))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !sameRelation(dg1, dg2) {
 		t.Fatal("scheme reuse must reproduce the extraction")
 	}

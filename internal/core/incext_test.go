@@ -86,7 +86,10 @@ func TestIncExtMatchesFromScratch(t *testing.T) {
 	fresh := NewExtractor(w.g, w.models, Config{
 		K: 3, H: 12, Keywords: []string{"company", "country"}, Seed: 3,
 	})
-	want := fresh.ExtractWithScheme(w.products, scheme, oracle(w).Match(w.products, w.g))
+	want, err := fresh.ExtractWithScheme(w.products, scheme, oracle(w).Match(w.products, w.g))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !sameRelation(ex.Result(), want) {
 		t.Fatalf("IncExt diverged from from-scratch extraction:\ninc:\n%v\nfresh:\n%v",
 			ex.Result(), want)
@@ -274,7 +277,10 @@ func TestApplyRelationUpdate(t *testing.T) {
 	}
 	// Values match a from-scratch extraction with the same scheme.
 	fresh := NewExtractor(w.g, w.models, Config{K: 3, H: 12, Keywords: []string{"company"}, Seed: 3})
-	want := fresh.ExtractWithScheme(w.products, ex.Scheme(), oracle(w).Match(w.products, w.g))
+	want, err := fresh.ExtractWithScheme(w.products, ex.Scheme(), oracle(w).Match(w.products, w.g))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !sameRelation(ex.Result(), want) {
 		t.Fatal("relation update diverged from from-scratch extraction")
 	}
@@ -367,7 +373,10 @@ func TestFailedUpdatesLeaveExtractorUnchanged(t *testing.T) {
 		t.Fatalf("good update after failed ones: %v", err)
 	}
 	fresh := NewExtractor(w.g, w.models, Config{K: 3, H: 12, Keywords: []string{"company"}, Seed: 3})
-	want := fresh.ExtractWithScheme(w.products, ex.Scheme(), oracle(w).Match(w.products, w.g))
+	want, err := fresh.ExtractWithScheme(w.products, ex.Scheme(), oracle(w).Match(w.products, w.g))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !sameRelation(ex.Result(), want) {
 		t.Fatal("extractor diverged from from-scratch extraction after failed updates")
 	}

@@ -68,7 +68,10 @@ func TestSaveLoadSchemeRoundTrip(t *testing.T) {
 	if err := ex.Discover(w.products, matches); err != nil {
 		t.Fatal(err)
 	}
-	want := ex.Extract()
+	want, err := ex.Extract()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	var buf bytes.Buffer
 	if err := SaveScheme(&buf, ex.Scheme()); err != nil {
@@ -83,7 +86,10 @@ func TestSaveLoadSchemeRoundTrip(t *testing.T) {
 	}
 	// Algorithm 1 with the reloaded scheme reproduces the extraction.
 	ex2 := NewExtractor(w.g, w.models, Config{K: 3, H: 12, Keywords: []string{"company", "country"}, Seed: 3})
-	got := ex2.ExtractWithScheme(w.products, scheme, matches)
+	got, err := ex2.ExtractWithScheme(w.products, scheme, matches)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !sameRelation(got, want) {
 		t.Fatal("reloaded scheme extraction differs")
 	}

@@ -180,6 +180,12 @@ type Extractor struct {
 	models Models
 	cfg    Config
 
+	// initErr records an invalid constructor configuration (missing
+	// models). It is surfaced by Discover/Extract instead of panicking
+	// in NewExtractor, so a misconfigured pipeline fails with a
+	// diagnosable error at its first use.
+	initErr error
+
 	s       *rel.Relation // reference tuples; nil for type extraction
 	matches []her.Match
 	// vertexTuple maps matched vertex -> tuple index (first match wins).
@@ -219,19 +225,19 @@ func (e *Extractor) Timings() Timings { return e.timings }
 // NewExtractor builds an extractor over g with the given models and
 // configuration.
 func NewExtractor(g *graph.Graph, models Models, cfg Config) *Extractor {
-	if models.Seq == nil && !models.RandomPaths {
-		panic("core: sequence model required unless RandomPaths is set")
-	}
-	if models.Word == nil {
-		panic("core: word embedder required")
-	}
-	return &Extractor{
+	e := &Extractor{
 		g:         g,
 		models:    models,
 		cfg:       cfg.withDefaults(),
 		pathCache: make(map[graph.VertexID][]graph.Path),
 		valueVecs: make(map[string]mat.Vector),
 	}
+	if models.Seq == nil && !models.RandomPaths {
+		e.initErr = fmt.Errorf("core: sequence model required unless RandomPaths is set")
+	} else if models.Word == nil {
+		e.initErr = fmt.Errorf("core: word embedder required")
+	}
+	return e
 }
 
 // Scheme returns the discovered extraction scheme (nil before Discover).
@@ -250,7 +256,10 @@ func (e *Extractor) Run(s *rel.Relation, matches []her.Match) (*rel.Relation, er
 	if err := e.Discover(s, matches); err != nil {
 		return nil, err
 	}
-	r := e.Extract()
+	r, err := e.Extract()
+	if err != nil {
+		return nil, err
+	}
 	e.publishTimings()
 	return r, nil
 }
@@ -281,6 +290,9 @@ func (e *Extractor) publishTimings() {
 // refinement by majority voting, and ranking-based pattern/attribute
 // selection. It stores the resulting Scheme on the extractor.
 func (e *Extractor) Discover(s *rel.Relation, matches []her.Match) error {
+	if e.initErr != nil {
+		return e.initErr
+	}
 	if len(e.cfg.Keywords) == 0 {
 		return fmt.Errorf("core: RExt needs at least one keyword in A")
 	}
@@ -342,9 +354,12 @@ func (e *Extractor) Discover(s *rel.Relation, matches []her.Match) error {
 
 	// (3) KMC into H clusters (optionally noise-injected for Fig 5(f)).
 	stageStart = time.Now()
-	res := cluster.KMeans(points, cluster.Config{
+	res, err := cluster.KMeans(points, cluster.Config{
 		K: e.cfg.H, MaxIter: 25, Seed: e.cfg.Seed, Parallel: e.cfg.Parallel,
 	})
+	if err != nil {
+		return err
+	}
 	e.timings.Clustering = time.Since(stageStart).Seconds()
 	if e.cfg.NoiseFrac > 0 {
 		cluster.InjectNoise(res.Assign, len(res.Centroids), e.cfg.NoiseFrac, e.cfg.Seed+13)

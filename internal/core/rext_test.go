@@ -102,25 +102,29 @@ func TestRExtErrors(t *testing.T) {
 	}
 }
 
-func TestExtractBeforeDiscoverPanics(t *testing.T) {
+func TestExtractBeforeDiscoverErrors(t *testing.T) {
 	w := getWorld(t)
 	ex := NewExtractor(w.g, w.models, Config{Keywords: []string{"x"}})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	ex.Extract()
+	if _, err := ex.Extract(); err == nil {
+		t.Fatal("expected an error from Extract before Discover")
+	}
 }
 
 func TestNewExtractorValidation(t *testing.T) {
 	w := getWorld(t)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic without sequence model")
-		}
-	}()
-	NewExtractor(w.g, Models{Word: w.models.Word}, Config{})
+	// A misconfigured constructor reports its problem at first use
+	// rather than panicking: Discover, Extract and Run all surface it.
+	ex := NewExtractor(w.g, Models{Word: w.models.Word}, Config{Keywords: []string{"x"}})
+	if err := ex.Discover(w.products, oracle(w).Match(w.products, w.g)); err == nil {
+		t.Fatal("expected an error without a sequence model")
+	}
+	if _, err := ex.Extract(); err == nil {
+		t.Fatal("Extract should surface the constructor error")
+	}
+	ex2 := NewExtractor(w.g, Models{Seq: w.models.Seq}, Config{Keywords: []string{"x"}})
+	if _, err := ex2.Run(w.products, oracle(w).Match(w.products, w.g)); err == nil {
+		t.Fatal("expected an error without a word embedder")
+	}
 }
 
 func TestRndPathBaselineRuns(t *testing.T) {
@@ -203,7 +207,9 @@ func TestPathCacheReuse(t *testing.T) {
 		t.Fatal(err)
 	}
 	cached := len(ex.pathCache)
-	ex.Extract()
+	if _, err := ex.Extract(); err != nil {
+		t.Fatal(err)
+	}
 	if len(ex.pathCache) != cached {
 		t.Fatalf("Extract should reuse discovery paths: %d -> %d", cached, len(ex.pathCache))
 	}

@@ -55,12 +55,12 @@ func (c *Collection) Oracle(relName string) her.Matcher {
 func (c *Collection) Drop(relName string, attrs []string) (*rel.Relation, map[string]map[string]string) {
 	r := c.Rels[relName]
 	if r == nil {
-		panic("dataset: unknown relation " + relName)
+		panic("dataset: unknown relation " + relName) //lint:allow nopanic test-harness invariant: Drop is driven by the Recoverable map; dataset_test pins this panic
 	}
 	dropSet := map[string]bool{}
 	for _, a := range attrs {
 		if !r.Schema.Has(a) {
-			panic(fmt.Sprintf("dataset: relation %s has no attribute %q", relName, a))
+			panic(fmt.Sprintf("dataset: relation %s has no attribute %q", relName, a)) //lint:allow nopanic test-harness invariant: attribute names come from the schema itself
 		}
 		dropSet[a] = true
 	}
@@ -72,7 +72,7 @@ func (c *Collection) Drop(relName string, attrs []string) (*rel.Relation, map[st
 	}
 	reduced, err := rel.Project(r, keep...)
 	if err != nil {
-		panic(err) // keep names come from r's own schema
+		panic(err) //lint:allow nopanic keep names come from r's own schema, Insert cannot fail
 	}
 
 	truth := map[string]map[string]string{}
@@ -147,6 +147,16 @@ func Generators() []struct {
 		{"Paper", Paper},
 		{"Celebrity", Celebrity},
 	}
+}
+
+// Names lists the known collection names in Table II order.
+func Names() []string {
+	gens := Generators()
+	names := make([]string, len(gens))
+	for i, g := range gens {
+		names[i] = g.Name
+	}
+	return names
 }
 
 // ByName returns one generator by collection name, or nil.

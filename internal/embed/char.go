@@ -19,7 +19,7 @@ type CharEmbedder struct {
 // NewCharEmbedder returns an embedder producing dim-sized vectors.
 func NewCharEmbedder(dim int, seed uint64) *CharEmbedder {
 	if dim <= 0 {
-		panic("embed: non-positive char embedding dim")
+		panic("embed: non-positive char embedding dim") //lint:allow nopanic programmer-error guard: embedding dims are constants; embed_test pins this panic
 	}
 	return &CharEmbedder{dim: dim, seed: seed}
 }
@@ -68,7 +68,7 @@ type HashEmbedder struct {
 // NewHashEmbedder returns a hash embedder of the given dimensionality.
 func NewHashEmbedder(dim int, seed uint64) *HashEmbedder {
 	if dim <= 0 {
-		panic("embed: non-positive hash embedding dim")
+		panic("embed: non-positive hash embedding dim") //lint:allow nopanic programmer-error guard: embedding dims are constants; embed_test pins this panic
 	}
 	return &HashEmbedder{dim: dim, seed: seed}
 }

@@ -24,7 +24,7 @@ func Ablations(o Options) []AblationRow {
 	if len(o.Collections) == 1 {
 		coll = o.Collections[0]
 	}
-	r := Prepare(coll, o.Entities, o.Seed)
+	r := mustPrepare(Prepare(coll, o.Entities, o.Seed))
 	c := r.C
 	drop := c.Recoverable[c.MainRel]
 	reduced, truth := c.Drop(c.MainRel, drop)

@@ -13,7 +13,7 @@ func TestDebugRecoveryClusters(t *testing.T) {
 		t.Skip("debug helper")
 	}
 	for _, name := range []string{"Movie"} {
-		r := Prepare(name, 40, 7)
+		r := mustPrepare(Prepare(name, 40, 7))
 		c := r.C
 		drop := c.Recoverable[c.MainRel]
 		reduced, _ := c.Drop(c.MainRel, drop)

@@ -71,7 +71,7 @@ func TableII(o Options) []dataset.Stats {
 // variantSweep runs the recovery protocol over a parameter sweep for each
 // variant, yielding one series per variant.
 func variantSweep(o Options, coll string, xs []int, opt func(x int) RecoveryOptions, yOf func(RecoveryResult) float64) Figure {
-	r := Prepare(coll, o.Entities, o.Seed)
+	r := mustPrepare(Prepare(coll, o.Entities, o.Seed))
 	var series []Series
 	for _, v := range o.Variants {
 		s := Series{Name: string(v)}
@@ -102,7 +102,7 @@ func Fig5a(o Options) Figure {
 // Fig5b: quality vs the number m of extracted attributes (Movie).
 func Fig5b(o Options) Figure {
 	o = o.withDefaults()
-	r := Prepare("Movie", o.Entities, o.Seed)
+	r := mustPrepare(Prepare("Movie", o.Entities, o.Seed))
 	attrs := r.C.Recoverable[r.C.MainRel]
 	var series []Series
 	for _, v := range o.Variants {
@@ -155,7 +155,7 @@ func VaryA(o Options) Figure {
 	o = o.withDefaults()
 	var series []Series
 	for _, coll := range o.Collections {
-		r := Prepare(coll, o.Entities, o.Seed)
+		r := mustPrepare(Prepare(coll, o.Entities, o.Seed))
 		drop := r.C.Recoverable[r.C.MainRel]
 		_, truth := r.C.Drop(r.C.MainRel, drop)
 		// Exemplar pool: one value per dropped attribute, deterministic.
@@ -182,7 +182,7 @@ func Fig5f(o Options) Figure {
 	o = o.withDefaults()
 	var series []Series
 	for _, coll := range o.Collections {
-		r := Prepare(coll, o.Entities, o.Seed)
+		r := mustPrepare(Prepare(coll, o.Entities, o.Seed))
 		s := Series{Name: coll}
 		for _, pct := range []int{0, 5, 10, 15, 20, 25, 30} {
 			res := Recovery(r, RecoveryOptions{H: 30, NoiseFrac: float64(pct) / 100})
@@ -199,7 +199,7 @@ func Fig5g(o Options) Figure {
 	o = o.withDefaults()
 	var series []Series
 	for _, coll := range o.Collections {
-		r := Prepare(coll, o.Entities, o.Seed)
+		r := mustPrepare(Prepare(coll, o.Entities, o.Seed))
 		s := Series{Name: coll}
 		for _, pct := range []int{0, 5, 10, 15, 20, 25} {
 			res := Recovery(r, RecoveryOptions{H: 30, HERNoise: float64(pct) / 100})
@@ -229,7 +229,7 @@ func Fig5h(o Options) []IncRow {
 		// Models are trained offline once on the pristine graph — IncExt
 		// never retrains them — so share one Run across the sweep and
 		// regenerate the (identical) collection per ΔG point.
-		trained := Prepare(coll, o.Entities, o.Seed)
+		trained := mustPrepare(Prepare(coll, o.Entities, o.Seed))
 		trained.Models(VRExt)
 		for _, pct := range []int{5, 15, 25, 35, 45} {
 			rows = append(rows, incOnce(trained, o, pct))
@@ -302,7 +302,7 @@ func ScaleSweep(o Options, scales []int) []ScaleRow {
 	var rows []ScaleRow
 	for _, coll := range o.Collections {
 		for _, n := range scales {
-			r := Prepare(coll, n, o.Seed)
+			r := mustPrepare(Prepare(coll, n, o.Seed))
 			c := r.C
 			drop := c.Recoverable[c.MainRel]
 			reduced, truth := c.Drop(c.MainRel, drop)
@@ -379,7 +379,7 @@ func TableIII(o Options) []TableIIIRow {
 		a.n++
 	}
 	for _, coll := range o.Collections {
-		r := Prepare(coll, o.Entities, o.Seed)
+		r := mustPrepare(Prepare(coll, o.Entities, o.Seed))
 		env, err := NewQueryEnv(r)
 		if err != nil {
 			continue
@@ -448,7 +448,7 @@ func EndToEnd(o Options) EndToEndResult {
 	o = o.withDefaults()
 	res := EndToEndResult{PrecomputeSeconds: map[string]float64{}}
 	for _, coll := range o.Collections {
-		r := Prepare(coll, o.Entities, o.Seed)
+		r := mustPrepare(Prepare(coll, o.Entities, o.Seed))
 		start := time.Now()
 		env, err := NewQueryEnv(r)
 		if err != nil {
@@ -488,7 +488,7 @@ func timeQuery(env *QueryEnv, mode gsql.Mode, sql string) (ms float64, rows int6
 func ExplainSamples(o Options) (string, error) {
 	o = o.withDefaults()
 	coll := o.Collections[0]
-	env, err := NewQueryEnv(Prepare(coll, o.Entities, o.Seed))
+	env, err := NewQueryEnv(mustPrepare(Prepare(coll, o.Entities, o.Seed)))
 	if err != nil {
 		return "", err
 	}
@@ -528,7 +528,7 @@ func Training(o Options) []TrainingRow {
 	o = o.withDefaults()
 	var rows []TrainingRow
 	for _, coll := range o.Collections {
-		r := Prepare(coll, o.Entities, o.Seed)
+		r := mustPrepare(Prepare(coll, o.Entities, o.Seed))
 		start := time.Now()
 		r.Models(VRExt)
 		lstm := time.Since(start).Seconds()
@@ -555,7 +555,7 @@ func Precompute(o Options) []PrecomputeRow {
 	o = o.withDefaults()
 	var rows []PrecomputeRow
 	for _, coll := range o.Collections {
-		r := Prepare(coll, o.Entities, o.Seed)
+		r := mustPrepare(Prepare(coll, o.Entities, o.Seed))
 		c := r.C
 		reduced, _ := c.Drop(c.MainRel, c.Recoverable[c.MainRel])
 		start := time.Now()
@@ -604,7 +604,7 @@ func CaseStudy(o Options) (CaseStudyResult, error) {
 	var out CaseStudyResult
 
 	// q1 over Drugs.
-	r := Prepare("Drugs", o.Entities, o.Seed)
+	r := mustPrepare(Prepare("Drugs", o.Entities, o.Seed))
 	env, err := NewQueryEnv(r)
 	if err != nil {
 		return out, err
@@ -650,7 +650,7 @@ func CaseStudy(o Options) (CaseStudyResult, error) {
 	}
 
 	// q2 over FakeNews.
-	r2 := Prepare("FakeNews", o.Entities, o.Seed)
+	r2 := mustPrepare(Prepare("FakeNews", o.Entities, o.Seed))
 	env2, err := NewQueryEnv(r2)
 	if err != nil {
 		return out, err

@@ -14,7 +14,7 @@ func TestDebugCelebrityGeometry(t *testing.T) {
 	if !testing.Verbose() {
 		t.Skip("debug helper")
 	}
-	r := Prepare("Celebrity", 40, 7)
+	r := mustPrepare(Prepare("Celebrity", 40, 7))
 	corpus := core.BuildCorpus(r.C.G, 3, 8, r.Seed)
 	types := core.TypeSentences(r.C.G)
 	for _, cfg := range []struct {

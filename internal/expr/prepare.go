@@ -1,6 +1,8 @@
 package expr
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 
 	"semjoin/internal/core"
@@ -49,14 +51,27 @@ type Run struct {
 	wordCache map[Variant]embed.Embedder
 }
 
-// Prepare generates a collection at the given scale and returns a Run.
-func Prepare(name string, entities int, seed uint64) *Run {
+// Prepare generates a collection at the given scale and returns a
+// Run. The name reaches this function from user input (the
+// -collection flag of cmd/gsql and cmd/rextprofile), so an unknown
+// collection is an error, not a panic.
+func Prepare(name string, entities int, seed uint64) (*Run, error) {
 	gen := dataset.ByName(name)
 	if gen == nil {
-		panic("expr: unknown collection " + name)
+		return nil, fmt.Errorf("expr: unknown collection %q (known: %s)", name, strings.Join(dataset.Names(), ", "))
 	}
 	c := gen(dataset.Config{Entities: entities, Seed: seed})
-	return &Run{C: c, Seed: seed, Epochs: 6, models: map[Variant]core.Models{}}
+	return &Run{C: c, Seed: seed, Epochs: 6, models: map[Variant]core.Models{}}, nil
+}
+
+// mustPrepare unwraps Prepare for the experiment harness, whose
+// figure-producing entry points have no error channel and only ever
+// pass the compiled-in collection names.
+func mustPrepare(r *Run, err error) *Run {
+	if err != nil {
+		panic(err) //lint:allow nopanic experiment harness with hard-coded collection names; no error channel in the Figure API
+	}
+	return r
 }
 
 // ensureCorpus builds the shared random-walk corpus once.
@@ -133,7 +148,7 @@ func (r *Run) Models(v Variant) core.Models {
 		m = core.Models{RandomPaths: true,
 			Word: r.wordOf(VRExt, func() embed.Embedder { return glove(64) })}
 	default:
-		panic("expr: unknown variant " + string(v))
+		panic("expr: unknown variant " + string(v)) //lint:allow nopanic exhaustive switch over the closed Variant enum
 	}
 	r.models[v] = m
 	return m

@@ -70,7 +70,7 @@ func TestWorkloadParsesAndAnalyzes(t *testing.T) {
 		}
 		env, ok := envs[q.Collection]
 		if !ok {
-			r := Prepare(q.Collection, 24, 7)
+			r := mustPrepare(Prepare(q.Collection, 24, 7))
 			var err error
 			env, err = NewQueryEnv(r)
 			if err != nil {
@@ -91,7 +91,7 @@ func TestWorkloadExecutesInAllModes(t *testing.T) {
 		t.Skip("slow")
 	}
 	for _, coll := range []string{"Drugs", "Paper"} {
-		r := Prepare(coll, 24, 7)
+		r := mustPrepare(Prepare(coll, 24, 7))
 		env, err := NewQueryEnv(r)
 		if err != nil {
 			t.Fatal(err)
@@ -113,7 +113,7 @@ func TestWorkloadExactVsHeuristicAgreeSomewhat(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
-	r := Prepare("Movie", 24, 7)
+	r := mustPrepare(Prepare("Movie", 24, 7))
 	env, err := NewQueryEnv(r)
 	if err != nil {
 		t.Fatal(err)

@@ -156,7 +156,7 @@ func (g *Graph) Live(v VertexID) bool {
 
 func (g *Graph) mustLive(v VertexID) {
 	if !g.Live(v) {
-		panic(fmt.Sprintf("graph: vertex %d does not exist", v))
+		panic(fmt.Sprintf("graph: vertex %d does not exist", v)) //lint:allow nopanic internal invariant: vertex IDs are only minted by AddVertex
 	}
 }
 

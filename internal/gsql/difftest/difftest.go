@@ -56,8 +56,9 @@ type Fixture struct {
 }
 
 // Build constructs a fixture from seed. The same seed always yields
-// the same graph, relations and materialization.
-func Build(seed int64) *Fixture {
+// the same graph, relations and materialization. Materialization
+// failures (a miswired base spec) surface as errors.
+func Build(seed int64) (*Fixture, error) {
 	rng := rand.New(rand.NewSource(seed))
 	g := graph.New()
 
@@ -135,7 +136,7 @@ func Build(seed int64) *Fixture {
 		"customer": {D: customers, AR: []string{"company", "product"}, Matcher: oracle},
 	}, cfg)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("difftest: materializing fixture %d: %w", seed, err)
 	}
 	profiles := core.ProfileGraph(g, models, map[string][]string{
 		"product": {"company", "country"},
@@ -155,7 +156,7 @@ func Build(seed int64) *Fixture {
 			K:         3,
 			RExt:      core.Config{H: 14, Seed: uint64(seed) + 5},
 		},
-	}
+	}, nil
 }
 
 // Gen is a seeded random query generator over the fixture schema.

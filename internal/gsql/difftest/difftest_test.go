@@ -15,6 +15,16 @@ import (
 // checks that a serial engine (Parallelism = 1) and a parallel engine
 // produce the same bag of tuples for every one. In full (non-short)
 // mode it covers at least 200 query/fixture pairs.
+// mustBuild constructs a fixture, failing the test on error.
+func mustBuild(t testing.TB, seed int64) *Fixture {
+	t.Helper()
+	f, err := Build(seed)
+	if err != nil {
+		t.Fatalf("Build(%d): %v", seed, err)
+	}
+	return f
+}
+
 func TestDifferentialSerialVsParallel(t *testing.T) {
 	seeds := []int64{1, 2, 3, 4}
 	queriesPer := 60
@@ -24,7 +34,7 @@ func TestDifferentialSerialVsParallel(t *testing.T) {
 	}
 	pairs := 0
 	for _, seed := range seeds {
-		f := Build(seed)
+		f := mustBuild(t, seed)
 		serial := gsql.NewEngine(f.Cat)
 		serial.Parallelism = 1
 		par := gsql.NewEngine(f.Cat)
@@ -77,13 +87,13 @@ func TestGeneratorCoverage(t *testing.T) {
 // TestFixtureDeterminism pins that Build is a pure function of its
 // seed — without this, failures found by seed would not reproduce.
 func TestFixtureDeterminism(t *testing.T) {
-	a, b := Build(9), Build(9)
+	a, b := mustBuild(t, 9), mustBuild(t, 9)
 	for _, name := range []string{"product", "customer"} {
 		if d := Diff(a.Cat.Relations[name], b.Cat.Relations[name]); d != "" {
 			t.Fatalf("fixture %q not deterministic: %s", name, d)
 		}
 	}
-	if c := Build(10); Diff(a.Cat.Relations["product"], c.Cat.Relations["product"]) == "" &&
+	if c := mustBuild(t, 10); Diff(a.Cat.Relations["product"], c.Cat.Relations["product"]) == "" &&
 		Diff(a.Cat.Relations["customer"], c.Cat.Relations["customer"]) == "" {
 		t.Fatal("different seeds produced identical fixtures")
 	}
@@ -108,7 +118,7 @@ func settleGoroutines(t *testing.T, base int) {
 // with one cancelled before the query starts — and checks the worker
 // pools wind down completely.
 func TestCancellationLeavesNoGoroutines(t *testing.T) {
-	f := Build(3)
+	f := mustBuild(t, 3)
 	e := gsql.NewEngine(f.Cat)
 	e.Parallelism = 4
 	// Warm the engine (and the fixture's gL cache) so the settle

@@ -37,7 +37,7 @@ func TestMetricsParitySerialVsParallel(t *testing.T) {
 	// Two fixtures from one seed: identical data, independent gL caches
 	// — a shared cache would let the first engine's misses become the
 	// second engine's hits.
-	serialFix, parFix := Build(seed), Build(seed)
+	serialFix, parFix := mustBuild(t, seed), mustBuild(t, seed)
 	serial := gsql.NewEngine(serialFix.Cat)
 	serial.Parallelism = 1
 	serial.Obs = obs.NewRegistry()

@@ -1,0 +1,215 @@
+// Package lint is a stdlib-only static-analysis suite that enforces
+// the engine's cross-layer runtime invariants at compile time:
+// iterator Open/Next/Close discipline, shard/cache lock discipline,
+// context cancellation in worker fan-outs, no-panic library code and
+// nil-safe obs construction. The framework mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer / Pass / Diagnostic and a
+// multichecker driver in cmd/semjoinlint) but is built on go/ast,
+// go/types and go/importer alone, so the module stays dependency-free.
+//
+// Every analyzer honours an escape hatch: a comment of the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the offending line (or the line directly above it) suppresses
+// that analyzer's diagnostics for the line. The reason is mandatory by
+// convention — it is the reviewable record of why the invariant is
+// deliberately violated at that site.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check, run once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding, positioned for editors (file:line:col).
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// allowDirective is the comment prefix of the escape hatch.
+const allowDirective = "lint:allow"
+
+// allowedLines scans a file's comments for //lint:allow directives and
+// returns the set of (line, analyzer) pairs they suppress. A directive
+// suppresses its own line and the line directly below it, so both the
+// trailing-comment and the comment-above styles work:
+//
+//	panic(err) //lint:allow nopanic documented Must-constructor
+//
+//	//lint:allow nopanic documented Must-constructor
+//	panic(err)
+func allowedLines(fset *token.FileSet, f *ast.File) map[int]map[string]bool {
+	out := map[int]map[string]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, allowDirective) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, allowDirective))
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			for _, name := range strings.Split(fields[0], ",") {
+				for _, l := range []int{line, line + 1} {
+					if out[l] == nil {
+						out[l] = map[string]bool{}
+					}
+					out[l][name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies each analyzer to each package and returns the
+// surviving diagnostics (suppressed ones filtered out), sorted by
+// position.
+func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		// The suppression index is per-file, keyed by filename.
+		allowed := map[string]map[int]map[string]bool{}
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			allowed[name] = allowedLines(pkg.Fset, f)
+		}
+		for _, a := range analyzers {
+			var raw []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				diags:     &raw,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range raw {
+				if m := allowed[d.Pos.Filename]; m != nil && m[d.Pos.Line][a.Name] {
+					continue
+				}
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// ---------------------------------------------------------------- helpers
+
+// exprString renders a (small) expression to its source-ish form; the
+// lock analyzer uses it to identify "the same mutex" syntactically
+// (e.g. "sh.mu", "e.mu", "s.mu").
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// namedOrPointee unwraps pointers and returns the named type of t, or
+// nil when t is not (a pointer to) a named type.
+func namedOrPointee(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	if n == nil {
+		if p, ok := t.(*types.Pointer); ok {
+			n, _ = p.Elem().(*types.Named)
+		}
+	}
+	return n
+}
+
+// isNamedType reports whether t is (a pointer to) the named type
+// pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	n := namedOrPointee(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}

@@ -1,0 +1,29 @@
+package lint
+
+import "testing"
+
+// TestModuleBaselineClean is the clean-baseline guard: the full
+// analyzer suite over the real module must report nothing. A new
+// panic, stranded iterator, lock violation, context-free worker loop
+// or direct obs construction anywhere in the tree turns this test (and
+// the CI lint leg) red.
+func TestModuleBaselineClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module load is slow; skipped under -short")
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers(All, prog.Targets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("baseline violation: %s", d)
+	}
+}

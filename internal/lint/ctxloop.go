@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxLoop enforces the cancellation contract of the PR-2 worker
+// pools: a goroutine that loops unboundedly (a `for {}` dispatch loop
+// or a `for range ch` consumer) inside a function that has a
+// context.Context in scope must observe cancellation inside the loop
+// via ctx.Done() or ctx.Err(). Bounded loops (over slices, index
+// ranges) and goroutines in context-free helpers are exempt — a
+// worker that drains a channel the same function closes does not need
+// a context to terminate.
+var CtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc:  "unbounded worker loops in goroutines must select on ctx.Done() (or check ctx.Err()) when a context is in scope",
+	Run:  runCtxLoop,
+}
+
+func isContextType(t types.Type) bool {
+	return isNamedType(t, "context", "Context")
+}
+
+func runCtxLoop(p *Pass) error {
+	for _, f := range p.Files {
+		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !ctxInScope(p, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				fl, ok := g.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				checkWorkerLoops(p, fl)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// ctxInScope reports whether fd binds or uses any value of type
+// context.Context — a parameter, a local, or a field access like
+// o.ctx. If it does, worker loops it spawns could and therefore must
+// observe cancellation.
+func ctxInScope(p *Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && isContextType(p.TypeOf(e)) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkWorkerLoops flags unbounded loops in one goroutine body that
+// never consult the context.
+func checkWorkerLoops(p *Pass, fl *ast.FuncLit) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			if loop.Cond != nil {
+				return true // bounded by its condition
+			}
+			if !consultsContext(p, loop) {
+				p.Reportf(loop.Pos(), "infinite worker loop in goroutine does not select on ctx.Done() or check ctx.Err()")
+			}
+		case *ast.RangeStmt:
+			if t := p.TypeOf(loop.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					if !consultsContext(p, loop) {
+						p.Reportf(loop.Pos(), "channel-range worker loop in goroutine does not select on ctx.Done() or check ctx.Err()")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// consultsContext reports whether the loop subtree calls Done or Err
+// on a context.Context value.
+func consultsContext(p *Pass, loop ast.Node) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if (sel.Sel.Name == "Done" || sel.Sel.Name == "Err") && isContextType(p.TypeOf(sel.X)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixtureProg *Program
+	fixtureErr  error
+)
+
+// fixtureProgram loads the obs package once (the only module-local
+// import the fixtures use) so every fixture package can be checked
+// against the shared program.
+func fixtureProgram(t *testing.T) *Program {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		root, err := ModuleRoot(".")
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		fixtureProg, fixtureErr = Load(root, "semjoin/internal/obs")
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
+	return fixtureProg
+}
+
+// wantQuoted extracts the quoted patterns of a `// want "..."` comment.
+var wantQuoted = regexp.MustCompile(`"([^"]*)"`)
+
+// runFixture checks one analyzer against its testdata package in the
+// analysistest style: every diagnostic must be announced by a
+// `// want "pattern"` comment on its line, and every want must be hit.
+func runFixture(t *testing.T, a *Analyzer) {
+	t.Helper()
+	prog := fixtureProgram(t)
+	dir := filepath.Join("testdata", "src", a.Name)
+	pkg, err := prog.CheckDir(dir, "semjoin/internal/lint/testdata/src/"+a.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers([]*Analyzer{a}, []*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := map[int][]*want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				line := prog.Fset.Position(c.Pos()).Line
+				for _, m := range wantQuoted.FindAllStringSubmatch(text, -1) {
+					re, err := regexp.Compile(regexp.QuoteMeta(m[1]))
+					if err != nil {
+						t.Fatalf("line %d: bad want pattern %q: %v", line, m[1], err)
+					}
+					wants[line] = append(wants[line], &want{re: re})
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no // want comments", dir)
+	}
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants[d.Pos.Line] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched, found = true, true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for line, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("line %d: expected a diagnostic matching %q, got none", line, w.re)
+			}
+		}
+	}
+}
+
+func TestNoPanicFixture(t *testing.T)   { runFixture(t, NoPanic) }
+func TestIterCloseFixture(t *testing.T) { runFixture(t, IterClose) }
+func TestLockOrderFixture(t *testing.T) { runFixture(t, LockOrder) }
+func TestCtxLoopFixture(t *testing.T)   { runFixture(t, CtxLoop) }
+func TestObsNilFixture(t *testing.T)    { runFixture(t, ObsNil) }
+
+func TestByName(t *testing.T) {
+	for _, a := range All {
+		if ByName(a.Name) != a {
+			t.Fatalf("ByName(%q) did not round-trip", a.Name)
+		}
+	}
+	if ByName("no-such-analyzer") != nil {
+		t.Fatal("unknown name should yield nil")
+	}
+}

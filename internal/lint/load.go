@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked module package.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Target marks packages named by the load patterns (as opposed to
+	// dependencies pulled in for type-checking only).
+	Target bool
+}
+
+// Program is a loaded set of packages sharing one FileSet and one
+// type-checker universe.
+type Program struct {
+	Fset *token.FileSet
+	// Pkgs holds the module-local packages in dependency order.
+	Pkgs []*Package
+
+	byPath map[string]*Package
+	std    types.ImporterFrom
+	dir    string
+}
+
+// Targets returns the packages matched by the load patterns.
+func (p *Program) Targets() []*Package {
+	var out []*Package
+	for _, pkg := range p.Pkgs {
+		if pkg.Target {
+			out = append(out, pkg)
+		}
+	}
+	return out
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// goList runs `go list -deps -json <patterns>` in dir and decodes the
+// stream. -deps output is already in dependency order (dependencies
+// before dependents), which the type-checking loop relies on.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-deps", "-json=ImportPath,Dir,Name,GoFiles,Imports,Standard,DepOnly"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			cmd.Wait()
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// ModuleRoot locates the enclosing module directory of dir.
+func ModuleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Dir}}")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("lint: go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// Load lists, parses and type-checks the module packages matched by
+// patterns (plus their module-local dependencies), rooted at dir.
+// Standard-library imports are resolved from source via go/importer;
+// nothing outside the standard library and the module itself is
+// required.
+func Load(dir string, patterns ...string) (*Program, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	prog := &Program{
+		Fset:   fset,
+		byPath: map[string]*Package{},
+		std:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		dir:    dir,
+	}
+	for _, lp := range listed {
+		if lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		pkg, err := prog.check(lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Target = !lp.DepOnly
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	return prog, nil
+}
+
+// Import resolves path against the already-checked module packages,
+// falling back to the standard-library source importer. It implements
+// types.Importer for the checker.
+func (p *Program) Import(path string) (*types.Package, error) {
+	if pkg, ok := p.byPath[path]; ok {
+		return pkg.Types, nil
+	}
+	return p.std.Import(path)
+}
+
+// check parses and type-checks one package from explicit file paths.
+func (p *Program) check(importPath, dir string, filenames []string) (*Package, error) {
+	sort.Strings(filenames)
+	files := make([]*ast.File, 0, len(filenames))
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(p.Fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %v", fn, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: p, FakeImportC: true}
+	tpkg, err := conf.Check(importPath, p.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %v", importPath, err)
+	}
+	pkg := &Package{Path: importPath, Dir: dir, Fset: p.Fset, Files: files, Types: tpkg, Info: info}
+	p.byPath[importPath] = pkg
+	return pkg, nil
+}
+
+// CheckDir parses and type-checks every non-test .go file of one
+// directory as a standalone package under the given import path, with
+// module-local imports resolved through the already-loaded program.
+// The fixture tests use it to check testdata packages that are
+// deliberately excluded from the normal build.
+func (p *Program) CheckDir(dir, importPath string) (*Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, m := range matches {
+		if strings.HasSuffix(m, "_test.go") {
+			continue
+		}
+		files = append(files, m)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	return p.check(importPath, dir, files)
+}

@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockOrder enforces the shard/cache mutex discipline from PR 2:
+// every sync.Mutex/RWMutex acquired in a function is released on
+// every return path, and the held region never crosses a blocking
+// channel operation or a fan-out boundary (go statement, WaitGroup
+// Wait). Channel operations inside a select are exempt — the
+// singleflight cache peeks at ready-channels with a
+// select-with-default while holding the shard lock, which is
+// non-blocking by construction.
+//
+// The analysis is intentionally linear: it scans the statement list
+// containing each Lock call up to the matching Unlock (deferred
+// unlocks end the analysis immediately). That is exactly the shape of
+// every lock region in this codebase; exotic flow (lock in one
+// function, unlock in another) needs a //lint:allow lockorder
+// annotation explaining the protocol.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "mutexes must be released on every return path and never held across blocking channel ops or fan-out boundaries",
+	Run:  runLockOrder,
+}
+
+// isMutexType reports whether t is (a pointer to) sync.Mutex or
+// sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	return isNamedType(t, "sync", "Mutex") || isNamedType(t, "sync", "RWMutex")
+}
+
+// lockCall matches a statement of the form `<expr>.Lock()` (or RLock/
+// Unlock/RUnlock) on a mutex-typed receiver and returns the canonical
+// key ("sh.mu" / "sh.mu#R") plus which operation it is.
+func lockCall(p *Pass, stmt ast.Stmt) (key string, op string) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", ""
+	}
+	return lockCallExpr(p, es.X)
+}
+
+func lockCallExpr(p *Pass, e ast.Expr) (key string, op string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	if !isMutexType(p.TypeOf(sel.X)) {
+		return "", ""
+	}
+	key = exprString(sel.X)
+	if strings.HasPrefix(name, "R") {
+		key += "#R"
+	}
+	if name == "Lock" || name == "RLock" {
+		return key, "lock"
+	}
+	return key, "unlock"
+}
+
+func runLockOrder(p *Pass) error {
+	for _, f := range p.Files {
+		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockBody(p, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkLockBody(p *Pass, body *ast.BlockStmt) {
+	// Pass 1 over the whole body (closures included): which keys are
+	// ever unlocked, and which are released by a defer.
+	unlocked := map[string]bool{}
+	deferred := map[string]bool{}
+	locks := map[string][]ast.Node{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if k, op := lockCallExpr(p, n.Call); op == "unlock" {
+				deferred[k] = true
+				unlocked[k] = true
+			}
+			// defer func() { ...; mu.Unlock() }() also counts.
+			if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(fl.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.ExprStmt); ok {
+						if k, op := lockCallExpr(p, call.X); op == "unlock" {
+							deferred[k] = true
+							unlocked[k] = true
+						}
+					}
+					return true
+				})
+			}
+		case *ast.CallExpr:
+			if k, op := lockCallExpr(p, n); op != "" {
+				if op == "unlock" {
+					unlocked[k] = true
+				} else {
+					locks[k] = append(locks[k], n)
+				}
+			}
+		}
+		return true
+	})
+	for k, sites := range locks {
+		if !unlocked[k] {
+			for _, site := range sites {
+				p.Reportf(site.Pos(), "%s is locked but never released in this function (missing Unlock or defer)", displayKey(k))
+			}
+		}
+	}
+	// Pass 2: linear held-region scan of every statement list.
+	ast.Inspect(body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for i, stmt := range list {
+			k, op := lockCall(p, stmt)
+			if op != "lock" || deferred[k] {
+				continue
+			}
+			scanHeldRegion(p, k, list[i+1:])
+		}
+		return true
+	})
+}
+
+// scanHeldRegion walks the statements following a Lock until one of
+// them releases the same key, flagging blocking operations and
+// returns inside the held region.
+func scanHeldRegion(p *Pass, key string, rest []ast.Stmt) {
+	for _, stmt := range rest {
+		if stmtUnlocks(p, stmt, key) {
+			return
+		}
+		reportHeldViolations(p, key, stmt)
+	}
+}
+
+// stmtUnlocks reports whether the statement subtree (closures
+// excluded) releases key, either directly or via defer.
+func stmtUnlocks(p *Pass, stmt ast.Stmt, key string) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if k, op := lockCallExpr(p, n); op == "unlock" && k == key {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// reportHeldViolations flags blocking channel operations, fan-out
+// boundaries and returns inside one held-region statement. Select
+// statements are skipped wholesale (the select-with-default peek is
+// non-blocking; a select with a ctx.Done arm is bounded), as are
+// nested function literals and defers (they do not run while the lock
+// is held at this point).
+func reportHeldViolations(p *Pass, key string, stmt ast.Stmt) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.SelectStmt, *ast.DeferStmt:
+			return false
+		case *ast.SendStmt:
+			p.Reportf(n.Pos(), "channel send while %s is held", displayKey(key))
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				p.Reportf(n.Pos(), "blocking channel receive while %s is held", displayKey(key))
+			}
+		case *ast.GoStmt:
+			p.Reportf(n.Pos(), "goroutine fan-out while %s is held", displayKey(key))
+			return false
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if isNamedType(p.TypeOf(sel.X), "sync", "WaitGroup") {
+					p.Reportf(n.Pos(), "WaitGroup.Wait while %s is held", displayKey(key))
+				}
+			}
+		case *ast.ReturnStmt:
+			p.Reportf(n.Pos(), "return while %s is held (missing %s.Unlock on this path)", displayKey(key), displayKey(key))
+		}
+		return true
+	})
+}
+
+// displayKey strips the reader-lock marker for messages.
+func displayKey(key string) string {
+	return strings.TrimSuffix(key, "#R")
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoPanic enforces the PR-4 contract that library code reports
+// failures as errors: no panic, log.Fatal* or os.Exit outside package
+// main and test files. Invariant-violation panics that must stay (the
+// documented Must-constructors, math-kernel shape checks) carry a
+// //lint:allow nopanic <reason> annotation.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc:  "forbid panic/log.Fatal/os.Exit in non-test library code",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(p *Pass) error {
+	if p.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range p.Files {
+		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if obj, ok := p.TypesInfo.Uses[fun].(*types.Builtin); ok && obj.Name() == "panic" {
+					p.Reportf(call.Pos(), "panic in library code; return an error (or annotate with //lint:allow nopanic <reason>)")
+				}
+			case *ast.SelectorExpr:
+				pkgName, fn := stdFuncCall(p, fun)
+				switch {
+				case pkgName == "log" && strings.HasPrefix(fn, "Fatal"):
+					p.Reportf(call.Pos(), "log.%s in library code; return an error instead of exiting the process", fn)
+				case pkgName == "os" && fn == "Exit":
+					p.Reportf(call.Pos(), "os.Exit in library code; return an error instead of exiting the process")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// stdFuncCall resolves sel to ("pkg", "Func") when it is a package-
+// level function selection like log.Fatalf; otherwise ("", "").
+func stdFuncCall(p *Pass, sel *ast.SelectorExpr) (string, string) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := p.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// obsPkg is the package whose constructor discipline ObsNil enforces.
+const obsPkg = "semjoin/internal/obs"
+
+// obsCtorOnly lists the obs types that must be built through their
+// nil-safe constructors: a zero-value Registry has nil series maps and
+// panics on first registration; a zero-value Histogram has no bucket
+// bounds; QueryLog is paired with NewQueryLog for the same reason.
+// Counters and gauges are deliberately absent — their zero values are
+// fully usable.
+var obsCtorOnly = map[string]string{
+	"Registry":  "NewRegistry",
+	"Histogram": "Registry.Histogram",
+	"QueryLog":  "NewQueryLog",
+}
+
+// ObsNil enforces the PR-3 contract that observability state is only
+// created through the nil-safe constructor API: no composite
+// literals, new() calls or zero-value variable declarations of
+// obs.Registry / obs.Histogram / obs.QueryLog outside the obs package
+// itself.
+var ObsNil = &Analyzer{
+	Name: "obsnil",
+	Doc:  "obs registries must be built via the constructor API (NewRegistry etc.), never by direct struct construction",
+	Run:  runObsNil,
+}
+
+func runObsNil(p *Pass) error {
+	if p.Pkg.Path() == obsPkg {
+		return nil
+	}
+	for _, f := range p.Files {
+		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if name, ok := obsCtorType(p, n.Type); ok {
+					p.Reportf(n.Pos(), "direct construction of obs.%s bypasses the nil-safe API; use obs.%s", name, obsCtorOnly[name])
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "new" && len(n.Args) == 1 {
+					if name, ok := obsCtorType(p, n.Args[0]); ok {
+						p.Reportf(n.Pos(), "new(obs.%s) bypasses the nil-safe API; use obs.%s", name, obsCtorOnly[name])
+					}
+				}
+			case *ast.ValueSpec:
+				// Pointer declarations are fine (nil *Registry is the
+				// designed no-op state); zero-value declarations by
+				// value are not.
+				if _, isPtr := n.Type.(*ast.StarExpr); n.Type != nil && !isPtr && len(n.Values) == 0 {
+					if name, ok := obsCtorType(p, n.Type); ok {
+						p.Reportf(n.Pos(), "zero-value obs.%s bypasses the nil-safe API; use obs.%s", name, obsCtorOnly[name])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// obsCtorType reports whether the type expression denotes one of the
+// constructor-only obs types (by value, not by pointer — a *Registry
+// variable is fine, it is nil until assigned from a constructor).
+func obsCtorType(p *Pass, e ast.Expr) (string, bool) {
+	t := p.TypeOf(e)
+	if t == nil {
+		return "", false
+	}
+	for name := range obsCtorOnly {
+		if isNamedType(t, obsPkg, name) {
+			// Pointer declarations are allowed; construction is not.
+			// Composite literals and new() always denote the value
+			// type here, so only ValueSpec needs the distinction.
+			return name, true
+		}
+	}
+	return "", false
+}

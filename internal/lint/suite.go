@@ -1,0 +1,22 @@
+package lint
+
+// All is the semjoinlint suite in reporting order. cmd/semjoinlint
+// drives exactly this list; the fixture harness iterates it to
+// guarantee every shipped analyzer has failing-then-passing coverage.
+var All = []*Analyzer{
+	NoPanic,
+	IterClose,
+	LockOrder,
+	CtxLoop,
+	ObsNil,
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

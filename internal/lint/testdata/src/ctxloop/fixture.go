@@ -1,0 +1,65 @@
+// Package fixture exercises the ctxloop analyzer: unbounded worker
+// loops spawned where a context is in scope must observe cancellation.
+package fixture
+
+import "context"
+
+func spin(ctx context.Context, work chan int) {
+	go func() {
+		for { // want "infinite worker loop in goroutine"
+			<-work
+		}
+	}()
+}
+
+func drain(ctx context.Context, work chan int) {
+	go func() {
+		for range work { // want "channel-range worker loop in goroutine"
+		}
+	}()
+}
+
+// -------- compliant shapes --------
+
+func polite(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-work:
+			}
+		}
+	}()
+}
+
+func errChecked(ctx context.Context, work chan int) {
+	go func() {
+		for v := range work {
+			if ctx.Err() != nil {
+				return
+			}
+			_ = v
+		}
+	}()
+}
+
+// No context in scope: the function that closes the channel bounds
+// the worker's lifetime, no cancellation needed.
+func noCtx(work chan int) {
+	go func() {
+		for range work {
+		}
+	}()
+}
+
+// Bounded loops are exempt even without a ctx check.
+func bounded(ctx context.Context, xs []int) {
+	go func() {
+		sum := 0
+		for i := 0; i < len(xs); i++ {
+			sum += xs[i]
+		}
+		_ = sum
+	}()
+}

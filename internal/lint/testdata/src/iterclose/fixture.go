@@ -1,0 +1,74 @@
+// Package fixture exercises the iterclose analyzer. The cursor type
+// has the iterator shape (Open/Next/Close) the analyzer keys on.
+package fixture
+
+import "context"
+
+type cursor struct{ opened bool }
+
+func (c *cursor) Open(ctx context.Context) error { c.opened = true; return nil }
+func (c *cursor) Next() (int, error)             { return 0, nil }
+func (c *cursor) Close() error                   { c.opened = false; return nil }
+
+// Rule 1: opened, never closed, never escapes.
+func leak(ctx context.Context) {
+	c := &cursor{}
+	c.Open(ctx) // want "iterator is opened but never closed"
+	c.Next()
+}
+
+// Rule 2: the error return from Open leaks what the tree opened.
+func openErrLeak(ctx context.Context, c *cursor) error {
+	if err := c.Open(ctx); err != nil { // want "error path after c.Open returns without closing"
+		return err
+	}
+	defer c.Close()
+	return nil
+}
+
+// Rule 2, split-assignment form.
+func openErrLeakSplit(ctx context.Context, c *cursor) error {
+	err := c.Open(ctx)
+	if err != nil { // want "error path after c.Open returns without closing"
+		return err
+	}
+	c.Close()
+	return nil
+}
+
+// Closing on the error path satisfies both rules (the Materialize
+// pattern).
+func openErrClosed(ctx context.Context) error {
+	c := &cursor{}
+	if err := c.Open(ctx); err != nil {
+		c.Close()
+		return err
+	}
+	defer c.Close()
+	return nil
+}
+
+// A defer placed before Open covers its error path too.
+func openErrDeferred(ctx context.Context, c *cursor) error {
+	defer c.Close()
+	if err := c.Open(ctx); err != nil {
+		return err
+	}
+	return nil
+}
+
+// An iterator handed to the caller is the caller's to close.
+func handoff(ctx context.Context) *cursor {
+	c := &cursor{}
+	c.Open(ctx)
+	return c
+}
+
+// An iterator passed to another function escapes likewise.
+func delegate(ctx context.Context) {
+	c := &cursor{}
+	c.Open(ctx)
+	register(c)
+}
+
+func register(c *cursor) { _ = c }

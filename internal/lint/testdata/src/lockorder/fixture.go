@@ -1,0 +1,93 @@
+// Package fixture exercises the lockorder analyzer: release on every
+// path, and never hold a shard lock across a blocking or fan-out
+// boundary.
+package fixture
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func neverReleased(s *shard) {
+	s.mu.Lock() // want "s.mu is locked but never released"
+	s.n++
+}
+
+// RLock paired with the writer Unlock is a mismatch, not a release.
+func mismatch(s *shard) {
+	s.rw.RLock() // want "s.rw is locked but never released"
+	s.n++
+	s.rw.Unlock()
+}
+
+func returnWhileHeld(s *shard) int {
+	s.mu.Lock()
+	if s.n > 0 {
+		return s.n // want "return while s.mu is held"
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func sendWhileHeld(s *shard, ch chan int) {
+	s.mu.Lock()
+	ch <- s.n // want "channel send while s.mu is held"
+	s.mu.Unlock()
+}
+
+func receiveWhileHeld(s *shard, ch chan int) {
+	s.mu.Lock()
+	s.n = <-ch // want "blocking channel receive while s.mu is held"
+	s.mu.Unlock()
+}
+
+func fanOutWhileHeld(s *shard) {
+	s.mu.Lock()
+	go s.bump() // want "goroutine fan-out while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *shard) bump() { s.n++ }
+
+func waitWhileHeld(s *shard, wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want "WaitGroup.Wait while s.mu is held"
+	s.mu.Unlock()
+}
+
+// -------- compliant shapes --------
+
+func deferred(s *shard) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+func straightLine(s *shard) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+func reader(s *shard) int {
+	s.rw.RLock()
+	n := s.n
+	s.rw.RUnlock()
+	return n
+}
+
+// A select-with-default peek is non-blocking by construction; the
+// singleflight cache relies on this exemption.
+func peek(s *shard, ready chan struct{}) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-ready:
+		return true
+	default:
+		return false
+	}
+}

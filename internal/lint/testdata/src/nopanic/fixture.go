@@ -1,0 +1,45 @@
+// Package fixture exercises the nopanic analyzer: library code must
+// report failures as errors, not crash the process.
+package fixture
+
+import (
+	"errors"
+	"log"
+	"os"
+)
+
+func bad(x int) error {
+	if x < 0 {
+		panic("negative") // want "panic in library code"
+	}
+	if x == 1 {
+		log.Fatalf("x = %d", x) // want "log.Fatalf in library code"
+	}
+	if x == 2 {
+		os.Exit(2) // want "os.Exit in library code"
+	}
+	return nil
+}
+
+func good(x int) error {
+	if x < 0 {
+		return errors.New("negative")
+	}
+	log.Printf("x = %d", x) // logging without exiting is fine
+	return nil
+}
+
+// The escape hatch suppresses the diagnostic, trailing-comment style.
+func annotatedTrailing(x int) {
+	if x < 0 {
+		panic("invariant") //lint:allow nopanic documented invariant guard
+	}
+}
+
+// ...and comment-above style.
+func annotatedAbove(x int) {
+	if x < 0 {
+		//lint:allow nopanic documented invariant guard
+		panic("invariant")
+	}
+}

@@ -1,0 +1,36 @@
+// Package fixture exercises the obsnil analyzer: Registry, Histogram
+// and QueryLog must come from their nil-safe constructors.
+package fixture
+
+import "semjoin/internal/obs"
+
+func literal() *obs.Registry {
+	return &obs.Registry{} // want "direct construction of obs.Registry"
+}
+
+func newCall() *obs.QueryLog {
+	return new(obs.QueryLog) // want "bypasses the nil-safe API"
+}
+
+func zeroValue() {
+	var q obs.QueryLog // want "zero-value obs.QueryLog bypasses the nil-safe API"
+	_ = q
+}
+
+// -------- compliant shapes --------
+
+// A nil *Registry is the designed no-op state; pointer declarations
+// are fine until assigned from a constructor.
+func lazy() {
+	var r *obs.Registry
+	_ = r.Counter("noop")
+}
+
+func constructed() *obs.Histogram {
+	r := obs.NewRegistry()
+	return r.Histogram("latency_ms", []float64{1, 2, 4})
+}
+
+func logger() *obs.QueryLog {
+	return obs.NewQueryLog()
+}

@@ -11,7 +11,7 @@ type Matrix struct {
 // NewMatrix returns a zero matrix with the given shape.
 func NewMatrix(rows, cols int) *Matrix {
 	if rows < 0 || cols < 0 {
-		panic(fmt.Sprintf("mat: negative dimension %dx%d", rows, cols))
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", rows, cols)) //lint:allow nopanic programmer-error guard: dimensions are compile-time constants in callers
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
 }
@@ -121,6 +121,6 @@ func (m *Matrix) Clip(c float64) { Vector(m.Data).Clip(c) }
 
 func (m *Matrix) checkSameShape(o *Matrix) {
 	if m.Rows != o.Rows || m.Cols != o.Cols {
-		panic(fmt.Sprintf("mat: shape mismatch %dx%d != %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+		panic(fmt.Sprintf("mat: shape mismatch %dx%d != %dx%d", m.Rows, m.Cols, o.Rows, o.Cols)) //lint:allow nopanic shape invariant: linear-algebra misuse, not a data error
 	}
 }

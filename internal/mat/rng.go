@@ -48,7 +48,7 @@ func (r *RNG) Float64() float64 {
 // Intn returns a uniform value in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
-		panic("mat: Intn with non-positive n")
+		panic("mat: Intn with non-positive n") //lint:allow nopanic mirrors math/rand.Intn contract
 	}
 	return int(r.Uint64() % uint64(n))
 }

@@ -209,6 +209,6 @@ func (v Vector) Clip(c float64) {
 
 func checkLen(a, b int) {
 	if a != b {
-		panic(fmt.Sprintf("mat: length mismatch %d != %d", a, b))
+		panic(fmt.Sprintf("mat: length mismatch %d != %d", a, b)) //lint:allow nopanic shape invariant: linear-algebra misuse, not a data error
 	}
 }

@@ -252,10 +252,10 @@ func (w *Workload) GenStream(n int) Stream {
 		case 3: // ΔD membership toggles
 			st := Step{Kind: StepRelation}
 			for i := rng.Intn(3); i > 0; i-- {
-				st.Remove = append(st.Remove, rng.Intn(1 << 16))
+				st.Remove = append(st.Remove, rng.Intn(1<<16))
 			}
 			for i := rng.Intn(3); i > 0; i-- {
-				st.Restore = append(st.Restore, rng.Intn(1 << 16))
+				st.Restore = append(st.Restore, rng.Intn(1<<16))
 			}
 			if len(st.Remove) == 0 && len(st.Restore) == 0 {
 				st.Remove = []int{rng.Intn(1 << 16)}
@@ -288,7 +288,7 @@ func (w *Workload) GenStream(n int) Stream {
 // the materialisation actually extracted for this seed — keywords
 // outside it would plan but fail at iterator build time.
 type QueryGen struct {
-	rng       *rand.Rand
+	rng        *rand.Rand
 	ejoinAttrs []string
 }
 

@@ -73,7 +73,10 @@ func checkIncExt(seed int64, stream Stream, skipDeletes bool) error {
 	}
 
 	ref := core.NewExtractor(gRef, w.Models, cfg)
-	want := ref.ExtractWithScheme(cur, ex.Scheme(), w.Matcher.Match(cur, gRef))
+	want, err := ref.ExtractWithScheme(cur, ex.Scheme(), w.Matcher.Match(cur, gRef))
+	if err != nil {
+		return fmt.Errorf("harness: reference extraction: %w", err)
+	}
 	if d := difftest.Diff(ex.Result(), want); d != "" {
 		return fmt.Errorf("IncExt diverged from fresh extraction on the final state after %d steps: %s",
 			len(stream), d)

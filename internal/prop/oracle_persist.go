@@ -61,7 +61,10 @@ func CheckPersist(seed int64, _ Stream) error {
 	cfg.Keywords = w.AR
 	cfg.MaxAttrs = len(w.AR)
 	ref := core.NewExtractor(g2, w.Models, cfg)
-	again := ref.ExtractWithScheme(w.Products, lb.Extractor.Scheme(), w.Matcher.Match(w.Products, g2))
+	again, err := ref.ExtractWithScheme(w.Products, lb.Extractor.Scheme(), w.Matcher.Match(w.Products, g2))
+	if err != nil {
+		return fmt.Errorf("loaded-scheme extraction: %w", err)
+	}
 	if d := difftest.Diff(b.Extracted, again); d != "" {
 		return fmt.Errorf("loaded scheme does not reproduce h(D,G): %s", d)
 	}

@@ -100,23 +100,43 @@ func (o *op) Open(ctx context.Context) error {
 	}
 	o.ctx = ctx
 	o.done = false
-	for _, c := range o.children {
+	for i, c := range o.children {
 		if err := c.Open(ctx); err != nil {
+			// Open is atomic: a child failing mid-fan must not strand
+			// its already-opened siblings. Close the failed child and
+			// everything opened before it so the tree is fully closed
+			// even when the caller only propagates the error.
+			c.Close()
+			for _, prev := range o.children[:i] {
+				prev.Close()
+			}
 			return err
 		}
 	}
 	if !o.resolved {
 		if err := o.k.resolve(o); err != nil {
+			o.closeChildren()
 			return err
 		}
 		o.resolved = true
 	}
 	if err := o.k.open(o); err != nil {
+		o.closeChildren()
 		return err
 	}
 	o.opened = true
 	o.metered = !o.unmetered
 	return nil
+}
+
+// closeChildren unwinds the children after a failed Open (the
+// kernel's own state was never opened, so o.Close's kernel half is
+// not involved). Closing an operator twice is safe, so callers that
+// follow the close-on-failed-Open convention stay correct.
+func (o *op) closeChildren() {
+	for _, c := range o.children {
+		c.Close()
+	}
 }
 
 func (o *op) Next() (Tuple, error) {

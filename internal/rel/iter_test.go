@@ -194,3 +194,64 @@ func TestIteratorRewind(t *testing.T) {
 	again := must(Materialize(context.Background(), it))
 	eqSorted(t, out, again)
 }
+
+// closeTracker counts Open/Close calls through to the wrapped iterator.
+type closeTracker struct {
+	Iterator
+	opens, closes int
+}
+
+func (c *closeTracker) Open(ctx context.Context) error { c.opens++; return c.Iterator.Open(ctx) }
+func (c *closeTracker) Close() error                   { c.closes++; return c.Iterator.Close() }
+
+// noopKernel yields no tuples; it exists so tests can build an op with
+// arbitrary children without any kernel behaviour.
+type noopKernel struct{ baseKernel }
+
+func (noopKernel) next(o *op) (Tuple, error) { return nil, nil }
+
+// TestOpenFailureClosesOpenedChildren pins the atomicity of op.Open:
+// when a child fails to open mid-fan, every child opened before it
+// (and the failed child itself) must be closed before the error
+// propagates — a caller that only forwards the error must not strand
+// open iterators. Found by the iterclose analyzer during the
+// semjoinlint baseline cleanup.
+func TestOpenFailureClosesOpenedChildren(t *testing.T) {
+	r := customers()
+	a := &closeTracker{Iterator: NewScan(r)}
+	bad := &closeTracker{Iterator: errOp("boom", errors.New("boom"))}
+	after := &closeTracker{Iterator: NewScan(r)}
+	it := newOp("parent", noopKernel{}, a, bad, after)
+
+	if err := it.Open(context.Background()); err == nil {
+		t.Fatal("expected Open to fail through the failing child")
+	}
+	if a.opens != 1 || a.closes != 1 {
+		t.Fatalf("first child: opens=%d closes=%d, want 1/1", a.opens, a.closes)
+	}
+	if bad.closes != 1 {
+		t.Fatalf("failed child: closes=%d, want 1", bad.closes)
+	}
+	if after.opens != 0 {
+		t.Fatalf("later child was opened (%d times) despite the earlier failure", after.opens)
+	}
+	// The documented convention — close even after a failed Open — must
+	// stay safe on the already-unwound tree.
+	if err := it.Close(); err != nil {
+		t.Fatalf("Close after failed Open: %v", err)
+	}
+}
+
+// TestKernelFailureClosesChildren covers the other two unwind paths:
+// a kernel that fails to resolve (or open) must close the children
+// that were already opened.
+func TestKernelFailureClosesChildren(t *testing.T) {
+	child := &closeTracker{Iterator: NewScan(customers())}
+	it := newOp("parent", &errKernel{err: errors.New("resolve failed")}, child)
+	if err := it.Open(context.Background()); err == nil {
+		t.Fatal("expected Open to fail in the kernel")
+	}
+	if child.opens != 1 || child.closes != 1 {
+		t.Fatalf("child: opens=%d closes=%d, want 1/1", child.opens, child.closes)
+	}
+}

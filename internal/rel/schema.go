@@ -27,7 +27,7 @@ type Schema struct {
 func NewSchema(name string, key string, attrs ...Attribute) *Schema {
 	s, err := TrySchema(name, key, attrs...)
 	if err != nil {
-		panic(err.Error())
+		panic(err.Error()) //lint:allow nopanic programmer-error guard: NewSchema is called with literal attribute lists
 	}
 	return s
 }
@@ -155,7 +155,7 @@ func NewRelation(s *Schema) *Relation {
 // Insert appends a tuple. It panics if the arity does not match.
 func (r *Relation) Insert(t Tuple) {
 	if len(t) != len(r.Schema.Attrs) {
-		panic(fmt.Sprintf("rel: arity mismatch inserting into %s: got %d values", r.Schema, len(t)))
+		panic(fmt.Sprintf("rel: arity mismatch inserting into %s: got %d values", r.Schema, len(t))) //lint:allow nopanic arity invariant: Insert callers construct tuples against the same schema
 	}
 	r.Tuples = append(r.Tuples, t)
 }

@@ -34,7 +34,10 @@ func TestFacadePersistence(t *testing.T) {
 		t.Fatal(err)
 	}
 	ex2 := NewExtractor(g, loaded, RExtConfig{K: 3, H: 8, Keywords: []string{"company"}})
-	dg := ex2.ExtractWithScheme(products, scheme, matches)
+	dg, err := ex2.ExtractWithScheme(products, scheme, matches)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if dg.Len() != ex.Result().Len() {
 		t.Fatalf("reloaded extraction rows = %d, want %d", dg.Len(), ex.Result().Len())
 	}
