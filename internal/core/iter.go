@@ -38,7 +38,13 @@ func (m *Materialized) StaticEnrichIter(base string, src rel.Iterator, a []strin
 				return r, "", err
 			}), nil
 	}
-	j := rel.NewNaturalJoin(rel.NewNaturalJoin(src, rel.NewScan(b.MatchRel)), rel.NewScan(b.Extracted))
+	// The reduction runs batch-at-a-time: the source converts to column
+	// batches (a zero-copy unwrap when it is a scan), both pre-computed
+	// relations hash once at Open inside the batch natural joins, match
+	// rows gather column-wise, and the projection is a column-header
+	// pick. The unbatcher restores the row contract for the plan above,
+	// so the signature — and every caller — is unchanged.
+	j := rel.NewBatchNaturalJoinRel(rel.NewBatchNaturalJoinRel(rel.ToBatches(src, 0), b.MatchRel), b.Extracted)
 	// Project to S's attributes plus vid plus the requested keywords,
 	// deduplicating: S may already carry vid or some keyword column from
 	// an earlier (chained) enrichment join.
@@ -53,7 +59,7 @@ func (m *Materialized) StaticEnrichIter(base string, src rel.Iterator, a []strin
 			cols = append(cols, c)
 		}
 	}
-	return rel.NewProject(j, cols...), nil
+	return rel.NewUnbatcher(rel.NewBatchProject(j, cols...)), nil
 }
 
 // StaticLinkIter is the pipelined form of StaticLink: both sides
@@ -103,8 +109,7 @@ func (m *Materialized) StaticLinkIter(base1 string, s1 rel.Iterator, base2 strin
 				return rel.Generated{}, err
 			}
 			g, err := linkGenerated(r1, r2, m1, m2, func(a, b her.Match) bool {
-				r, ok := reach[a.Vertex]
-				return ok && r[b.Vertex]
+				return reach.connected(a.Vertex, b.Vertex)
 			})
 			g.Note = "gL bypass"
 			g.Workers = workers
@@ -129,8 +134,7 @@ func LinkJoinIter(g *graph.Graph, matcher her.Matcher, k, par int, s1, s2 rel.It
 				return rel.Generated{}, err
 			}
 			gen, err := linkGenerated(in[0], in[1], m1, m2, func(a, b her.Match) bool {
-				r, ok := reach[a.Vertex]
-				return ok && r[b.Vertex]
+				return reach.connected(a.Vertex, b.Vertex)
 			})
 			gen.Workers = workers
 			return gen, err

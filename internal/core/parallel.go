@@ -31,65 +31,6 @@ func normPar(par int) int {
 	return par
 }
 
-// reachSets computes the k-hop set per distinct live left vertex
-// (equivalent to the paper's bidirectional search, and cheaper when
-// one side repeats vertices), fanning the per-vertex BFS out over a
-// bounded pool. It reports the number of workers actually used and
-// honours ctx cancellation between vertices.
-func reachSets(ctx context.Context, g *graph.Graph, m1 []her.Match, k, par int) (map[graph.VertexID]map[graph.VertexID]bool, int, error) {
-	var verts []graph.VertexID
-	seen := map[graph.VertexID]bool{}
-	for _, m := range m1 {
-		if !seen[m.Vertex] && g.Live(m.Vertex) {
-			seen[m.Vertex] = true
-			verts = append(verts, m.Vertex)
-		}
-	}
-	workers := normPar(par)
-	if workers > len(verts) {
-		workers = len(verts)
-	}
-	reg := obs.FromContext(ctx)
-	reg.Counter("core_bfs_sources_total").Add(int64(len(verts)))
-	frontier := reg.Histogram("core_bfs_reach_size", obs.SizeBuckets)
-	reach := make(map[graph.VertexID]map[graph.VertexID]bool, len(verts))
-	if workers <= 1 {
-		for _, v := range verts {
-			if err := ctx.Err(); err != nil {
-				return nil, 1, err
-			}
-			reach[v] = g.KHopNeighborhood([]graph.VertexID{v}, k)
-			frontier.Observe(float64(len(reach[v])))
-		}
-		return reach, 1, nil
-	}
-	sets := make([]map[graph.VertexID]bool, len(verts))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(verts) || ctx.Err() != nil {
-					return
-				}
-				sets[i] = g.KHopNeighborhood([]graph.VertexID{verts[i]}, k)
-			}
-		}()
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, workers, err
-	}
-	for i, v := range verts {
-		reach[v] = sets[i]
-		frontier.Observe(float64(len(sets[i])))
-	}
-	return reach, workers, nil
-}
-
 // glRelation materialises the connectivity pairs (vid1, vid2) for the
 // matched vertices of two tuple sets, with the per-vertex BFS fan-out
 // parallelised over par workers. Pair order is deterministic (m1 then
@@ -106,13 +47,12 @@ func glRelation(ctx context.Context, g *graph.Graph, m1, m2 []her.Match, k, par 
 	r := rel.NewRelation(schema)
 	seen := map[[2]graph.VertexID]bool{}
 	for _, a := range m1 {
-		set, ok := reach[a.Vertex]
-		if !ok {
+		if _, ok := reach.rows[a.Vertex]; !ok {
 			continue
 		}
 		for _, b := range m2 {
 			key := [2]graph.VertexID{a.Vertex, b.Vertex}
-			if set[b.Vertex] && !seen[key] {
+			if reach.connected(a.Vertex, b.Vertex) && !seen[key] {
 				seen[key] = true
 				r.InsertVals(rel.I(int64(a.Vertex)), rel.I(int64(b.Vertex)))
 			}

@@ -1,0 +1,148 @@
+// Dense-bitset reachability for link joins. The connectivity predicate
+// behind every link-join variant is "is b within k undirected hops of
+// a" — previously answered from a map[VertexID]map[VertexID]bool,
+// which costs two hash lookups per probe and one map allocation per
+// reached vertex. VertexIDs are small dense integers (int32 indexes
+// into the vertex table), so each source's reach set packs into a
+// []uint64 bit row: the BFS marks bits instead of inserting map keys,
+// the m1 × m2 connectivity probe becomes a shift-and-mask, and the
+// reach-size histogram comes from a popcount sweep.
+package core
+
+import (
+	"context"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"semjoin/internal/graph"
+	"semjoin/internal/her"
+	"semjoin/internal/obs"
+)
+
+// reachIndex answers k-hop connectivity for a set of source vertices:
+// one bit row per distinct live source, bit v set iff v is within k
+// hops (sources reach themselves, matching KHopNeighborhood's
+// seed-inclusive contract).
+type reachIndex struct {
+	rows map[graph.VertexID][]uint64
+}
+
+// connected reports whether b is within k hops of source a. Unknown
+// sources (not matched, or dead at BFS time) are connected to nothing.
+func (r *reachIndex) connected(a, b graph.VertexID) bool {
+	row, ok := r.rows[a]
+	if !ok || b < 0 {
+		return false
+	}
+	w := int(b) >> 6
+	return w < len(row) && row[w]&(1<<(uint(b)&63)) != 0
+}
+
+// popcount counts the set bits of one reach row — the bitset analogue
+// of len(reachSet), feeding the core_bfs_reach_size histogram.
+func popcount(row []uint64) int {
+	n := 0
+	for _, w := range row {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// bfsScratch is one worker's reusable BFS state: frontier slices and
+// the Neighbors half-edge buffer. Only the per-source bit row (which
+// outlives the BFS inside the reachIndex) allocates per call.
+type bfsScratch struct {
+	front, next []graph.VertexID
+	he          []graph.HalfEdge
+}
+
+// bfsRow computes one source's k-hop reach as a bit row of words
+// uint64s, with KHopNeighborhood's exact semantics: the live source is
+// included, expansion runs k rounds over undirected neighbors, and
+// dead vertices are neither visited nor expanded.
+func bfsRow(g *graph.Graph, src graph.VertexID, k, words int, sc *bfsScratch) []uint64 {
+	row := make([]uint64, words)
+	row[int(src)>>6] |= 1 << (uint(src) & 63)
+	front := append(sc.front[:0], src)
+	next := sc.next[:0]
+	for d := 0; d < k && len(front) > 0; d++ {
+		next = next[:0]
+		for _, x := range front {
+			sc.he = g.Neighbors(sc.he[:0], x)
+			for _, e := range sc.he {
+				w, bit := int(e.To)>>6, uint64(1)<<(uint(e.To)&63)
+				if row[w]&bit == 0 && g.Live(e.To) {
+					row[w] |= bit
+					next = append(next, e.To)
+				}
+			}
+		}
+		front, next = next, front
+	}
+	sc.front, sc.next = front[:0], next[:0]
+	return row
+}
+
+// reachSets computes the k-hop bit row per distinct live left vertex
+// (equivalent to the paper's bidirectional search, and cheaper when
+// one side repeats vertices), fanning the per-vertex BFS out over a
+// bounded pool. It reports the number of workers actually used and
+// honours ctx cancellation between vertices.
+func reachSets(ctx context.Context, g *graph.Graph, m1 []her.Match, k, par int) (*reachIndex, int, error) {
+	var verts []graph.VertexID
+	seen := map[graph.VertexID]bool{}
+	for _, m := range m1 {
+		if !seen[m.Vertex] && g.Live(m.Vertex) {
+			seen[m.Vertex] = true
+			verts = append(verts, m.Vertex)
+		}
+	}
+	words := (g.MaxVertexID() + 63) / 64
+	workers := normPar(par)
+	if workers > len(verts) {
+		workers = len(verts)
+	}
+	reg := obs.FromContext(ctx)
+	reg.Counter("core_bfs_sources_total").Add(int64(len(verts)))
+	frontier := reg.Histogram("core_bfs_reach_size", obs.SizeBuckets)
+	idx := &reachIndex{rows: make(map[graph.VertexID][]uint64, len(verts))}
+	if workers <= 1 {
+		var sc bfsScratch
+		for _, v := range verts {
+			if err := ctx.Err(); err != nil {
+				return nil, 1, err
+			}
+			row := bfsRow(g, v, k, words, &sc)
+			idx.rows[v] = row
+			frontier.Observe(float64(popcount(row)))
+		}
+		return idx, 1, nil
+	}
+	rows := make([][]uint64, len(verts))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var sc bfsScratch
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(verts) || ctx.Err() != nil {
+					return
+				}
+				rows[i] = bfsRow(g, verts[i], k, words, &sc)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, workers, err
+	}
+	for i, v := range verts {
+		idx.rows[v] = rows[i]
+		frontier.Observe(float64(popcount(rows[i])))
+	}
+	return idx, workers, nil
+}

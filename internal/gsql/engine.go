@@ -63,6 +63,13 @@ type Engine struct {
 	// the statement SET PARALLELISM n.
 	Parallelism int
 
+	// RowAtATime disables vectorized execution: WHERE/projection stages
+	// run the classic tuple-at-a-time operators instead of columnar
+	// batch kernels. The zero value selects the vectorized engine.
+	// Settable per session with SET VECTORIZED ON|OFF; the row engine
+	// is kept as the differential-testing reference.
+	RowAtATime bool
+
 	// Plan records, for the last query, one line per semantic join
 	// describing the strategy chosen (static / dynamic / heuristic /
 	// baseline) — the observable outcome of the well-behaved analysis.
@@ -135,6 +142,8 @@ func (e *Engine) QueryContext(ctx context.Context, input string) (*rel.Relation,
 			return e.setParallelism(f[2:])
 		case strings.EqualFold(f[0], "set") && strings.EqualFold(f[1], "slow_query_ms"):
 			return e.setSlowQueryMS(f[2:])
+		case strings.EqualFold(f[0], "set") && strings.EqualFold(f[1], "vectorized"):
+			return e.setVectorized(f[2:])
 		case strings.EqualFold(f[0], "show") && strings.EqualFold(f[1], "metrics"):
 			return e.showMetrics(f[2:])
 		}
@@ -535,28 +544,44 @@ func (e *Engine) planQuery(q *Query) (rel.Iterator, provenance, error) {
 		prov = provenance{}
 	}
 	// WHERE (minus any conjuncts pushed into a link join) and, when no
-	// aggregation follows, the projection — collected as per-tuple
-	// stages. With parallelism the stage chain becomes one exchange's
-	// sub-pipeline: the input splits into morsels, each filtered and
-	// projected on its own worker, and the outputs merge back in morsel
-	// order — the exact serial tuple sequence, just produced on Par()
-	// workers.
-	var stages []rel.PipelineBuilder
-	if where != nil {
-		w := where
-		stages = append(stages, func(in rel.Iterator) rel.Iterator {
-			return rel.NewSelectWith("select", in, func(s *rel.Schema) (rel.Pred, error) {
-				return func(t rel.Tuple) bool { return w.Eval(s, t) }, nil
-			})
-		})
-	}
+	// aggregation follows, the projection — collected as pipeline
+	// stages. In the default vectorized mode the stages are batch
+	// kernels over columnar data (compiled predicates, zero-copy
+	// projection); SET VECTORIZED OFF selects the classic per-tuple
+	// operators. Either way, with parallelism the stage chain becomes
+	// one exchange's sub-pipeline: the input splits into morsels, each
+	// filtered and projected on its own worker, and the outputs merge
+	// back in morsel order — the exact serial tuple sequence, just
+	// produced on Par() workers.
 	agg := hasAgg(q.Select) || len(q.GroupBy) > 0
-	if !agg {
-		if proj := e.projectStage(q); proj != nil {
-			stages = append(stages, proj)
+	if e.RowAtATime {
+		var stages []rel.PipelineBuilder
+		if where != nil {
+			w := where
+			stages = append(stages, func(in rel.Iterator) rel.Iterator {
+				return rel.NewSelectWith("select", in, func(s *rel.Schema) (rel.Pred, error) {
+					return func(t rel.Tuple) bool { return w.Eval(s, t) }, nil
+				})
+			})
 		}
+		if !agg {
+			if proj := e.projectStage(q); proj != nil {
+				stages = append(stages, proj)
+			}
+		}
+		cur = e.applyStages(cur, stages)
+	} else {
+		var stages []rel.BatchPipelineBuilder
+		if where != nil {
+			stages = append(stages, batchFilterStage(where))
+		}
+		if !agg {
+			if proj := e.batchProjectStage(q); proj != nil {
+				stages = append(stages, proj)
+			}
+		}
+		cur = e.applyBatchStages(cur, stages)
 	}
-	cur = e.applyStages(cur, stages)
 	// Aggregation (the projection stage is already applied otherwise).
 	out := cur
 	if agg {
@@ -650,49 +675,7 @@ func (e *Engine) projectStage(q *Query) rel.PipelineBuilder {
 	sel := q.Select
 	return func(in rel.Iterator) rel.Iterator {
 		return rel.NewTransform("project", in, func(in *rel.Schema) (*rel.Schema, func(rel.Tuple) (rel.Tuple, error), error) {
-			var names []string
-			var outNames []string
-			for _, it := range sel {
-				switch {
-				case it.Star:
-					for _, a := range in.Attrs {
-						names = append(names, a.Name)
-						outNames = append(outNames, a.Name)
-					}
-				case strings.HasSuffix(it.Col, ".*"):
-					prefix := strings.TrimSuffix(it.Col, "*")
-					found := false
-					for _, a := range in.Attrs {
-						if strings.HasPrefix(a.Name, prefix) {
-							names = append(names, a.Name)
-							outNames = append(outNames, a.Name)
-							found = true
-						}
-					}
-					if !found {
-						return nil, nil, fmt.Errorf("gsql: no columns match %q", it.Col)
-					}
-				default:
-					if in.Col(it.Col) < 0 {
-						return nil, nil, fmt.Errorf("gsql: unknown column %q in %s", it.Col, in)
-					}
-					names = append(names, it.Col)
-					outNames = append(outNames, it.OutName())
-				}
-			}
-			cols := make([]int, len(names))
-			attrs := make([]rel.Attribute, len(names))
-			for i, n := range names {
-				cols[i] = in.Col(n)
-				attrs[i] = rel.Attribute{Name: n, Type: in.Attrs[cols[i]].Type}
-			}
-			key := ""
-			for _, n := range names {
-				if n == in.Key {
-					key = n
-				}
-			}
-			schema, err := renamedSchema(in.Name, key, attrs, outNames)
+			schema, cols, err := resolveProjection(sel, in)
 			if err != nil {
 				return nil, nil, err
 			}

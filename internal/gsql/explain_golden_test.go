@@ -41,6 +41,13 @@ func redactExplain(text string) string {
 			out += " [" + note + "]"
 		}
 		out += "  rows=" + strconv.FormatInt(l.Rows, 10) + " time=<T>"
+		// Batch counts are deterministic (input size over batch size,
+		// identical serial vs parallel by the one-batch-per-morsel
+		// rule), so vectorized annotations stay in the golden verbatim.
+		if l.Batches > 0 {
+			out += " batches=" + strconv.FormatInt(l.Batches, 10) +
+				" rows/batch=" + strconv.FormatInt(l.RowsPerBatch(), 10)
+		}
 		// A gL miss runs the BFS pool (workers= present), a hit serves
 		// from cache (absent) — cache temperature decides the worker
 		// annotation too, so it is dropped with the state.

@@ -1,0 +1,277 @@
+// Vectorized stage compilation: WHERE and projection stages run as
+// batch operators over columnar data when the engine is in its default
+// vectorized mode. Predicates compile once per schema into closure
+// trees with pre-resolved column indexes and pre-dispatched comparison
+// ops, so the per-row work inside a batch is a tight loop with no
+// schema lookups, no Expr interface dispatch and no scratch tuples.
+package gsql
+
+import (
+	"fmt"
+	"strings"
+
+	"semjoin/internal/rel"
+)
+
+// rowTest is a compiled predicate over one live row of a batch. The
+// row index is physical (pre-selection), as handed out by Batch.Refine.
+type rowTest func(b *rel.Batch, row int) bool
+
+// valueAt is a compiled operand: a column access with the index
+// resolved at bind time, or a captured literal.
+type valueAt func(b *rel.Batch, row int) rel.Value
+
+func compileOperand(s *rel.Schema, o Operand) valueAt {
+	if !o.IsCol {
+		v := o.Val
+		return func(*rel.Batch, int) rel.Value { return v }
+	}
+	c := s.Col(o.Col)
+	if c < 0 {
+		return func(*rel.Batch, int) rel.Value { return rel.Null }
+	}
+	return func(b *rel.Batch, row int) rel.Value { return b.Col(c).ValueAt(row) }
+}
+
+// compileTest lowers an Expr into a rowTest against schema s. The
+// second return is false when the expression has a shape this compiler
+// does not cover; the caller then falls back to scratch-tuple
+// evaluation, which is always semantically correct.
+func compileTest(s *rel.Schema, e Expr) (rowTest, bool) {
+	switch x := e.(type) {
+	case Cmp:
+		l, r := compileOperand(s, x.L), compileOperand(s, x.R)
+		var cmp func(a, b rel.Value) bool
+		switch x.Op {
+		case "=":
+			cmp = func(a, b rel.Value) bool { return a.Equal(b) }
+		case "<>", "!=":
+			cmp = func(a, b rel.Value) bool { return !a.Equal(b) }
+		case "<":
+			cmp = func(a, b rel.Value) bool { return a.Compare(b) < 0 }
+		case "<=":
+			cmp = func(a, b rel.Value) bool { return a.Compare(b) <= 0 }
+		case ">":
+			cmp = func(a, b rel.Value) bool { return a.Compare(b) > 0 }
+		case ">=":
+			cmp = func(a, b rel.Value) bool { return a.Compare(b) >= 0 }
+		default:
+			return nil, false
+		}
+		return func(b *rel.Batch, row int) bool {
+			lv, rv := l(b, row), r(b, row)
+			if lv.IsNull() || rv.IsNull() {
+				return false
+			}
+			return cmp(lv, rv)
+		}, true
+	case IsNull:
+		c := s.Col(x.Col)
+		neg := x.Negate
+		return func(b *rel.Batch, row int) bool {
+			isNull := c < 0 || b.Col(c).IsNull(row)
+			return isNull != neg
+		}, true
+	case In:
+		l := compileOperand(s, x.L)
+		vals, neg := x.Vals, x.Negate
+		return func(b *rel.Batch, row int) bool {
+			v := l(b, row)
+			if v.IsNull() {
+				return false
+			}
+			found := false
+			for _, w := range vals {
+				if v.Equal(w) {
+					found = true
+					break
+				}
+			}
+			return found != neg
+		}, true
+	case Like:
+		l := compileOperand(s, x.L)
+		pat, neg := x.Pattern, x.Negate
+		return func(b *rel.Batch, row int) bool {
+			v := l(b, row)
+			if v.IsNull() {
+				return false
+			}
+			return likeMatch(v.String(), pat) != neg
+		}, true
+	case Between:
+		l := compileOperand(s, x.L)
+		lo, hi, neg := x.Lo, x.Hi, x.Negate
+		return func(b *rel.Batch, row int) bool {
+			v := l(b, row)
+			if v.IsNull() {
+				return false
+			}
+			in := v.Compare(lo) >= 0 && v.Compare(hi) <= 0
+			return in != neg
+		}, true
+	case And:
+		lt, ok := compileTest(s, x.L)
+		if !ok {
+			return nil, false
+		}
+		rt, ok := compileTest(s, x.R)
+		if !ok {
+			return nil, false
+		}
+		return func(b *rel.Batch, row int) bool { return lt(b, row) && rt(b, row) }, true
+	case Or:
+		lt, ok := compileTest(s, x.L)
+		if !ok {
+			return nil, false
+		}
+		rt, ok := compileTest(s, x.R)
+		if !ok {
+			return nil, false
+		}
+		return func(b *rel.Batch, row int) bool { return lt(b, row) || rt(b, row) }, true
+	case Not:
+		t, ok := compileTest(s, x.E)
+		if !ok {
+			return nil, false
+		}
+		return func(b *rel.Batch, row int) bool { return !t(b, row) }, true
+	}
+	return nil, false
+}
+
+// batchFilterStage returns the WHERE clause as a batch pipeline stage.
+// The predicate compiles per schema at bind time; shapes the compiler
+// does not cover evaluate through a scratch tuple instead (RowPred),
+// keeping the batch plan available for every expression.
+func batchFilterStage(w Expr) rel.BatchPipelineBuilder {
+	return func(in rel.BatchIterator) rel.BatchIterator {
+		return rel.NewBatchFilterWith("select", in, func(s *rel.Schema) (rel.BatchPred, error) {
+			if test, ok := compileTest(s, w); ok {
+				return func(b *rel.Batch) {
+					b.Refine(func(row int) bool { return test(b, row) })
+				}, nil
+			}
+			return rel.RowPred(s, func(t rel.Tuple) bool { return w.Eval(s, t) }), nil
+		})
+	}
+}
+
+// batchProjectStage returns the SELECT list as a zero-copy batch
+// projection stage, sharing resolveProjection with the row engine so
+// star expansion, validation and _N renaming behave identically.
+// A bare SELECT * is the identity (nil stage).
+func (e *Engine) batchProjectStage(q *Query) rel.BatchPipelineBuilder {
+	if len(q.Select) == 1 && q.Select[0].Star {
+		return nil
+	}
+	sel := q.Select
+	return func(in rel.BatchIterator) rel.BatchIterator {
+		return rel.NewBatchProjectWith("project", in, func(in *rel.Schema) (*rel.Schema, []int, error) {
+			return resolveProjection(sel, in)
+		})
+	}
+}
+
+// resolveProjection resolves a SELECT list against an input schema:
+// star expansion, unknown-column validation, output renaming with _N
+// collision dedup, and key survival. Both the row transform stage and
+// the batch projection stage bind through it, so the two engines agree
+// on every projection edge case by construction.
+func resolveProjection(sel []SelectItem, in *rel.Schema) (*rel.Schema, []int, error) {
+	var names []string
+	var outNames []string
+	for _, it := range sel {
+		switch {
+		case it.Star:
+			for _, a := range in.Attrs {
+				names = append(names, a.Name)
+				outNames = append(outNames, a.Name)
+			}
+		case strings.HasSuffix(it.Col, ".*"):
+			prefix := strings.TrimSuffix(it.Col, "*")
+			found := false
+			for _, a := range in.Attrs {
+				if strings.HasPrefix(a.Name, prefix) {
+					names = append(names, a.Name)
+					outNames = append(outNames, a.Name)
+					found = true
+				}
+			}
+			if !found {
+				return nil, nil, fmt.Errorf("gsql: no columns match %q", it.Col)
+			}
+		default:
+			if in.Col(it.Col) < 0 {
+				return nil, nil, fmt.Errorf("gsql: unknown column %q in %s", it.Col, in)
+			}
+			names = append(names, it.Col)
+			outNames = append(outNames, it.OutName())
+		}
+	}
+	cols := make([]int, len(names))
+	attrs := make([]rel.Attribute, len(names))
+	for i, n := range names {
+		cols[i] = in.Col(n)
+		attrs[i] = rel.Attribute{Name: n, Type: in.Attrs[cols[i]].Type}
+	}
+	key := ""
+	for _, n := range names {
+		if n == in.Key {
+			key = n
+		}
+	}
+	schema, err := renamedSchema(in.Name, key, attrs, outNames)
+	if err != nil {
+		return nil, nil, err
+	}
+	return schema, cols, nil
+}
+
+// applyBatchStages chains batch pipeline stages onto cur: the input
+// unwraps to zero-copy batch scans where possible (ToBatches), the
+// stages run inline when serial or under one batch exchange when
+// parallel, and an unbatcher restores the row Iterator contract for
+// the operators above. With no stages cur passes through untouched.
+func (e *Engine) applyBatchStages(cur rel.Iterator, stages []rel.BatchPipelineBuilder) rel.Iterator {
+	if len(stages) == 0 {
+		return cur
+	}
+	combined := func(in rel.BatchIterator) rel.BatchIterator {
+		for _, s := range stages {
+			in = s(in)
+		}
+		return in
+	}
+	src := rel.ToBatches(cur, 0)
+	var out rel.BatchIterator
+	if p := e.Par(); p > 1 {
+		out = rel.NewBatchExchange(src, p, combined)
+	} else {
+		out = combined(src)
+	}
+	return rel.NewUnbatcher(out)
+}
+
+// setVectorized handles the session statement SET VECTORIZED ON|OFF:
+// OFF pins the classic tuple-at-a-time operators (the differential
+// oracle's reference side), ON restores the default batch engine. It
+// returns a one-row status relation carrying the effective setting.
+func (e *Engine) setVectorized(args []string) (*rel.Relation, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("gsql: usage: SET VECTORIZED ON|OFF")
+	}
+	switch {
+	case strings.EqualFold(args[0], "on") || strings.EqualFold(args[0], "true"):
+		e.RowAtATime = false
+	case strings.EqualFold(args[0], "off") || strings.EqualFold(args[0], "false"):
+		e.RowAtATime = true
+	default:
+		return nil, fmt.Errorf("gsql: SET VECTORIZED: want ON or OFF, got %q", args[0])
+	}
+	out := rel.NewRelation(rel.NewSchema("status", "",
+		rel.Attribute{Name: "vectorized", Type: rel.KindBool},
+	))
+	out.InsertVals(rel.B(!e.RowAtATime))
+	return out, nil
+}

@@ -18,8 +18,9 @@ import (
 //
 // ). Two rules:
 //
-//  1. A local variable with an iterator-shaped method set (Open, Next,
-//     Close) that has Open called on it, never has Close called on it
+//  1. A local variable with an iterator-shaped method set (Open, Next
+//     or NextBatch, Close) that has Open called on it, never has Close
+//     called on it
 //     anywhere in the function, and does not escape (returned, passed
 //     to a call, stored, sent) is a leak.
 //  2. An `if err := x.Open(...); err != nil` (or `err = x.Open(...)`
@@ -33,21 +34,26 @@ var IterClose = &Analyzer{
 }
 
 // isIteratorType reports whether t's method set (or its pointer's)
-// contains Open, Next and Close — the shape shared by rel.Iterator and
-// every concrete operator.
+// contains Open, an advance method (Next or NextBatch) and Close — the
+// shape shared by rel.Iterator, rel.BatchIterator and every concrete
+// operator, row or vectorized.
 func isIteratorType(t types.Type) bool {
 	if t == nil {
 		return false
 	}
 	has := func(ms *types.MethodSet) bool {
-		found := 0
+		var open, next, closed bool
 		for i := 0; i < ms.Len(); i++ {
 			switch ms.At(i).Obj().Name() {
-			case "Open", "Next", "Close":
-				found++
+			case "Open":
+				open = true
+			case "Next", "NextBatch":
+				next = true
+			case "Close":
+				closed = true
 			}
 		}
-		return found == 3
+		return open && next && closed
 	}
 	if has(types.NewMethodSet(t)) {
 		return true

@@ -1,5 +1,6 @@
 // Package fixture exercises the iterclose analyzer. The cursor type
-// has the iterator shape (Open/Next/Close) the analyzer keys on.
+// has the row iterator shape (Open/Next/Close) the analyzer keys on;
+// batchCursor has the vectorized shape (Open/NextBatch/Close).
 package fixture
 
 import "context"
@@ -9,6 +10,12 @@ type cursor struct{ opened bool }
 func (c *cursor) Open(ctx context.Context) error { c.opened = true; return nil }
 func (c *cursor) Next() (int, error)             { return 0, nil }
 func (c *cursor) Close() error                   { c.opened = false; return nil }
+
+type batchCursor struct{ opened bool }
+
+func (c *batchCursor) Open(ctx context.Context) error { c.opened = true; return nil }
+func (c *batchCursor) NextBatch() ([]int, error)      { return nil, nil }
+func (c *batchCursor) Close() error                   { c.opened = false; return nil }
 
 // Rule 1: opened, never closed, never escapes.
 func leak(ctx context.Context) {
@@ -72,3 +79,39 @@ func delegate(ctx context.Context) {
 }
 
 func register(c *cursor) { _ = c }
+
+// Rule 1 applies to batch iterators: opened, never closed, no escape.
+func batchLeak(ctx context.Context) {
+	c := &batchCursor{}
+	c.Open(ctx) // want "iterator is opened but never closed"
+	c.NextBatch()
+}
+
+// Rule 2 applies to batch iterators: Open's error return must close.
+func batchOpenErrLeak(ctx context.Context, c *batchCursor) error {
+	if err := c.Open(ctx); err != nil { // want "error path after c.Open returns without closing"
+		return err
+	}
+	defer c.Close()
+	return nil
+}
+
+// The drain-then-close discipline satisfies both rules for batches.
+func batchClosed(ctx context.Context) error {
+	c := &batchCursor{}
+	if err := c.Open(ctx); err != nil {
+		c.Close()
+		return err
+	}
+	for {
+		b, err := c.NextBatch()
+		if err != nil {
+			c.Close()
+			return err
+		}
+		if b == nil {
+			break
+		}
+	}
+	return c.Close()
+}

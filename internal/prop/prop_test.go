@@ -77,6 +77,13 @@ func TestPersistOracle(t *testing.T) {
 	runOracle(t, Oracle{Name: "persist-round-trip", Check: CheckPersist})
 }
 
+// TestVectorizedOracle checks oracle 5: the tuple-at-a-time engine and
+// the vectorized batch engine (serial and parallel) agree on every
+// generated query.
+func TestVectorizedOracle(t *testing.T) {
+	runOracle(t, Oracle{Name: "row-vs-batch", Check: CheckVectorized})
+}
+
 // TestForcedViolationIsCaughtAndShrunk is the harness's own regression
 // test: with IncExt's delete maintenance deliberately broken
 // (CheckIncExtBroken), the oracle must catch the divergence on some

@@ -1,0 +1,395 @@
+// BatchIterator plumbing: the batch-at-a-time mirror of the Volcano
+// Iterator. Batch operators share the op conventions — atomic Open
+// with close-on-failure, late schema resolution through
+// errSchemaPending, per-operator stats, cancellation checks and
+// once-per-execution metric accounting — plus a Batches counter so
+// EXPLAIN can report rows-per-batch. NewBatcher and NewUnbatcher
+// bridge the two worlds in either direction, which is how the eager
+// *Relation API and the semantic-join operators in internal/core stay
+// source-compatible with the vectorized pipeline.
+package rel
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"semjoin/internal/obs"
+)
+
+// BatchIterator is a Volcano-style pull operator exchanging column
+// batches instead of single tuples.
+type BatchIterator interface {
+	// Schema returns the output schema, or nil while it is unknown.
+	Schema() *Schema
+	// Open prepares the operator, recursively opening children first.
+	Open(ctx context.Context) error
+	// NextBatch returns the next non-empty batch, or (nil, nil) at end
+	// of stream. The batch is only valid until the following call.
+	NextBatch() (*Batch, error)
+	// Close releases resources; safe after a failed Open and at most
+	// once per Open.
+	Close() error
+	// Stats returns the operator's live counters.
+	Stats() *OpStats
+	// BatchChildren returns the child operators for plan traversal.
+	// (Named so that bridge operators can also satisfy Iterator, whose
+	// Children has a different signature.)
+	BatchChildren() []BatchIterator
+}
+
+// batchKernel is the per-operator behaviour plugged into batchOp,
+// mirroring kernel.
+type batchKernel interface {
+	resolve(o *batchOp) error
+	open(o *batchOp) error
+	next(o *batchOp) (*Batch, error)
+	close(o *batchOp) error
+}
+
+// batchOp wraps a batchKernel with the shared BatchIterator plumbing.
+// rowKids are row-iterator children (the Batcher bridge), opened and
+// closed alongside and surfaced to CollectStats.
+type batchOp struct {
+	k         batchKernel
+	children  []BatchIterator
+	rowKids   []Iterator
+	schema    *Schema
+	stats     OpStats
+	ctx       context.Context
+	opened    bool
+	done      bool
+	resolved  bool
+	metered   bool
+	unmetered bool
+}
+
+func newBatchOp(label string, k batchKernel, children ...BatchIterator) *batchOp {
+	o := &batchOp{k: k, children: children}
+	o.stats.Label = label
+	o.resolved = k.resolve(o) == nil
+	return o
+}
+
+func (o *batchOp) Schema() *Schema                { return o.schema }
+func (o *batchOp) BatchChildren() []BatchIterator { return o.children }
+func (o *batchOp) RowChildren() []Iterator        { return o.rowKids }
+func (o *batchOp) Stats() *OpStats                { return &o.stats }
+
+func (o *batchOp) Open(ctx context.Context) error {
+	start := time.Now()
+	defer func() { o.stats.Elapsed += time.Since(start) }()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	o.ctx = ctx
+	o.done = false
+	for i, c := range o.children {
+		if err := c.Open(ctx); err != nil {
+			// Open is atomic, exactly as for row ops: close the failed
+			// child and every sibling opened before it.
+			c.Close()
+			for _, prev := range o.children[:i] {
+				prev.Close()
+			}
+			return err
+		}
+	}
+	for i, c := range o.rowKids {
+		if err := c.Open(ctx); err != nil {
+			c.Close()
+			for _, prev := range o.rowKids[:i] {
+				prev.Close()
+			}
+			for _, prev := range o.children {
+				prev.Close()
+			}
+			return err
+		}
+	}
+	if !o.resolved {
+		if err := o.k.resolve(o); err != nil {
+			o.closeChildren()
+			return err
+		}
+		o.resolved = true
+	}
+	if err := o.k.open(o); err != nil {
+		o.closeChildren()
+		return err
+	}
+	o.opened = true
+	o.metered = !o.unmetered
+	return nil
+}
+
+func (o *batchOp) closeChildren() {
+	for _, c := range o.children {
+		c.Close()
+	}
+	for _, c := range o.rowKids {
+		c.Close()
+	}
+}
+
+func (o *batchOp) NextBatch() (*Batch, error) {
+	if o.done || !o.opened {
+		return nil, nil
+	}
+	start := time.Now()
+	b, err := o.k.next(o)
+	o.stats.Elapsed += time.Since(start)
+	if err != nil || b == nil {
+		o.done = true
+		return nil, err
+	}
+	o.stats.RowsOut += int64(b.Rows())
+	o.stats.Batches++
+	// One cancellation check per batch replaces the row engine's
+	// every-256-rows check at a fraction of the frequency.
+	if err := o.ctx.Err(); err != nil {
+		o.done = true
+		return nil, err
+	}
+	return b, nil
+}
+
+func (o *batchOp) Close() error {
+	var first error
+	if o.opened {
+		if err := o.k.close(o); err != nil {
+			first = err
+		}
+		o.opened = false
+	}
+	if o.metered {
+		o.metered = false
+		reg := obs.FromContext(o.ctx)
+		kind := opKind(o.stats.Label)
+		reg.Counter("rel_op_rows_total", "op", kind).Add(o.stats.RowsOut)
+		reg.Counter("rel_op_batches_total", "op", kind).Add(o.stats.Batches)
+	}
+	for _, c := range o.children {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, c := range o.rowKids {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	o.done = true
+	return first
+}
+
+// baseBatchKernel provides no-op resolve/open/close for embedding.
+type baseBatchKernel struct{}
+
+func (baseBatchKernel) resolve(o *batchOp) error { return nil }
+func (baseBatchKernel) open(o *batchOp) error    { return nil }
+func (baseBatchKernel) close(o *batchOp) error   { return nil }
+
+// errBatchKernel surfaces a construction-time error through Open.
+type errBatchKernel struct {
+	baseBatchKernel
+	err error
+}
+
+func (k *errBatchKernel) resolve(o *batchOp) error        { return k.err }
+func (k *errBatchKernel) next(o *batchOp) (*Batch, error) { return nil, k.err }
+
+func errBatchOp(label string, err error) BatchIterator {
+	return newBatchOp(label, &errBatchKernel{err: err})
+}
+
+// drainBatches pulls every remaining batch from an already-open batch
+// iterator.
+func drainBatches(c BatchIterator) ([]*Batch, error) {
+	var out []*Batch
+	for {
+		b, err := c.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		out = append(out, b)
+	}
+}
+
+// MaterializeBatches opens it, drains it into a relation and closes
+// it — the batch-world Materialize.
+func MaterializeBatches(ctx context.Context, it BatchIterator) (*Relation, error) {
+	if err := it.Open(ctx); err != nil {
+		it.Close()
+		return nil, err
+	}
+	var ts []Tuple
+	for {
+		b, err := it.NextBatch()
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		ts = b.AppendTuplesTo(ts)
+	}
+	if err := it.Close(); err != nil {
+		return nil, err
+	}
+	s := it.Schema()
+	if s == nil {
+		return nil, fmt.Errorf("rel: materialize: batch iterator produced no schema")
+	}
+	out := NewRelation(s)
+	out.Tuples = ts
+	return out, nil
+}
+
+// ------------------------------------------------------------ batcher
+
+// batcherKernel adapts a row iterator into the batch world by pulling
+// up to size tuples per NextBatch.
+type batcherKernel struct {
+	baseBatchKernel
+	size int
+	buf  *Batch
+}
+
+func (k *batcherKernel) resolve(o *batchOp) error {
+	s := o.rowKids[0].Schema()
+	if s == nil {
+		return errSchemaPending
+	}
+	o.schema = s
+	return nil
+}
+
+func (k *batcherKernel) open(o *batchOp) error { k.buf = nil; return nil }
+
+func (k *batcherKernel) next(o *batchOp) (*Batch, error) {
+	b := NewBatch(o.schema)
+	child := o.rowKids[0]
+	for b.Rows() < k.size {
+		t, err := child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			break
+		}
+		b.AppendTuple(t)
+	}
+	if b.Rows() == 0 {
+		return nil, nil
+	}
+	return b, nil
+}
+
+// NewBatcher adapts a row iterator into a BatchIterator producing
+// batches of up to size rows (size <= 0 means DefaultBatchSize).
+func NewBatcher(child Iterator, size int) BatchIterator {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	// Built by hand rather than via newBatchOp: resolve reads rowKids,
+	// which must be in place before the first resolve attempt.
+	o := &batchOp{k: &batcherKernel{size: size}, rowKids: []Iterator{child}}
+	o.stats.Label = "batch"
+	o.resolved = o.k.resolve(o) == nil
+	return o
+}
+
+// ToBatches lifts a row iterator into the batch world. Plain relation
+// scans (optionally under a rename) unwrap into zero-copy batch scans
+// of the relation's columnar image; anything else is wrapped with a
+// Batcher that forms batches of up to size rows.
+func ToBatches(it Iterator, size int) BatchIterator {
+	if o, ok := it.(*op); ok {
+		switch k := o.k.(type) {
+		case *scanKernel:
+			return NewBatchScan(k.r)
+		case *renameKernel:
+			if co, ok := o.children[0].(*op); ok {
+				if ck, ok := co.k.(*scanKernel); ok {
+					return NewBatchRename(NewBatchScan(ck.r), k.name)
+				}
+			}
+		}
+	}
+	return NewBatcher(it, size)
+}
+
+// ---------------------------------------------------------- unbatcher
+
+// unbatcher adapts a BatchIterator back into the row world. It
+// implements Iterator (so it drops into any row plan) and exposes its
+// batch child through BatchChildren for plan traversal.
+type unbatcher struct {
+	child  BatchIterator
+	stats  OpStats
+	cur    *Batch
+	i      int
+	opened bool
+	ctx    context.Context
+}
+
+// NewUnbatcher adapts a batch iterator into a row Iterator streaming
+// the live rows of every batch in order.
+func NewUnbatcher(child BatchIterator) Iterator {
+	u := &unbatcher{child: child}
+	u.stats.Label = "unbatch"
+	return u
+}
+
+func (u *unbatcher) Schema() *Schema                { return u.child.Schema() }
+func (u *unbatcher) Children() []Iterator           { return nil }
+func (u *unbatcher) BatchChildren() []BatchIterator { return []BatchIterator{u.child} }
+func (u *unbatcher) Stats() *OpStats                { return &u.stats }
+
+func (u *unbatcher) Open(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := u.child.Open(ctx); err != nil {
+		u.child.Close()
+		return err
+	}
+	u.ctx = ctx
+	u.cur, u.i = nil, 0
+	u.opened = true
+	return nil
+}
+
+func (u *unbatcher) Next() (Tuple, error) {
+	if !u.opened {
+		return nil, nil
+	}
+	for {
+		if u.cur != nil && u.i < u.cur.Rows() {
+			t := u.cur.TupleAt(u.i)
+			u.i++
+			u.stats.RowsOut++
+			return t, nil
+		}
+		b, err := u.child.NextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		u.stats.Batches++
+		u.cur, u.i = b, 0
+	}
+}
+
+func (u *unbatcher) Close() error {
+	u.opened = false
+	u.cur = nil
+	return u.child.Close()
+}

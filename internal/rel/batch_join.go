@@ -1,0 +1,311 @@
+// Batch-native joins. The build side is hashed once at Open (keyed on
+// normalised Values, no per-row string formatting); probe batches
+// stream through, and matches gather column-wise into output batches —
+// no per-row Tuple allocation on the probe path.
+package rel
+
+import (
+	"fmt"
+)
+
+// ------------------------------------------------------ batch hash join
+
+type batchHashJoinKernel struct {
+	baseBatchKernel
+	leftAttr, rightAttr string
+	buildLeft           bool
+	lc, rc              int
+	ht                  map[Value][]int32 // build row indexes, input order
+	build               *Batch            // gathered build side
+	out                 *Batch
+}
+
+func (k *batchHashJoinKernel) resolve(o *batchOp) error {
+	ls, rs := o.children[0].Schema(), o.children[1].Schema()
+	if ls == nil || rs == nil {
+		return errSchemaPending
+	}
+	k.lc, k.rc = ls.Col(k.leftAttr), rs.Col(k.rightAttr)
+	if k.lc < 0 || k.rc < 0 {
+		return fmt.Errorf("rel: hash join: missing attribute %q/%q", k.leftAttr, k.rightAttr)
+	}
+	qa := ls.Qualified(ls.Name)
+	qb := rs.Qualified(rs.Name)
+	attrs := append(append([]Attribute(nil), qa.Attrs...), qb.Attrs...)
+	s, err := TrySchema(ls.Name+"_"+rs.Name, "", attrs...)
+	if err != nil {
+		return err
+	}
+	o.schema = s
+	return nil
+}
+
+func (k *batchHashJoinKernel) open(o *batchOp) error {
+	buildChild, bc := o.children[1], k.rc
+	if k.buildLeft {
+		buildChild, bc = o.children[0], k.lc
+	}
+	batches, err := drainBatches(buildChild)
+	if err != nil {
+		return err
+	}
+	gathered := NewBatch(buildChild.Schema())
+	for _, b := range batches {
+		gathered = appendBatch(gathered, b)
+	}
+	k.build = gathered
+	kv := gathered.Col(bc)
+	k.ht = make(map[Value][]int32, kv.Len())
+	for i, n := 0, kv.Len(); i < n; i++ {
+		key, ok := kv.ValueAt(i).HashKey()
+		if !ok {
+			continue
+		}
+		k.ht[key] = append(k.ht[key], int32(i))
+	}
+	return nil
+}
+
+func (k *batchHashJoinKernel) next(o *batchOp) (*Batch, error) {
+	probeChild, pc := o.children[0], k.lc
+	if k.buildLeft {
+		probeChild, pc = o.children[1], k.rc
+	}
+	for {
+		b, err := probeChild.NextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		// Gather the (probe row, build row) match pairs for the whole
+		// batch, then assemble the output column-at-a-time.
+		var probeRows, buildRows []int32
+		kv := b.Col(pc)
+		for i, n := 0, b.Rows(); i < n; i++ {
+			r := b.RowIdx(i)
+			key, ok := kv.ValueAt(r).HashKey()
+			if !ok {
+				continue
+			}
+			for _, br := range k.ht[key] {
+				probeRows = append(probeRows, int32(r))
+				buildRows = append(buildRows, br)
+			}
+		}
+		if len(probeRows) == 0 {
+			continue
+		}
+		leftBatch, leftRows := b, probeRows
+		rightBatch, rightRows := k.build, buildRows
+		if k.buildLeft {
+			leftBatch, leftRows = k.build, buildRows
+			rightBatch, rightRows = b, probeRows
+		}
+		out := NewBatch(o.schema)
+		gatherCols(out, 0, leftBatch, leftRows)
+		gatherCols(out, leftBatch.NumCols(), rightBatch, rightRows)
+		return out, nil
+	}
+}
+
+// gatherCols copies the physical rows listed in rows from every column
+// of src into dst's columns starting at column offset at.
+func gatherCols(dst *Batch, at int, src *Batch, rows []int32) {
+	for c := 0; c < src.NumCols(); c++ {
+		sv, dv := src.Col(c), dst.Col(at+c)
+		for _, r := range rows {
+			dv.Append(sv.ValueAt(int(r)))
+		}
+	}
+}
+
+// NewBatchHashJoin equijoins left.leftAttr = right.rightAttr over
+// batches with the row hash join's exact semantics: qualified output
+// attributes laid out left-then-right, null keys never match, matches
+// emitted in probe order with build-input order within a key.
+func NewBatchHashJoin(left, right BatchIterator, leftAttr, rightAttr string, buildLeft bool) BatchIterator {
+	k := &batchHashJoinKernel{leftAttr: leftAttr, rightAttr: rightAttr, buildLeft: buildLeft}
+	return newBatchOp("hash join "+leftAttr+"="+rightAttr, k, left, right)
+}
+
+// ------------------------------------- batch natural join (vs relation)
+
+// batchNaturalKernel natural-joins a streaming batch input against a
+// materialised relation hashed at Open. The schema and key-propagation
+// rules mirror naturalKernel exactly, so the static enrichment chain
+// in internal/core can swap engines without observable change. The
+// single-shared-attribute case (the common one: the chain joins on tid
+// then vid) probes on normalised Values; multi-attribute joins fall
+// back to the concatenated Key string.
+type batchNaturalKernel struct {
+	baseBatchKernel
+	right        *Relation
+	cross        bool
+	aCols, bCols []int
+	bExtra       []int
+	htv          map[Value][]int32  // single shared attribute
+	hts          map[string][]int32 // multiple shared attributes
+}
+
+func (k *batchNaturalKernel) resolve(o *batchOp) error {
+	as, bs := o.children[0].Schema(), k.right.Schema
+	if as == nil {
+		return errSchemaPending
+	}
+	var shared []string
+	for _, attr := range as.Attrs {
+		if bs.Has(attr.Name) {
+			shared = append(shared, attr.Name)
+		}
+	}
+	if len(shared) == 0 {
+		k.cross = true
+		qa, qb := as.Qualified(as.Name), bs.Qualified(bs.Name)
+		attrs := append(append([]Attribute(nil), qa.Attrs...), qb.Attrs...)
+		s, err := TrySchema(as.Name+"x"+bs.Name, "", attrs...)
+		if err != nil {
+			return err
+		}
+		o.schema = s
+		return nil
+	}
+	k.aCols = make([]int, len(shared))
+	k.bCols = make([]int, len(shared))
+	for i, n := range shared {
+		k.aCols[i] = as.Col(n)
+		k.bCols[i] = bs.Col(n)
+	}
+	attrs := append([]Attribute(nil), as.Attrs...)
+	k.bExtra = nil
+	for i, attr := range bs.Attrs {
+		if !as.Has(attr.Name) {
+			attrs = append(attrs, attr)
+			k.bExtra = append(k.bExtra, i)
+		}
+	}
+	key := as.Key
+	if key == "" {
+		key = bs.Key
+		if key != "" {
+			tmp, err := TrySchema("tmp", "", attrs...)
+			if err != nil {
+				return err
+			}
+			if !tmp.Has(key) {
+				key = ""
+			}
+		}
+	}
+	s, err := TrySchema(as.Name+"_"+bs.Name, key, attrs...)
+	if err != nil {
+		return err
+	}
+	o.schema = s
+	return nil
+}
+
+func (k *batchNaturalKernel) open(o *batchOp) error {
+	if k.cross {
+		return nil
+	}
+	cols := k.right.columns()
+	if len(k.bCols) == 1 {
+		kv := &cols.cols[k.bCols[0]]
+		k.htv = make(map[Value][]int32, cols.n)
+		for i := 0; i < cols.n; i++ {
+			key, ok := kv.ValueAt(i).HashKey()
+			if !ok {
+				continue
+			}
+			k.htv[key] = append(k.htv[key], int32(i))
+		}
+		return nil
+	}
+	k.hts = make(map[string][]int32, cols.n)
+	for i, t := range k.right.Tuples {
+		key, ok := jointKey(t, k.bCols)
+		if !ok {
+			continue
+		}
+		k.hts[key] = append(k.hts[key], int32(i))
+	}
+	return nil
+}
+
+func (k *batchNaturalKernel) next(o *batchOp) (*Batch, error) {
+	for {
+		b, err := o.children[0].NextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		cols := k.right.columns()
+		var aRows, bRows []int32
+		if k.cross {
+			for i, n := 0, b.Rows(); i < n; i++ {
+				r := int32(b.RowIdx(i))
+				for j := 0; j < cols.n; j++ {
+					aRows = append(aRows, r)
+					bRows = append(bRows, int32(j))
+				}
+			}
+		} else if k.htv != nil {
+			kv := b.Col(k.aCols[0])
+			for i, n := 0, b.Rows(); i < n; i++ {
+				r := b.RowIdx(i)
+				key, ok := kv.ValueAt(r).HashKey()
+				if !ok {
+					continue
+				}
+				for _, br := range k.htv[key] {
+					aRows = append(aRows, int32(r))
+					bRows = append(bRows, br)
+				}
+			}
+		} else {
+			scratch := make(Tuple, b.NumCols())
+			for i, n := 0, b.Rows(); i < n; i++ {
+				r := b.RowIdx(i)
+				for c := range scratch {
+					scratch[c] = b.Col(c).ValueAt(r)
+				}
+				key, ok := jointKey(scratch, k.aCols)
+				if !ok {
+					continue
+				}
+				for _, br := range k.hts[key] {
+					aRows = append(aRows, int32(r))
+					bRows = append(bRows, br)
+				}
+			}
+		}
+		if len(aRows) == 0 {
+			continue
+		}
+		out := NewBatch(o.schema)
+		gatherCols(out, 0, b, aRows)
+		if k.cross {
+			for c := 0; c < len(cols.cols); c++ {
+				sv, dv := &cols.cols[c], out.Col(b.NumCols()+c)
+				for _, r := range bRows {
+					dv.Append(sv.ValueAt(int(r)))
+				}
+			}
+		} else {
+			for ci, c := range k.bExtra {
+				sv, dv := &cols.cols[c], out.Col(b.NumCols()+ci)
+				for _, r := range bRows {
+					dv.Append(sv.ValueAt(int(r)))
+				}
+			}
+		}
+		return out, nil
+	}
+}
+
+// NewBatchNaturalJoinRel natural-joins the batch stream left against
+// the relation right on all shared attribute names (hashing right at
+// Open), with NewNaturalJoin's schema, key-propagation and ordering
+// semantics. With no shared attributes it degenerates to a Cartesian
+// product.
+func NewBatchNaturalJoinRel(left BatchIterator, right *Relation) BatchIterator {
+	return newBatchOp("natural join", &batchNaturalKernel{right: right}, left)
+}

@@ -1,0 +1,623 @@
+// Batch-native kernels: scan, filter, projection, sort, limit and
+// aggregation. Scans slice the relation's cached columnar image
+// (zero-copy), filters refine the selection vector in place,
+// projections re-point column headers — only sort and aggregation
+// materialise, exactly like their row counterparts.
+package rel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ----------------------------------------------------------- batch scan
+
+type batchScanKernel struct {
+	baseBatchKernel
+	r    *Relation
+	size int
+	cols *relColumns
+	i    int
+}
+
+func (k *batchScanKernel) resolve(o *batchOp) error { o.schema = k.r.Schema; return nil }
+
+func (k *batchScanKernel) open(o *batchOp) error {
+	k.cols = k.r.columns()
+	k.i = 0
+	return nil
+}
+
+func (k *batchScanKernel) next(o *batchOp) (*Batch, error) {
+	if k.i >= k.cols.n {
+		return nil, nil
+	}
+	lo := k.i
+	hi := lo + k.size
+	if hi > k.cols.n {
+		hi = k.cols.n
+	}
+	k.i = hi
+	b := &Batch{schema: o.schema, cols: make([]Vector, len(k.cols.cols))}
+	for c := range k.cols.cols {
+		b.cols[c] = k.cols.cols[c].Slice(lo, hi)
+	}
+	return b, nil
+}
+
+// NewBatchScan streams the rows of r as zero-copy column slices of its
+// columnar image, DefaultBatchSize rows per batch.
+func NewBatchScan(r *Relation) BatchIterator {
+	return NewBatchScanSize(r, 0)
+}
+
+// NewBatchScanSize is NewBatchScan with an explicit batch size
+// (size <= 0 means DefaultBatchSize). Tests use tiny batches to force
+// multi-batch schedules on small relations.
+func NewBatchScanSize(r *Relation, size int) BatchIterator {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return newBatchOp("scan "+r.Schema.Name, &batchScanKernel{r: r, size: size})
+}
+
+// newMorselBatchSource replays pre-split batches; the batch exchange's
+// per-morsel pipelines read from it. Unmetered for the same reason
+// morsel scans are: the rows and batches were already counted flowing
+// into the exchange.
+type morselSourceKernel struct {
+	baseBatchKernel
+	batches []*Batch
+	i       int
+}
+
+func (k *morselSourceKernel) next(o *batchOp) (*Batch, error) {
+	if k.i >= len(k.batches) {
+		return nil, nil
+	}
+	b := k.batches[k.i]
+	k.i++
+	return b, nil
+}
+
+func newMorselBatchSource(s *Schema, batches []*Batch) BatchIterator {
+	o := newBatchOp("scan "+s.Name, &morselSourceKernel{batches: batches})
+	o.schema = s
+	o.unmetered = true
+	return o
+}
+
+// --------------------------------------------------------- batch filter
+
+// BatchPred refines a batch's selection vector in place, keeping only
+// the rows that satisfy the predicate. Implementations loop over the
+// batch's columns directly (see Batch.Refine for the generic form).
+type BatchPred func(b *Batch)
+
+type batchFilterKernel struct {
+	baseBatchKernel
+	bind func(*Schema) (BatchPred, error)
+	p    BatchPred
+}
+
+func (k *batchFilterKernel) resolve(o *batchOp) error {
+	s := o.children[0].Schema()
+	if s == nil {
+		return errSchemaPending
+	}
+	p, err := k.bind(s)
+	if err != nil {
+		return err
+	}
+	o.schema = s
+	k.p = p
+	return nil
+}
+
+func (k *batchFilterKernel) next(o *batchOp) (*Batch, error) {
+	for {
+		b, err := o.children[0].NextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		k.p(b)
+		if b.Rows() > 0 {
+			return b, nil
+		}
+	}
+}
+
+// NewBatchFilter keeps the rows of child satisfying p, refining each
+// batch's selection vector in place (no data copied). Fully-filtered
+// batches are swallowed, never emitted empty.
+func NewBatchFilter(child BatchIterator, p BatchPred) BatchIterator {
+	return NewBatchFilterWith("select", child, func(*Schema) (BatchPred, error) { return p, nil })
+}
+
+// NewBatchFilterWith is NewBatchFilter with a late-bound predicate,
+// mirroring NewSelectWith.
+func NewBatchFilterWith(label string, child BatchIterator, bind func(*Schema) (BatchPred, error)) BatchIterator {
+	return newBatchOp(label, &batchFilterKernel{bind: bind}, child)
+}
+
+// RowPred lifts a row predicate into a BatchPred through a reused
+// scratch tuple — the fallback when a predicate cannot be compiled
+// into per-column loops.
+func RowPred(s *Schema, p Pred) BatchPred {
+	scratch := make(Tuple, len(s.Attrs))
+	return func(b *Batch) {
+		b.Refine(func(row int) bool {
+			for c := 0; c < b.NumCols(); c++ {
+				scratch[c] = b.Col(c).ValueAt(row)
+			}
+			return p(scratch)
+		})
+	}
+}
+
+// -------------------------------------------------------- batch project
+
+type batchProjectKernel struct {
+	baseBatchKernel
+	bind func(in *Schema) (*Schema, []int, error)
+	cols []int
+}
+
+func (k *batchProjectKernel) resolve(o *batchOp) error {
+	in := o.children[0].Schema()
+	if in == nil {
+		return errSchemaPending
+	}
+	s, cols, err := k.bind(in)
+	if err != nil {
+		return err
+	}
+	for _, c := range cols {
+		if c < 0 || c >= len(in.Attrs) {
+			return fmt.Errorf("rel: batch project: column %d out of range for %s", c, in)
+		}
+	}
+	o.schema = s
+	k.cols = cols
+	return nil
+}
+
+func (k *batchProjectKernel) next(o *batchOp) (*Batch, error) {
+	b, err := o.children[0].NextBatch()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	return b.Project(o.schema, k.cols), nil
+}
+
+// NewBatchProject projects child to the named attributes: a zero-copy
+// column pick (duplicates allowed, mirroring NewProject).
+func NewBatchProject(child BatchIterator, names ...string) BatchIterator {
+	return NewBatchProjectWith("project", child, func(in *Schema) (*Schema, []int, error) {
+		cols := make([]int, len(names))
+		attrs := make([]Attribute, len(names))
+		seen := map[string]bool{}
+		for i, n := range names {
+			c := in.Col(n)
+			if c < 0 {
+				return nil, nil, fmt.Errorf("rel: project: no attribute %q in %s", n, in)
+			}
+			cols[i] = c
+			name := in.Attrs[c].Name
+			if seen[name] {
+				return nil, nil, fmt.Errorf("rel: project: duplicate attribute %q", name)
+			}
+			seen[name] = true
+			attrs[i] = in.Attrs[c]
+		}
+		key := ""
+		if in.Key != "" && seen[in.Key] {
+			key = in.Key
+		}
+		s, err := TrySchema(in.Name, key, attrs...)
+		if err != nil {
+			return nil, nil, err
+		}
+		return s, cols, nil
+	})
+}
+
+// NewBatchProjectWith is the late-bound batch projection: bind maps
+// the input schema to the output schema plus the input column index
+// per output column. gsql's projection (star expansion, renaming)
+// binds through it.
+func NewBatchProjectWith(label string, child BatchIterator, bind func(in *Schema) (*Schema, []int, error)) BatchIterator {
+	return newBatchOp(label, &batchProjectKernel{bind: bind}, child)
+}
+
+// --------------------------------------------------------- batch rename
+
+type batchRenameKernel struct {
+	baseBatchKernel
+	name string
+}
+
+func (k *batchRenameKernel) resolve(o *batchOp) error {
+	in := o.children[0].Schema()
+	if in == nil {
+		return errSchemaPending
+	}
+	o.schema = in.Rename(k.name)
+	return nil
+}
+
+func (k *batchRenameKernel) next(o *batchOp) (*Batch, error) {
+	b, err := o.children[0].NextBatch()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	return b.WithSchema(o.schema), nil
+}
+
+// NewBatchRename passes child through under a new relation name.
+func NewBatchRename(child BatchIterator, name string) BatchIterator {
+	return newBatchOp("rename "+name, &batchRenameKernel{name: name}, child)
+}
+
+// ----------------------------------------------------------- batch sort
+
+type batchSortKernel struct {
+	baseBatchKernel
+	names []string
+	size  int
+	cols  []int
+	out   *Batch // gathered + sorted input, emitted in slices
+	i     int
+}
+
+func (k *batchSortKernel) resolve(o *batchOp) error {
+	s := o.children[0].Schema()
+	if s == nil {
+		return errSchemaPending
+	}
+	cols := make([]int, len(k.names))
+	for i, n := range k.names {
+		c := s.Col(n)
+		if c < 0 {
+			return fmt.Errorf("rel: sort: no attribute %q in %s", n, s)
+		}
+		cols[i] = c
+	}
+	o.schema = s
+	k.cols = cols
+	return nil
+}
+
+func (k *batchSortKernel) open(o *batchOp) error {
+	batches, err := drainBatches(o.children[0])
+	if err != nil {
+		return err
+	}
+	// Gather every live row into one wide batch, then stable-sort a
+	// row-index permutation and re-gather in sorted order. Comparison
+	// touches only the sort columns.
+	var n int
+	for _, b := range batches {
+		n += b.Rows()
+	}
+	gathered := NewBatch(o.schema)
+	for _, b := range batches {
+		gathered = appendBatch(gathered, b)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sortCols := make([]*Vector, len(k.cols))
+	for i, c := range k.cols {
+		sortCols[i] = gathered.Col(c)
+	}
+	sort.SliceStable(perm, func(i, j int) bool {
+		for _, v := range sortCols {
+			if cmp := v.ValueAt(perm[i]).Compare(v.ValueAt(perm[j])); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	out := NewBatch(o.schema)
+	for c := 0; c < gathered.NumCols(); c++ {
+		src, dst := gathered.Col(c), out.Col(c)
+		for _, r := range perm {
+			dst.Append(src.ValueAt(r))
+		}
+	}
+	k.out = out
+	k.i = 0
+	return nil
+}
+
+func (k *batchSortKernel) next(o *batchOp) (*Batch, error) {
+	n := k.out.Rows()
+	if k.i >= n {
+		return nil, nil
+	}
+	lo := k.i
+	hi := lo + k.size
+	if hi > n {
+		hi = n
+	}
+	k.i = hi
+	b := &Batch{schema: o.schema, cols: make([]Vector, k.out.NumCols())}
+	for c := range b.cols {
+		b.cols[c] = k.out.Col(c).Slice(lo, hi)
+	}
+	return b, nil
+}
+
+// appendBatch appends src's live rows onto dst column-wise. dst must
+// be selection-free (it is being built row-by-row).
+func appendBatch(dst, src *Batch) *Batch {
+	for c := 0; c < src.NumCols(); c++ {
+		sv, dv := src.Col(c), dst.Col(c)
+		if src.sel == nil {
+			for i, n := 0, sv.Len(); i < n; i++ {
+				dv.Append(sv.ValueAt(i))
+			}
+			continue
+		}
+		for _, i := range src.sel {
+			dv.Append(sv.ValueAt(int(i)))
+		}
+	}
+	return dst
+}
+
+// NewBatchSort is the batch pipeline breaker sorting by the named
+// attributes ascending (stable), re-emitting DefaultBatchSize batches.
+func NewBatchSort(child BatchIterator, names ...string) BatchIterator {
+	return newBatchOp("sort "+fmt.Sprint(names), &batchSortKernel{names: names, size: DefaultBatchSize}, child)
+}
+
+// ---------------------------------------------------------- batch limit
+
+type batchLimitKernel struct {
+	baseBatchKernel
+	n       int
+	emitted int
+}
+
+func (k *batchLimitKernel) resolve(o *batchOp) error {
+	s := o.children[0].Schema()
+	if s == nil {
+		return errSchemaPending
+	}
+	o.schema = s
+	return nil
+}
+
+func (k *batchLimitKernel) open(o *batchOp) error { k.emitted = 0; return nil }
+
+func (k *batchLimitKernel) next(o *batchOp) (*Batch, error) {
+	if k.n >= 0 && k.emitted >= k.n {
+		return nil, nil
+	}
+	b, err := o.children[0].NextBatch()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	if k.n >= 0 && k.emitted+b.Rows() > k.n {
+		// Trim the batch to the remaining budget via its selection
+		// vector — no data moves.
+		want := k.n - k.emitted
+		if b.sel == nil {
+			sel := make([]int32, want)
+			for i := range sel {
+				sel[i] = int32(i)
+			}
+			b.sel = sel
+		} else {
+			b.sel = b.sel[:want]
+		}
+	}
+	k.emitted += b.Rows()
+	return b, nil
+}
+
+// NewBatchLimit caps the stream at n live rows (negative n means
+// unlimited), trimming the final batch through its selection vector.
+func NewBatchLimit(child BatchIterator, n int) BatchIterator {
+	return newBatchOp(fmt.Sprintf("limit %d", n), &batchLimitKernel{n: n}, child)
+}
+
+// ------------------------------------------------------ batch aggregate
+
+type batchAggKernel struct {
+	baseBatchKernel
+	groupBy []string
+	specs   []AggSpec
+	size    int
+	gCols   []int
+	sCols   []int
+	out     *Batch
+	i       int
+}
+
+func (k *batchAggKernel) resolve(o *batchOp) error {
+	in := o.children[0].Schema()
+	if in == nil {
+		return errSchemaPending
+	}
+	k.gCols = make([]int, len(k.groupBy))
+	for i, n := range k.groupBy {
+		c := in.Col(n)
+		if c < 0 {
+			return fmt.Errorf("rel: aggregate: no attribute %q in %s", n, in)
+		}
+		k.gCols[i] = c
+	}
+	k.sCols = make([]int, len(k.specs))
+	for i, sp := range k.specs {
+		if sp.Attr == "*" {
+			k.sCols[i] = -1
+			continue
+		}
+		c := in.Col(sp.Attr)
+		if c < 0 {
+			return fmt.Errorf("rel: aggregate: no attribute %q in %s", sp.Attr, in)
+		}
+		k.sCols[i] = c
+	}
+	attrs := make([]Attribute, 0, len(k.groupBy)+len(k.specs))
+	for i, n := range k.groupBy {
+		attrs = append(attrs, Attribute{Name: n, Type: in.Attrs[k.gCols[i]].Type})
+	}
+	for _, sp := range k.specs {
+		kind := KindFloat
+		if sp.Func == AggCount {
+			kind = KindInt
+		}
+		attrs = append(attrs, Attribute{Name: sp.As, Type: kind})
+	}
+	s, err := TrySchema(in.Name+"_agg", "", attrs...)
+	if err != nil {
+		return err
+	}
+	o.schema = s
+	return nil
+}
+
+// aggState accumulates one group across batches; the accumulator
+// layout matches the row aggKernel so results are bit-identical.
+type aggState struct {
+	key    Tuple
+	counts []int64
+	sums   []float64
+	mins   []Value
+	maxs   []Value
+}
+
+func (k *batchAggKernel) open(o *batchOp) error {
+	newGroup := func(key Tuple) *aggState {
+		g := &aggState{
+			key:    key,
+			counts: make([]int64, len(k.specs)),
+			sums:   make([]float64, len(k.specs)),
+			mins:   make([]Value, len(k.specs)),
+			maxs:   make([]Value, len(k.specs)),
+		}
+		for i := range k.specs {
+			g.mins[i] = Null
+			g.maxs[i] = Null
+		}
+		return g
+	}
+	groups := make(map[string]*aggState)
+	var order []string
+	for {
+		b, err := o.children[0].NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		gVecs := make([]*Vector, len(k.gCols))
+		for i, c := range k.gCols {
+			gVecs[i] = b.Col(c)
+		}
+		sVecs := make([]*Vector, len(k.sCols))
+		for i, c := range k.sCols {
+			if c >= 0 {
+				sVecs[i] = b.Col(c)
+			}
+		}
+		for i, n := 0, b.Rows(); i < n; i++ {
+			r := b.RowIdx(i)
+			key := ""
+			for _, v := range gVecs {
+				key += v.ValueAt(r).Key()
+			}
+			g, ok := groups[key]
+			if !ok {
+				gk := make(Tuple, len(gVecs))
+				for gi, v := range gVecs {
+					gk[gi] = v.ValueAt(r)
+				}
+				g = newGroup(gk)
+				groups[key] = g
+				order = append(order, key)
+			}
+			for si := range k.specs {
+				v := I(1)
+				if sVecs[si] != nil {
+					v = sVecs[si].ValueAt(r)
+				}
+				if v.IsNull() {
+					continue
+				}
+				g.counts[si]++
+				g.sums[si] += v.Float()
+				if g.mins[si].IsNull() || v.Compare(g.mins[si]) < 0 {
+					g.mins[si] = v
+				}
+				if g.maxs[si].IsNull() || v.Compare(g.maxs[si]) > 0 {
+					g.maxs[si] = v
+				}
+			}
+		}
+	}
+	if len(k.groupBy) == 0 && len(groups) == 0 {
+		groups[""] = newGroup(nil)
+		order = append(order, "")
+	}
+	out := NewBatch(o.schema)
+	for _, key := range order {
+		g := groups[key]
+		nt := make(Tuple, 0, len(o.schema.Attrs))
+		nt = append(nt, g.key...)
+		for i, sp := range k.specs {
+			switch sp.Func {
+			case AggCount:
+				nt = append(nt, I(g.counts[i]))
+			case AggSum:
+				nt = append(nt, F(g.sums[i]))
+			case AggAvg:
+				if g.counts[i] == 0 {
+					nt = append(nt, Null)
+				} else {
+					nt = append(nt, F(g.sums[i]/float64(g.counts[i])))
+				}
+			case AggMin:
+				nt = append(nt, g.mins[i])
+			case AggMax:
+				nt = append(nt, g.maxs[i])
+			}
+		}
+		out.AppendTuple(nt)
+	}
+	k.out = out
+	k.i = 0
+	return nil
+}
+
+func (k *batchAggKernel) next(o *batchOp) (*Batch, error) {
+	n := k.out.Rows()
+	if k.i >= n {
+		return nil, nil
+	}
+	lo := k.i
+	hi := lo + k.size
+	if hi > n {
+		hi = n
+	}
+	k.i = hi
+	b := &Batch{schema: o.schema, cols: make([]Vector, k.out.NumCols())}
+	for c := range b.cols {
+		b.cols[c] = k.out.Col(c).Slice(lo, hi)
+	}
+	return b, nil
+}
+
+// NewBatchAggregate is the batch pipeline breaker grouping by the
+// groupBy attributes and computing the given aggregates per group,
+// with the row kernel's exact semantics (first-occurrence group order,
+// a single global group over empty ungrouped input, SQL null rules).
+func NewBatchAggregate(child BatchIterator, groupBy []string, specs []AggSpec) BatchIterator {
+	return newBatchOp("aggregate", &batchAggKernel{groupBy: groupBy, specs: specs, size: DefaultBatchSize}, child)
+}

@@ -1,0 +1,217 @@
+// Morsel-driven parallelism over batches: NewBatchExchange moves whole
+// column batches as morsels. The child's batches are drained at Open,
+// each batch becomes one task for the worker pool, and per-task
+// outputs merge back in input-batch order — so a parallel batch plan
+// produces exactly the batch sequence of its serial counterpart, which
+// keeps both the tuple order and the per-operator batch counters
+// identical to serial execution (the metrics-parity invariant).
+package rel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"semjoin/internal/obs"
+)
+
+// BatchPipelineBuilder constructs one worker's sub-pipeline over a
+// morsel source, the batch analogue of PipelineBuilder. It is called
+// once per morsel and must be reusable: any state it closes over has
+// to be read-only.
+type BatchPipelineBuilder func(source BatchIterator) BatchIterator
+
+type batchExchangeTask struct {
+	done chan struct{}
+	out  []*Batch
+	err  error
+}
+
+type batchExchangeKernel struct {
+	baseBatchKernel
+	p     int
+	build BatchPipelineBuilder
+
+	tasks  []*batchExchangeTask
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	cur    int // task being drained
+	i      int // next batch within the current task
+}
+
+func (k *batchExchangeKernel) resolve(o *batchOp) error {
+	in := o.children[0].Schema()
+	if in == nil {
+		return errSchemaPending
+	}
+	// Probe the sub-pipeline over an empty morsel source to learn the
+	// output schema, forcing an open/close round trip when the builder
+	// only knows its schema after Open.
+	probe := k.build(newMorselBatchSource(in, nil))
+	if probe.Schema() == nil {
+		if err := probe.Open(context.Background()); err != nil {
+			probe.Close()
+			return err
+		}
+		defer probe.Close()
+	}
+	s := probe.Schema()
+	if s == nil {
+		return fmt.Errorf("rel: exchange: sub-pipeline produced no schema")
+	}
+	o.schema = s
+	// Record the sub-pipeline's spine as the exchange's note, exactly
+	// as the row exchange does: "exchange [project <- select]".
+	if o.stats.Note == "" {
+		var labels []string
+		for it := probe; it != nil; {
+			cs := it.BatchChildren()
+			if len(cs) == 0 {
+				break // the morsel source
+			}
+			labels = append(labels, it.Stats().Label)
+			it = cs[0]
+		}
+		o.stats.Note = strings.Join(labels, " <- ")
+	}
+	return nil
+}
+
+func (k *batchExchangeKernel) open(o *batchOp) error {
+	morsels, err := drainBatches(o.children[0])
+	if err != nil {
+		return err
+	}
+	in := o.children[0].Schema()
+	n := len(morsels)
+	if n == 0 {
+		n = 1 // one empty morsel keeps generators/edge cases uniform
+		morsels = []*Batch{nil}
+	}
+	k.tasks = make([]*batchExchangeTask, n)
+	for i := range k.tasks {
+		k.tasks[i] = &batchExchangeTask{done: make(chan struct{})}
+	}
+	workers := k.p
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	o.stats.Workers = workers
+
+	var rows int64
+	for _, m := range morsels {
+		if m != nil {
+			rows += int64(m.Rows())
+		}
+	}
+	reg := obs.FromContext(o.ctx)
+	reg.Counter("rel_exchange_morsels_total").Add(int64(n))
+	reg.Counter("rel_exchange_input_rows_total").Add(rows)
+	reg.Histogram("rel_exchange_workers", obs.SizeBuckets).Observe(float64(workers))
+
+	ctx, cancel := context.WithCancel(o.ctx)
+	k.cancel = cancel
+	var next atomic.Int64
+	k.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer k.wg.Done()
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= n || ctx.Err() != nil {
+					return
+				}
+				var src []*Batch
+				if morsels[idx] != nil {
+					src = morsels[idx : idx+1]
+				}
+				t := k.tasks[idx]
+				t.out, t.err = runBatchMorsel(ctx, k.build, in, src)
+				close(t.done)
+			}
+		}()
+	}
+	k.cur, k.i = 0, 0
+	return nil
+}
+
+// runBatchMorsel executes one sub-pipeline over a single-batch morsel.
+// The morsel source is unmetered (its rows and batches were already
+// counted entering the exchange); the sub-pipeline's own operators
+// record normally and, because every morsel is exactly one input
+// batch, their per-operator batch counts sum to the serial plan's.
+func runBatchMorsel(ctx context.Context, build BatchPipelineBuilder, schema *Schema, src []*Batch) ([]*Batch, error) {
+	sub := build(newMorselBatchSource(schema, src))
+	if err := sub.Open(ctx); err != nil {
+		sub.Close()
+		return nil, err
+	}
+	var out []*Batch
+	for {
+		b, err := sub.NextBatch()
+		if err != nil {
+			sub.Close()
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		out = append(out, b)
+		if err := ctx.Err(); err != nil {
+			sub.Close()
+			return nil, err
+		}
+	}
+	return out, sub.Close()
+}
+
+func (k *batchExchangeKernel) next(o *batchOp) (*Batch, error) {
+	for k.cur < len(k.tasks) {
+		t := k.tasks[k.cur]
+		select {
+		case <-t.done:
+		case <-o.ctx.Done():
+			return nil, o.ctx.Err()
+		}
+		if t.err != nil {
+			return nil, t.err
+		}
+		if k.i < len(t.out) {
+			b := t.out[k.i]
+			k.i++
+			return b, nil
+		}
+		t.out = nil // release drained morsel memory early
+		k.cur++
+		k.i = 0
+	}
+	return nil, nil
+}
+
+func (k *batchExchangeKernel) close(o *batchOp) error {
+	if k.cancel != nil {
+		k.cancel()
+		k.wg.Wait() // no goroutine outlives Close
+		k.cancel = nil
+	}
+	k.tasks = nil
+	return nil
+}
+
+// NewBatchExchange runs build's sub-pipeline over child's batches on p
+// workers, one batch per morsel, merging outputs in input-batch order.
+// With p <= 1 it degenerates to running the sub-pipeline inline.
+// Cancellation of the Open context stops the workers, and Close waits
+// for them, so a cancelled plan leaks no goroutines.
+func NewBatchExchange(child BatchIterator, p int, build BatchPipelineBuilder) BatchIterator {
+	if build == nil {
+		return errBatchOp("exchange", errors.New("rel: exchange: nil pipeline builder"))
+	}
+	return newBatchOp("exchange", &batchExchangeKernel{p: p, build: build}, child)
+}

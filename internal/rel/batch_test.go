@@ -1,0 +1,457 @@
+package rel
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// numberedRel builds a relation k(k int, v string, f float) with n rows.
+func numberedRel(n int) *Relation {
+	s := NewSchema("t", "k",
+		Attribute{Name: "k", Type: KindInt},
+		Attribute{Name: "v", Type: KindString},
+		Attribute{Name: "f", Type: KindFloat},
+	)
+	r := NewRelation(s)
+	for i := 0; i < n; i++ {
+		r.InsertVals(I(int64(i)), S(fmt.Sprintf("v%d", i)), F(float64(i)/2))
+	}
+	return r
+}
+
+func mustMaterialize(t *testing.T, it Iterator) *Relation {
+	t.Helper()
+	r, err := Materialize(context.Background(), it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func mustMaterializeBatches(t *testing.T, it BatchIterator) *Relation {
+	t.Helper()
+	r, err := MaterializeBatches(context.Background(), it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func sameRelation(t *testing.T, got, want *Relation) {
+	t.Helper()
+	if gs, ws := got.Schema.String(), want.Schema.String(); gs != ws {
+		t.Fatalf("schema = %s, want %s", gs, ws)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("rows = %d, want %d", got.Len(), want.Len())
+	}
+	for i := range want.Tuples {
+		for c := range want.Tuples[i] {
+			g, w := got.Tuples[i][c], want.Tuples[i][c]
+			if g.Key() != w.Key() {
+				t.Fatalf("row %d col %d = %v, want %v", i, c, g, w)
+			}
+		}
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	vals := []Value{I(1), S("x"), Null, F(2.5), B(true), I(-7), Null, S("")}
+	var v Vector
+	for _, val := range vals {
+		v.Append(val)
+	}
+	if v.Len() != len(vals) {
+		t.Fatalf("len = %d", v.Len())
+	}
+	for i, want := range vals {
+		got := v.ValueAt(i)
+		if got.Kind() != want.Kind() || got.Key() != want.Key() {
+			t.Fatalf("row %d = %v (%v), want %v (%v)", i, got, got.Kind(), want, want.Kind())
+		}
+	}
+	// Zero-copy slices see the same values under shifted indexes.
+	sl := v.Slice(2, 6)
+	if sl.Len() != 4 {
+		t.Fatalf("slice len = %d", sl.Len())
+	}
+	for i := 0; i < 4; i++ {
+		if sl.ValueAt(i).Key() != vals[2+i].Key() {
+			t.Fatalf("slice row %d = %v, want %v", i, sl.ValueAt(i), vals[2+i])
+		}
+	}
+}
+
+func TestBatchTupleRoundTrip(t *testing.T) {
+	r := numberedRel(10)
+	b := NewBatch(r.Schema)
+	for _, tup := range r.Tuples {
+		b.AppendTuple(tup)
+	}
+	if b.Rows() != 10 {
+		t.Fatalf("rows = %d", b.Rows())
+	}
+	for i, want := range r.Tuples {
+		got := b.TupleAt(i)
+		for c := range want {
+			if got[c].Key() != want[c].Key() {
+				t.Fatalf("row %d col %d mismatch", i, c)
+			}
+		}
+	}
+}
+
+func TestBatchScanMatchesScan(t *testing.T) {
+	for _, n := range []int{0, 1, 5, DefaultBatchSize, DefaultBatchSize + 1, 3000} {
+		r := numberedRel(n)
+		got := mustMaterializeBatches(t, NewBatchScan(r))
+		sameRelation(t, got, r)
+	}
+}
+
+func TestBatchScanBatchCounts(t *testing.T) {
+	r := numberedRel(10)
+	it := NewBatchScanSize(r, 3)
+	out := mustMaterializeBatches(t, it)
+	if out.Len() != 10 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+	st := it.Stats()
+	if st.Batches != 4 {
+		t.Fatalf("batches = %d, want 4", st.Batches)
+	}
+	if st.RowsOut != 10 {
+		t.Fatalf("rows out = %d, want 10", st.RowsOut)
+	}
+}
+
+func TestBatchFilterRefinesSelection(t *testing.T) {
+	r := numberedRel(100)
+	pred := func(b *Batch) {
+		kv := b.Col(0)
+		b.Refine(func(row int) bool {
+			return kv.KindAt(row) == KindInt && kv.Ints()[row]%3 == 0
+		})
+	}
+	got := mustMaterializeBatches(t, NewBatchFilter(NewBatchScanSize(r, 7), pred))
+	want := mustMaterialize(t, NewSelect(NewScan(r), func(t Tuple) bool { return t[0].Int()%3 == 0 }))
+	sameRelation(t, got, want)
+}
+
+func TestBatchFilterStacksOnSelection(t *testing.T) {
+	// Two filters in a row: the second must refine the first's
+	// selection vector, not reset it.
+	r := numberedRel(50)
+	even := func(b *Batch) {
+		kv := b.Col(0)
+		b.Refine(func(row int) bool { return kv.Ints()[row]%2 == 0 })
+	}
+	big := func(b *Batch) {
+		kv := b.Col(0)
+		b.Refine(func(row int) bool { return kv.Ints()[row] >= 20 })
+	}
+	got := mustMaterializeBatches(t, NewBatchFilter(NewBatchFilter(NewBatchScan(r), even), big))
+	want := mustMaterialize(t, NewSelect(NewScan(r), func(t Tuple) bool {
+		return t[0].Int()%2 == 0 && t[0].Int() >= 20
+	}))
+	sameRelation(t, got, want)
+}
+
+func TestBatchProjectMatchesProject(t *testing.T) {
+	r := numberedRel(30)
+	got := mustMaterializeBatches(t, NewBatchProject(NewBatchScanSize(r, 4), "v", "k"))
+	want := mustMaterialize(t, NewProject(NewScan(r), "v", "k"))
+	sameRelation(t, got, want)
+}
+
+func TestBatchRename(t *testing.T) {
+	r := numberedRel(5)
+	it := NewBatchRename(NewBatchScan(r), "renamed")
+	out := mustMaterializeBatches(t, it)
+	if out.Schema.Name != "renamed" {
+		t.Fatalf("name = %q", out.Schema.Name)
+	}
+	if out.Len() != 5 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+}
+
+func TestBatchSortMatchesSort(t *testing.T) {
+	r := NewRelation(NewSchema("t", "", Attribute{Name: "a", Type: KindInt}, Attribute{Name: "b", Type: KindString}))
+	for i := 0; i < 97; i++ {
+		r.InsertVals(I(int64((i*37)%10)), S(fmt.Sprintf("s%02d", i)))
+	}
+	got := mustMaterializeBatches(t, NewBatchSort(NewBatchScanSize(r, 10), "a"))
+	want := mustMaterialize(t, NewSort(NewScan(r), "a"))
+	sameRelation(t, got, want)
+}
+
+func TestBatchLimitTrimsSelection(t *testing.T) {
+	r := numberedRel(100)
+	for _, lim := range []int{0, 1, 7, 99, 100, 150, -1} {
+		got := mustMaterializeBatches(t, NewBatchLimit(NewBatchScanSize(r, 8), lim))
+		want := mustMaterialize(t, NewLimit(NewScan(r), lim))
+		sameRelation(t, got, want)
+	}
+	// Limit downstream of a filter trims an existing selection vector.
+	pred := func(b *Batch) {
+		kv := b.Col(0)
+		b.Refine(func(row int) bool { return kv.Ints()[row]%2 == 0 })
+	}
+	got := mustMaterializeBatches(t, NewBatchLimit(NewBatchFilter(NewBatchScanSize(r, 8), pred), 11))
+	want := mustMaterialize(t, NewLimit(NewSelect(NewScan(r), func(t Tuple) bool { return t[0].Int()%2 == 0 }), 11))
+	sameRelation(t, got, want)
+}
+
+func TestBatchAggregateMatchesAggregate(t *testing.T) {
+	r := NewRelation(NewSchema("t", "",
+		Attribute{Name: "g", Type: KindString},
+		Attribute{Name: "x", Type: KindInt},
+	))
+	for i := 0; i < 61; i++ {
+		g := S(fmt.Sprintf("g%d", i%4))
+		x := I(int64(i))
+		if i%13 == 0 {
+			x = Null // aggregates skip nulls
+		}
+		r.InsertVals(g, x)
+	}
+	specs := []AggSpec{
+		{Func: AggCount, Attr: "*", As: "n"},
+		{Func: AggSum, Attr: "x", As: "sx"},
+		{Func: AggAvg, Attr: "x", As: "ax"},
+		{Func: AggMin, Attr: "x", As: "mn"},
+		{Func: AggMax, Attr: "x", As: "mx"},
+	}
+	got := mustMaterializeBatches(t, NewBatchAggregate(NewBatchScanSize(r, 9), []string{"g"}, specs))
+	want := mustMaterialize(t, NewAggregate(NewScan(r), []string{"g"}, specs))
+	sameRelation(t, got, want)
+
+	// Global group over empty input (SQL COUNT semantics).
+	empty := NewRelation(r.Schema)
+	got = mustMaterializeBatches(t, NewBatchAggregate(NewBatchScan(empty), nil, specs[:1]))
+	want = mustMaterialize(t, NewAggregate(NewScan(empty), nil, specs[:1]))
+	sameRelation(t, got, want)
+}
+
+func joinInputs(n, m int) (*Relation, *Relation) {
+	l := NewRelation(NewSchema("l", "", Attribute{Name: "k", Type: KindInt}, Attribute{Name: "a", Type: KindString}))
+	for i := 0; i < n; i++ {
+		k := I(int64(i % 7))
+		if i%11 == 0 {
+			k = Null
+		}
+		l.InsertVals(k, S(fmt.Sprintf("a%d", i)))
+	}
+	r := NewRelation(NewSchema("r", "", Attribute{Name: "k", Type: KindInt}, Attribute{Name: "b", Type: KindString}))
+	for i := 0; i < m; i++ {
+		k := I(int64(i % 9))
+		if i%5 == 0 {
+			k = F(float64(i % 9)) // int/float keys of equal magnitude must join
+		}
+		r.InsertVals(k, S(fmt.Sprintf("b%d", i)))
+	}
+	return l, r
+}
+
+func TestBatchHashJoinMatchesHashJoin(t *testing.T) {
+	l, r := joinInputs(40, 25)
+	for _, buildLeft := range []bool{false, true} {
+		got := mustMaterializeBatches(t, NewBatchHashJoin(NewBatchScanSize(l, 6), NewBatchScanSize(r, 6), "k", "k", buildLeft))
+		want := mustMaterialize(t, NewHashJoin(NewScan(l), NewScan(r), "k", "k", buildLeft))
+		sameRelation(t, got, want)
+	}
+}
+
+func TestBatchNaturalJoinRelMatchesNaturalJoin(t *testing.T) {
+	l, r := joinInputs(40, 25)
+	got := mustMaterializeBatches(t, NewBatchNaturalJoinRel(NewBatchScanSize(l, 6), r))
+	want := mustMaterialize(t, NewNaturalJoin(NewScan(l), NewScan(r)))
+	sameRelation(t, got, want)
+
+	// Multi-attribute shared case.
+	l2 := NewRelation(NewSchema("l", "", Attribute{Name: "x", Type: KindInt}, Attribute{Name: "y", Type: KindInt}, Attribute{Name: "a", Type: KindString}))
+	r2 := NewRelation(NewSchema("r", "", Attribute{Name: "x", Type: KindInt}, Attribute{Name: "y", Type: KindInt}, Attribute{Name: "b", Type: KindString}))
+	for i := 0; i < 30; i++ {
+		l2.InsertVals(I(int64(i%3)), I(int64(i%4)), S(fmt.Sprintf("a%d", i)))
+		r2.InsertVals(I(int64(i%4)), I(int64(i%3)), S(fmt.Sprintf("b%d", i)))
+	}
+	got = mustMaterializeBatches(t, NewBatchNaturalJoinRel(NewBatchScanSize(l2, 7), r2))
+	want = mustMaterialize(t, NewNaturalJoin(NewScan(l2), NewScan(r2)))
+	sameRelation(t, got, want)
+
+	// No shared attributes: Cartesian product.
+	l3 := NewRelation(NewSchema("p", "", Attribute{Name: "a", Type: KindInt}))
+	r3 := NewRelation(NewSchema("q", "", Attribute{Name: "b", Type: KindInt}))
+	for i := 0; i < 5; i++ {
+		l3.InsertVals(I(int64(i)))
+		r3.InsertVals(I(int64(10 + i)))
+	}
+	got = mustMaterializeBatches(t, NewBatchNaturalJoinRel(NewBatchScanSize(l3, 2), r3))
+	want = mustMaterialize(t, NewNaturalJoin(NewScan(l3), NewScan(r3)))
+	sameRelation(t, got, want)
+}
+
+func TestBatcherUnbatcherRoundTrip(t *testing.T) {
+	r := numberedRel(500)
+	// Row -> batch -> row keeps values, nulls and order.
+	got := mustMaterialize(t, NewUnbatcher(NewBatcher(NewScan(r), 64)))
+	sameRelation(t, got, r)
+}
+
+func TestToBatchesUnwrapsScans(t *testing.T) {
+	r := numberedRel(10)
+	if _, ok := ToBatches(NewScan(r), 0).(*batchOp); !ok {
+		t.Fatal("ToBatches(scan) did not produce a batch op")
+	}
+	bi := ToBatches(NewScan(r), 0)
+	if got := bi.Stats().Label; !strings.HasPrefix(got, "scan ") {
+		t.Fatalf("label = %q, want a scan (zero-copy unwrap)", got)
+	}
+	bi2 := ToBatches(NewRename(NewScan(r), "x"), 0)
+	if got := bi2.Stats().Label; got != "rename x" {
+		t.Fatalf("label = %q, want rename over batch scan", got)
+	}
+	// Non-scan inputs wrap with a Batcher.
+	bi3 := ToBatches(NewSelect(NewScan(r), func(Tuple) bool { return true }), 0)
+	if got := bi3.Stats().Label; got != "batch" {
+		t.Fatalf("label = %q, want batch", got)
+	}
+}
+
+func TestBatchExchangeMatchesSerial(t *testing.T) {
+	r := numberedRel(3000)
+	build := func(in BatchIterator) BatchIterator {
+		pred := func(b *Batch) {
+			kv := b.Col(0)
+			b.Refine(func(row int) bool { return kv.Ints()[row]%3 != 0 })
+		}
+		return NewBatchProject(NewBatchFilter(in, pred), "k", "v")
+	}
+	serial := mustMaterializeBatches(t, build(NewBatchScanSize(r, 128)))
+	for _, p := range []int{1, 2, 4} {
+		it := NewBatchExchange(NewBatchScanSize(r, 128), p, build)
+		got := mustMaterializeBatches(t, it)
+		sameRelation(t, got, serial)
+	}
+}
+
+func TestBatchExchangeEmptyInput(t *testing.T) {
+	r := numberedRel(0)
+	build := func(in BatchIterator) BatchIterator { return NewBatchProject(in, "k") }
+	it := NewBatchExchange(NewBatchScan(r), 4, build)
+	got := mustMaterializeBatches(t, it)
+	if got.Len() != 0 {
+		t.Fatalf("rows = %d", got.Len())
+	}
+	if got.Schema.AttrNames()[0] != "k" {
+		t.Fatalf("schema = %s", got.Schema)
+	}
+}
+
+func TestBatchExchangeCancellation(t *testing.T) {
+	r := numberedRel(5000)
+	ctx, cancel := context.WithCancel(context.Background())
+	build := func(in BatchIterator) BatchIterator { return NewBatchProject(in, "k") }
+	it := NewBatchExchange(NewBatchScanSize(r, 16), 4, build)
+	if err := it.Open(ctx); err != nil {
+		it.Close()
+		t.Fatal(err)
+	}
+	cancel()
+	for {
+		b, err := it.NextBatch()
+		if err != nil {
+			break // cancellation surfaced
+		}
+		if b == nil {
+			break // drained before the cancel landed; fine either way
+		}
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchStatsReportBatchCounts(t *testing.T) {
+	r := numberedRel(300)
+	pred := func(b *Batch) {
+		kv := b.Col(0)
+		b.Refine(func(row int) bool { return kv.Ints()[row] < 150 })
+	}
+	it := NewBatchFilter(NewBatchScanSize(r, 100), pred)
+	out := mustMaterializeBatches(t, it)
+	if out.Len() != 150 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+	st := CollectStats(NewUnbatcher(it))
+	var found bool
+	for _, l := range st.Lines {
+		if l.Label == "select" {
+			found = true
+			if l.Batches != 2 {
+				t.Fatalf("select batches = %d, want 2 (the third is fully filtered)", l.Batches)
+			}
+			if l.Rows != 150 {
+				t.Fatalf("select rows = %d", l.Rows)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no select line in collected stats")
+	}
+}
+
+func TestPlanLineBatchesRoundTrip(t *testing.T) {
+	l := PlanLine{Depth: 2, Label: "select", Note: "x [y]", Rows: 500, Batches: 4, Workers: 3}
+	s := l.String()
+	if !strings.Contains(s, "batches=4 rows/batch=125") {
+		t.Fatalf("rendered %q", s)
+	}
+	got, ok := ParsePlanLine(s)
+	if !ok {
+		t.Fatalf("unparseable: %q", s)
+	}
+	if got.Batches != 4 || got.Rows != 500 || got.Workers != 3 || got.Note != "x [y]" || got.Depth != 2 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	// Lines without batch annotations still parse.
+	plain := PlanLine{Label: "scan t", Rows: 10}
+	got, ok = ParsePlanLine(plain.String())
+	if !ok || got.Batches != 0 {
+		t.Fatalf("plain round trip = %+v ok=%v", got, ok)
+	}
+}
+
+func TestColumnarCacheInvalidation(t *testing.T) {
+	r := numberedRel(10)
+	c1 := r.columns()
+	if c2 := r.columns(); c2 != c1 {
+		t.Fatal("cache not reused")
+	}
+	r.InsertVals(I(99), S("new"), F(1))
+	c3 := r.columns()
+	if c3 == c1 {
+		t.Fatal("cache not invalidated by Insert")
+	}
+	if c3.n != 11 {
+		t.Fatalf("cache rows = %d", c3.n)
+	}
+	got := mustMaterializeBatches(t, NewBatchScan(r))
+	sameRelation(t, got, r)
+}
+
+func TestBatchOpenFailureClosesTree(t *testing.T) {
+	// A filter whose bind fails must not leave its child open.
+	r := numberedRel(10)
+	it := NewBatchFilterWith("select", NewBatchScan(r), func(*Schema) (BatchPred, error) {
+		return nil, fmt.Errorf("boom")
+	})
+	if err := it.Open(context.Background()); err == nil {
+		it.Close()
+		t.Fatal("expected bind error")
+	}
+	it.Close() // double close after failed open must be safe
+}

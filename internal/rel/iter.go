@@ -505,8 +505,8 @@ type hashJoinKernel struct {
 	buildLeft           bool
 	workers             int
 	lc, rc              int
-	ht                  map[string][]Tuple   // serial build
-	parts               []map[string][]Tuple // parallel partitioned build
+	ht                  map[Value][]Tuple   // serial build
+	parts               []map[Value][]Tuple // parallel partitioned build
 	pending             []Tuple
 	probe               Tuple
 }
@@ -553,12 +553,12 @@ func (k *hashJoinKernel) open(o *op) error {
 		o.stats.Workers = k.workers
 	} else {
 		k.parts = nil
-		k.ht = make(map[string][]Tuple, len(ts))
+		k.ht = make(map[Value][]Tuple, len(ts))
 		for _, t := range ts {
-			if t[bc].IsNull() {
+			key, ok := t[bc].HashKey()
+			if !ok {
 				continue
 			}
-			key := t[bc].Key()
 			k.ht[key] = append(k.ht[key], t)
 		}
 	}
@@ -569,9 +569,9 @@ func (k *hashJoinKernel) open(o *op) error {
 // lookup returns the build-side matches for a probe key under either
 // build layout. Both layouts keep tuples in build-input order, so probe
 // output is identical regardless of the build parallelism.
-func (k *hashJoinKernel) lookup(key string) []Tuple {
+func (k *hashJoinKernel) lookup(key Value) []Tuple {
 	if k.parts != nil {
-		return k.parts[partitionOf(key, len(k.parts))][key]
+		return k.parts[valuePartition(key, len(k.parts))][key]
 	}
 	return k.ht[key]
 }
@@ -598,10 +598,11 @@ func (k *hashJoinKernel) next(o *op) (Tuple, error) {
 		if err != nil || t == nil {
 			return nil, err
 		}
-		if t[pc].IsNull() {
+		key, ok := t[pc].HashKey()
+		if !ok {
 			continue
 		}
-		k.pending = k.lookup(t[pc].Key())
+		k.pending = k.lookup(key)
 		k.probe = t
 	}
 }

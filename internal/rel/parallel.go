@@ -9,9 +9,11 @@ package rel
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/maphash"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -239,34 +241,59 @@ func NewExchangeMorsel(child Iterator, p int, morsel int, build PipelineBuilder)
 
 var hashSeed = maphash.MakeSeed()
 
-// partitionOf assigns a join key to one of n hash partitions.
-func partitionOf(key string, n int) int {
-	return int(maphash.String(hashSeed, key) % uint64(n))
+// valuePartition assigns a normalised join key (Value.HashKey) to one
+// of n hash partitions. The hash covers the kind tag and the payload
+// of the kind actually set, so two values that are == as map keys
+// always land in the same partition.
+func valuePartition(key Value, n int) int {
+	var h maphash.Hash
+	h.SetSeed(hashSeed)
+	// maphash writes never fail; errors are statically nil.
+	h.WriteByte(byte(key.kind))
+	switch key.kind {
+	case KindString:
+		h.WriteString(key.s)
+	case KindFloat:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(key.f))
+		h.Write(b[:])
+		if key.s != "" {
+			// Canonical NaN / -0 sentinels carry their identity here.
+			h.WriteString(key.s)
+		}
+	case KindBool:
+		if key.b {
+			h.WriteByte(1)
+		}
+	}
+	return int(h.Sum64() % uint64(n))
 }
 
 // buildPartitioned builds per-partition hash tables over ts in
 // parallel: a sequential pass splits the tuples by key hash (keeping
 // input order within each partition, so probe results match the serial
 // build exactly), then one goroutine per partition builds its table.
-func buildPartitioned(ts []Tuple, col, workers int) []map[string][]Tuple {
+// Tables are keyed on normalised Values directly — no per-row string
+// formatting.
+func buildPartitioned(ts []Tuple, col, workers int) []map[Value][]Tuple {
 	parts := make([][]Tuple, workers)
-	keys := make([][]string, workers)
+	keys := make([][]Value, workers)
 	for _, t := range ts {
-		if t[col].IsNull() {
+		key, ok := t[col].HashKey()
+		if !ok {
 			continue
 		}
-		key := t[col].Key()
-		p := partitionOf(key, workers)
+		p := valuePartition(key, workers)
 		parts[p] = append(parts[p], t)
 		keys[p] = append(keys[p], key)
 	}
-	tables := make([]map[string][]Tuple, workers)
+	tables := make([]map[Value][]Tuple, workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for p := 0; p < workers; p++ {
 		go func(p int) {
 			defer wg.Done()
-			ht := make(map[string][]Tuple, len(parts[p]))
+			ht := make(map[Value][]Tuple, len(parts[p]))
 			for i, t := range parts[p] {
 				key := keys[p][i]
 				ht[key] = append(ht[key], t)

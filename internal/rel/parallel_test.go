@@ -260,8 +260,11 @@ func TestBuildPartitionedCoversAllKeys(t *testing.T) {
 		t.Fatalf("partitioned %d tuples, want 1000", total)
 	}
 	for k := 0; k < 50; k++ {
-		key := I(int64(k)).Key()
-		chain := parts[partitionOf(key, 4)][key]
+		key, ok := I(int64(k)).HashKey()
+		if !ok {
+			t.Fatalf("key %d unexpectedly null", k)
+		}
+		chain := parts[valuePartition(key, 4)][key]
 		if len(chain) != 20 {
 			t.Fatalf("key %d chain = %d, want 20", k, len(chain))
 		}

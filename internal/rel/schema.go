@@ -145,6 +145,11 @@ func (t Tuple) Clone() Tuple {
 type Relation struct {
 	Schema *Schema
 	Tuples []Tuple
+
+	// colCache is the lazily-built columnar image batch scans read
+	// (see batch.go); it self-invalidates when Tuples changes. Guarded
+	// by colCacheMu, never accessed directly.
+	colCache *relColumns
 }
 
 // NewRelation returns an empty relation of schema s.

@@ -13,6 +13,7 @@ type OpStats struct {
 	Label   string
 	Note    string // strategy annotation, e.g. "gL hit"
 	RowsOut int64
+	Batches int64 // batches emitted by a vectorized operator, 0 for row operators
 	Elapsed time.Duration
 	Workers int // goroutines used by a parallel operator, 0 if serial
 }
@@ -24,12 +25,24 @@ type PlanLine struct {
 	Label   string
 	Note    string
 	Rows    int64
+	Batches int64 // 0 for row-at-a-time operators
 	Elapsed time.Duration
 	Workers int
 }
 
+// RowsPerBatch returns the mean live rows per emitted batch, rounded
+// down; 0 when the operator is not vectorized.
+func (l PlanLine) RowsPerBatch() int64 {
+	if l.Batches <= 0 {
+		return 0
+	}
+	return l.Rows / l.Batches
+}
+
 // String renders the line indented by depth, e.g.
-// "  hash join tid=tid  rows=42 time=1.2ms workers=4".
+// "  hash join tid=tid  rows=42 time=1.2ms workers=4". Vectorized
+// operators additionally report their batch traffic:
+// "select  rows=500 time=80µs batches=4 rows/batch=125".
 func (l PlanLine) String() string {
 	label := l.Label
 	if l.Note != "" {
@@ -37,6 +50,9 @@ func (l PlanLine) String() string {
 	}
 	s := fmt.Sprintf("%s%s  rows=%d time=%s",
 		strings.Repeat("  ", l.Depth), label, l.Rows, l.Elapsed.Round(time.Microsecond))
+	if l.Batches > 0 {
+		s += fmt.Sprintf(" batches=%d rows/batch=%d", l.Batches, l.RowsPerBatch())
+	}
 	if l.Workers > 0 {
 		s += fmt.Sprintf(" workers=%d", l.Workers)
 	}
@@ -69,11 +85,29 @@ func ParsePlanLine(line string) (PlanLine, bool) {
 		return l, false
 	}
 	l.Elapsed = d
-	if len(fields) >= 3 {
-		if !strings.HasPrefix(fields[2], "workers=") {
+	// Optional trailing fields, in rendering order: batches= and
+	// rows/batch= (vectorized operators), then workers= (parallel
+	// operators).
+	rest := fields[2:]
+	if len(rest) > 0 && strings.HasPrefix(rest[0], "batches=") {
+		if _, err := fmt.Sscanf(rest[0], "batches=%d", &l.Batches); err != nil {
 			return l, false
 		}
-		if _, err := fmt.Sscanf(fields[2], "workers=%d", &l.Workers); err != nil {
+		rest = rest[1:]
+		if len(rest) == 0 || !strings.HasPrefix(rest[0], "rows/batch=") {
+			return l, false
+		}
+		var perBatch int64
+		if _, err := fmt.Sscanf(rest[0], "rows/batch=%d", &perBatch); err != nil {
+			return l, false
+		}
+		rest = rest[1:]
+	}
+	if len(rest) > 0 {
+		if !strings.HasPrefix(rest[0], "workers=") {
+			return l, false
+		}
+		if _, err := fmt.Sscanf(rest[0], "workers=%d", &l.Workers); err != nil {
 			return l, false
 		}
 	}
@@ -101,22 +135,43 @@ type ExecStats struct {
 }
 
 // CollectStats snapshots the counters of the operator tree rooted at
-// it into an ExecStats (depth-first pre-order, root first).
+// it into an ExecStats (depth-first pre-order, root first). The walk
+// descends through row children and batch children alike, so hybrid
+// plans (a row pipeline over an unbatched vectorized pipeline, or a
+// batcher over row operators) render as one tree.
 func CollectStats(it Iterator) *ExecStats {
 	st := &ExecStats{}
-	var walk func(it Iterator, depth int)
-	walk = func(it Iterator, depth int) {
-		s := it.Stats()
+	var walk func(node statNode, depth int)
+	walk = func(node statNode, depth int) {
+		s := node.Stats()
 		st.Lines = append(st.Lines, PlanLine{
 			Depth: depth, Label: s.Label, Note: s.Note,
-			Rows: s.RowsOut, Elapsed: s.Elapsed, Workers: s.Workers,
+			Rows: s.RowsOut, Batches: s.Batches, Elapsed: s.Elapsed, Workers: s.Workers,
 		})
-		for _, c := range it.Children() {
-			walk(c, depth+1)
+		if ri, ok := node.(interface{ Children() []Iterator }); ok {
+			for _, c := range ri.Children() {
+				walk(c, depth+1)
+			}
+		}
+		if bi, ok := node.(interface{ BatchChildren() []BatchIterator }); ok {
+			for _, c := range bi.BatchChildren() {
+				walk(c, depth+1)
+			}
+		}
+		if rk, ok := node.(interface{ RowChildren() []Iterator }); ok {
+			for _, c := range rk.RowChildren() {
+				walk(c, depth+1)
+			}
 		}
 	}
 	walk(it, 0)
 	return st
+}
+
+// statNode is the least common denominator of Iterator and
+// BatchIterator that the stats walk needs.
+type statNode interface {
+	Stats() *OpStats
 }
 
 // TotalRows sums rows-out across all operators — a proxy for how much

@@ -9,6 +9,7 @@ package rel
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -142,6 +143,38 @@ func (v Value) Key() string {
 		return "\x00B" + strconv.FormatBool(v.b)
 	}
 	return "\x00?"
+}
+
+// HashKey returns v normalised for direct use as a Go map key, and
+// false for nulls (which never join). Numeric values of equal
+// magnitude collapse to one representation (ints become floats,
+// matching Key's float formatting), and NaN gets a canonical non-float
+// encoding — a raw NaN key would never equal itself under ==, making
+// the map entry unretrievable. Hash joins key their tables on this
+// instead of the Key string, skipping the per-row float formatting.
+func (v Value) HashKey() (Value, bool) {
+	switch v.kind {
+	case KindNull:
+		return Value{}, false
+	case KindString:
+		return Value{kind: KindString, s: v.s}, true
+	case KindInt:
+		return Value{kind: KindFloat, f: float64(v.n)}, true
+	case KindFloat:
+		if v.f != v.f {
+			return Value{kind: KindFloat, s: "\x00NaN"}, true
+		}
+		if v.f == 0 && math.Signbit(v.f) {
+			// -0.0 gets its own canonical encoding: the Key string kept
+			// it distinct from +0.0 ("-0" vs "0"), and under == the two
+			// would otherwise collapse, changing join results.
+			return Value{kind: KindFloat, s: "\x00-0"}, true
+		}
+		return Value{kind: KindFloat, f: v.f}, true
+	case KindBool:
+		return Value{kind: KindBool, b: v.b}, true
+	}
+	return Value{}, false
 }
 
 // Equal reports SQL equality: null equals nothing (not even null);
