@@ -1,0 +1,32 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"semjoin/internal/obs"
+)
+
+// startDebugServer binds addr and serves the obs debug surface
+// (/metrics, /queries, expvar, pprof) on it. It returns the bound
+// address, or an error when the listen fails — the caller must treat
+// that as fatal: a process that reports "debug server listening" and
+// then silently serves nothing would defeat the monitoring the
+// endpoint exists for, so main exits non-zero instead of limping on.
+func startDebugServer(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("debug-addr %s: %w", addr, err)
+	}
+	go func() {
+		if err := http.Serve(ln, obs.DebugMux(obs.Default, obs.DefaultQueries)); err != nil {
+			// Serve only fails after a successful bind (listener torn
+			// down at process exit); report it, the process is dying
+			// anyway.
+			fmt.Fprintln(os.Stderr, "debug server:", err)
+		}
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStartDebugServerFailsFastOnBusyAddress pins the fail-fast
+// contract: when the debug address cannot be bound, startDebugServer
+// must return an error (which main turns into a non-zero exit) rather
+// than logging to stderr and carrying on as if the endpoint were up.
+func TestStartDebugServerFailsFastOnBusyAddress(t *testing.T) {
+	// Occupy a port, then ask the debug server for the same one.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := startDebugServer(ln.Addr().String()); err == nil {
+		t.Fatalf("startDebugServer(%s) on an occupied port: want error, got nil", ln.Addr())
+	}
+	if _, err := startDebugServer("256.0.0.1:bogus"); err == nil {
+		t.Fatal("startDebugServer on an unparseable address: want error, got nil")
+	}
+}
+
+// TestStartDebugServerServes checks the success path end to end: a
+// free-port bind returns the resolved address and /metrics answers.
+func TestStartDebugServerServes(t *testing.T) {
+	addr, err := startDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Fatalf("GET /metrics: content-type %q", resp.Header.Get("Content-Type"))
+	}
+}

@@ -22,8 +22,6 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -37,6 +35,7 @@ import (
 	"semjoin/internal/her"
 	"semjoin/internal/obs"
 	"semjoin/internal/rel"
+	"semjoin/internal/server"
 )
 
 type tableFlags []string
@@ -55,22 +54,22 @@ func main() {
 	saveModels := flag.String("savemodels", "", "after training, persist the model pair to this file")
 	loadModels := flag.String("loadmodels", "", "load a persisted model pair instead of training (real-data mode)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /queries, expvar and pprof on this address (e.g. :8077)")
+	serveAddr := flag.String("serve", "", "run as a network server on this address (e.g. :7483) instead of a REPL; JSON-lines wire protocol, one session per connection")
+	maxConcurrent := flag.Int("max-concurrent", 0, "server mode: queries executing at once (0 = 2×GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", 0, "server mode: requests queued beyond that before shedding (0 = 16×max-concurrent)")
+	maxSessions := flag.Int("max-sessions", 0, "server mode: concurrent session cap (0 = 4096)")
+	queueWaitMS := flag.Int("queue-wait-ms", 0, "server mode: longest queue wait before shedding (0 = 5000)")
 	var tables tableFlags
 	flag.Var(&tables, "table", "name=file.csv[:keycol], repeatable (real-data mode)")
 	flag.Parse()
 
 	if *debugAddr != "" {
-		ln, err := net.Listen("tcp", *debugAddr)
+		addr, err := startDebugServer(*debugAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "debug-addr:", err)
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("debug server listening on http://%s\n", ln.Addr())
-		go func() {
-			if err := http.Serve(ln, obs.DebugMux(obs.Default, obs.DefaultQueries)); err != nil {
-				fmt.Fprintln(os.Stderr, "debug server:", err)
-			}
-		}()
+		fmt.Printf("debug server listening on http://%s\n", addr)
 	}
 
 	start := time.Now()
@@ -94,6 +93,18 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("ready in %.1fs\n", time.Since(start).Seconds())
+	if *serveAddr != "" {
+		if err := serveNetwork(env, *serveAddr, server.Limits{
+			MaxConcurrent: *maxConcurrent,
+			MaxQueue:      *maxQueue,
+			MaxSessions:   *maxSessions,
+			QueueWait:     time.Duration(*queueWaitMS) * time.Millisecond,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *query != "" {
 		eng := env.Engine(gsql.ModeAuto)
 		runQuery(eng, strings.TrimSuffix(strings.TrimSpace(*query), ";"))

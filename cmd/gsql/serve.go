@@ -1,0 +1,51 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"semjoin/internal/expr"
+	"semjoin/internal/gsql"
+	"semjoin/internal/server"
+)
+
+// serveNetwork runs the long-running multi-session server over env's
+// catalog: binds addr, serves sessions until SIGINT/SIGTERM, then
+// shuts down gracefully (in-flight queries cancelled, sessions
+// drained, 10s grace).
+func serveNetwork(env *expr.QueryEnv, addr string, lim server.Limits) error {
+	srv, err := server.New(server.Config{
+		Cat:    env.Cat,
+		Mode:   gsql.ModeAuto,
+		Limits: lim,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", addr, err)
+	}
+	fmt.Printf("gsql server listening on %s (max-concurrent=%d max-queue=%d max-sessions=%d)\n",
+		ln.Addr(), srv.Controller().Limits().MaxConcurrent,
+		srv.Controller().Limits().MaxQueue, srv.Controller().Limits().MaxSessions)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case sig := <-sigc:
+		fmt.Printf("signal %v: shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	case err := <-errc:
+		return err
+	}
+}

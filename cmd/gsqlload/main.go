@@ -1,0 +1,349 @@
+// Command gsqlload is a load generator for the gsql network server.
+// It drives many concurrent client sessions with seeded mixed gSQL
+// workloads (the difftest generator's query families: predicated
+// selects, order by/limit/distinct, aggregates, cross joins, e-joins
+// and l-joins, plus session SETs and prepared statements) and reports
+// throughput, tail latency (p50/p95/p99) and error/shed rates.
+//
+// Two modes:
+//
+//	gsqlload -addr host:7483 -clients 200 -requests 50
+//	    drive an already-running server (gsql -serve) over TCP
+//
+//	gsqlload -selftest -clients 1000 -requests 20
+//	    boot an in-process server over a seeded fixture and drive it
+//	    through synchronous pipes — no ports, no fd limits; the mode
+//	    CI uses, and the one that proves N clients against one engine
+//
+// Exit status: 0 on a clean run; 1 when -fail-on-error / -fail-on-shed
+// / leak detection (selftest) trip; 2 on usage or setup errors.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"semjoin/internal/gsql"
+	"semjoin/internal/gsql/difftest"
+	"semjoin/internal/obs"
+	"semjoin/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "", "server address to drive (host:port)")
+	selftest := flag.Bool("selftest", false, "boot an in-process server over a seeded fixture and drive it")
+	clients := flag.Int("clients", 64, "concurrent client sessions")
+	requests := flag.Int("requests", 20, "requests per client")
+	seed := flag.Int64("seed", 7, "workload seed (fixture + per-client query streams)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "selftest server: queries executing at once (0 = 2×GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", 0, "selftest server: queue depth before shedding (0 = 2×clients)")
+	queueWaitMS := flag.Int("queue-wait-ms", 30000, "selftest server: longest queue wait before shedding")
+	jsonOut := flag.Bool("json", false, "emit the summary as JSON")
+	failOnError := flag.Bool("fail-on-error", false, "exit 1 when any request fails with a non-busy error")
+	failOnShed := flag.Bool("fail-on-shed", false, "exit 1 when any request is shed (busy)")
+	checkLeaks := flag.Bool("check-leaks", false, "selftest: exit 1 when goroutines leak after shutdown")
+	flag.Parse()
+
+	if (*addr == "") == !*selftest {
+		fmt.Fprintln(os.Stderr, "gsqlload: exactly one of -addr or -selftest is required")
+		os.Exit(2)
+	}
+
+	var dial func() (net.Conn, error)
+	var shutdown func() error
+	baseGoroutines := runtime.NumGoroutine()
+	if *selftest {
+		fix, err := difftest.Build(*seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gsqlload: fixture:", err)
+			os.Exit(2)
+		}
+		mq := *maxQueue
+		if mq == 0 {
+			// Default the queue to absorb every client at once: the
+			// low-load smoke asserts zero shed, so the queue must not
+			// be the thing that sheds.
+			mq = 2 * *clients
+		}
+		srv, err := server.New(server.Config{
+			Cat: fix.Cat, Mode: gsql.ModeAuto, Reg: obs.NewRegistry(),
+			Limits: server.Limits{
+				MaxConcurrent: *maxConcurrent,
+				MaxQueue:      mq,
+				QueueWait:     time.Duration(*queueWaitMS) * time.Millisecond,
+				MaxSessions:   2 * *clients,
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gsqlload:", err)
+			os.Exit(2)
+		}
+		dial = func() (net.Conn, error) {
+			cli, srvEnd := net.Pipe()
+			srv.ServeConn(srvEnd)
+			return cli, nil
+		}
+		shutdown = func() error {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			return srv.Shutdown(ctx)
+		}
+	} else {
+		dial = func() (net.Conn, error) { return net.Dial("tcp", *addr) }
+		shutdown = func() error { return nil }
+	}
+
+	sum := run(dial, *clients, *requests, *seed)
+	if err := shutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, "gsqlload: shutdown:", err)
+		os.Exit(1)
+	}
+	leaked := 0
+	if *selftest && *checkLeaks {
+		leaked = settleGoroutines(baseGoroutines, 10*time.Second)
+	}
+	report(sum, leaked, *jsonOut)
+
+	switch {
+	case *failOnError && sum.Errors > 0:
+		fmt.Fprintf(os.Stderr, "gsqlload: FAIL: %d request errors\n", sum.Errors)
+		os.Exit(1)
+	case *failOnShed && sum.Shed > 0:
+		fmt.Fprintf(os.Stderr, "gsqlload: FAIL: %d requests shed\n", sum.Shed)
+		os.Exit(1)
+	case leaked > 0:
+		fmt.Fprintf(os.Stderr, "gsqlload: FAIL: %d goroutines leaked after shutdown\n", leaked)
+		os.Exit(1)
+	}
+}
+
+// summary aggregates one run.
+type summary struct {
+	Clients    int     `json:"clients"`
+	Requests   int     `json:"requests"`
+	OK         int     `json:"ok"`
+	Errors     int     `json:"errors"`
+	Shed       int     `json:"shed"`
+	DialErrors int     `json:"dial_errors"`
+	WallSec    float64 `json:"wall_sec"`
+	Throughput float64 `json:"requests_per_sec"`
+	P50MS      float64 `json:"p50_ms"`
+	P95MS      float64 `json:"p95_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	MaxMS      float64 `json:"max_ms"`
+	FirstError string  `json:"first_error,omitempty"`
+}
+
+// clientResult is one session's tally.
+type clientResult struct {
+	lat        []time.Duration
+	ok         int
+	errs       int
+	shed       int
+	dialErr    bool
+	firstError string
+}
+
+// run launches the client fleet and merges their tallies.
+func run(dial func() (net.Conn, error), clients, requests int, seed int64) summary {
+	results := make([]clientResult, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = driveClient(dial, seed+int64(i)*7919, requests)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sum := summary{Clients: clients, WallSec: wall.Seconds()}
+	var all []time.Duration
+	for _, r := range results {
+		sum.OK += r.ok
+		sum.Errors += r.errs
+		sum.Shed += r.shed
+		if r.dialErr {
+			sum.DialErrors++
+		}
+		if sum.FirstError == "" {
+			sum.FirstError = r.firstError
+		}
+		all = append(all, r.lat...)
+	}
+	sum.Requests = sum.OK + sum.Errors + sum.Shed
+	if wall > 0 {
+		sum.Throughput = float64(sum.Requests) / wall.Seconds()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sum.P50MS = pctMS(all, 0.50)
+	sum.P95MS = pctMS(all, 0.95)
+	sum.P99MS = pctMS(all, 0.99)
+	if n := len(all); n > 0 {
+		sum.MaxMS = float64(all[n-1]) / float64(time.Millisecond)
+	}
+	return sum
+}
+
+// driveClient runs one session: dial, read the hello banner, then a
+// seeded request stream. Every fourth client diverges its session
+// state (SET PARALLELISM / SET VECTORIZED OFF) to keep the
+// per-session knobs hot under load, and every client exercises one
+// prepared statement with a bound parameter.
+func driveClient(dial func() (net.Conn, error), seed int64, requests int) clientResult {
+	var res clientResult
+	conn, err := dial()
+	if err != nil {
+		res.dialErr = true
+		res.firstError = err.Error()
+		return res
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+
+	var hello server.Response
+	if !readResp(sc, &hello) || hello.Code != "hello" {
+		res.dialErr = true
+		res.firstError = "no hello banner"
+		return res
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	gen := difftest.NewGen(seed)
+	roundTrip := func(req server.Request) (server.Response, bool) {
+		var resp server.Response
+		if err := enc.Encode(req); err != nil {
+			res.firstError = err.Error()
+			return resp, false
+		}
+		if !readResp(sc, &resp) {
+			res.firstError = "connection dropped mid-response"
+			return resp, false
+		}
+		return resp, true
+	}
+	tally := func(resp server.Response, lat time.Duration) {
+		switch {
+		case resp.OK:
+			res.ok++
+			res.lat = append(res.lat, lat)
+		case resp.Code == "busy":
+			res.shed++
+		default:
+			res.errs++
+			if res.firstError == "" {
+				res.firstError = resp.Error
+			}
+		}
+	}
+
+	switch rng.Intn(4) {
+	case 0:
+		if resp, ok := roundTrip(server.Request{Op: server.OpQuery, Query: "set parallelism 2"}); ok {
+			tally(resp, 0)
+		}
+	case 1:
+		if resp, ok := roundTrip(server.Request{Op: server.OpQuery, Query: "set vectorized off"}); ok {
+			tally(resp, 0)
+		}
+	}
+	if resp, ok := roundTrip(server.Request{
+		Op: server.OpPrepare, Name: "by_price",
+		Query: "select pid, price from product where price >= $1",
+	}); !ok || !resp.OK {
+		res.errs++
+		return res
+	}
+
+	for i := 0; i < requests; i++ {
+		var req server.Request
+		if i%5 == 4 {
+			req = server.Request{Op: server.OpExec, Name: "by_price", Args: []any{float64(60 + 10*rng.Intn(10))}}
+		} else {
+			req = server.Request{Op: server.OpQuery, Query: gen.Query()}
+		}
+		start := time.Now()
+		resp, ok := roundTrip(req)
+		if !ok {
+			res.errs++
+			return res
+		}
+		tally(resp, time.Since(start))
+	}
+	resp, ok := roundTrip(server.Request{Op: server.OpClose})
+	_ = resp
+	_ = ok
+	return res
+}
+
+// readResp scans one response line into out.
+func readResp(sc *bufio.Scanner, out *server.Response) bool {
+	if !sc.Scan() {
+		return false
+	}
+	return json.Unmarshal(sc.Bytes(), out) == nil
+}
+
+// pctMS reads the p-quantile off a sorted latency slice, in ms.
+func pctMS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// settleGoroutines waits for the goroutine count to return to at most
+// base, returning the excess still present at the deadline (0 = clean).
+func settleGoroutines(base int, timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return 0
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return runtime.NumGoroutine() - base
+}
+
+// report prints the run summary.
+func report(s summary, leaked int, asJSON bool) {
+	if asJSON {
+		b, err := json.MarshalIndent(struct {
+			summary
+			LeakedGoroutines int `json:"leaked_goroutines"`
+		}{s, leaked}, "", "  ")
+		if err == nil {
+			fmt.Println(string(b))
+		}
+		return
+	}
+	fmt.Printf("clients=%d requests=%d ok=%d errors=%d shed=%d dial_errors=%d\n",
+		s.Clients, s.Requests, s.OK, s.Errors, s.Shed, s.DialErrors)
+	fmt.Printf("wall=%.2fs throughput=%.0f req/s\n", s.WallSec, s.Throughput)
+	fmt.Printf("latency p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+		s.P50MS, s.P95MS, s.P99MS, s.MaxMS)
+	if leaked > 0 {
+		fmt.Printf("leaked goroutines: %d\n", leaked)
+	}
+	if s.FirstError != "" {
+		fmt.Printf("first error: %s\n", s.FirstError)
+	}
+}

@@ -146,6 +146,8 @@ func (e *Engine) QueryContext(ctx context.Context, input string) (*rel.Relation,
 			return e.setVectorized(f[2:])
 		case strings.EqualFold(f[0], "show") && strings.EqualFold(f[1], "metrics"):
 			return e.showMetrics(f[2:])
+		case strings.EqualFold(f[0], "show") && strings.EqualFold(f[1], "session"):
+			return e.showSession(f[2:])
 		}
 	}
 	explain, analyze := false, false
@@ -290,6 +292,31 @@ func (e *Engine) showMetrics(extra []string) (*rel.Relation, error) {
 	for _, k := range keys {
 		out.InsertVals(rel.S(k), rel.S(strconv.FormatFloat(snap[k], 'g', -1, 64)))
 	}
+	return out, nil
+}
+
+// showSession handles SHOW SESSION: the per-session settings as a
+// sorted (setting, value) relation — the effective degree of
+// parallelism, the execution engine (vectorized or row), and the
+// slow-query threshold of this session's query log. Sessions sharing
+// one catalog diverge only in these knobs, so the session-isolation
+// property tests observe leakage (or its absence) through this
+// statement alone.
+func (e *Engine) showSession(extra []string) (*rel.Relation, error) {
+	if len(extra) != 0 {
+		return nil, fmt.Errorf("gsql: usage: SHOW SESSION")
+	}
+	vec := "on"
+	if e.RowAtATime {
+		vec = "off"
+	}
+	out := rel.NewRelation(rel.NewSchema("session", "setting",
+		rel.Attribute{Name: "setting", Type: rel.KindString},
+		rel.Attribute{Name: "value", Type: rel.KindString},
+	))
+	out.InsertVals(rel.S("parallelism"), rel.S(strconv.Itoa(e.Par())))
+	out.InsertVals(rel.S("slow_query_ms"), rel.S(strconv.FormatInt(e.qlog().SlowThreshold().Milliseconds(), 10)))
+	out.InsertVals(rel.S("vectorized"), rel.S(vec))
 	return out, nil
 }
 

@@ -84,6 +84,13 @@ func TestVectorizedOracle(t *testing.T) {
 	runOracle(t, Oracle{Name: "row-vs-batch", Check: CheckVectorized})
 }
 
+// TestConcurrentOracle checks oracle 6: N engines with divergent
+// session settings racing over one catalog stay bag-equal to a lone
+// serial engine on every generated query.
+func TestConcurrentOracle(t *testing.T) {
+	runOracle(t, Oracle{Name: "concurrent-vs-serial", Check: CheckConcurrent})
+}
+
 // TestForcedViolationIsCaughtAndShrunk is the harness's own regression
 // test: with IncExt's delete maintenance deliberately broken
 // (CheckIncExtBroken), the oracle must catch the divergence on some

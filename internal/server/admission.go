@@ -1,0 +1,235 @@
+// Admission control: every request entering the server passes through
+// a Controller before it may touch the engine. The controller admits
+// up to MaxConcurrent queries, queues a bounded number of waiters
+// beyond that, and sheds everything else with a typed BusyError — the
+// server degrades to fast rejections under overload instead of
+// accumulating goroutines until it collapses.
+//
+// Decisions are driven by load signals, not internal guesses: the
+// controller publishes its own occupancy and queue depth as obs
+// gauges (server_queries_active, server_queue_depth) and reads the
+// decision inputs back through a Signals source, which by default
+// reads those same gauges plus the engine's slow-query counter. Tests
+// substitute a fake Signals source to exercise every decision branch
+// deterministically.
+package server
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"semjoin/internal/obs"
+)
+
+// BusyError is the typed admission rejection: the server is saturated
+// and chose to shed this request rather than queue it. Clients see it
+// on the wire as code "busy" and should back off and retry.
+type BusyError struct {
+	// Reason names the tripped limit: "queue_full", "queue_timeout",
+	// "slow_queries" or "sessions".
+	Reason string
+}
+
+// Error renders the busy condition with its reason.
+func (e *BusyError) Error() string { return "server busy: " + e.Reason }
+
+// Is matches any *BusyError, so errors.Is(err, ErrServerBusy) detects
+// admission rejections regardless of reason.
+func (e *BusyError) Is(target error) bool {
+	_, ok := target.(*BusyError)
+	return ok
+}
+
+// ErrServerBusy is the sentinel for errors.Is checks against
+// admission rejections.
+var ErrServerBusy = &BusyError{Reason: "busy"}
+
+// Signals is one point-in-time load reading — the gauges an admission
+// decision consults. The production source reads the obs registry;
+// tests fake it.
+type Signals interface {
+	// Active is the number of queries executing right now (worker
+	// occupancy).
+	Active() int64
+	// Queued is the number of requests waiting for an execution slot.
+	Queued() int64
+	// SlowTotal is the cumulative slow-query count; the controller
+	// differentiates it into a rate.
+	SlowTotal() int64
+}
+
+// regSignals reads the load gauges the controller itself publishes,
+// plus the engine's slow-query counter, from one registry.
+type regSignals struct{ reg *obs.Registry }
+
+func (s regSignals) Active() int64    { return s.reg.Gauge("server_queries_active").Value() }
+func (s regSignals) Queued() int64    { return s.reg.Gauge("server_queue_depth").Value() }
+func (s regSignals) SlowTotal() int64 { return s.reg.Counter("gsql_slow_queries_total").Value() }
+
+// Limits bounds what the controller admits. The zero value selects
+// sensible defaults via withDefaults.
+type Limits struct {
+	// MaxConcurrent is the number of queries that may execute at once;
+	// <= 0 means 2×GOMAXPROCS.
+	MaxConcurrent int
+	// MaxQueue is the number of requests that may wait for a slot
+	// beyond MaxConcurrent; <= 0 means 16×MaxConcurrent. Requests
+	// arriving with the queue full are shed.
+	MaxQueue int
+	// QueueWait is the longest a request may wait in the queue before
+	// being shed; <= 0 means 5s.
+	QueueWait time.Duration
+	// SlowShedPerSec sheds new load while the engine-wide slow-query
+	// rate (differentiated from gsql_slow_queries_total) exceeds this
+	// many per second; 0 disables slow-query shedding.
+	SlowShedPerSec float64
+	// MaxSessions caps concurrently connected sessions; <= 0 means
+	// 4096. The server rejects further connections with a "sessions"
+	// BusyError banner.
+	MaxSessions int
+}
+
+// withDefaults resolves zero fields to their defaults.
+func (l Limits) withDefaults() Limits {
+	if l.MaxConcurrent <= 0 {
+		l.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if l.MaxQueue <= 0 {
+		l.MaxQueue = 16 * l.MaxConcurrent
+	}
+	if l.QueueWait <= 0 {
+		l.QueueWait = 5 * time.Second
+	}
+	if l.MaxSessions <= 0 {
+		l.MaxSessions = 4096
+	}
+	return l
+}
+
+// Controller is the admission gate. All methods are goroutine-safe.
+type Controller struct {
+	lim Limits
+	reg *obs.Registry
+	sig Signals
+	now func() time.Time
+
+	sem chan struct{} // execution slots, cap MaxConcurrent
+
+	// Slow-rate sampling state: the last counter reading and when it
+	// was taken, updated lock-free (monotonic enough for shedding).
+	lastSlow   atomic.Int64
+	lastSlowAt atomic.Int64  // unix nanos
+	slowRateMu chan struct{} // 1-slot mutex so one sampler updates at a time
+}
+
+// NewController builds a controller over reg. A nil sig installs the
+// registry-backed source (the production wiring); tests pass a fake.
+func NewController(lim Limits, reg *obs.Registry, sig Signals) *Controller {
+	if reg == nil {
+		reg = obs.Default
+	}
+	lim = lim.withDefaults()
+	if sig == nil {
+		sig = regSignals{reg}
+	}
+	c := &Controller{
+		lim:        lim,
+		reg:        reg,
+		sig:        sig,
+		now:        time.Now,
+		sem:        make(chan struct{}, lim.MaxConcurrent),
+		slowRateMu: make(chan struct{}, 1),
+	}
+	c.lastSlowAt.Store(c.now().UnixNano())
+	// Materialise the decision gauges so SHOW METRICS and /metrics
+	// expose them from the first scrape, before any traffic.
+	reg.Gauge("server_queries_active").Set(0)
+	reg.Gauge("server_queue_depth").Set(0)
+	return c
+}
+
+// Limits returns the resolved limits the controller enforces.
+func (c *Controller) Limits() Limits { return c.lim }
+
+// Admit gates one request. It returns a release function that must be
+// called when the query finishes, or a *BusyError when the request is
+// shed (queue full, queue wait exceeded, or slow-query overload), or
+// ctx's error when the caller went away while queued.
+func (c *Controller) Admit(ctx context.Context) (release func(), err error) {
+	// Fast path: a free slot admits immediately.
+	select {
+	case c.sem <- struct{}{}:
+		return c.admitted(), nil
+	default:
+	}
+	// Saturated. Shed outright when the queue is already at capacity
+	// or the slow-query rate says the engine is drowning — a queued
+	// request would only time out later, wasting the client's wait.
+	if c.sig.Queued() >= int64(c.lim.MaxQueue) {
+		return nil, c.shed("queue_full")
+	}
+	if c.lim.SlowShedPerSec > 0 && c.slowRate() > c.lim.SlowShedPerSec {
+		return nil, c.shed("slow_queries")
+	}
+	// Queue: wait for a slot, bounded by QueueWait and ctx.
+	c.reg.Counter("server_queued_total").Inc()
+	c.reg.Gauge("server_queue_depth").Add(1)
+	defer c.reg.Gauge("server_queue_depth").Add(-1)
+	timer := time.NewTimer(c.lim.QueueWait)
+	defer timer.Stop()
+	select {
+	case c.sem <- struct{}{}:
+		return c.admitted(), nil
+	case <-timer.C:
+		return nil, c.shed("queue_timeout")
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// admitted records an admission and returns its paired release.
+func (c *Controller) admitted() func() {
+	c.reg.Counter("server_admitted_total").Inc()
+	c.reg.Gauge("server_queries_active").Add(1)
+	var once atomic.Bool
+	return func() {
+		if !once.CompareAndSwap(false, true) {
+			return
+		}
+		c.reg.Gauge("server_queries_active").Add(-1)
+		<-c.sem
+	}
+}
+
+// shed counts one rejection and returns its typed error.
+func (c *Controller) shed(reason string) *BusyError {
+	c.reg.Counter("server_shed_total").Inc()
+	c.reg.Counter("server_shed_total", "reason", reason).Inc()
+	return &BusyError{Reason: reason}
+}
+
+// slowRate differentiates the slow-query counter into a per-second
+// rate over the window since the previous sample. Samples closer than
+// 100ms apart reuse the previous reading's rate of 0 — the signal is
+// for sustained overload, not single spikes.
+func (c *Controller) slowRate() float64 {
+	now := c.now().UnixNano()
+	total := c.sig.SlowTotal()
+	select {
+	case c.slowRateMu <- struct{}{}:
+	default:
+		return 0 // another admission is sampling; don't double-count
+	}
+	last, lastAt := c.lastSlow.Load(), c.lastSlowAt.Load()
+	elapsed := time.Duration(now - lastAt)
+	if elapsed < 100*time.Millisecond {
+		<-c.slowRateMu
+		return 0
+	}
+	c.lastSlow.Store(total)
+	c.lastSlowAt.Store(now)
+	<-c.slowRateMu
+	return float64(total-last) / elapsed.Seconds()
+}

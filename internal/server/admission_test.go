@@ -1,0 +1,262 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"semjoin/internal/gsql"
+	"semjoin/internal/gsql/difftest"
+	"semjoin/internal/obs"
+	"semjoin/internal/rel"
+)
+
+// fakeSignals is a hand-cranked gauge source: tests set the load the
+// controller believes it is under, independent of what it actually is.
+type fakeSignals struct {
+	active, queued, slow atomic.Int64
+}
+
+func (f *fakeSignals) Active() int64    { return f.active.Load() }
+func (f *fakeSignals) Queued() int64    { return f.queued.Load() }
+func (f *fakeSignals) SlowTotal() int64 { return f.slow.Load() }
+
+func TestAdmitFastPathAndRelease(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewController(Limits{MaxConcurrent: 2}, reg, &fakeSignals{})
+	rel1, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Gauge("server_queries_active").Value(); got != 1 {
+		t.Fatalf("active gauge after admit: %d, want 1", got)
+	}
+	rel1()
+	rel1() // release must be idempotent
+	if got := reg.Gauge("server_queries_active").Value(); got != 0 {
+		t.Fatalf("active gauge after release: %d, want 0", got)
+	}
+	if got := reg.Counter("server_admitted_total").Value(); got != 1 {
+		t.Fatalf("admitted counter: %d, want 1", got)
+	}
+}
+
+// TestAdmitQueuesBelowThreshold pins the backpressure side: with the
+// slots full but the queue below MaxQueue, a request waits instead of
+// being rejected, and is admitted as soon as a slot frees.
+func TestAdmitQueuesBelowThreshold(t *testing.T) {
+	reg := obs.NewRegistry()
+	sig := &fakeSignals{}
+	c := NewController(Limits{MaxConcurrent: 1, MaxQueue: 4, QueueWait: 5 * time.Second}, reg, sig)
+	release, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		r2, err := c.Admit(context.Background())
+		if err == nil {
+			r2()
+		}
+		got <- err
+	}()
+	// The second request must be queued, not shed.
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Counter("server_queued_total").Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := reg.Counter("server_queued_total").Value(); n != 1 {
+		t.Fatalf("queued counter: %d, want 1", n)
+	}
+	if n := reg.Counter("server_shed_total").Value(); n != 0 {
+		t.Fatalf("shed counter while queuing: %d, want 0", n)
+	}
+	release()
+	if err := <-got; err != nil {
+		t.Fatalf("queued request should be admitted after release, got %v", err)
+	}
+}
+
+// TestAdmitShedsAboveQueueThreshold: when the gauge source reports the
+// queue at capacity, a saturated controller sheds immediately with the
+// typed busy error instead of queuing.
+func TestAdmitShedsAboveQueueThreshold(t *testing.T) {
+	reg := obs.NewRegistry()
+	sig := &fakeSignals{}
+	c := NewController(Limits{MaxConcurrent: 1, MaxQueue: 4}, reg, sig)
+	release, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	sig.queued.Store(4) // gauge says: queue full
+	_, err = c.Admit(context.Background())
+	if err == nil {
+		t.Fatal("want shed, got admission")
+	}
+	var busy *BusyError
+	if !errors.As(err, &busy) {
+		t.Fatalf("want *BusyError, got %T: %v", err, err)
+	}
+	if busy.Reason != "queue_full" {
+		t.Fatalf("reason = %q, want queue_full", busy.Reason)
+	}
+	if !errors.Is(err, ErrServerBusy) {
+		t.Fatal("errors.Is(err, ErrServerBusy) = false")
+	}
+	if n := reg.Counter("server_shed_total").Value(); n != 1 {
+		t.Fatalf("shed counter: %d, want 1", n)
+	}
+	if n := reg.Counter(`server_shed_total`, "reason", "queue_full").Value(); n != 1 {
+		t.Fatalf("shed-by-reason counter: %d, want 1", n)
+	}
+}
+
+// TestAdmitQueueTimeoutSheds: a queued request that never gets a slot
+// is shed with reason queue_timeout once QueueWait expires.
+func TestAdmitQueueTimeoutSheds(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewController(Limits{MaxConcurrent: 1, MaxQueue: 4, QueueWait: 20 * time.Millisecond}, reg, &fakeSignals{})
+	release, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	_, err = c.Admit(context.Background())
+	var busy *BusyError
+	if !errors.As(err, &busy) || busy.Reason != "queue_timeout" {
+		t.Fatalf("want queue_timeout BusyError, got %v", err)
+	}
+	if got := reg.Gauge("server_queue_depth").Value(); got != 0 {
+		t.Fatalf("queue depth gauge after timeout: %d, want 0", got)
+	}
+}
+
+// TestAdmitShedsOnSlowQueryRate: the slow-query counter climbing fast
+// enough trips the overload signal and sheds saturated arrivals.
+func TestAdmitShedsOnSlowQueryRate(t *testing.T) {
+	reg := obs.NewRegistry()
+	sig := &fakeSignals{}
+	c := NewController(Limits{MaxConcurrent: 1, MaxQueue: 100, SlowShedPerSec: 5}, reg, sig)
+	// Fix the clock one second after construction and report 100 slow
+	// queries accumulated in that window: rate 100/s >> 5/s.
+	base := time.Now()
+	c.now = func() time.Time { return base.Add(time.Second) }
+	sig.slow.Store(100)
+	release, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	_, err = c.Admit(context.Background())
+	var busy *BusyError
+	if !errors.As(err, &busy) || busy.Reason != "slow_queries" {
+		t.Fatalf("want slow_queries BusyError, got %v", err)
+	}
+}
+
+// TestAdmitHonorsContext: a caller that disappears while queued gets
+// its context error, not a busy error, and the queue gauge drains.
+func TestAdmitHonorsContext(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewController(Limits{MaxConcurrent: 1, MaxQueue: 4, QueueWait: 5 * time.Second}, reg, &fakeSignals{})
+	release, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, err = c.Admit(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if errors.Is(err, ErrServerBusy) {
+		t.Fatal("a cancelled wait must not classify as busy")
+	}
+	if got := reg.Gauge("server_queue_depth").Value(); got != 0 {
+		t.Fatalf("queue depth gauge after cancel: %d, want 0", got)
+	}
+}
+
+// TestShowMetricsCountsQueuedAndShed closes the loop the satellite
+// asks for: after one queued and one shed request, SHOW METRICS run
+// on an engine sharing the controller's registry reports both
+// counters in-band.
+func TestShowMetricsCountsQueuedAndShed(t *testing.T) {
+	reg := obs.NewRegistry()
+	sig := &fakeSignals{}
+	c := NewController(Limits{MaxConcurrent: 1, MaxQueue: 2, QueueWait: 5 * time.Second}, reg, sig)
+
+	release, err := c.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One queued request (admitted after release)...
+	done := make(chan error, 1)
+	go func() {
+		r, err := c.Admit(context.Background())
+		if err == nil {
+			r()
+		}
+		done <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.Counter("server_queued_total").Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// ...and one shed request (gauge source reports the queue full).
+	sig.queued.Store(2)
+	if _, err := c.Admit(context.Background()); !errors.Is(err, ErrServerBusy) {
+		t.Fatalf("want busy, got %v", err)
+	}
+	sig.queued.Store(0)
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("queued request: %v", err)
+	}
+
+	fix, err := difftest.Build(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := gsql.NewEngine(fix.Cat)
+	eng.Obs = reg
+	out, err := eng.Query("show metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]string{}
+	for _, tup := range out.Tuples {
+		vals[tup[0].Str()] = tup[1].Str()
+	}
+	if vals["server_queued_total"] != "1" {
+		t.Fatalf("SHOW METRICS server_queued_total = %q, want 1 (have: %s)",
+			vals["server_queued_total"], metricsWith(out, "server_"))
+	}
+	if vals["server_shed_total"] != "1" {
+		t.Fatalf("SHOW METRICS server_shed_total = %q, want 1 (have: %s)",
+			vals["server_shed_total"], metricsWith(out, "server_"))
+	}
+	if vals["server_admitted_total"] != "2" {
+		t.Fatalf("SHOW METRICS server_admitted_total = %q, want 2", vals["server_admitted_total"])
+	}
+}
+
+// metricsWith lists the metric rows whose name contains substr, for
+// failure messages.
+func metricsWith(out *rel.Relation, substr string) string {
+	var parts []string
+	for _, tup := range out.Tuples {
+		if strings.Contains(tup[0].Str(), substr) {
+			parts = append(parts, tup[0].Str()+"="+tup[1].Str())
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,373 @@
+// Package server promotes the gsql engine into a long-running
+// multi-session network frontend. Many concurrent sessions share one
+// catalog (relations, graph, materialisation, gL cache); each session
+// owns a private gsql.Engine, so SET PARALLELISM / SET VECTORIZED /
+// SET SLOW_QUERY_MS and prepared statements are session-scoped and
+// die with the connection. Every request passes the admission
+// Controller first, so overload degrades into typed "server busy"
+// rejections instead of goroutine pile-ups.
+//
+// The lifecycle of one connection:
+//
+//	accept → session cap check → banner (code "hello", session id)
+//	→ request loop (one Response per Request, in order)
+//	→ disconnect or OpClose → in-flight query cancelled → teardown
+//
+// A client that disconnects mid-query cancels that query's context:
+// the morsel-driven worker pools observe cancellation and wind down,
+// leaving no stranded goroutines (the isolation tests assert this
+// under -race).
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"semjoin/internal/gsql"
+	"semjoin/internal/obs"
+)
+
+// maxLine is the longest request line (1 MiB) the server accepts —
+// the same bound the interactive shell places on stdin.
+const maxLine = 1 << 20
+
+// maxPrepared caps the prepared statements one session may hold.
+const maxPrepared = 256
+
+// Config wires a server to its engine machinery.
+type Config struct {
+	// Cat is the shared catalog every session queries. Required.
+	Cat *gsql.Catalog
+	// Mode is the semantic-join strategy mode sessions start in.
+	Mode gsql.Mode
+	// Reg receives all server and engine metrics; nil means
+	// obs.Default. SHOW METRICS inside any session reads this
+	// registry, so admission counters are visible in-band.
+	Reg *obs.Registry
+	// Limits bounds admission (zero fields default; see Limits).
+	Limits Limits
+	// Signals overrides the admission load source (tests); nil reads
+	// the gauges the controller itself publishes in Reg.
+	Signals Signals
+}
+
+// Server accepts connections and runs one session per connection.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+	ctl *Controller
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	wg          sync.WaitGroup
+	mu          sync.Mutex
+	conns       map[net.Conn]struct{}
+	sessions    atomic.Int64
+	nextSession atomic.Int64
+	inShutdown  atomic.Bool
+}
+
+// New builds a server from cfg. Call Serve (or ServeConn) to run it
+// and Shutdown to stop it.
+func New(cfg Config) (*Server, error) {
+	if cfg.Cat == nil {
+		return nil, fmt.Errorf("server: Config.Cat is required")
+	}
+	reg := cfg.Reg
+	if reg == nil {
+		reg = obs.Default
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:    cfg,
+		reg:    reg,
+		ctl:    NewController(cfg.Limits, reg, cfg.Signals),
+		ctx:    ctx,
+		cancel: cancel,
+		conns:  map[net.Conn]struct{}{},
+	}, nil
+}
+
+// Controller exposes the admission gate (tests drive it directly).
+func (s *Server) Controller() *Controller { return s.ctl }
+
+// Sessions reports the number of live sessions.
+func (s *Server) Sessions() int64 { return s.sessions.Load() }
+
+// Serve accepts connections on ln until Shutdown closes it. It
+// returns nil after a Shutdown-initiated stop and the accept error
+// otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.inShutdown.Load() {
+		s.mu.Unlock()
+		return fmt.Errorf("server: already shut down")
+	}
+	s.mu.Unlock()
+	// Close the listener when the server context dies so Accept
+	// unblocks; guarded by a handle so Serve can also exit on its own
+	// accept errors.
+	stop := context.AfterFunc(s.ctx, func() { _ = ln.Close() })
+	defer stop()
+	for {
+		if s.ctx.Err() != nil {
+			return nil
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		s.startConn(conn)
+	}
+}
+
+// ServeConn runs one session over an already-established connection
+// (net.Pipe in tests, an in-process transport in gsqlload's self-test
+// mode). It returns immediately; the session runs until the peer
+// disconnects or the server shuts down.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.startConn(conn)
+}
+
+// startConn applies the session cap and launches the session
+// goroutine.
+func (s *Server) startConn(conn net.Conn) {
+	if s.inShutdown.Load() {
+		_ = conn.Close()
+		return
+	}
+	if s.sessions.Load() >= int64(s.ctl.Limits().MaxSessions) {
+		busy := s.ctl.shed("sessions")
+		// The rejection banner is written off the accept path (and
+		// bounded by a deadline): a peer that never reads must not be
+		// able to stall the accept loop — or, over a synchronous pipe,
+		// deadlock the dialer.
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			_ = conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			_ = json.NewEncoder(conn).Encode(Response{OK: false, Code: "busy", Error: busy.Error()})
+			_ = conn.Close()
+		}()
+		return
+	}
+	s.mu.Lock()
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	s.sessions.Add(1)
+	s.reg.Counter("server_sessions_total").Inc()
+	s.reg.Gauge("server_sessions_active").Add(1)
+	s.wg.Add(1)
+	go s.runSession(conn)
+}
+
+// Shutdown stops the server: no new connections, every session's
+// context cancelled (aborting in-flight queries), every connection
+// closed. It waits for session goroutines to finish or ctx to expire.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.inShutdown.Store(true)
+	s.cancel()
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown wait: %w", ctx.Err())
+	}
+}
+
+// session is the per-connection state: a private engine over the
+// shared catalog plus the prepared-statement namespace.
+type session struct {
+	id       int64
+	eng      *gsql.Engine
+	ctl      *Controller
+	reg      *obs.Registry
+	prepared map[string]string
+}
+
+// runSession is the lifetime of one connection: banner, request loop,
+// teardown. The reader goroutine feeds decoded requests through a
+// channel and cancels the session context when the peer goes away, so
+// a mid-query disconnect aborts the query rather than letting it run
+// to completion for nobody.
+func (s *Server) runSession(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.sessions.Add(-1)
+		s.reg.Gauge("server_sessions_active").Add(-1)
+	}()
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+
+	eng := gsql.NewEngine(s.cfg.Cat)
+	eng.Mode = s.cfg.Mode
+	eng.Obs = s.reg
+	// A private query log isolates SET SLOW_QUERY_MS per session; the
+	// shared registry still counts slow queries engine-wide.
+	eng.Queries = obs.NewQueryLog()
+	ss := &session{
+		id:       s.nextSession.Add(1),
+		eng:      eng,
+		ctl:      s.ctl,
+		reg:      s.reg,
+		prepared: map[string]string{},
+	}
+
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(Response{OK: true, Code: "hello", Session: ss.id}); err != nil {
+		return
+	}
+
+	reqs := make(chan Request)
+	go s.readLoop(ctx, cancel, conn, reqs)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case req, ok := <-reqs:
+			if !ok {
+				return
+			}
+			resp := ss.handle(ctx, req)
+			if err := enc.Encode(resp); err != nil {
+				cancel()
+				return
+			}
+			if req.Op == OpClose {
+				return
+			}
+		}
+	}
+}
+
+// readLoop decodes request lines off conn into reqs. Any read or
+// decode-framing failure (EOF, reset, oversized line) means the peer
+// is gone or broken: the loop cancels the session context — aborting
+// whatever query is running — and closes reqs.
+func (s *Server) readLoop(ctx context.Context, cancel context.CancelFunc, conn net.Conn, reqs chan<- Request) {
+	defer close(reqs)
+	defer cancel()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), maxLine)
+	for sc.Scan() {
+		if ctx.Err() != nil {
+			return
+		}
+		line := sc.Bytes()
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			// Malformed framing is unrecoverable on a line protocol —
+			// respond via the request channel so the writer stays the
+			// only goroutine touching conn.
+			req = Request{Op: "malformed", Query: err.Error()}
+		}
+		select {
+		case reqs <- req:
+		case <-ctx.Done():
+			return
+		}
+		if req.Op == "malformed" || req.Op == OpClose {
+			return
+		}
+	}
+}
+
+// handle dispatches one request to its op handler.
+func (ss *session) handle(ctx context.Context, req Request) Response {
+	switch req.Op {
+	case OpPing:
+		return Response{ID: req.ID, OK: true}
+	case OpClose:
+		return Response{ID: req.ID, OK: true}
+	case OpPrepare:
+		return ss.prepare(req)
+	case OpExec:
+		tmpl, ok := ss.prepared[req.Name]
+		if !ok {
+			return errResp(req.ID, "error", fmt.Errorf("server: unknown prepared statement %q", req.Name))
+		}
+		q, err := bindParams(tmpl, req.Args)
+		if err != nil {
+			return errResp(req.ID, "error", err)
+		}
+		return ss.runQuery(ctx, req.ID, q)
+	case OpQuery:
+		return ss.runQuery(ctx, req.ID, req.Query)
+	case "malformed":
+		return errResp(req.ID, "error", fmt.Errorf("server: malformed request: %s", req.Query))
+	default:
+		return errResp(req.ID, "error", fmt.Errorf("server: unknown op %q", req.Op))
+	}
+}
+
+// prepare validates and stores a statement template.
+func (ss *session) prepare(req Request) Response {
+	if req.Name == "" {
+		return errResp(req.ID, "error", fmt.Errorf("server: prepare needs a name"))
+	}
+	if req.Query == "" {
+		return errResp(req.ID, "error", fmt.Errorf("server: prepare needs a query"))
+	}
+	if _, exists := ss.prepared[req.Name]; !exists && len(ss.prepared) >= maxPrepared {
+		return errResp(req.ID, "error", fmt.Errorf("server: too many prepared statements (max %d)", maxPrepared))
+	}
+	ss.prepared[req.Name] = req.Query
+	return Response{ID: req.ID, OK: true}
+}
+
+// runQuery passes admission, executes q on the session engine and
+// encodes the result.
+func (ss *session) runQuery(ctx context.Context, id int64, q string) Response {
+	release, err := ss.ctl.Admit(ctx)
+	if err != nil {
+		if errors.Is(err, ErrServerBusy) {
+			return errResp(id, "busy", err)
+		}
+		return errResp(id, "error", err)
+	}
+	defer release()
+	ss.reg.Counter("server_requests_total").Inc()
+	start := time.Now()
+	out, err := ss.eng.QueryContext(ctx, q)
+	elapsed := time.Since(start)
+	ss.reg.Histogram("server_request_seconds", nil).Observe(elapsed.Seconds())
+	if err != nil {
+		return errResp(id, "error", err)
+	}
+	cols, rows := encodeRelation(out)
+	return Response{
+		ID: id, OK: true,
+		Columns: cols, Rows: rows, RowsTotal: len(rows),
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+	}
+}
+
+// errResp builds a failure response.
+func errResp(id int64, code string, err error) Response {
+	return Response{ID: id, OK: false, Code: code, Error: err.Error()}
+}

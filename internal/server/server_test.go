@@ -1,0 +1,343 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"semjoin/internal/gsql/difftest"
+	"semjoin/internal/obs"
+)
+
+// newTestServer boots a server over a seeded difftest fixture with an
+// isolated registry, registered for shutdown at test end.
+func newTestServer(t *testing.T, seed int64, lim Limits, sig Signals) *Server {
+	t.Helper()
+	fix, err := difftest.Build(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Cat: fix.Cat, Reg: obs.NewRegistry(), Limits: lim, Signals: sig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return srv
+}
+
+// client is a test-side wire client over an in-process pipe.
+type client struct {
+	t    *testing.T
+	conn net.Conn
+	enc  *json.Encoder
+	sc   *bufio.Scanner
+}
+
+// dialPipe connects a new session and consumes the hello banner.
+func dialPipe(t *testing.T, srv *Server) *client {
+	t.Helper()
+	c := dialPipeRaw(t, srv)
+	hello := c.read()
+	if !hello.OK || hello.Code != "hello" || hello.Session == 0 {
+		t.Fatalf("bad banner: %+v", hello)
+	}
+	return c
+}
+
+// dialPipeRaw connects without reading the banner (session-cap tests
+// need to see the rejection banner themselves).
+func dialPipeRaw(t *testing.T, srv *Server) *client {
+	t.Helper()
+	cli, srvEnd := net.Pipe()
+	srv.ServeConn(srvEnd)
+	t.Cleanup(func() { _ = cli.Close() })
+	sc := bufio.NewScanner(cli)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	return &client{t: t, conn: cli, enc: json.NewEncoder(cli), sc: sc}
+}
+
+// read scans one response line.
+func (c *client) read() Response {
+	c.t.Helper()
+	if !c.sc.Scan() {
+		c.t.Fatalf("connection closed early: %v", c.sc.Err())
+	}
+	var resp Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		c.t.Fatalf("bad response %q: %v", c.sc.Text(), err)
+	}
+	return resp
+}
+
+// roundTrip sends one request and reads its response.
+func (c *client) roundTrip(req Request) Response {
+	c.t.Helper()
+	if err := c.enc.Encode(req); err != nil {
+		c.t.Fatalf("send: %v", err)
+	}
+	return c.read()
+}
+
+// query runs one statement, failing the test on a wire-level error.
+func (c *client) query(q string) Response {
+	c.t.Helper()
+	return c.roundTrip(Request{Op: OpQuery, Query: q})
+}
+
+// mustRows runs a statement and requires success.
+func (c *client) mustRows(q string) Response {
+	c.t.Helper()
+	resp := c.query(q)
+	if !resp.OK {
+		c.t.Fatalf("query %q: %s (%s)", q, resp.Error, resp.Code)
+	}
+	return resp
+}
+
+func TestServerQueryRoundTrip(t *testing.T) {
+	srv := newTestServer(t, 3, Limits{}, nil)
+	c := dialPipe(t, srv)
+	resp := c.mustRows("select pid, price from product where price >= 60 order by pid limit 3")
+	if len(resp.Columns) != 2 || resp.Columns[0] != "pid" || resp.Columns[1] != "price" {
+		t.Fatalf("columns = %v", resp.Columns)
+	}
+	if resp.RowsTotal != len(resp.Rows) {
+		t.Fatalf("rows_total %d != len(rows) %d", resp.RowsTotal, len(resp.Rows))
+	}
+	if len(resp.Rows) == 0 || len(resp.Rows) > 3 {
+		t.Fatalf("rows = %v", resp.Rows)
+	}
+	if resp.ElapsedMS <= 0 {
+		t.Fatalf("elapsed_ms = %v", resp.ElapsedMS)
+	}
+	// IDs echo; errors carry code "error" and leave the session usable.
+	if resp := c.roundTrip(Request{ID: 42, Op: OpQuery, Query: "select nope from nothing"}); resp.OK || resp.ID != 42 || resp.Code != "error" {
+		t.Fatalf("error response: %+v", resp)
+	}
+	if resp := c.roundTrip(Request{Op: OpPing}); !resp.OK {
+		t.Fatalf("ping after error: %+v", resp)
+	}
+}
+
+func TestServerPreparedStatements(t *testing.T) {
+	srv := newTestServer(t, 3, Limits{}, nil)
+	c := dialPipe(t, srv)
+	if resp := c.roundTrip(Request{Op: OpPrepare, Name: "by_price",
+		Query: "select pid from product where price >= $1 and risk = $2"}); !resp.OK {
+		t.Fatalf("prepare: %+v", resp)
+	}
+	resp := c.roundTrip(Request{Op: OpExec, Name: "by_price", Args: []any{70, "low"}})
+	if !resp.OK {
+		t.Fatalf("exec: %+v", resp)
+	}
+	want := c.mustRows("select pid from product where price >= 70 and risk = 'low'")
+	if len(resp.Rows) != len(want.Rows) {
+		t.Fatalf("exec rows %d != literal rows %d", len(resp.Rows), len(want.Rows))
+	}
+
+	// Binding errors are client errors, not session killers.
+	cases := []Request{
+		{Op: OpExec, Name: "missing"},                                      // unknown statement
+		{Op: OpExec, Name: "by_price", Args: []any{70}},                    // too few args
+		{Op: OpExec, Name: "by_price", Args: []any{70, "low", "huh"}},      // unused arg
+		{Op: OpPrepare, Name: "", Query: "select 1"},                       // no name
+		{Op: OpPrepare, Name: "x"},                                         // no query
+		{Op: OpExec, Name: "by_price", Args: []any{nil, map[string]any{}}}, // unbindable
+	}
+	for _, req := range cases {
+		if resp := c.roundTrip(req); resp.OK {
+			t.Fatalf("request %+v should fail", req)
+		}
+	}
+	if resp := c.roundTrip(Request{Op: OpPing}); !resp.OK {
+		t.Fatal("session unusable after binding errors")
+	}
+}
+
+// TestBindParams covers the substitution corner cases directly.
+func TestBindParams(t *testing.T) {
+	ok := []struct {
+		in, want string
+		args     []any
+	}{
+		{"select * from t where a = $1", "select * from t where a = 'x'", []any{"x"}},
+		{"where a = $1 and b = $1", "where a = 7 and b = 7", []any{float64(7)}},
+		{"where a = $2 and b = $1", "where a = 'y' and b = 'x'", []any{"x", "y"}},
+		{"where s = 'lit $1' and a = $1", "where s = 'lit $1' and a = 1", []any{float64(1)}},
+		{"where s = 'it''s $1' and a = $1", "where s = 'it''s $1' and a = 2", []any{float64(2)}},
+		{"where a = $1", "where a = 'o''brien'", []any{"o'brien"}},
+		{"where a = $1", "where a = 1.5", []any{1.5}},
+	}
+	for _, c := range ok {
+		got, err := bindParams(c.in, c.args)
+		if err != nil || got != c.want {
+			t.Fatalf("bindParams(%q, %v) = %q, %v; want %q", c.in, c.args, got, err, c.want)
+		}
+	}
+	bad := []struct {
+		in   string
+		args []any
+	}{
+		{"where a = $1", nil},              // no arg for placeholder
+		{"where a = $3", []any{1.0, 2.0}},  // out of range
+		{"where a = $0", []any{1.0}},       // $0 invalid
+		{"where a = $1", []any{1.0, 2.0}},  // unused arg
+		{"where a = 'open $1", []any{1.0}}, // unterminated literal
+		{"where a = $1", []any{[]any{1}}},  // unbindable type
+	}
+	for _, c := range bad {
+		if got, err := bindParams(c.in, c.args); err == nil {
+			t.Fatalf("bindParams(%q, %v) = %q, want error", c.in, c.args, got)
+		}
+	}
+}
+
+func TestServerUnknownOpAndMalformedLine(t *testing.T) {
+	srv := newTestServer(t, 3, Limits{}, nil)
+	c := dialPipe(t, srv)
+	if resp := c.roundTrip(Request{Op: "launch"}); resp.OK || !strings.Contains(resp.Error, "unknown op") {
+		t.Fatalf("unknown op: %+v", resp)
+	}
+	// A malformed line gets one error response, then the connection
+	// closes (framing is unrecoverable on a line protocol).
+	if _, err := c.conn.Write([]byte("{this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	resp := c.read()
+	if resp.OK || !strings.Contains(resp.Error, "malformed") {
+		t.Fatalf("malformed line: %+v", resp)
+	}
+	if c.sc.Scan() {
+		t.Fatalf("connection should close after malformed line, got %q", c.sc.Text())
+	}
+}
+
+func TestServerCloseOp(t *testing.T) {
+	srv := newTestServer(t, 3, Limits{}, nil)
+	c := dialPipe(t, srv)
+	if resp := c.roundTrip(Request{Op: OpClose}); !resp.OK {
+		t.Fatalf("close: %+v", resp)
+	}
+	if c.sc.Scan() {
+		t.Fatal("connection should close after close op")
+	}
+	waitSessions(t, srv, 0)
+}
+
+// TestServerSessionCap: connections beyond MaxSessions are rejected
+// with a busy banner and do not occupy a session.
+func TestServerSessionCap(t *testing.T) {
+	srv := newTestServer(t, 3, Limits{MaxSessions: 2}, nil)
+	c1, c2 := dialPipe(t, srv), dialPipe(t, srv)
+	_ = c2
+	c3 := dialPipeRaw(t, srv)
+	banner := c3.read()
+	if banner.OK || banner.Code != "busy" || !strings.Contains(banner.Error, "sessions") {
+		t.Fatalf("over-cap banner: %+v", banner)
+	}
+	if c3.sc.Scan() {
+		t.Fatal("over-cap connection should be closed")
+	}
+	// Dropping a session frees the slot.
+	_ = c1.conn.Close()
+	waitSessions(t, srv, 1)
+	c4 := dialPipe(t, srv)
+	if resp := c4.roundTrip(Request{Op: OpPing}); !resp.OK {
+		t.Fatalf("ping on freed slot: %+v", resp)
+	}
+}
+
+// TestServerShedsOverWire: with the gauge source reporting overload,
+// a query is rejected with code "busy" on the wire and the session
+// stays usable.
+func TestServerShedsOverWire(t *testing.T) {
+	sig := &fakeSignals{}
+	srv := newTestServer(t, 3, Limits{MaxConcurrent: 1, MaxQueue: 2}, sig)
+	c := dialPipe(t, srv)
+	// Occupy the only slot directly, then claim the queue is full.
+	release, err := srv.Controller().Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig.queued.Store(2)
+	resp := c.query("select pid from product")
+	if resp.OK || resp.Code != "busy" || !strings.Contains(resp.Error, "server busy") {
+		t.Fatalf("shed response: %+v", resp)
+	}
+	sig.queued.Store(0)
+	release()
+	if resp := c.mustRows("select pid from product"); resp.RowsTotal == 0 {
+		t.Fatal("no rows after load subsided")
+	}
+}
+
+// TestServerTCPServe exercises the real listener path end to end:
+// Serve on a TCP socket, one query, Shutdown unblocks Serve.
+func TestServerTCPServe(t *testing.T) {
+	fix, err := difftest.Build(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Cat: fix.Cat, Reg: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	c := &client{t: t, conn: conn, enc: json.NewEncoder(conn), sc: sc}
+	if banner := c.read(); banner.Code != "hello" {
+		t.Fatalf("banner: %+v", banner)
+	}
+	if resp := c.mustRows("select cid from customer order by cid limit 1"); len(resp.Rows) != 1 {
+		t.Fatalf("rows: %v", resp.Rows)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v after Shutdown, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+}
+
+// waitSessions polls until the live session count reaches want.
+func waitSessions(t *testing.T, srv *Server, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Sessions() == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("sessions = %d, want %d", srv.Sessions(), want)
+}
