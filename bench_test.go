@@ -16,6 +16,7 @@ import (
 	"semjoin/internal/expr"
 	"semjoin/internal/gsql"
 	"semjoin/internal/nn"
+	"semjoin/internal/obs"
 	"semjoin/internal/rel"
 )
 
@@ -319,6 +320,42 @@ func BenchmarkPipelineVsMaterialize(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkTracingOverhead measures what the tracing subsystem adds to
+// the end-to-end engine query path at the sample rates of interest:
+// 0 (spans built, nothing retained), 0.01 (production sampling) and
+// 1.0 (keep everything — the default). The workload is the enrichment
+// join family of BenchmarkPipelineVsMaterialize driven through the
+// engine, so trace creation, span recording, operator grafting, the
+// keep coin-flip and ring-buffer retention are all on the measured
+// path. Sampling is decided at Finish, so the rates should differ only
+// by the retention cost — the acceptance bar is <3% between 0 and 0.01.
+func BenchmarkTracingOverhead(b *testing.B) {
+	env := benchEnv(b, "Drugs")
+	const q = `
+		select cas, name, disease from drug e-join G <disease> as T
+		where not T.disease = 'Influenza'`
+	for _, cfg := range []struct {
+		name string
+		rate float64
+	}{
+		{"rate0", 0},
+		{"rate1pct", 0.01},
+		{"rate100", 1.0},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			eng := env.Engine(gsql.ModeAuto)
+			eng.Tracer = obs.NewTracer(cfg.rate, 0)
+			eng.Traces = obs.NewTraceStore(256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkLSTMTrain is Exp-3(I)(a): language-model training on one

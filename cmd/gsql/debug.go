@@ -10,7 +10,7 @@ import (
 )
 
 // startDebugServer binds addr and serves the obs debug surface
-// (/metrics, /queries, expvar, pprof) on it. It returns the bound
+// (/metrics, /queries, /traces, expvar, pprof) on it. It returns the bound
 // address, or an error when the listen fails — the caller must treat
 // that as fatal: a process that reports "debug server listening" and
 // then silently serves nothing would defeat the monitoring the
@@ -21,7 +21,7 @@ func startDebugServer(addr string) (string, error) {
 		return "", fmt.Errorf("debug-addr %s: %w", addr, err)
 	}
 	go func() {
-		if err := http.Serve(ln, obs.DebugMux(obs.Default, obs.DefaultQueries)); err != nil {
+		if err := http.Serve(ln, obs.DebugMux(obs.Default, obs.DefaultQueries, obs.DefaultTraces)); err != nil {
 			// Serve only fails after a successful bind (listener torn
 			// down at process exit); report it, the process is dying
 			// anyway.

@@ -59,9 +59,20 @@ func main() {
 	maxQueue := flag.Int("max-queue", 0, "server mode: requests queued beyond that before shedding (0 = 16×max-concurrent)")
 	maxSessions := flag.Int("max-sessions", 0, "server mode: concurrent session cap (0 = 4096)")
 	queueWaitMS := flag.Int("queue-wait-ms", 0, "server mode: longest queue wait before shedding (0 = 5000)")
+	traceSample := flag.Float64("trace-sample", 1.0, "fraction of query traces to keep for /traces and SHOW TRACES (0..1; shed, slow and TRACE'd queries are always kept)")
+	traceSlowMS := flag.Int("trace-slow-ms", 0, "always keep traces of queries at least this slow, regardless of -trace-sample (0 = disabled)")
+	logLevel := flag.String("log-level", "info", "structured JSON log level on stderr: debug, info, warn, error")
 	var tables tableFlags
 	flag.Var(&tables, "table", "name=file.csv[:keycol], repeatable (real-data mode)")
 	flag.Parse()
+
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	tracer := obs.NewTracer(*traceSample, time.Duration(*traceSlowMS)*time.Millisecond)
 
 	if *debugAddr != "" {
 		addr, err := startDebugServer(*debugAddr)
@@ -74,7 +85,6 @@ func main() {
 
 	start := time.Now()
 	var env *expr.QueryEnv
-	var err error
 	if *graphPath != "" {
 		env, err = loadRealData(*graphPath, tables, *keywords, *epochs, *seed, *loadModels)
 	} else {
@@ -99,14 +109,22 @@ func main() {
 			MaxQueue:      *maxQueue,
 			MaxSessions:   *maxSessions,
 			QueueWait:     time.Duration(*queueWaitMS) * time.Millisecond,
-		}); err != nil {
+		}, tracer, logger); err != nil {
 			fmt.Fprintln(os.Stderr, "serve:", err)
 			os.Exit(1)
 		}
 		return
 	}
+	// REPL and batch engines share the flag-configured tracer/logger so
+	// TRACE / SHOW TRACES and /traces behave identically to server mode.
+	newEngine := func(m gsql.Mode) *gsql.Engine {
+		e := env.Engine(m)
+		e.Tracer = tracer
+		e.Log = logger
+		return e
+	}
 	if *query != "" {
-		eng := env.Engine(gsql.ModeAuto)
+		eng := newEngine(gsql.ModeAuto)
 		runQuery(eng, strings.TrimSuffix(strings.TrimSpace(*query), ";"))
 		return
 	}
@@ -121,7 +139,7 @@ func main() {
 	fmt.Println(`type a gSQL query ending in ';' (prefix with 'explain' for the plan, 'explain analyze' for the trace; 'show metrics;' dumps counters), or \tables, \mode auto|baseline|heuristic, \plan, \quit`)
 
 	mode := gsql.ModeAuto
-	eng := env.Engine(mode)
+	eng := newEngine(mode)
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -152,7 +170,7 @@ func main() {
 			default:
 				fmt.Println("modes: auto, baseline, heuristic")
 			}
-			eng = env.Engine(mode)
+			eng = newEngine(mode)
 			fmt.Print("gsql> ")
 			continue
 		}

@@ -11,18 +11,23 @@ import (
 
 	"semjoin/internal/expr"
 	"semjoin/internal/gsql"
+	"semjoin/internal/obs"
 	"semjoin/internal/server"
 )
 
 // serveNetwork runs the long-running multi-session server over env's
 // catalog: binds addr, serves sessions until SIGINT/SIGTERM, then
 // shuts down gracefully (in-flight queries cancelled, sessions
-// drained, 10s grace).
-func serveNetwork(env *expr.QueryEnv, addr string, lim server.Limits) error {
+// drained, 10s grace). Traces land in obs.DefaultTraces — the store
+// the -debug-addr endpoint serves — sampled by tracer; log receives
+// structured session/shed/query records.
+func serveNetwork(env *expr.QueryEnv, addr string, lim server.Limits, tracer *obs.Tracer, log *obs.Logger) error {
 	srv, err := server.New(server.Config{
 		Cat:    env.Cat,
 		Mode:   gsql.ModeAuto,
 		Limits: lim,
+		Tracer: tracer,
+		Log:    log,
 	})
 	if err != nil {
 		return err

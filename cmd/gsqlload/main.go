@@ -25,11 +25,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -52,6 +55,8 @@ func main() {
 	failOnError := flag.Bool("fail-on-error", false, "exit 1 when any request fails with a non-busy error")
 	failOnShed := flag.Bool("fail-on-shed", false, "exit 1 when any request is shed (busy)")
 	checkLeaks := flag.Bool("check-leaks", false, "selftest: exit 1 when goroutines leak after shutdown")
+	traceSlowest := flag.Int("trace-slowest", 0, "after the run, fetch and print the span trees of the N slowest requests")
+	debugURL := flag.String("debug-url", "", "debug endpoint base URL (e.g. http://127.0.0.1:8077) for -trace-slowest fetches; selftest reads in-process when empty")
 	flag.Parse()
 
 	if (*addr == "") == !*selftest {
@@ -103,7 +108,17 @@ func main() {
 		shutdown = func() error { return nil }
 	}
 
-	sum := run(dial, *clients, *requests, *seed)
+	topN := *traceSlowest
+	if topN <= 0 {
+		topN = 3 // always surface a few IDs in the report, even without full trees
+	}
+	sum := run(dial, *clients, *requests, *seed, topN)
+	if *traceSlowest > 0 {
+		// Fetch before shutdown: the selftest path reads the in-process
+		// trace store, which outlives Shutdown, but a remote server may
+		// not outlive the run script.
+		attachTraceTrees(&sum, *debugURL, *selftest)
+	}
 	if err := shutdown(); err != nil {
 		fmt.Fprintln(os.Stderr, "gsqlload: shutdown:", err)
 		os.Exit(1)
@@ -129,19 +144,30 @@ func main() {
 
 // summary aggregates one run.
 type summary struct {
-	Clients    int     `json:"clients"`
-	Requests   int     `json:"requests"`
-	OK         int     `json:"ok"`
-	Errors     int     `json:"errors"`
-	Shed       int     `json:"shed"`
-	DialErrors int     `json:"dial_errors"`
-	WallSec    float64 `json:"wall_sec"`
-	Throughput float64 `json:"requests_per_sec"`
-	P50MS      float64 `json:"p50_ms"`
-	P95MS      float64 `json:"p95_ms"`
-	P99MS      float64 `json:"p99_ms"`
-	MaxMS      float64 `json:"max_ms"`
-	FirstError string  `json:"first_error,omitempty"`
+	Clients    int        `json:"clients"`
+	Requests   int        `json:"requests"`
+	OK         int        `json:"ok"`
+	Errors     int        `json:"errors"`
+	Shed       int        `json:"shed"`
+	DialErrors int        `json:"dial_errors"`
+	WallSec    float64    `json:"wall_sec"`
+	Throughput float64    `json:"requests_per_sec"`
+	P50MS      float64    `json:"p50_ms"`
+	P95MS      float64    `json:"p95_ms"`
+	P99MS      float64    `json:"p99_ms"`
+	MaxMS      float64    `json:"max_ms"`
+	FirstError string     `json:"first_error,omitempty"`
+	Slowest    []reqTrace `json:"slowest_traces,omitempty"`
+	ShedIDs    []string   `json:"shed_trace_ids,omitempty"`
+}
+
+// reqTrace identifies one traced request: enough to find it again on
+// the server's /traces endpoint. Tree is filled by -trace-slowest.
+type reqTrace struct {
+	TraceID string  `json:"trace_id"`
+	LatMS   float64 `json:"lat_ms"`
+	Query   string  `json:"query,omitempty"`
+	Tree    string  `json:"tree,omitempty"`
 }
 
 // clientResult is one session's tally.
@@ -152,10 +178,13 @@ type clientResult struct {
 	shed       int
 	dialErr    bool
 	firstError string
+	traced     []reqTrace
+	shedIDs    []string
 }
 
-// run launches the client fleet and merges their tallies.
-func run(dial func() (net.Conn, error), clients, requests int, seed int64) summary {
+// run launches the client fleet and merges their tallies, keeping the
+// topN slowest traced requests and up to a handful of shed trace IDs.
+func run(dial func() (net.Conn, error), clients, requests int, seed int64, topN int) summary {
 	results := make([]clientResult, clients)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -171,6 +200,7 @@ func run(dial func() (net.Conn, error), clients, requests int, seed int64) summa
 
 	sum := summary{Clients: clients, WallSec: wall.Seconds()}
 	var all []time.Duration
+	var traced []reqTrace
 	for _, r := range results {
 		sum.OK += r.ok
 		sum.Errors += r.errs
@@ -182,6 +212,16 @@ func run(dial func() (net.Conn, error), clients, requests int, seed int64) summa
 			sum.FirstError = r.firstError
 		}
 		all = append(all, r.lat...)
+		traced = append(traced, r.traced...)
+		sum.ShedIDs = append(sum.ShedIDs, r.shedIDs...)
+	}
+	sort.Slice(traced, func(i, j int) bool { return traced[i].LatMS > traced[j].LatMS })
+	if len(traced) > topN {
+		traced = traced[:topN]
+	}
+	sum.Slowest = traced
+	if len(sum.ShedIDs) > 10 {
+		sum.ShedIDs = sum.ShedIDs[:10]
 	}
 	sum.Requests = sum.OK + sum.Errors + sum.Shed
 	if wall > 0 {
@@ -236,13 +276,23 @@ func driveClient(dial func() (net.Conn, error), seed int64, requests int) client
 		}
 		return resp, true
 	}
-	tally := func(resp server.Response, lat time.Duration) {
+	tally := func(resp server.Response, lat time.Duration, query string) {
 		switch {
 		case resp.OK:
 			res.ok++
 			res.lat = append(res.lat, lat)
+			if resp.TraceID != "" {
+				res.traced = append(res.traced, reqTrace{
+					TraceID: resp.TraceID,
+					LatMS:   float64(lat) / float64(time.Millisecond),
+					Query:   truncate(query, 80),
+				})
+			}
 		case resp.Code == "busy":
 			res.shed++
+			if resp.TraceID != "" {
+				res.shedIDs = append(res.shedIDs, resp.TraceID)
+			}
 		default:
 			res.errs++
 			if res.firstError == "" {
@@ -254,11 +304,11 @@ func driveClient(dial func() (net.Conn, error), seed int64, requests int) client
 	switch rng.Intn(4) {
 	case 0:
 		if resp, ok := roundTrip(server.Request{Op: server.OpQuery, Query: "set parallelism 2"}); ok {
-			tally(resp, 0)
+			tally(resp, 0, "set parallelism 2")
 		}
 	case 1:
 		if resp, ok := roundTrip(server.Request{Op: server.OpQuery, Query: "set vectorized off"}); ok {
-			tally(resp, 0)
+			tally(resp, 0, "set vectorized off")
 		}
 	}
 	if resp, ok := roundTrip(server.Request{
@@ -282,12 +332,66 @@ func driveClient(dial func() (net.Conn, error), seed int64, requests int) client
 			res.errs++
 			return res
 		}
-		tally(resp, time.Since(start))
+		tally(resp, time.Since(start), req.Query)
 	}
 	resp, ok := roundTrip(server.Request{Op: server.OpClose})
 	_ = resp
 	_ = ok
 	return res
+}
+
+// attachTraceTrees fills in the span tree of each slowest-request
+// entry. With -debug-url it fetches /traces/<id>?format=text from the
+// server's debug endpoint; in selftest mode (no URL) it reads the
+// in-process default trace store directly — same store the debug
+// endpoint would serve. Missing traces (evicted, or sampled out at a
+// low -trace-sample) are noted, not fatal.
+func attachTraceTrees(sum *summary, debugURL string, selftest bool) {
+	for i := range sum.Slowest {
+		id := sum.Slowest[i].TraceID
+		tree, err := fetchTrace(debugURL, selftest, id)
+		if err != nil {
+			tree = "trace " + id + " unavailable: " + err.Error()
+		}
+		sum.Slowest[i].Tree = tree
+	}
+}
+
+// fetchTrace returns the rendered span tree for one trace ID.
+func fetchTrace(debugURL string, selftest bool, id string) (string, error) {
+	if debugURL == "" {
+		if !selftest {
+			return "", fmt.Errorf("no -debug-url given")
+		}
+		t := obs.DefaultTraces.Get(id)
+		if t == nil {
+			return "", fmt.Errorf("not in trace store (evicted or sampled out)")
+		}
+		return obs.TraceText(t), nil
+	}
+	url := strings.TrimRight(debugURL, "/") + "/traces/" + id + "?format=text"
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return string(body), nil
+}
+
+// truncate caps s at n runes for display.
+func truncate(s string, n int) string {
+	s = strings.Join(strings.Fields(s), " ")
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
 }
 
 // readResp scans one response line into out.
@@ -345,5 +449,19 @@ func report(s summary, leaked int, asJSON bool) {
 	}
 	if s.FirstError != "" {
 		fmt.Printf("first error: %s\n", s.FirstError)
+	}
+	if len(s.Slowest) > 0 {
+		fmt.Println("slowest requests:")
+		for _, rt := range s.Slowest {
+			fmt.Printf("  %s  %8.2fms  %s\n", rt.TraceID, rt.LatMS, rt.Query)
+		}
+	}
+	if len(s.ShedIDs) > 0 {
+		fmt.Printf("shed trace ids: %s\n", strings.Join(s.ShedIDs, " "))
+	}
+	for _, rt := range s.Slowest {
+		if rt.Tree != "" {
+			fmt.Printf("\n--- trace %s (%.2fms) ---\n%s", rt.TraceID, rt.LatMS, rt.Tree)
+		}
 	}
 }

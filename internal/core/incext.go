@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"semjoin/internal/graph"
 	"semjoin/internal/her"
+	"semjoin/internal/obs"
 	"semjoin/internal/rel"
 )
 
@@ -31,6 +34,28 @@ type IncStats struct {
 // paper's no-accuracy-loss property) as long as path patterns themselves
 // remain representative.
 func (e *Extractor) ApplyGraphUpdate(delta graph.Batch, matcher her.Matcher) (IncStats, error) {
+	return e.ApplyGraphUpdateContext(context.Background(), delta, matcher)
+}
+
+// ApplyGraphUpdateContext is ApplyGraphUpdate with observability: when
+// ctx carries a trace the maintenance step reports itself as an
+// "incext_apply_graph" phase, and a ctx logger gets a structured
+// record of what the step did.
+func (e *Extractor) ApplyGraphUpdateContext(ctx context.Context, delta graph.Batch, matcher her.Matcher) (IncStats, error) {
+	start := time.Now()
+	st, err := e.applyGraphUpdate(delta, matcher)
+	obs.TraceFromContext(ctx).Phase("incext_apply_graph", start)
+	if err != nil {
+		obs.LoggerFromContext(ctx).Warn("incext graph update failed", "err", err.Error())
+	} else {
+		obs.LoggerFromContext(ctx).Debug("incext graph update",
+			"touched", st.Touched, "affected", st.Affected, "removed", st.Removed,
+			"duration_ms", float64(time.Since(start))/float64(time.Millisecond))
+	}
+	return st, err
+}
+
+func (e *Extractor) applyGraphUpdate(delta graph.Batch, matcher her.Matcher) (IncStats, error) {
 	if e.scheme == nil || e.result == nil {
 		return IncStats{}, fmt.Errorf("core: IncExt requires a completed RExt run")
 	}
@@ -130,6 +155,27 @@ func (e *Extractor) ApplyGraphUpdate(delta graph.Batch, matcher her.Matcher) (In
 // nil input, or a matcher emitting out-of-range tuple indexes — leaves
 // the extractor exactly as it was.
 func (e *Extractor) ApplyRelationUpdate(newS *rel.Relation, matcher her.Matcher) (IncStats, error) {
+	return e.ApplyRelationUpdateContext(context.Background(), newS, matcher)
+}
+
+// ApplyRelationUpdateContext is ApplyRelationUpdate with
+// observability: an "incext_apply_relation" phase on the ctx trace
+// and a structured record on the ctx logger.
+func (e *Extractor) ApplyRelationUpdateContext(ctx context.Context, newS *rel.Relation, matcher her.Matcher) (IncStats, error) {
+	start := time.Now()
+	st, err := e.applyRelationUpdate(newS, matcher)
+	obs.TraceFromContext(ctx).Phase("incext_apply_relation", start)
+	if err != nil {
+		obs.LoggerFromContext(ctx).Warn("incext relation update failed", "err", err.Error())
+	} else {
+		obs.LoggerFromContext(ctx).Debug("incext relation update",
+			"affected", st.Affected, "removed", st.Removed,
+			"duration_ms", float64(time.Since(start))/float64(time.Millisecond))
+	}
+	return st, err
+}
+
+func (e *Extractor) applyRelationUpdate(newS *rel.Relation, matcher her.Matcher) (IncStats, error) {
 	if e.scheme == nil || e.result == nil {
 		return IncStats{}, fmt.Errorf("core: IncExt requires a completed RExt run")
 	}
@@ -197,6 +243,27 @@ func (e *Extractor) ApplyRelationUpdate(newS *rel.Relation, matcher her.Matcher)
 // relation fully computed before e.scheme/e.result are replaced, so a
 // failed update leaves the extractor unchanged.
 func (e *Extractor) UpdateKeywords(keywords []string) (*rel.Relation, error) {
+	return e.UpdateKeywordsContext(context.Background(), keywords)
+}
+
+// UpdateKeywordsContext is UpdateKeywords with observability: an
+// "incext_update_keywords" phase on the ctx trace and a structured
+// record on the ctx logger.
+func (e *Extractor) UpdateKeywordsContext(ctx context.Context, keywords []string) (*rel.Relation, error) {
+	start := time.Now()
+	out, err := e.updateKeywords(keywords)
+	obs.TraceFromContext(ctx).Phase("incext_update_keywords", start)
+	if err != nil {
+		obs.LoggerFromContext(ctx).Warn("incext keyword update failed", "err", err.Error())
+	} else {
+		obs.LoggerFromContext(ctx).Debug("incext keyword update",
+			"keywords", strings.Join(keywords, ","),
+			"duration_ms", float64(time.Since(start))/float64(time.Millisecond))
+	}
+	return out, err
+}
+
+func (e *Extractor) updateKeywords(keywords []string) (*rel.Relation, error) {
 	if e.scheme == nil || e.result == nil {
 		return nil, fmt.Errorf("core: IncExt requires a completed RExt run")
 	}

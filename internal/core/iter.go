@@ -81,7 +81,10 @@ func (m *Materialized) StaticLinkIter(base1 string, s1 rel.Iterator, base2 strin
 			m2 := restrictMatches(b2, r2)
 			if cacheKey != "" {
 				glr, hit, err := m.gl.getOrCompute(ctx, cacheKey, func() (*rel.Relation, error) {
-					return glRelation(ctx, m.G, m1, m2, k, par)
+					computeStart := time.Now()
+					out, err := glRelation(ctx, m.G, m1, m2, k, par)
+					obs.TraceFromContext(ctx).Phase("gl_compute", computeStart)
+					return out, err
 				})
 				if err != nil {
 					return rel.Generated{}, err
@@ -129,6 +132,7 @@ func LinkJoinIter(g *graph.Graph, matcher her.Matcher, k, par int, s1, s2 rel.It
 			m2 := matcher.Match(in[1], g)
 			obs.FromContext(ctx).Histogram("core_her_match_seconds", nil).
 				Observe(time.Since(matchStart).Seconds())
+			obs.TraceFromContext(ctx).Phase("her_match", matchStart)
 			reach, workers, err := reachSets(ctx, g, m1, k, par)
 			if err != nil {
 				return rel.Generated{}, err
@@ -142,11 +146,12 @@ func LinkJoinIter(g *graph.Graph, matcher her.Matcher, k, par int, s1, s2 rel.It
 }
 
 // BaselineEnrichIter wraps the conceptual-level EnrichmentJoin
-// (HER+RExt at query time) as an operator.
+// (HER+RExt at query time) as an operator. The context flows through
+// so the HER/RExt stages attribute their phases to the active trace.
 func BaselineEnrichIter(g *graph.Graph, models Models, matcher her.Matcher, keywords []string, cfg Config, src rel.Iterator) rel.Iterator {
 	return rel.NewApply("e-join baseline", []rel.Iterator{src},
 		func(ctx context.Context, in []*rel.Relation) (*rel.Relation, string, error) {
-			out, err := EnrichmentJoin(in[0], g, models, matcher, keywords, cfg)
+			out, err := EnrichmentJoinContext(ctx, in[0], g, models, matcher, keywords, cfg)
 			return out, "HER+RExt online", err
 		})
 }

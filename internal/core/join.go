@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -37,25 +38,35 @@ func matchRelation(s *rel.Relation, matches []her.Match) *rel.Relation {
 // the result is the three-way natural join S ⋈ f(S,G) ⋈ h(S,G). This is
 // the online baseline of §IV-A that invokes HER and RExt at query time.
 func EnrichmentJoin(s *rel.Relation, g *graph.Graph, models Models, matcher her.Matcher, keywords []string, cfg Config) (*rel.Relation, error) {
+	return EnrichmentJoinContext(context.Background(), s, g, models, matcher, keywords, cfg)
+}
+
+// EnrichmentJoinContext is EnrichmentJoin with phase attribution: when
+// ctx carries a trace (obs.ContextWithTrace), the HER matching and
+// RExt extraction stages report themselves as "her_match" and
+// "rext_extract" phases of that trace.
+func EnrichmentJoinContext(ctx context.Context, s *rel.Relation, g *graph.Graph, models Models, matcher her.Matcher, keywords []string, cfg Config) (*rel.Relation, error) {
 	if s.Schema.Key == "" {
 		// Unkeyed intermediate results (e.g. Example 10's Q′, which joins
 		// two base relations) get a synthetic row id so the three-way
 		// reduction still works; HER matches are re-keyed accordingly.
-		matches := timedMatch(cfg.Obs, matcher, s, g)
+		matches := timedMatch(ctx, cfg.Obs, matcher, s, g)
 		keyed := withRowIDs(s)
 		for i := range matches {
 			matches[i].TID = rel.I(int64(matches[i].TupleIdx))
 		}
-		return enrichMatched(keyed, g, models, keywords, cfg, matches)
+		return enrichMatched(ctx, keyed, g, models, keywords, cfg, matches)
 	}
-	return enrichMatched(s, g, models, keywords, cfg, timedMatch(cfg.Obs, matcher, s, g))
+	return enrichMatched(ctx, s, g, models, keywords, cfg, timedMatch(ctx, cfg.Obs, matcher, s, g))
 }
 
-// timedMatch runs HER matching, reporting its latency to reg.
-func timedMatch(reg *obs.Registry, matcher her.Matcher, s *rel.Relation, g *graph.Graph) []her.Match {
+// timedMatch runs HER matching, reporting its latency to reg and, when
+// ctx carries a trace, as a "her_match" phase.
+func timedMatch(ctx context.Context, reg *obs.Registry, matcher her.Matcher, s *rel.Relation, g *graph.Graph) []her.Match {
 	start := time.Now()
 	matches := matcher.Match(s, g)
 	reg.Histogram("core_her_match_seconds", nil).Observe(time.Since(start).Seconds())
+	obs.TraceFromContext(ctx).Phase("her_match", start)
 	return matches
 }
 
@@ -73,7 +84,7 @@ func withRowIDs(s *rel.Relation) *rel.Relation {
 }
 
 // enrichMatched finishes an enrichment join from pre-computed matches.
-func enrichMatched(s *rel.Relation, g *graph.Graph, models Models, keywords []string, cfg Config, matches []her.Match) (*rel.Relation, error) {
+func enrichMatched(ctx context.Context, s *rel.Relation, g *graph.Graph, models Models, keywords []string, cfg Config, matches []her.Match) (*rel.Relation, error) {
 	cfg.Keywords = keywords
 	if len(matches) == 0 {
 		empty := rel.NewSchema(s.Schema.Name+"_e", s.Schema.Key,
@@ -82,7 +93,9 @@ func enrichMatched(s *rel.Relation, g *graph.Graph, models Models, keywords []st
 		return rel.NewRelation(empty), nil
 	}
 	ex := NewExtractor(g, models, cfg)
+	extractStart := time.Now()
 	dg, err := ex.Run(s, matches)
+	obs.TraceFromContext(ctx).Phase("rext_extract", extractStart)
 	if err != nil {
 		return nil, err
 	}

@@ -14,6 +14,7 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"semjoin/internal/graph"
 	"semjoin/internal/her"
@@ -90,6 +91,8 @@ func bfsRow(g *graph.Graph, src graph.VertexID, k, words int, sc *bfsScratch) []
 // bounded pool. It reports the number of workers actually used and
 // honours ctx cancellation between vertices.
 func reachSets(ctx context.Context, g *graph.Graph, m1 []her.Match, k, par int) (*reachIndex, int, error) {
+	phaseStart := time.Now()
+	defer obs.TraceFromContext(ctx).Phase("bfs_reach", phaseStart)
 	var verts []graph.VertexID
 	seen := map[graph.VertexID]bool{}
 	for _, m := range m1 {

@@ -89,6 +89,21 @@ type Engine struct {
 	// plan and execute children with wall times. EXPLAIN ANALYZE renders
 	// it merged with LastStats.
 	LastTrace *obs.Span
+
+	// Tracer decides trace ids and sampling; nil means obs.DefaultTracer
+	// (keep everything). When the caller (the network server) already
+	// installed a trace in the context, the engine attaches its spans to
+	// that trace instead of starting one.
+	Tracer *obs.Tracer
+	// Traces receives kept traces; nil means obs.DefaultTraces. SHOW
+	// TRACES lists this store.
+	Traces *obs.TraceStore
+	// Log receives structured query-outcome records (errors, slow
+	// queries); nil disables engine logging (the wrapper no-ops).
+	Log *obs.Logger
+	// LastTraceID is the id of the last executed query's trace — the
+	// handle /traces/<id> serves when the trace was kept.
+	LastTraceID string
 }
 
 // NewEngine returns an engine in ModeAuto.
@@ -124,6 +139,22 @@ func (e *Engine) qlog() *obs.QueryLog {
 	return obs.DefaultQueries
 }
 
+// tracer resolves the engine's tracer (obs.DefaultTracer unless set).
+func (e *Engine) tracer() *obs.Tracer {
+	if e.Tracer != nil {
+		return e.Tracer
+	}
+	return obs.DefaultTracer
+}
+
+// traces resolves the engine's trace store (obs.DefaultTraces unless set).
+func (e *Engine) traces() *obs.TraceStore {
+	if e.Traces != nil {
+		return e.Traces
+	}
+	return obs.DefaultTraces
+}
+
 // Query parses and executes input, returning the result relation. An
 // input prefixed with EXPLAIN executes the query and returns the plan
 // notes (the well-behaved verdict, one row per semantic join, then the
@@ -136,18 +167,25 @@ func (e *Engine) Query(input string) (*rel.Relation, error) {
 // while the operator tree drains.
 func (e *Engine) QueryContext(ctx context.Context, input string) (*rel.Relation, error) {
 	trimmed := strings.TrimSpace(input)
-	if f := strings.Fields(trimmed); len(f) >= 2 {
+	if f := strings.Fields(trimmed); len(f) >= 1 {
+		two := len(f) >= 2
 		switch {
-		case strings.EqualFold(f[0], "set") && strings.EqualFold(f[1], "parallelism"):
+		case two && strings.EqualFold(f[0], "set") && strings.EqualFold(f[1], "parallelism"):
 			return e.setParallelism(f[2:])
-		case strings.EqualFold(f[0], "set") && strings.EqualFold(f[1], "slow_query_ms"):
+		case two && strings.EqualFold(f[0], "set") && strings.EqualFold(f[1], "slow_query_ms"):
 			return e.setSlowQueryMS(f[2:])
-		case strings.EqualFold(f[0], "set") && strings.EqualFold(f[1], "vectorized"):
+		case two && strings.EqualFold(f[0], "set") && strings.EqualFold(f[1], "vectorized"):
 			return e.setVectorized(f[2:])
-		case strings.EqualFold(f[0], "show") && strings.EqualFold(f[1], "metrics"):
+		case two && strings.EqualFold(f[0], "show") && strings.EqualFold(f[1], "metrics"):
 			return e.showMetrics(f[2:])
-		case strings.EqualFold(f[0], "show") && strings.EqualFold(f[1], "session"):
+		case two && strings.EqualFold(f[0], "show") && strings.EqualFold(f[1], "session"):
 			return e.showSession(f[2:])
+		case two && strings.EqualFold(f[0], "show") && strings.EqualFold(f[1], "traces"):
+			return e.showTraces(f[2:])
+		case strings.EqualFold(f[0], "trace"):
+			// Matches a bare TRACE too, so the usage error comes from
+			// traceQuery rather than a confusing parser diagnostic.
+			return e.traceQuery(ctx, strings.TrimSpace(trimmed[len(f[0]):]))
 		}
 	}
 	explain, analyze := false, false
@@ -175,30 +213,84 @@ func (e *Engine) QueryContext(ctx context.Context, input string) (*rel.Relation,
 // run parses, plans and executes one query under a root trace span,
 // recording latency metrics and a query-log entry for every outcome
 // (parse and plan errors included). The span tree is kept on LastTrace.
+//
+// Tracing ownership: when the caller already put a trace in ctx (the
+// network server does, so the wire-read and admission spans precede
+// the engine's), run attaches the "query" span to it and leaves
+// Finish/Keep to the owner. Otherwise run owns the trace end to end:
+// it creates one, finishes it with the outcome status, and retains it
+// in the trace store when the tracer's sampling says so.
 func (e *Engine) run(ctx context.Context, input string) (*rel.Relation, *Query, error) {
 	reg := e.reg()
 	ctx = obs.WithRegistry(ctx, reg)
-	root := obs.StartSpan("query")
+	tr := obs.TraceFromContext(ctx)
+	owned := tr == nil
+	if owned {
+		tr = e.tracer().Start(strings.TrimSpace(input), 0)
+		ctx = obs.ContextWithTrace(ctx, tr)
+	}
+	root := tr.StartSpan("query")
+	if root == nil {
+		root = obs.StartSpan("query")
+	}
 	e.LastTrace = root
+	e.LastTraceID = tr.ID()
 	out, q, err := e.runSpanned(ctx, root, input)
 	root.End()
 
 	reg.Counter("gsql_queries_total").Inc()
+	status := "ok"
 	if err != nil {
 		reg.Counter("gsql_query_errors_total").Inc()
+		status = "error"
 	}
 	reg.Histogram("gsql_query_seconds", nil).Observe(root.Duration.Seconds())
-	rec := obs.QueryRecord{Query: strings.TrimSpace(input), Start: root.Start, Duration: root.Duration}
+	rec := obs.QueryRecord{
+		Query: strings.TrimSpace(input), Start: root.Start,
+		Duration: root.Duration, Status: status, TraceID: tr.ID(),
+	}
 	if out != nil {
 		rec.Rows = out.Len()
 	}
 	if err != nil {
 		rec.Err = err.Error()
 	}
-	if e.qlog().Record(rec) {
+	slow := e.qlog().Record(rec)
+	if slow {
 		reg.Counter("gsql_slow_queries_total").Inc()
 	}
+	tr.SetOperators(statsOps(e.LastStats))
+	if owned {
+		tr.Finish(status)
+		if e.tracer().Keep(tr) {
+			e.traces().Add(tr)
+		}
+	}
+	if err != nil {
+		e.Log.Warn("query failed", "err", err.Error(), "trace_id", tr.ID(), "query", rec.Query)
+	} else if slow {
+		e.Log.Info("slow query",
+			"duration_ms", float64(root.Duration)/float64(time.Millisecond),
+			"trace_id", tr.ID(), "rows", rec.Rows, "query", rec.Query)
+	}
 	return out, q, err
+}
+
+// statsOps flattens the executed plan's per-operator stats into the
+// obs representation traces carry.
+func statsOps(stats *rel.ExecStats) []obs.OpNode {
+	if stats == nil || len(stats.Lines) == 0 {
+		return nil
+	}
+	ops := make([]obs.OpNode, len(stats.Lines))
+	for i, l := range stats.Lines {
+		ops[i] = obs.OpNode{
+			Depth: l.Depth, Name: l.Label, Note: l.Note,
+			Rows: l.Rows, Batches: l.Batches, Workers: l.Workers,
+			Elapsed: l.Elapsed,
+		}
+	}
+	return ops
 }
 
 // runSpanned is run's traced body: parse, plan and execute children
@@ -317,6 +409,77 @@ func (e *Engine) showSession(extra []string) (*rel.Relation, error) {
 	out.InsertVals(rel.S("parallelism"), rel.S(strconv.Itoa(e.Par())))
 	out.InsertVals(rel.S("slow_query_ms"), rel.S(strconv.FormatInt(e.qlog().SlowThreshold().Milliseconds(), 10)))
 	out.InsertVals(rel.S("vectorized"), rel.S(vec))
+	return out, nil
+}
+
+// showTraces handles SHOW TRACES: the retained traces newest-first as
+// a (trace_id, status, duration_ms, spans, op) relation — the gSQL
+// view of the same ring buffer /traces serves.
+func (e *Engine) showTraces(extra []string) (*rel.Relation, error) {
+	if len(extra) != 0 {
+		return nil, fmt.Errorf("gsql: usage: SHOW TRACES")
+	}
+	out := rel.NewRelation(rel.NewSchema("traces", "trace_id",
+		rel.Attribute{Name: "trace_id", Type: rel.KindString},
+		rel.Attribute{Name: "status", Type: rel.KindString},
+		rel.Attribute{Name: "duration_ms", Type: rel.KindFloat},
+		rel.Attribute{Name: "spans", Type: rel.KindInt},
+		rel.Attribute{Name: "op", Type: rel.KindString},
+	))
+	for _, t := range e.traces().List() {
+		out.InsertVals(
+			rel.S(t.ID()),
+			rel.S(t.Status()),
+			rel.F(float64(t.Duration())/float64(time.Millisecond)),
+			rel.I(int64(t.SpanCount())),
+			rel.S(t.Op()),
+		)
+	}
+	return out, nil
+}
+
+// traceQuery handles TRACE <query>: it executes the query with
+// tracing forced on (bypassing sampling), retains the trace, and
+// returns the rendered span tree — phases and per-operator spans
+// grafted in — as a (step, note) relation whose first row carries the
+// trace id for /traces/<id> lookup. Under the network server the
+// query's trace already exists (the server started it at the wire);
+// TRACE then forces that trace to be kept and renders the engine's
+// view of it.
+func (e *Engine) traceQuery(ctx context.Context, rest string) (*rel.Relation, error) {
+	if rest == "" {
+		return nil, fmt.Errorf("gsql: usage: TRACE <query>")
+	}
+	tr := obs.TraceFromContext(ctx)
+	owned := tr == nil
+	if owned {
+		tr = e.tracer().Start(rest, 0)
+		ctx = obs.ContextWithTrace(ctx, tr)
+	}
+	tr.SetForced()
+	_, _, err := e.run(ctx, rest)
+	if owned {
+		status := "ok"
+		if err != nil {
+			status = "error"
+		}
+		tr.Finish(status)
+		e.traces().Add(tr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := rel.NewRelation(rel.NewSchema("trace", "",
+		rel.Attribute{Name: "step", Type: rel.KindInt},
+		rel.Attribute{Name: "note", Type: rel.KindString},
+	))
+	out.InsertVals(rel.I(0), rel.S("trace_id: "+tr.ID()))
+	tree := strings.TrimRight(tr.RenderTree(e.LastTrace).String(), "\n")
+	step := int64(1)
+	for _, line := range strings.Split(tree, "\n") {
+		out.InsertVals(rel.I(step), rel.S(line))
+		step++
+	}
 	return out, nil
 }
 

@@ -61,7 +61,7 @@ func TestMetricsEndpointServesEngineTraffic(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	srv := httptest.NewServer(obs.Handler(reg, log))
+	srv := httptest.NewServer(obs.Handler(reg, log, obs.NewTraceStore(8)))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/metrics")
 	if err != nil {

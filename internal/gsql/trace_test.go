@@ -1,0 +1,143 @@
+package gsql
+
+import (
+	"strings"
+	"testing"
+
+	"semjoin/internal/obs"
+)
+
+// newTracedEngine isolates the engine's trace store and tracer so
+// SHOW TRACES sees only this test's traffic.
+func newTracedEngine(t *testing.T) *Engine {
+	f := getFintech(t)
+	e := NewEngine(f.cat)
+	e.Obs = obs.NewRegistry()
+	e.Queries = obs.NewQueryLog()
+	e.Tracer = obs.NewTracer(1.0, 0)
+	e.Traces = obs.NewTraceStore(16)
+	return e
+}
+
+func TestTraceStatement(t *testing.T) {
+	e := newTracedEngine(t)
+	out, err := e.Query("trace select pid, price from product where price >= 60 order by pid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() < 4 {
+		t.Fatalf("trace output rows = %d, want the id row plus a span tree\n%v", out.Len(), out)
+	}
+	first := out.Get(out.Tuples[0], "note").Str()
+	if !strings.HasPrefix(first, "trace_id: ") {
+		t.Fatalf("first row = %q, want the trace id", first)
+	}
+	id := strings.TrimPrefix(first, "trace_id: ")
+
+	var tree strings.Builder
+	for _, tp := range out.Tuples[1:] {
+		tree.WriteString(out.Get(tp, "note").Str())
+		tree.WriteString("\n")
+	}
+	for _, want := range []string{"query", "parse", "plan", "execute", "op:scan product"} {
+		if !strings.Contains(tree.String(), want) {
+			t.Errorf("span tree missing %q:\n%s", want, tree.String())
+		}
+	}
+
+	// The forced trace must be retained even though TRACE bypasses the
+	// sampling coin entirely.
+	tr := e.Traces.Get(id)
+	if tr == nil {
+		t.Fatalf("trace %s not in store", id)
+	}
+	if !tr.Forced() || tr.Status() != "ok" {
+		t.Fatalf("forced=%v status=%q", tr.Forced(), tr.Status())
+	}
+	if e.LastTraceID != id {
+		t.Fatalf("LastTraceID = %q, want %q", e.LastTraceID, id)
+	}
+}
+
+func TestTraceStatementError(t *testing.T) {
+	e := newTracedEngine(t)
+	if _, err := e.Query("trace select x from no_such_table"); err == nil {
+		t.Fatal("TRACE over a failing query must propagate the error")
+	}
+	if _, err := e.Query("trace"); err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Fatalf("bare TRACE: err = %v, want usage error", err)
+	}
+	// The failed query's trace is still retained with status error.
+	found := false
+	for _, tr := range e.Traces.List() {
+		if tr.Status() == "error" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("failing TRACE left no error trace in the store")
+	}
+}
+
+func TestShowTraces(t *testing.T) {
+	e := newTracedEngine(t)
+	queries := []string{
+		"select pid from product where price >= 60",
+		"select cid, bal from customer order by bal desc limit 2",
+	}
+	for _, q := range queries {
+		if _, err := e.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := e.Query("show traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The SHOW TRACES statement itself is not yet finished while it
+	// runs, so only the two completed queries appear.
+	if out.Len() != 2 {
+		t.Fatalf("show traces rows = %d, want 2\n%v", out.Len(), out)
+	}
+	// Newest first: row 0 is the second query.
+	ops := []string{
+		out.Get(out.Tuples[0], "op").Str(),
+		out.Get(out.Tuples[1], "op").Str(),
+	}
+	if ops[0] != queries[1] || ops[1] != queries[0] {
+		t.Fatalf("ops = %v, want newest-first %v", ops, queries)
+	}
+	for _, tp := range out.Tuples {
+		if out.Get(tp, "status").Str() != "ok" {
+			t.Errorf("status = %q", out.Get(tp, "status").Str())
+		}
+		if out.Get(tp, "spans").Int() <= 0 {
+			t.Errorf("spans = %d", out.Get(tp, "spans").Int())
+		}
+		if out.Get(tp, "trace_id").Str() == "" {
+			t.Error("empty trace_id")
+		}
+	}
+
+	if _, err := e.Query("show traces extra"); err == nil {
+		t.Fatal("SHOW TRACES with arguments must error")
+	}
+}
+
+func TestEngineSamplingRateZeroKeepsNothing(t *testing.T) {
+	e := newTracedEngine(t)
+	e.Tracer = obs.NewTracer(0, 0)
+	if _, err := e.Query("select pid from product"); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.Traces.Len(); n != 0 {
+		t.Fatalf("rate-0 tracer kept %d traces", n)
+	}
+	// TRACE still forces retention at rate 0.
+	if _, err := e.Query("trace select pid from product"); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.Traces.Len(); n != 1 {
+		t.Fatalf("forced trace not kept at rate 0: len = %d", n)
+	}
+}

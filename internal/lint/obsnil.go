@@ -12,12 +12,20 @@ const obsPkg = "semjoin/internal/obs"
 // nil-safe constructors: a zero-value Registry has nil series maps and
 // panics on first registration; a zero-value Histogram has no bucket
 // bounds; QueryLog is paired with NewQueryLog for the same reason.
-// Counters and gauges are deliberately absent — their zero values are
-// fully usable.
+// The tracing additions follow the same doctrine: a zero-value Tracer
+// samples nothing (rate 0), a zero-value TraceStore silently falls
+// back to the default capacity instead of the one the caller meant,
+// and a zero-value Logger discards every record — each looks like a
+// working instance at the call site, which is exactly the bug class
+// this analyzer exists to catch. Counters and gauges are deliberately
+// absent — their zero values are fully usable.
 var obsCtorOnly = map[string]string{
-	"Registry":  "NewRegistry",
-	"Histogram": "Registry.Histogram",
-	"QueryLog":  "NewQueryLog",
+	"Registry":   "NewRegistry",
+	"Histogram":  "Registry.Histogram",
+	"QueryLog":   "NewQueryLog",
+	"Tracer":     "NewTracer",
+	"TraceStore": "NewTraceStore",
+	"Logger":     "NewLogger",
 }
 
 // ObsNil enforces the PR-3 contract that observability state is only

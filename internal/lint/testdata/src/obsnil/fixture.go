@@ -1,5 +1,6 @@
-// Package fixture exercises the obsnil analyzer: Registry, Histogram
-// and QueryLog must come from their nil-safe constructors.
+// Package fixture exercises the obsnil analyzer: Registry, Histogram,
+// QueryLog, Tracer, TraceStore and Logger must come from their
+// nil-safe constructors.
 package fixture
 
 import "semjoin/internal/obs"
@@ -15,6 +16,19 @@ func newCall() *obs.QueryLog {
 func zeroValue() {
 	var q obs.QueryLog // want "zero-value obs.QueryLog bypasses the nil-safe API"
 	_ = q
+}
+
+func tracerLiteral() *obs.Tracer {
+	return &obs.Tracer{} // want "direct construction of obs.Tracer"
+}
+
+func storeNew() *obs.TraceStore {
+	return new(obs.TraceStore) // want "new(obs.TraceStore) bypasses the nil-safe API"
+}
+
+func loggerZero() {
+	var l obs.Logger // want "zero-value obs.Logger bypasses the nil-safe API"
+	_ = l
 }
 
 // -------- compliant shapes --------
@@ -33,4 +47,15 @@ func constructed() *obs.Histogram {
 
 func logger() *obs.QueryLog {
 	return obs.NewQueryLog()
+}
+
+// Pointer declarations of the tracing types are the designed nil
+// no-op state; constructors produce the working instances.
+func tracing() {
+	var ts *obs.TraceStore
+	ts.Add(nil)
+	tr := obs.NewTracer(0.01, 0)
+	_ = tr
+	_ = obs.NewTraceStore(64)
+	_ = obs.NopLogger()
 }

@@ -22,3 +22,43 @@ func FromContext(ctx context.Context) *Registry {
 	r, _ := ctx.Value(ctxKey{}).(*Registry)
 	return r
 }
+
+type traceCtxKey struct{}
+
+// ContextWithTrace installs the active trace below ctx so execution
+// phases deep in the engine (HER matching, BFS reachability, gL cache
+// fills, RExt extraction) can attribute their timings to the query
+// that triggered them via TraceFromContext(ctx).Phase(...).
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// TraceFromContext returns the trace installed by ContextWithTrace,
+// or nil when none is (every Trace method no-ops on nil, so call
+// sites never guard). A nil ctx is tolerated and yields nil.
+func TraceFromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}
+
+type loggerCtxKey struct{}
+
+// ContextWithLogger installs a structured logger (usually pre-bound
+// with session/trace fields) below ctx.
+func ContextWithLogger(ctx context.Context, l *Logger) context.Context {
+	return context.WithValue(ctx, loggerCtxKey{}, l)
+}
+
+// LoggerFromContext returns the logger installed by ContextWithLogger,
+// or nil when none is (logging through a nil Logger is a no-op). A
+// nil ctx is tolerated and yields nil.
+func LoggerFromContext(ctx context.Context) *Logger {
+	if ctx == nil {
+		return nil
+	}
+	l, _ := ctx.Value(loggerCtxKey{}).(*Logger)
+	return l
+}

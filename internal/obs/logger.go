@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Logger is a thin nil-safe wrapper over log/slog emitting one JSON
+// object per line. The wrapper exists for two reasons: every method
+// no-ops on a nil receiver (the same doctrine as the rest of obs, so
+// call sites never guard), and With returns the same type so loggers
+// pre-bound with session/trace fields thread through server → engine
+// → core without each layer knowing about slog. Construct with
+// NewLogger (enforced by the obsnil analyzer).
+//
+// Field conventions: "session" (int64 session id), "trace_id"
+// (16-hex trace id), "query" (statement text, truncated), "reason"
+// (admission shed reason), "err" (error text), "duration_ms"
+// (float64 milliseconds).
+type Logger struct {
+	s *slog.Logger
+}
+
+// NewLogger returns a logger writing JSON lines at or above level to
+// w. A nil writer yields a functional but silent logger.
+func NewLogger(w io.Writer, level slog.Level) *Logger {
+	if w == nil {
+		w = io.Discard
+	}
+	h := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})
+	return &Logger{s: slog.New(h)}
+}
+
+// NopLogger returns a logger that discards everything — handy as an
+// explicit "no logging" value where a typed nil would be confusing.
+func NopLogger() *Logger { return &Logger{} }
+
+// ParseLogLevel maps a -log-level flag value (debug, info, warn,
+// error; case-insensitive) to a slog level.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// With returns a logger with the given alternating key/value fields
+// bound to every record it emits.
+func (l *Logger) With(args ...any) *Logger {
+	if l == nil || l.s == nil {
+		return l
+	}
+	return &Logger{s: l.s.With(args...)}
+}
+
+// Enabled reports whether records at level would be emitted.
+func (l *Logger) Enabled(level slog.Level) bool {
+	if l == nil || l.s == nil {
+		return false
+	}
+	return l.s.Enabled(context.Background(), level)
+}
+
+// Debug emits a debug-level record.
+func (l *Logger) Debug(msg string, args ...any) {
+	if l != nil && l.s != nil {
+		l.s.Debug(msg, args...)
+	}
+}
+
+// Info emits an info-level record.
+func (l *Logger) Info(msg string, args ...any) {
+	if l != nil && l.s != nil {
+		l.s.Info(msg, args...)
+	}
+}
+
+// Warn emits a warn-level record.
+func (l *Logger) Warn(msg string, args ...any) {
+	if l != nil && l.s != nil {
+		l.s.Warn(msg, args...)
+	}
+}
+
+// Error emits an error-level record.
+func (l *Logger) Error(msg string, args ...any) {
+	if l != nil && l.s != nil {
+		l.s.Error(msg, args...)
+	}
+}

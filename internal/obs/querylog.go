@@ -13,6 +13,27 @@ type QueryRecord struct {
 	Duration time.Duration `json:"duration_ns"`
 	Rows     int           `json:"rows"`
 	Err      string        `json:"err,omitempty"`
+	// Status is the query outcome: "ok", "error" or "shed" (rejected
+	// by admission control — such queries never reached the engine but
+	// still belong in the log so /queries reconciles with
+	// server_shed_total). Empty in records from writers predating the
+	// field; readers treat that as "ok" unless Err is set.
+	Status string `json:"status,omitempty"`
+	// TraceID links the record to its retained trace, when one was
+	// kept.
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// EffectiveStatus normalizes Status for old writers: an explicit
+// status wins, otherwise Err implies "error" and anything else "ok".
+func (r QueryRecord) EffectiveStatus() string {
+	if r.Status != "" {
+		return r.Status
+	}
+	if r.Err != "" {
+		return "error"
+	}
+	return "ok"
 }
 
 const (

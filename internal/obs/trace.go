@@ -35,6 +35,19 @@ func (s *Span) StartChild(name string) *Span {
 	return c
 }
 
+// Record appends an already-completed child span — used when the
+// duration was measured before a span tree existed (the server times
+// the wire read before it knows whether the request opens a trace).
+// Nil-safe like StartChild.
+func (s *Span) Record(name string, start time.Time, d time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, Start: start, Duration: d}
+	s.Children = append(s.Children, c)
+	return c
+}
+
 // End freezes the span's duration; repeated Ends keep the first.
 func (s *Span) End() {
 	if s != nil && s.Duration == 0 {

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// spanJSON is the JSON rendering of one span in a trace tree. Span
+// ids are assigned during rendering (depth-first pre-order, root = 1)
+// and each child links to its parent — flat consumers can rebuild the
+// tree from the id pairs, nested consumers use Children directly.
+type spanJSON struct {
+	SpanID     int64      `json:"span_id"`
+	ParentID   int64      `json:"parent_span_id,omitempty"`
+	Name       string     `json:"name"`
+	Note       string     `json:"note,omitempty"`
+	Start      time.Time  `json:"start"`
+	DurationMS float64    `json:"duration_ms"`
+	Children   []spanJSON `json:"children,omitempty"`
+}
+
+// traceJSON is the JSON rendering of a full trace (/traces/<id>).
+type traceJSON struct {
+	TraceID    string    `json:"trace_id"`
+	Session    int64     `json:"session,omitempty"`
+	Op         string    `json:"op"`
+	Status     string    `json:"status"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Spans      int       `json:"spans"`
+	Root       *spanJSON `json:"root,omitempty"`
+}
+
+// traceSummaryJSON is one row of the /traces listing.
+type traceSummaryJSON struct {
+	TraceID    string    `json:"trace_id"`
+	Session    int64     `json:"session,omitempty"`
+	Op         string    `json:"op"`
+	Status     string    `json:"status"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Spans      int       `json:"spans"`
+}
+
+func durMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}
+
+func spanToJSON(s *Span, parentID int64, nextID *int64) *spanJSON {
+	if s == nil {
+		return nil
+	}
+	*nextID++
+	out := &spanJSON{
+		SpanID:     *nextID,
+		ParentID:   parentID,
+		Name:       s.Name,
+		Note:       s.Note,
+		Start:      s.Start,
+		DurationMS: durMS(s.Duration),
+	}
+	for _, c := range s.Children {
+		if cj := spanToJSON(c, out.SpanID, nextID); cj != nil {
+			out.Children = append(out.Children, *cj)
+		}
+	}
+	return out
+}
+
+// TraceJSON renders the trace (with phases and operators grafted in)
+// as the /traces/<id> JSON document.
+func TraceJSON(t *Trace) []byte {
+	if t == nil {
+		return []byte("null")
+	}
+	var nextID int64
+	doc := traceJSON{
+		TraceID:    t.ID(),
+		Session:    t.Session(),
+		Op:         t.Op(),
+		Status:     t.Status(),
+		Start:      t.Start(),
+		DurationMS: durMS(t.Duration()),
+		Spans:      t.SpanCount(),
+		Root:       spanToJSON(t.RenderRoot(), 0, &nextID),
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return []byte("null")
+	}
+	return b
+}
+
+// chromeEvent is one complete ("X" phase) event in the Chrome
+// trace_event format — load the output of TraceChromeJSON into
+// chrome://tracing or Perfetto to see the query on a timeline.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds since trace start
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// TraceChromeJSON renders the trace in Chrome trace_event format.
+// Timestamps are microseconds relative to the trace start; the
+// session id becomes the thread id so traces from several sessions
+// can be merged onto one timeline.
+func TraceChromeJSON(t *Trace) []byte {
+	if t == nil {
+		return []byte(`{"traceEvents":[]}`)
+	}
+	base := t.Start()
+	tid := t.Session()
+	var events []chromeEvent
+	t.RenderRoot().Walk(func(sp *Span, _ int) {
+		ev := chromeEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			TS:   float64(sp.Start.Sub(base)) / float64(time.Microsecond),
+			Dur:  float64(sp.Duration) / float64(time.Microsecond),
+			PID:  1,
+			TID:  tid,
+		}
+		if ev.TS < 0 {
+			ev.TS = 0
+		}
+		if sp.Note != "" {
+			ev.Args = map[string]any{"note": sp.Note}
+		}
+		events = append(events, ev)
+	})
+	doc := chromeDoc{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"trace_id": t.ID(),
+			"op":       t.Op(),
+			"status":   t.Status(),
+		},
+	}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		return []byte(`{"traceEvents":[]}`)
+	}
+	return b
+}
+
+// TraceText renders the trace as an indented human-readable tree
+// (the same shape Span.String uses), headed by the trace identity.
+func TraceText(t *Trace) string {
+	if t == nil {
+		return ""
+	}
+	head := "trace " + t.ID() + "  status=" + t.Status() +
+		"  duration=" + t.Duration().Round(time.Microsecond).String() + "\n"
+	return head + t.RenderRoot().String()
+}
+
+func traceSummary(t *Trace) traceSummaryJSON {
+	return traceSummaryJSON{
+		TraceID:    t.ID(),
+		Session:    t.Session(),
+		Op:         t.Op(),
+		Status:     t.Status(),
+		Start:      t.Start(),
+		DurationMS: durMS(t.Duration()),
+		Spans:      t.SpanCount(),
+	}
+}

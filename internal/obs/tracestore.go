@@ -1,0 +1,114 @@
+package obs
+
+import "sync"
+
+// defaultTraceCap bounds DefaultTraces and any store constructed with
+// a non-positive capacity.
+const defaultTraceCap = 256
+
+// TraceStore is a bounded ring buffer of finished traces: when full,
+// adding a trace evicts the oldest one. Traces must be Finished (and
+// thereafter immutable) before they are added; readers get them
+// without copying. Safe for concurrent use; all methods no-op on a
+// nil receiver. Construct with NewTraceStore.
+type TraceStore struct {
+	mu   sync.Mutex
+	cap  int
+	buf  []*Trace
+	next int
+	full bool
+	byID map[string]*Trace
+}
+
+// NewTraceStore returns an empty store retaining at most capacity
+// traces (<= 0 selects the default of 256).
+func NewTraceStore(capacity int) *TraceStore {
+	if capacity <= 0 {
+		capacity = defaultTraceCap
+	}
+	return &TraceStore{cap: capacity}
+}
+
+// DefaultTraces is the process-wide trace store, the one the debug
+// endpoint serves unless a server installs its own.
+var DefaultTraces = NewTraceStore(defaultTraceCap)
+
+// Add retains a finished trace, evicting the oldest when at capacity.
+func (s *TraceStore) Add(t *Trace) {
+	if s == nil || t == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.buf == nil {
+		if s.cap <= 0 {
+			s.cap = defaultTraceCap
+		}
+		s.buf = make([]*Trace, s.cap)
+		s.byID = make(map[string]*Trace, s.cap)
+	}
+	if old := s.buf[s.next]; old != nil {
+		delete(s.byID, old.ID())
+	}
+	s.buf[s.next] = t
+	s.byID[t.ID()] = t
+	s.next = (s.next + 1) % len(s.buf)
+	if s.next == 0 {
+		s.full = true
+	}
+}
+
+// Get returns the retained trace with the given id, or nil.
+func (s *TraceStore) Get(id string) *Trace {
+	if s == nil || id == "" {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byID[id]
+}
+
+// List returns the retained traces newest-first.
+func (s *TraceStore) List() []*Trace {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.buf == nil {
+		return nil
+	}
+	var out []*Trace
+	for i := s.next - 1; i >= 0; i-- {
+		out = append(out, s.buf[i])
+	}
+	if s.full {
+		for i := len(s.buf) - 1; i >= s.next; i-- {
+			out = append(out, s.buf[i])
+		}
+	}
+	return out
+}
+
+// Len returns the number of retained traces.
+func (s *TraceStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.full {
+		return len(s.buf)
+	}
+	return s.next
+}
+
+// Cap returns the store capacity.
+func (s *TraceStore) Cap() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cap
+}

@@ -56,13 +56,33 @@ type Config struct {
 	// Signals overrides the admission load source (tests); nil reads
 	// the gauges the controller itself publishes in Reg.
 	Signals Signals
+	// Tracer samples query traces; nil means obs.DefaultTracer (keep
+	// every trace — the bounded store caps memory).
+	Tracer *obs.Tracer
+	// Traces retains kept traces for /traces and SHOW TRACES; nil
+	// means obs.DefaultTraces.
+	Traces *obs.TraceStore
+	// Queries is the server-wide query log: every request outcome
+	// lands here — including admission sheds, with status "shed" — so
+	// /queries reconciles with server_shed_total. Nil means
+	// obs.DefaultQueries. (Each session additionally keeps a private
+	// log for its SET SLOW_QUERY_MS scope.)
+	Queries *obs.QueryLog
+	// Log receives structured JSON records (session lifecycle, shed
+	// decisions with reasons and trace ids, query failures); nil
+	// disables server logging.
+	Log *obs.Logger
 }
 
 // Server accepts connections and runs one session per connection.
 type Server struct {
-	cfg Config
-	reg *obs.Registry
-	ctl *Controller
+	cfg     Config
+	reg     *obs.Registry
+	ctl     *Controller
+	tracer  *obs.Tracer
+	traces  *obs.TraceStore
+	queries *obs.QueryLog
+	log     *obs.Logger
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -85,14 +105,30 @@ func New(cfg Config) (*Server, error) {
 	if reg == nil {
 		reg = obs.Default
 	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.DefaultTracer
+	}
+	traces := cfg.Traces
+	if traces == nil {
+		traces = obs.DefaultTraces
+	}
+	queries := cfg.Queries
+	if queries == nil {
+		queries = obs.DefaultQueries
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
-		cfg:    cfg,
-		reg:    reg,
-		ctl:    NewController(cfg.Limits, reg, cfg.Signals),
-		ctx:    ctx,
-		cancel: cancel,
-		conns:  map[net.Conn]struct{}{},
+		cfg:     cfg,
+		reg:     reg,
+		ctl:     NewController(cfg.Limits, reg, cfg.Signals),
+		tracer:  tracer,
+		traces:  traces,
+		queries: queries,
+		log:     cfg.Log,
+		ctx:     ctx,
+		cancel:  cancel,
+		conns:   map[net.Conn]struct{}{},
 	}, nil
 }
 
@@ -149,6 +185,8 @@ func (s *Server) startConn(conn net.Conn) {
 	}
 	if s.sessions.Load() >= int64(s.ctl.Limits().MaxSessions) {
 		busy := s.ctl.shed("sessions")
+		s.log.Warn("connection shed", "reason", "sessions",
+			"sessions_active", s.sessions.Load(), "remote", remoteAddr(conn))
 		// The rejection banner is written off the accept path (and
 		// bounded by a deadline): a peer that never reads must not be
 		// able to stall the accept loop — or, over a synchronous pipe,
@@ -196,6 +234,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// remoteAddr renders the peer address for log records ("" when the
+// transport has none, e.g. net.Pipe).
+func remoteAddr(conn net.Conn) string {
+	if addr := conn.RemoteAddr(); addr != nil {
+		return addr.String()
+	}
+	return ""
+}
+
 // session is the per-connection state: a private engine over the
 // shared catalog plus the prepared-statement namespace.
 type session struct {
@@ -203,6 +250,10 @@ type session struct {
 	eng      *gsql.Engine
 	ctl      *Controller
 	reg      *obs.Registry
+	tracer   *obs.Tracer
+	traces   *obs.TraceStore
+	queries  *obs.QueryLog
+	log      *obs.Logger
 	prepared map[string]string
 }
 
@@ -224,52 +275,76 @@ func (s *Server) runSession(conn net.Conn) {
 	ctx, cancel := context.WithCancel(s.ctx)
 	defer cancel()
 
+	id := s.nextSession.Add(1)
+	slog := s.log.With("session", id)
 	eng := gsql.NewEngine(s.cfg.Cat)
 	eng.Mode = s.cfg.Mode
 	eng.Obs = s.reg
+	eng.Tracer = s.tracer
+	eng.Traces = s.traces
+	eng.Log = slog
 	// A private query log isolates SET SLOW_QUERY_MS per session; the
-	// shared registry still counts slow queries engine-wide.
+	// shared registry still counts slow queries engine-wide, and the
+	// server-wide log (s.queries) records every outcome including sheds.
 	eng.Queries = obs.NewQueryLog()
 	ss := &session{
-		id:       s.nextSession.Add(1),
+		id:       id,
 		eng:      eng,
 		ctl:      s.ctl,
 		reg:      s.reg,
+		tracer:   s.tracer,
+		traces:   s.traces,
+		queries:  s.queries,
+		log:      slog,
 		prepared: map[string]string{},
 	}
+	slog.Debug("session start", "remote", remoteAddr(conn))
+	defer slog.Debug("session end")
+	ctx = obs.ContextWithLogger(ctx, slog)
 
 	enc := json.NewEncoder(conn)
 	if err := enc.Encode(Response{OK: true, Code: "hello", Session: ss.id}); err != nil {
 		return
 	}
 
-	reqs := make(chan Request)
+	reqs := make(chan inbound)
 	go s.readLoop(ctx, cancel, conn, reqs)
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case req, ok := <-reqs:
+		case in, ok := <-reqs:
 			if !ok {
 				return
 			}
-			resp := ss.handle(ctx, req)
+			resp := ss.handle(ctx, in)
 			if err := enc.Encode(resp); err != nil {
 				cancel()
 				return
 			}
-			if req.Op == OpClose {
+			if in.req.Op == OpClose {
 				return
 			}
 		}
 	}
 }
 
+// inbound is one decoded request plus its wire-level timing: recvAt
+// is the instant the request line came off the wire (query traces
+// start here, so queue time inside the session loop is attributed to
+// the request, not hidden) and readDur is the time spent decoding the
+// line into a Request — the "wire_read" span of the trace.
+type inbound struct {
+	req     Request
+	recvAt  time.Time
+	readDur time.Duration
+}
+
 // readLoop decodes request lines off conn into reqs. Any read or
 // decode-framing failure (EOF, reset, oversized line) means the peer
 // is gone or broken: the loop cancels the session context — aborting
 // whatever query is running — and closes reqs.
-func (s *Server) readLoop(ctx context.Context, cancel context.CancelFunc, conn net.Conn, reqs chan<- Request) {
+func (s *Server) readLoop(ctx context.Context, cancel context.CancelFunc, conn net.Conn, reqs chan<- inbound) {
 	defer close(reqs)
 	defer cancel()
 	sc := bufio.NewScanner(conn)
@@ -278,6 +353,7 @@ func (s *Server) readLoop(ctx context.Context, cancel context.CancelFunc, conn n
 		if ctx.Err() != nil {
 			return
 		}
+		recvAt := time.Now()
 		line := sc.Bytes()
 		var req Request
 		if err := json.Unmarshal(line, &req); err != nil {
@@ -286,8 +362,9 @@ func (s *Server) readLoop(ctx context.Context, cancel context.CancelFunc, conn n
 			// only goroutine touching conn.
 			req = Request{Op: "malformed", Query: err.Error()}
 		}
+		in := inbound{req: req, recvAt: recvAt, readDur: time.Since(recvAt)}
 		select {
-		case reqs <- req:
+		case reqs <- in:
 		case <-ctx.Done():
 			return
 		}
@@ -298,7 +375,8 @@ func (s *Server) readLoop(ctx context.Context, cancel context.CancelFunc, conn n
 }
 
 // handle dispatches one request to its op handler.
-func (ss *session) handle(ctx context.Context, req Request) Response {
+func (ss *session) handle(ctx context.Context, in inbound) Response {
+	req := in.req
 	switch req.Op {
 	case OpPing:
 		return Response{ID: req.ID, OK: true}
@@ -315,10 +393,11 @@ func (ss *session) handle(ctx context.Context, req Request) Response {
 		if err != nil {
 			return errResp(req.ID, "error", err)
 		}
-		return ss.runQuery(ctx, req.ID, q)
+		return ss.runQuery(ctx, in, q)
 	case OpQuery:
-		return ss.runQuery(ctx, req.ID, req.Query)
+		return ss.runQuery(ctx, in, req.Query)
 	case "malformed":
+		ss.log.Warn("malformed request", "err", req.Query)
 		return errResp(req.ID, "error", fmt.Errorf("server: malformed request: %s", req.Query))
 	default:
 		return errResp(req.ID, "error", fmt.Errorf("server: unknown op %q", req.Op))
@@ -340,34 +419,132 @@ func (ss *session) prepare(req Request) Response {
 	return Response{ID: req.ID, OK: true}
 }
 
-// runQuery passes admission, executes q on the session engine and
-// encodes the result.
-func (ss *session) runQuery(ctx context.Context, id int64, q string) Response {
+// runQuery traces, admits and executes q on the session engine and
+// encodes the result. The trace starts at the instant the request
+// came off the wire and owns the whole server-side path: a completed
+// wire_read child, an admission child around the controller, then the
+// engine's query/parse/plan/execute subtree via the context. Every
+// response — success, error and shed alike — carries the trace id.
+func (ss *session) runQuery(ctx context.Context, in inbound, q string) Response {
+	id := in.req.ID
+	tr := ss.tracer.Start(q, ss.id)
+	tr.SetStart(in.recvAt)
+	if wireID := sanitizeTraceID(in.req.TraceID); wireID != "" {
+		// Client-chosen id: propagate it and force the trace kept so the
+		// client can always fetch what it asked to follow.
+		tr.SetID(wireID)
+	}
+	root := tr.StartSpan("request")
+	root.Record("wire_read", in.recvAt, in.readDur)
+
+	asp := root.StartChild("admission")
 	release, err := ss.ctl.Admit(ctx)
+	asp.End()
 	if err != nil {
-		if errors.Is(err, ErrServerBusy) {
-			return errResp(id, "busy", err)
+		busy := errors.Is(err, ErrServerBusy)
+		code, status := "error", "error"
+		if busy {
+			code, status = "busy", "shed"
 		}
-		return errResp(id, "error", err)
+		tr.Finish(status)
+		if busy || ss.tracer.Keep(tr) {
+			// Shed traces are always retained: the whole point of shedding
+			// visibility is finding the requests that never ran.
+			ss.traces.Add(tr)
+		}
+		ss.queries.Record(obs.QueryRecord{
+			Query: q, Start: in.recvAt, Duration: tr.Duration(),
+			Status: status, TraceID: tr.ID(), Err: err.Error(),
+		})
+		ss.log.Warn("request shed", "reason", shedReason(err),
+			"trace_id", tr.ID(), "query", truncateQuery(q))
+		return errRespTraced(id, code, err, tr.ID())
 	}
 	defer release()
 	ss.reg.Counter("server_requests_total").Inc()
+
+	qctx := obs.ContextWithTrace(ctx, tr)
 	start := time.Now()
-	out, err := ss.eng.QueryContext(ctx, q)
+	out, err := ss.eng.QueryContext(qctx, q)
 	elapsed := time.Since(start)
 	ss.reg.Histogram("server_request_seconds", nil).Observe(elapsed.Seconds())
+
+	status := "ok"
 	if err != nil {
-		return errResp(id, "error", err)
+		status = "error"
+	}
+	tr.Finish(status)
+	if ss.tracer.Keep(tr) {
+		ss.traces.Add(tr)
+	}
+	rec := obs.QueryRecord{
+		Query: q, Start: in.recvAt, Duration: tr.Duration(),
+		Status: status, TraceID: tr.ID(),
+	}
+	if out != nil {
+		rec.Rows = out.Len()
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	ss.queries.Record(rec)
+	if err != nil {
+		return errRespTraced(id, "error", err, tr.ID())
 	}
 	cols, rows := encodeRelation(out)
 	return Response{
 		ID: id, OK: true,
 		Columns: cols, Rows: rows, RowsTotal: len(rows),
 		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+		TraceID:   tr.ID(),
 	}
+}
+
+// shedReason extracts the admission reason from a *BusyError ("" for
+// other errors, e.g. context cancellation).
+func shedReason(err error) string {
+	var busy *BusyError
+	if errors.As(err, &busy) {
+		return busy.Reason
+	}
+	return ""
+}
+
+// truncateQuery bounds statement text in log records.
+func truncateQuery(q string) string {
+	const max = 200
+	if len(q) > max {
+		return q[:max] + "…"
+	}
+	return q
+}
+
+// sanitizeTraceID accepts a client-supplied trace id only when it is
+// short and plain (hex-ish identifier charset): wire input must not
+// be able to inject log fields or unbounded map keys.
+func sanitizeTraceID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '-', c == '_':
+		default:
+			return ""
+		}
+	}
+	return id
 }
 
 // errResp builds a failure response.
 func errResp(id int64, code string, err error) Response {
 	return Response{ID: id, OK: false, Code: code, Error: err.Error()}
+}
+
+// errRespTraced builds a failure response carrying the trace id.
+func errRespTraced(id int64, code string, err error, traceID string) Response {
+	r := errResp(id, code, err)
+	r.TraceID = traceID
+	return r
 }

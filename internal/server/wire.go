@@ -58,6 +58,12 @@ type Request struct {
 	// Args bind $1..$n in a prepared statement (OpExec): JSON strings,
 	// numbers and booleans.
 	Args []any `json:"args,omitempty"`
+	// TraceID optionally names the trace of this request (OpQuery,
+	// OpExec): the server adopts the id (sanitized: at most 64 chars
+	// of [0-9A-Za-z_-]) and always keeps the trace, so a client can
+	// follow its own request through /traces/<id>. Empty lets the
+	// server assign one.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Response is one server message.
@@ -80,6 +86,11 @@ type Response struct {
 	RowsTotal int `json:"rows_total,omitempty"`
 	// ElapsedMS is the server-side wall time of the statement.
 	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	// TraceID identifies the server-side trace of this request (query
+	// and exec responses, successes and failures alike). Whether the
+	// trace was retained for /traces/<id> depends on sampling; shed
+	// requests are always retained.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // encodeRelation renders a result relation into wire columns and rows.
