@@ -36,10 +36,12 @@ import (
 	"sync"
 	"time"
 
+	"semjoin/internal/core"
 	"semjoin/internal/gsql"
 	"semjoin/internal/gsql/difftest"
 	"semjoin/internal/obs"
 	"semjoin/internal/server"
+	"semjoin/internal/wal"
 )
 
 func main() {
@@ -57,6 +59,8 @@ func main() {
 	checkLeaks := flag.Bool("check-leaks", false, "selftest: exit 1 when goroutines leak after shutdown")
 	traceSlowest := flag.Int("trace-slowest", 0, "after the run, fetch and print the span trees of the N slowest requests")
 	debugURL := flag.String("debug-url", "", "debug endpoint base URL (e.g. http://127.0.0.1:8077) for -trace-slowest fetches; selftest reads in-process when empty")
+	ingestEvery := flag.Int("ingest-every", 0, "make every Nth request a durable ingest batch (0 = read-only workload); the target store must be open (gsql -data-dir, or automatic in selftest)")
+	ingestBase := flag.String("ingest-base", "product", "durable store ingest batches target")
 	flag.Parse()
 
 	if (*addr == "") == !*selftest {
@@ -72,6 +76,15 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gsqlload: fixture:", err)
 			os.Exit(2)
+		}
+		if *ingestEvery > 0 {
+			// Mixed read/update selftest: open the target store over an
+			// in-memory filesystem so ingest requests have a WAL to hit.
+			fix.Cat.DurableOpts = core.DurableOptions{Policy: wal.SyncBatch, FS: wal.NewMemFS()}
+			if _, err := gsql.NewEngine(fix.Cat).Query(fmt.Sprintf("OPEN %s db", *ingestBase)); err != nil {
+				fmt.Fprintln(os.Stderr, "gsqlload: open durable store:", err)
+				os.Exit(2)
+			}
 		}
 		mq := *maxQueue
 		if mq == 0 {
@@ -112,7 +125,7 @@ func main() {
 	if topN <= 0 {
 		topN = 3 // always surface a few IDs in the report, even without full trees
 	}
-	sum := run(dial, *clients, *requests, *seed, topN)
+	sum := run(dial, *clients, *requests, *seed, topN, *ingestEvery, *ingestBase)
 	if *traceSlowest > 0 {
 		// Fetch before shutdown: the selftest path reads the in-process
 		// trace store, which outlives Shutdown, but a remote server may
@@ -147,6 +160,7 @@ type summary struct {
 	Clients    int        `json:"clients"`
 	Requests   int        `json:"requests"`
 	OK         int        `json:"ok"`
+	Ingested   int        `json:"ingested,omitempty"`
 	Errors     int        `json:"errors"`
 	Shed       int        `json:"shed"`
 	DialErrors int        `json:"dial_errors"`
@@ -174,6 +188,7 @@ type reqTrace struct {
 type clientResult struct {
 	lat        []time.Duration
 	ok         int
+	ingested   int
 	errs       int
 	shed       int
 	dialErr    bool
@@ -184,7 +199,7 @@ type clientResult struct {
 
 // run launches the client fleet and merges their tallies, keeping the
 // topN slowest traced requests and up to a handful of shed trace IDs.
-func run(dial func() (net.Conn, error), clients, requests int, seed int64, topN int) summary {
+func run(dial func() (net.Conn, error), clients, requests int, seed int64, topN, ingestEvery int, ingestBase string) summary {
 	results := make([]clientResult, clients)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -192,7 +207,7 @@ func run(dial func() (net.Conn, error), clients, requests int, seed int64, topN 
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = driveClient(dial, seed+int64(i)*7919, requests)
+			results[i] = driveClient(dial, seed+int64(i)*7919, requests, ingestEvery, ingestBase)
 		}(i)
 	}
 	wg.Wait()
@@ -203,6 +218,7 @@ func run(dial func() (net.Conn, error), clients, requests int, seed int64, topN 
 	var traced []reqTrace
 	for _, r := range results {
 		sum.OK += r.ok
+		sum.Ingested += r.ingested
 		sum.Errors += r.errs
 		sum.Shed += r.shed
 		if r.dialErr {
@@ -242,7 +258,7 @@ func run(dial func() (net.Conn, error), clients, requests int, seed int64, topN 
 // state (SET PARALLELISM / SET VECTORIZED OFF) to keep the
 // per-session knobs hot under load, and every client exercises one
 // prepared statement with a bound parameter.
-func driveClient(dial func() (net.Conn, error), seed int64, requests int) clientResult {
+func driveClient(dial func() (net.Conn, error), seed int64, requests int, ingestEvery int, ingestBase string) clientResult {
 	var res clientResult
 	conn, err := dial()
 	if err != nil {
@@ -321,7 +337,16 @@ func driveClient(dial func() (net.Conn, error), seed int64, requests int) client
 
 	for i := 0; i < requests; i++ {
 		var req server.Request
-		if i%5 == 4 {
+		if ingestEvery > 0 && i%ingestEvery == ingestEvery-1 {
+			// A small durable graph batch: fresh vertices always apply;
+			// the edge between two low ids may no-op on a mutated graph,
+			// which is exactly the tolerance real feeds need.
+			req = server.Request{Op: server.OpIngest, Base: ingestBase, Kind: "graph",
+				Updates: []server.IngestUpdate{
+					{Op: "insert_vertex", Label: fmt.Sprintf("load %d-%d", seed, i), Type: "company"},
+					{Op: "insert_edge", From: int64(rng.Intn(4)), To: int64(rng.Intn(4)), Label: "load_link"},
+				}}
+		} else if i%5 == 4 {
 			req = server.Request{Op: server.OpExec, Name: "by_price", Args: []any{float64(60 + 10*rng.Intn(10))}}
 		} else {
 			req = server.Request{Op: server.OpQuery, Query: gen.Query()}
@@ -332,7 +357,14 @@ func driveClient(dial func() (net.Conn, error), seed int64, requests int) client
 			res.errs++
 			return res
 		}
-		tally(resp, time.Since(start), req.Query)
+		label := req.Query
+		if req.Op == server.OpIngest {
+			label = "ingest " + req.Kind
+			if resp.OK {
+				res.ingested++
+			}
+		}
+		tally(resp, time.Since(start), label)
 	}
 	resp, ok := roundTrip(server.Request{Op: server.OpClose})
 	_ = resp
@@ -441,6 +473,9 @@ func report(s summary, leaked int, asJSON bool) {
 	}
 	fmt.Printf("clients=%d requests=%d ok=%d errors=%d shed=%d dial_errors=%d\n",
 		s.Clients, s.Requests, s.OK, s.Errors, s.Shed, s.DialErrors)
+	if s.Ingested > 0 {
+		fmt.Printf("ingested=%d durable batches\n", s.Ingested)
+	}
 	fmt.Printf("wall=%.2fs throughput=%.0f req/s\n", s.WallSec, s.Throughput)
 	fmt.Printf("latency p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
 		s.P50MS, s.P95MS, s.P99MS, s.MaxMS)

@@ -25,6 +25,16 @@ type world struct {
 var (
 	worldOnce sync.Once
 	theWorld  *world
+
+	// Model training (LSTM + GloVe over the walk corpus) dominates the
+	// fixture cost, and buildWorld constructs the identical initial
+	// graph on every call, so the learned weights are trained once and
+	// shared across worlds. Inference is read-only — decoding clones
+	// fresh States and the embedder snapshots its type map at
+	// construction — so mutating one world's graph or relations never
+	// feeds back into the shared weights.
+	trainOnce     sync.Once
+	trainedModels Models
 )
 
 // buildWorld constructs the fixture graph:
@@ -82,7 +92,8 @@ func buildWorld() *world {
 		g: g, products: products, truth: truth,
 		company: companyOf, country: countryOf,
 	}
-	w.models = TrainModels(g, 8, 7)
+	trainOnce.Do(func() { trainedModels = TrainModels(g, 8, 7) })
+	w.models = trainedModels
 	return w
 }
 

@@ -186,6 +186,11 @@ func BuildMaterialized(g *graph.Graph, models Models, specs map[string]BaseSpec,
 // Base returns the materialisation for a base relation, or nil.
 func (m *Materialized) Base(name string) *BaseMaterialization { return m.bases[name] }
 
+// SetBase replaces (or installs) the materialisation for one base —
+// the gSQL OPEN statement uses it to rebind a base to its recovered
+// durable state.
+func (m *Materialized) SetBase(name string, b *BaseMaterialization) { m.bases[name] = b }
+
 // WellBehavedKeywords reports whether A ⊆ AR for the named base relation
 // (condition (1) of well-behaved enrichment joins).
 func (m *Materialized) WellBehavedKeywords(base string, a []string) bool {

@@ -137,33 +137,92 @@ func TestSaveLoadBaseRoundTrip(t *testing.T) {
 	_ = stats
 }
 
+// TestLoadCorruptData drives every Save/Load pair through a shared
+// corruption table: header damage, payload truncation at several
+// depths, a wrong-section swap and trailing garbage after a valid
+// image. Every loader must return an error — never panic, never
+// accept — except for trailing garbage, which stream loaders ignore
+// by design (a WAL record or snapshot section may be followed by more
+// data).
 func TestLoadCorruptData(t *testing.T) {
-	if _, err := LoadModels(bytes.NewReader([]byte("garbage data here"))); err == nil {
-		t.Fatal("corrupt models should error")
-	}
-	if _, err := LoadScheme(bytes.NewReader([]byte("SEMJ"))); err == nil {
-		t.Fatal("truncated scheme should error")
-	}
 	w := getWorld(t)
-	var buf bytes.Buffer
-	if err := SaveModels(&buf, w.models); err != nil {
+
+	// One valid image per codec.
+	var modelsBuf bytes.Buffer
+	if err := SaveModels(&modelsBuf, w.models); err != nil {
 		t.Fatal(err)
 	}
-	// Truncate mid-stream.
-	trunc := buf.Bytes()[:buf.Len()/2]
-	if _, err := LoadModels(bytes.NewReader(trunc)); err == nil {
-		t.Fatal("truncated models should error")
-	}
-	// Wrong section.
-	var sbuf bytes.Buffer
 	ex := NewExtractor(w.g, w.models, Config{K: 3, H: 12, Keywords: []string{"company"}, Seed: 3})
 	if err := ex.Discover(w.products, oracle(w).Match(w.products, w.g)); err != nil {
 		t.Fatal(err)
 	}
-	if err := SaveScheme(&sbuf, ex.Scheme()); err != nil {
+	var schemeBuf bytes.Buffer
+	if err := SaveScheme(&schemeBuf, ex.Scheme()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadModels(bytes.NewReader(sbuf.Bytes())); err == nil {
-		t.Fatal("scheme bytes loaded as models should error")
+	m := buildMaterializedWorld(t, w)
+	var baseBuf bytes.Buffer
+	if err := SaveBase(&baseBuf, m.Base("product")); err != nil {
+		t.Fatal(err)
+	}
+
+	codecs := []struct {
+		name  string
+		valid []byte
+		other []byte // a valid image of a DIFFERENT codec
+		load  func([]byte) error
+	}{
+		{"models", modelsBuf.Bytes(), schemeBuf.Bytes(), func(d []byte) error {
+			_, err := LoadModels(bytes.NewReader(d))
+			return err
+		}},
+		{"scheme", schemeBuf.Bytes(), baseBuf.Bytes(), func(d []byte) error {
+			_, err := LoadScheme(bytes.NewReader(d))
+			return err
+		}},
+		{"base", baseBuf.Bytes(), modelsBuf.Bytes(), func(d []byte) error {
+			_, err := LoadBase(bytes.NewReader(d), w.products, w.g, w.models,
+				oracle(w), Config{H: 12, Seed: 3})
+			return err
+		}},
+	}
+
+	type mutation struct {
+		name    string
+		mutate  func(valid, other []byte) []byte
+		allowOK bool // trailing garbage past a full image is ignored
+	}
+	mutations := []mutation{
+		{"empty", func(v, o []byte) []byte { return nil }, false},
+		{"garbage", func(v, o []byte) []byte { return []byte("garbage data here") }, false},
+		{"magic-only", func(v, o []byte) []byte { return v[:4] }, false},
+		{"bad-magic", func(v, o []byte) []byte {
+			d := append([]byte(nil), v...)
+			d[0] ^= 0xff
+			return d
+		}, false},
+		{"header-cut", func(v, o []byte) []byte { return v[:7] }, false},
+		{"payload-cut-early", func(v, o []byte) []byte { return v[:len(v)/4] }, false},
+		{"payload-cut-half", func(v, o []byte) []byte { return v[:len(v)/2] }, false},
+		{"payload-cut-tail", func(v, o []byte) []byte { return v[:len(v)-1] }, false},
+		{"wrong-section", func(v, o []byte) []byte { return o }, false},
+		{"trailing-garbage", func(v, o []byte) []byte {
+			return append(append([]byte(nil), v...), "tail noise"...)
+		}, true},
+	}
+
+	for _, c := range codecs {
+		for _, mu := range mutations {
+			t.Run(c.name+"/"+mu.name, func(t *testing.T) {
+				data := mu.mutate(c.valid, c.other)
+				err := c.load(data)
+				if err == nil && !mu.allowOK {
+					t.Fatalf("%s accepted %s (%d bytes)", c.name, mu.name, len(data))
+				}
+				if err != nil && mu.allowOK {
+					t.Fatalf("%s rejected %s: %v", c.name, mu.name, err)
+				}
+			})
+		}
 	}
 }

@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"semjoin/internal/bin"
+)
+
+// Save persists the graph with full structural fidelity: vertex slots
+// (including deleted ones, so future AddVertex calls allocate the same
+// ids), adjacency lists in their exact order (removeHalf swap-removes,
+// so order is history-dependent and path enumeration depends on it),
+// and the by-type index in its exact order. A loaded graph is
+// therefore indistinguishable from the original under traversal AND
+// under future updates — the property snapshot-plus-WAL-replay
+// durability needs for replay determinism.
+func (g *Graph) Save(out io.Writer) error {
+	w := bin.NewWriter(out)
+	w.Header("graph", 1)
+	w.Int(len(g.vertices))
+	for _, v := range g.vertices {
+		w.String(v.Label)
+		w.String(v.Type)
+		w.Bool(v.deleted)
+	}
+	for _, adj := range [][][]HalfEdge{g.out, g.in} {
+		for _, hs := range adj {
+			w.Int(len(hs))
+			for _, he := range hs {
+				w.String(he.Label)
+				w.I64(int64(he.To))
+			}
+		}
+	}
+	w.Int(g.numEdges)
+	keys := make([]string, 0, len(g.byType))
+	for k := range g.byType {
+		if len(g.byType[k]) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	w.Int(len(keys))
+	for _, k := range keys {
+		w.String(k)
+		ids := g.byType[k]
+		w.Int(len(ids))
+		for _, id := range ids {
+			w.I64(int64(id))
+		}
+	}
+	return w.Err()
+}
+
+// Load restores a graph written by Save.
+func Load(in io.Reader) (*Graph, error) {
+	r := bin.NewReader(in)
+	if v := r.Header("graph"); r.Err() == nil && v != 1 {
+		return nil, fmt.Errorf("graph: unsupported version %d", v)
+	}
+	n := r.Len()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	g := New()
+	g.vertices = make([]Vertex, 0, min(n, 1<<20))
+	for i := 0; i < n; i++ {
+		v := Vertex{ID: VertexID(i), Label: r.String(), Type: r.String(), deleted: r.Bool()}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		g.vertices = append(g.vertices, v)
+	}
+	readAdj := func() [][]HalfEdge {
+		adj := make([][]HalfEdge, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			m := r.Len()
+			for j := 0; j < m && r.Err() == nil; j++ {
+				he := HalfEdge{Label: r.String(), To: VertexID(r.I64())}
+				if r.Err() == nil && (he.To < 0 || int(he.To) >= n) {
+					return nil
+				}
+				adj[i] = append(adj[i], he)
+			}
+		}
+		return adj
+	}
+	g.out = readAdj()
+	g.in = readAdj()
+	if r.Err() == nil && (g.out == nil || g.in == nil) {
+		return nil, fmt.Errorf("graph: adjacency references vertex outside [0,%d)", n)
+	}
+	g.numEdges = r.Int()
+	nk := r.Len()
+	for i := 0; i < nk && r.Err() == nil; i++ {
+		k := r.String()
+		m := r.Len()
+		ids := make([]VertexID, 0, min(m, 1<<20))
+		for j := 0; j < m && r.Err() == nil; j++ {
+			id := VertexID(r.I64())
+			if r.Err() == nil && (id < 0 || int(id) >= n) {
+				return nil, fmt.Errorf("graph: type index references vertex %d outside [0,%d)", id, n)
+			}
+			ids = append(ids, id)
+		}
+		g.byType[k] = ids
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if g.numEdges < 0 {
+		return nil, fmt.Errorf("graph: negative edge count %d", g.numEdges)
+	}
+	return g, nil
+}
+
+// Save persists an update batch ΔG, so a write-ahead log can replay it.
+func (b Batch) Save(out io.Writer) error {
+	w := bin.NewWriter(out)
+	w.Header("batch", 1)
+	w.Int(len(b))
+	for _, u := range b {
+		w.Int(int(u.Op))
+		w.I64(int64(u.Edge.From))
+		w.String(u.Edge.Label)
+		w.I64(int64(u.Edge.To))
+		w.String(u.Label)
+		w.String(u.Type)
+	}
+	return w.Err()
+}
+
+// LoadBatch restores a batch written by Batch.Save.
+func LoadBatch(in io.Reader) (Batch, error) {
+	r := bin.NewReader(in)
+	if v := r.Header("batch"); r.Err() == nil && v != 1 {
+		return nil, fmt.Errorf("graph: unsupported batch version %d", v)
+	}
+	n := r.Len()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	b := make(Batch, 0, min(n, 1<<20))
+	for i := 0; i < n; i++ {
+		u := Update{
+			Op: UpdateOp(r.Int()),
+			Edge: Edge{
+				From: VertexID(r.I64()),
+			},
+		}
+		u.Edge.Label = r.String()
+		u.Edge.To = VertexID(r.I64())
+		u.Label = r.String()
+		u.Type = r.String()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if u.Op < InsertEdge || u.Op > DeleteVertex {
+			return nil, fmt.Errorf("graph: unknown update op %d", u.Op)
+		}
+		b = append(b, u)
+	}
+	return b, nil
+}

@@ -48,6 +48,26 @@ type Catalog struct {
 	K int
 	// RExt is the template configuration for online extractions.
 	RExt core.Config
+
+	// Durable registers the write-ahead-logged stores opened with the
+	// OPEN statement (or -data-dir at startup). Query execution takes
+	// every store's read lock, so streamed updates never race a scan.
+	Durable *core.DurableSet
+	// DurableOpts configures stores opened through this catalog
+	// (fsync policy, segment size, auto-checkpoint cadence).
+	DurableOpts core.DurableOptions
+}
+
+// Relation resolves a base relation name, preferring the live durable
+// state when the base is backed by an open WAL store: a relation
+// replacement streamed through the store is visible to the next query
+// without rebinding the catalog map. Safe during execution because
+// the engine holds every store's read lock for the whole query.
+func (c *Catalog) Relation(name string) *rel.Relation {
+	if st := c.Durable.Get(name); st != nil {
+		return st.Base().Spec.D
+	}
+	return c.Relations[name]
 }
 
 // Engine plans gSQL queries into pipelined operator trees and drains
@@ -182,6 +202,10 @@ func (e *Engine) QueryContext(ctx context.Context, input string) (*rel.Relation,
 			return e.showSession(f[2:])
 		case two && strings.EqualFold(f[0], "show") && strings.EqualFold(f[1], "traces"):
 			return e.showTraces(f[2:])
+		case strings.EqualFold(f[0], "open"):
+			return e.openDurable(ctx, f[1:])
+		case strings.EqualFold(f[0], "checkpoint"):
+			return e.checkpointDurable(ctx, f[1:])
 		case strings.EqualFold(f[0], "trace"):
 			// Matches a bare TRACE too, so the usage error comes from
 			// traceQuery rather than a confusing parser diagnostic.
@@ -221,6 +245,13 @@ func (e *Engine) QueryContext(ctx context.Context, input string) (*rel.Relation,
 // it creates one, finishes it with the outcome status, and retains it
 // in the trace store when the tracer's sampling says so.
 func (e *Engine) run(ctx context.Context, input string) (*rel.Relation, *Query, error) {
+	// Durable stores: hold every store's read lock while the query
+	// plans and drains, so update streams cannot mutate extractor
+	// state mid-scan. Nil-safe and free when nothing is open.
+	if e.Cat != nil {
+		release := e.Cat.Durable.RLockAll()
+		defer release()
+	}
 	reg := e.reg()
 	ctx = obs.WithRegistry(ctx, reg)
 	tr := obs.TraceFromContext(ctx)
@@ -628,7 +659,7 @@ func (e *Engine) WellBehaved(q *Query) bool {
 	walkFrom = func(f *FromItem) provenance {
 		switch f.Kind {
 		case FromTable:
-			r := e.Cat.Relations[f.Table]
+			r := e.Cat.Relation(f.Table)
 			if r == nil {
 				ok = false
 				return provenance{}
@@ -789,7 +820,7 @@ func (e *Engine) planQuery(q *Query) (rel.Iterator, provenance, error) {
 		prov = provenance{}
 	} else if prov.base != "" {
 		// Projection keeps provenance; key survival decides keyed.
-		if base := e.Cat.Relations[prov.base]; base != nil {
+		if base := e.Cat.Relation(prov.base); base != nil {
 			if s := out.Schema(); s != nil {
 				prov.keyed = s.Has(base.Schema.Key)
 			} else {
@@ -950,7 +981,7 @@ func (e *Engine) planAggregate(q *Query, cur rel.Iterator) (rel.Iterator, error)
 func (e *Engine) planFrom(f *FromItem) (rel.Iterator, provenance, error) {
 	switch f.Kind {
 	case FromTable:
-		r := e.Cat.Relations[f.Table]
+		r := e.Cat.Relation(f.Table)
 		if r == nil {
 			return nil, provenance{}, fmt.Errorf("gsql: unknown relation %q", f.Table)
 		}
@@ -1003,7 +1034,7 @@ func (e *Engine) planEJoin(f *FromItem) (rel.Iterator, provenance, error) {
 		e.Cat.Mat.WellBehavedKeywords(prov.base, f.Keywords) && e.Mode != ModeHeuristic:
 		// Condition (2)(b): recover tuple ids by joining back to the base
 		// on the surviving attributes, then join statically.
-		base := e.Cat.Relations[prov.base]
+		base := e.Cat.Relation(prov.base)
 		rejoined := rel.NewNaturalJoin(src, rel.NewScan(base))
 		out, err = e.Cat.Mat.StaticEnrichIter(prov.base, rejoined, f.Keywords)
 		e.note("e-join(%s): well-behaved via id recovery, %s", f.Graph, joinName)

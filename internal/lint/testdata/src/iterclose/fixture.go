@@ -115,3 +115,54 @@ func batchClosed(ctx context.Context) error {
 	}
 	return c.Close()
 }
+
+// -------- WAL recovery shapes --------
+//
+// segmentCursor is the write-ahead-log recovery scan: open a segment
+// file, iterate records until a torn or corrupt frame, close. The
+// torn-tail early return is exactly where a scanner is tempted to
+// abandon the handle.
+
+type segmentCursor struct{ off int64 }
+
+func (c *segmentCursor) Open(ctx context.Context) error { c.off = 0; return nil }
+func (c *segmentCursor) Next() (int, error)             { c.off++; return 0, nil }
+func (c *segmentCursor) Close() error                   { return nil }
+
+// Rule 1 on the recovery shape: replay stops at the torn tail but the
+// segment is never closed on any path.
+func replayLeak(ctx context.Context) {
+	c := &segmentCursor{}
+	c.Open(ctx) // want "iterator is opened but never closed"
+	for {
+		if _, err := c.Next(); err != nil {
+			return
+		}
+	}
+}
+
+// Rule 2 on the recovery shape: Open of a segment can fail (missing
+// or unreadable file) and must not strand it.
+func replayOpenErrLeak(ctx context.Context, c *segmentCursor) error {
+	if err := c.Open(ctx); err != nil { // want "error path after c.Open returns without closing"
+		return err
+	}
+	defer c.Close()
+	return nil
+}
+
+// The compliant scan: truncate-at-corruption still closes via the
+// early defer, mirroring wal.Open's segment loop.
+func replayTruncates(ctx context.Context) error {
+	c := &segmentCursor{}
+	if err := c.Open(ctx); err != nil {
+		c.Close()
+		return err
+	}
+	defer c.Close()
+	for {
+		if _, err := c.Next(); err != nil {
+			return nil // torn tail: stop replaying, keep the prefix
+		}
+	}
+}

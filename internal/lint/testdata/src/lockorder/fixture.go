@@ -91,3 +91,50 @@ func peek(s *shard, ready chan struct{}) bool {
 		return false
 	}
 }
+
+// -------- WAL group-commit shapes --------
+
+type walLog struct {
+	mu       sync.Mutex
+	unsynced int
+	werr     error
+}
+
+// Compliant: the group-commit append holds the lock across the write
+// and the conditional fsync — file IO is not one of the blocking
+// boundaries this analyzer flags — and releases on the fall-through.
+func appendRecord(l *walLog, syncNow bool) {
+	l.mu.Lock()
+	l.unsynced++
+	if syncNow {
+		l.unsynced = 0
+	}
+	l.mu.Unlock()
+}
+
+// Violation: waking a commit waiter with a channel send while the log
+// lock is held deadlocks the moment the waiter needs the same lock.
+func notifyCommitWhileHeld(l *walLog, committed chan int) {
+	l.mu.Lock()
+	l.unsynced = 0
+	committed <- 0 // want "channel send while l.mu is held"
+	l.mu.Unlock()
+}
+
+// Violation: surfacing the sticky write error must not leave the log
+// wedged AND locked.
+func wedgeLeavesLocked(l *walLog) error {
+	l.mu.Lock()
+	if l.werr != nil {
+		return l.werr // want "return while l.mu is held"
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// Compliant form of the same check, deferred.
+func wedgeChecked(l *walLog) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.werr
+}

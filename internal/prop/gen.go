@@ -10,7 +10,13 @@
 //  3. well-behaved gSQL rewrites must match direct enrichment/link-join
 //     evaluation computed outside the engine (oracle_rewrite.go);
 //  4. persistence round-trips must be behaviour-preserving
-//     (oracle_persist.go).
+//     (oracle_persist.go);
+//  5. tuple-at-a-time and vectorized executions of one query must be
+//     bag-equal (oracle_vectorized.go);
+//  6. concurrent engines racing over one catalog must match a lone
+//     serial engine (oracle_concurrent.go);
+//  7. a WAL-backed store crashing mid-stream and recovering must end
+//     in the state of an uninterrupted run (oracle_crash.go).
 //
 // Every run is deterministic in its seed. A failing seed shrinks
 // automatically (prop.go) and prints a one-line PROP_SEED=<n> replay

@@ -91,6 +91,13 @@ func TestConcurrentOracle(t *testing.T) {
 	runOracle(t, Oracle{Name: "concurrent-vs-serial", Check: CheckConcurrent})
 }
 
+// TestCrashRecoveryOracle checks oracle 7: a WAL-backed store that
+// crashes at a seed-chosen record boundary and recovers must finish an
+// update stream in the exact state of an uninterrupted run.
+func TestCrashRecoveryOracle(t *testing.T) {
+	runOracle(t, Oracle{Name: "crash-recovery", StreamLen: 6, Check: CheckCrashRecovery})
+}
+
 // TestForcedViolationIsCaughtAndShrunk is the harness's own regression
 // test: with IncExt's delete maintenance deliberately broken
 // (CheckIncExtBroken), the oracle must catch the divergence on some

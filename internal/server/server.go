@@ -396,6 +396,8 @@ func (ss *session) handle(ctx context.Context, in inbound) Response {
 		return ss.runQuery(ctx, in, q)
 	case OpQuery:
 		return ss.runQuery(ctx, in, req.Query)
+	case OpIngest:
+		return ss.ingest(ctx, in)
 	case "malformed":
 		ss.log.Warn("malformed request", "err", req.Query)
 		return errResp(req.ID, "error", fmt.Errorf("server: malformed request: %s", req.Query))

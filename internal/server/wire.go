@@ -36,6 +36,14 @@ const (
 	// OpExec binds req.Args into the prepared statement req.Name and
 	// executes it.
 	OpExec = "exec"
+	// OpIngest applies a durable update batch to the WAL-backed store
+	// named req.Base: req.Kind selects the stream ("graph" applies
+	// req.Updates as a graph delta, "relation" replaces the base
+	// relation's contents with req.Rows, "keywords" re-extracts for
+	// req.Keywords). The store must have been opened first (gSQL OPEN,
+	// or the server's -data-dir flag). The response carries the WAL
+	// sequence number the batch was logged at.
+	OpIngest = "ingest"
 	// OpPing answers ok without touching the engine (liveness probe;
 	// not subject to admission control).
 	OpPing = "ping"
@@ -64,6 +72,29 @@ type Request struct {
 	// follow its own request through /traces/<id>. Empty lets the
 	// server assign one.
 	TraceID string `json:"trace_id,omitempty"`
+	// Base names the durable store to apply an OpIngest batch to.
+	Base string `json:"base,omitempty"`
+	// Kind selects the OpIngest update stream: "graph", "relation" or
+	// "keywords".
+	Kind string `json:"kind,omitempty"`
+	// Updates is the graph delta for Kind "graph".
+	Updates []IngestUpdate `json:"updates,omitempty"`
+	// Rows is the full replacement contents of the base relation for
+	// Kind "relation", rendered per attribute of the base's schema.
+	Rows [][]string `json:"rows,omitempty"`
+	// Keywords is the new extraction keyword set for Kind "keywords".
+	Keywords []string `json:"keywords,omitempty"`
+}
+
+// IngestUpdate is one wire-encoded graph update. Op is one of
+// "insert_edge", "delete_edge" (From, Label, To), "insert_vertex"
+// (Label, Type) or "delete_vertex" (From).
+type IngestUpdate struct {
+	Op    string `json:"op"`
+	From  int64  `json:"from,omitempty"`
+	To    int64  `json:"to,omitempty"`
+	Label string `json:"label,omitempty"`
+	Type  string `json:"type,omitempty"`
 }
 
 // Response is one server message.
@@ -86,6 +117,10 @@ type Response struct {
 	RowsTotal int `json:"rows_total,omitempty"`
 	// ElapsedMS is the server-side wall time of the statement.
 	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	// Seq is the WAL sequence number an OpIngest batch was logged at:
+	// by the time the client reads it, every update in the batch is
+	// durable to the store's sync policy.
+	Seq uint64 `json:"seq,omitempty"`
 	// TraceID identifies the server-side trace of this request (query
 	// and exec responses, successes and failures alike). Whether the
 	// trace was retained for /traces/<id> depends on sampling; shed

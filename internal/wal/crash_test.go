@@ -1,0 +1,332 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// faultFS wraps an FS and injects failures into segment writes and
+// fsyncs: when writesUntilFail reaches zero the next Write persists
+// only half its bytes (a short write) and errors; when syncsUntilFail
+// reaches zero the next Sync fails without making anything durable.
+// -1 disables a fault counter.
+type faultFS struct {
+	FS
+	writesUntilFail int
+	syncsUntilFail  int
+}
+
+var (
+	errInjectedWrite = errors.New("injected short write")
+	errInjectedSync  = errors.New("injected fsync failure")
+)
+
+func (f *faultFS) Create(name string) (File, error) {
+	file, err := f.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *faultFS) OpenAppend(name string) (File, error) {
+	file, err := f.FS.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+type faultFile struct {
+	File
+	fs *faultFS
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if f.fs.writesUntilFail == 0 {
+		short := p[:len(p)/2]
+		n, _ := f.File.Write(short)
+		return n, errInjectedWrite
+	}
+	if f.fs.writesUntilFail > 0 {
+		f.fs.writesUntilFail--
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if f.fs.syncsUntilFail == 0 {
+		return errInjectedSync
+	}
+	if f.fs.syncsUntilFail > 0 {
+		f.fs.syncsUntilFail--
+	}
+	return f.File.Sync()
+}
+
+// buildLog appends n records (varied sizes) to a fresh MemFS log and
+// returns the filesystem, the raw segment image and the per-record
+// end offsets: ends[i] is the first byte offset past record i's frame.
+func buildLog(t *testing.T, n int) (*MemFS, []byte, []int64) {
+	t.Helper()
+	fs := NewMemFS()
+	l, err := Open("db", Options{Policy: SyncAlways, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ends := make([]int64, n)
+	off := int64(0)
+	for i := 0; i < n; i++ {
+		p := testPayload(i)
+		if _, err := l.Append(byte(i%3+1), p); err != nil {
+			t.Fatal(err)
+		}
+		off += int64(frameHeaderLen + recHeaderLen + len(p))
+		ends[i] = off
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile("db/" + segName(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) != ends[n-1] {
+		t.Fatalf("segment is %d bytes, expected %d", len(data), ends[n-1])
+	}
+	return fs, data, ends
+}
+
+// completeBefore returns how many records fit entirely within the
+// first cut bytes.
+func completeBefore(ends []int64, cut int64) int {
+	n := 0
+	for _, e := range ends {
+		if e <= cut {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCrashPointMatrixEveryOffset is the exhaustive crash-point
+// harness: a 220-record log is truncated at EVERY byte offset, and
+// recovery must yield exactly the records whose frames survived in
+// full — prefix consistency with zero acknowledged-update loss (every
+// record was appended under SyncAlways, so the acked set IS the
+// surviving-prefix set at each record boundary) — and leave the log
+// writable at the continued sequence.
+func TestCrashPointMatrixEveryOffset(t *testing.T) {
+	const nRecords = 220
+	_, data, ends := buildLog(t, nRecords)
+	for cut := int64(0); cut <= int64(len(data)); cut++ {
+		want := completeBefore(ends, cut)
+		fs := NewMemFS()
+		fs.WriteFile("db/"+segName(1), data[:cut])
+		l, err := Open("db", Options{FS: fs})
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		recs := l.Records()
+		if len(recs) != want {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(recs), want)
+		}
+		for i, r := range recs {
+			if r.Seq != uint64(i+1) || !bytes.Equal(r.Payload, testPayload(i)) {
+				t.Fatalf("cut %d: record %d damaged (seq %d)", cut, i, r.Seq)
+			}
+		}
+		// A cut exactly on a record boundary leaves no torn tail; any
+		// other cut must report truncation.
+		boundary := cut == 0 || (want > 0 && ends[want-1] == cut)
+		if l.Info().Truncated != !boundary {
+			t.Fatalf("cut %d: Truncated=%v, boundary=%v", cut, l.Info().Truncated, boundary)
+		}
+		seq, err := l.Append(5, []byte("resume"))
+		if err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if seq != uint64(want+1) {
+			t.Fatalf("cut %d: resumed at seq %d, want %d", cut, seq, want+1)
+		}
+		l.Close()
+	}
+}
+
+// TestCrashPointMatrixOnDisk repeats the matrix on the real
+// filesystem with a smaller log, so the os.File path (O_APPEND,
+// Truncate, directory listing) gets the same scrutiny as MemFS.
+func TestCrashPointMatrixOnDisk(t *testing.T) {
+	const nRecords = 40
+	_, data, ends := buildLog(t, nRecords)
+	root := t.TempDir()
+	for cut := int64(0); cut <= int64(len(data)); cut++ {
+		dir := filepath.Join(root, fmt.Sprintf("cut-%d", cut))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		want := completeBefore(ends, cut)
+		if len(l.Records()) != want {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(l.Records()), want)
+		}
+		l.Close()
+	}
+}
+
+// TestCrashMidRotation crashes at the worst rotation moments: after
+// the new segment is created but before anything lands in it, and
+// with the old segment's tail unsynced.
+func TestCrashMidRotation(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open("db", Options{Policy: SyncAlways, SegmentBytes: 150, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 12)
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash immediately after rotation: the fresh segment is empty.
+	fs.Crash()
+	l2, err := Open("db", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(t, l2.Records(), 12)
+	appendN(t, l2, 12, 3)
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoAckedLossUnderFsyncFailure drives SyncAlways appends into an
+// injected fsync failure and then a crash: every append that returned
+// nil must survive recovery; the append that failed was never acked
+// and may vanish — but must vanish CLEANLY (torn-tail truncation, not
+// corruption).
+func TestNoAckedLossUnderFsyncFailure(t *testing.T) {
+	for _, failAt := range []int{0, 1, 5, 19} {
+		mem := NewMemFS()
+		ffs := &faultFS{FS: mem, writesUntilFail: -1, syncsUntilFail: -1}
+		l, err := Open("db", Options{Policy: SyncAlways, FS: ffs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acked := 0
+		for i := 0; i < 20; i++ {
+			if i == failAt {
+				ffs.syncsUntilFail = 0
+			}
+			_, err := l.Append(1, testPayload(i))
+			if i == failAt {
+				if err == nil {
+					t.Fatalf("failAt=%d: append acked through a failed fsync", failAt)
+				}
+				break
+			}
+			if err != nil {
+				t.Fatalf("failAt=%d: append %d: %v", failAt, i, err)
+			}
+			acked++
+		}
+		l.Close()
+		mem.Crash()
+		l2, err := Open("db", Options{FS: mem})
+		if err != nil {
+			t.Fatalf("failAt=%d: recovery: %v", failAt, err)
+		}
+		recs := l2.Records()
+		if len(recs) < acked {
+			t.Fatalf("failAt=%d: lost acked updates: recovered %d, acked %d", failAt, len(recs), acked)
+		}
+		for i, r := range recs {
+			if !bytes.Equal(r.Payload, testPayload(i)) {
+				t.Fatalf("failAt=%d: record %d corrupted after crash", failAt, i)
+			}
+		}
+		l2.Close()
+	}
+}
+
+// TestNoAckedLossUnderShortWrite does the same for a half-written
+// frame: the short write is never acked, and after a crash the acked
+// prefix recovers intact.
+func TestNoAckedLossUnderShortWrite(t *testing.T) {
+	for _, failAt := range []int{0, 3, 11} {
+		mem := NewMemFS()
+		ffs := &faultFS{FS: mem, writesUntilFail: -1, syncsUntilFail: -1}
+		l, err := Open("db", Options{Policy: SyncAlways, FS: ffs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acked := 0
+		for i := 0; i < 15; i++ {
+			if i == failAt {
+				ffs.writesUntilFail = 0
+			}
+			_, err := l.Append(2, testPayload(i))
+			if i == failAt {
+				if err == nil {
+					t.Fatalf("failAt=%d: short write acked", failAt)
+				}
+				break
+			}
+			if err != nil {
+				t.Fatalf("failAt=%d: append %d: %v", failAt, i, err)
+			}
+			acked++
+		}
+		l.Close()
+		// Without a crash the half-frame sits on disk as a torn tail.
+		l2, err := Open("db", Options{FS: mem})
+		if err != nil {
+			t.Fatalf("failAt=%d: recovery: %v", failAt, err)
+		}
+		recs := l2.Records()
+		if len(recs) != acked {
+			t.Fatalf("failAt=%d: recovered %d records, acked %d", failAt, len(recs), acked)
+		}
+		if failAt >= 0 && len(recs) == acked && acked > 0 {
+			if !bytes.Equal(recs[acked-1].Payload, testPayload(acked-1)) {
+				t.Fatalf("failAt=%d: last acked record damaged", failAt)
+			}
+		}
+		l2.Close()
+	}
+}
+
+// TestBatchWindowLossIsBounded documents SyncBatch's contract: a
+// crash loses at most the unsynced tail, and SyncedSeq names exactly
+// what survives.
+func TestBatchWindowLossIsBounded(t *testing.T) {
+	mem := NewMemFS()
+	l, err := Open("db", Options{Policy: SyncBatch, BatchEvery: 4, FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 10) // group commits at 4 and 8; 9,10 unsynced
+	durable := l.SyncedSeq()
+	if durable != 8 {
+		t.Fatalf("SyncedSeq = %d, want 8", durable)
+	}
+	mem.Crash()
+	l2, err := Open("db", Options{FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := uint64(len(l2.Records())); got != durable {
+		t.Fatalf("recovered %d records, SyncedSeq promised %d", got, durable)
+	}
+}

@@ -1,0 +1,306 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FS is the filesystem surface the log needs. Production uses OSFS;
+// crash-point and fault-injection tests substitute MemFS (which can
+// simulate power loss) or wrappers that fail writes and fsyncs.
+type FS interface {
+	MkdirAll(dir string) error
+	// Create opens name for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// OpenAppend opens an existing file for appending.
+	OpenAppend(name string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists the file names (not paths) in dir.
+	ReadDir(dir string) ([]string, error)
+	Remove(name string) error
+	Rename(oldname, newname string) error
+	Truncate(name string, size int64) error
+	// SyncDir flushes directory metadata (created/renamed/removed
+	// entries) to stable storage.
+	SyncDir(dir string) error
+}
+
+// File is an open log segment.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// MkdirAll creates dir and parents.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Create opens name for writing, truncating existing content.
+func (OSFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+
+// OpenAppend opens an existing file for appending.
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// ReadFile reads the whole file.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// ReadDir lists file names in dir.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// Remove deletes a file.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// Rename atomically renames a file.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Truncate cuts a file to size bytes.
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// SyncDir fsyncs the directory so entry creation/removal is durable.
+// Best-effort: some filesystems reject fsync on directories, which
+// must not wedge the log.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	_ = d.Sync()
+	return d.Close()
+}
+
+// MemFS is an in-memory filesystem that models the durability gap
+// between written and fsynced bytes: every file tracks the bytes
+// written so far and, separately, the prefix state captured by the
+// last Sync. Crash reverts every file to its synced state — the
+// power-loss simulation the crash-point and acked-loss tests are
+// built on. (A real kernel may flush more than was fsynced; reverting
+// to exactly the synced state is the adversarial choice, so anything
+// the tests prove holds under friendlier kernels too.)
+type MemFS struct {
+	mu    sync.Mutex
+	dirs  map[string]bool
+	files map[string]*memFile
+}
+
+type memFile struct {
+	data    []byte
+	durable []byte
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{dirs: map[string]bool{}, files: map[string]*memFile{}}
+}
+
+// Crash simulates power loss: every file reverts to its last-synced
+// content and unsynced directory entries (created files never covered
+// by a SyncDir) vanish.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, f := range m.files {
+		if f.durable == nil {
+			delete(m.files, name)
+			continue
+		}
+		f.data = append([]byte(nil), f.durable...)
+	}
+}
+
+// CorruptByte flips a byte of a file in place (both written and
+// durable views), for corruption tests.
+func (m *MemFS) CorruptByte(name string, off int, xor byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return fmt.Errorf("memfs: no file %q", name)
+	}
+	if off < 0 || off >= len(f.data) {
+		return fmt.Errorf("memfs: offset %d outside %q (%d bytes)", off, name, len(f.data))
+	}
+	f.data[off] ^= xor
+	if off < len(f.durable) {
+		f.durable[off] ^= xor
+	}
+	return nil
+}
+
+// MkdirAll records dir as existing.
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirs[dir] = true
+	return nil
+}
+
+// Create opens name for writing, truncating existing content.
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &memFile{}
+	m.files[name] = f
+	return &memHandle{fs: m, f: f}, nil
+}
+
+// OpenAppend opens name for appending, creating it if absent.
+func (m *MemFS) OpenAppend(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		f = &memFile{}
+		m.files[name] = f
+	}
+	return &memHandle{fs: m, f: f}, nil
+}
+
+// ReadFile reads the whole (written, not necessarily durable) file.
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("memfs: no file %q", name)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// WriteFile replaces a file's content outright (durable immediately),
+// for test setup.
+func (m *MemFS) WriteFile(name string, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = &memFile{
+		data:    append([]byte(nil), data...),
+		durable: append([]byte(nil), data...),
+	}
+}
+
+// ReadDir lists file names under dir.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	var names []string
+	for name := range m.files {
+		if strings.HasPrefix(name, prefix) && !strings.Contains(name[len(prefix):], "/") {
+			names = append(names, name[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove deletes a file.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("memfs: no file %q", name)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// Rename moves a file.
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldname]
+	if !ok {
+		return fmt.Errorf("memfs: no file %q", oldname)
+	}
+	delete(m.files, oldname)
+	m.files[newname] = f
+	return nil
+}
+
+// Truncate cuts a file to size bytes.
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return fmt.Errorf("memfs: no file %q", name)
+	}
+	if size < 0 || size > int64(len(f.data)) {
+		return fmt.Errorf("memfs: truncate %q to %d outside [0,%d]", name, size, len(f.data))
+	}
+	f.data = f.data[:size]
+	if int64(len(f.durable)) > size {
+		f.durable = f.durable[:size]
+	}
+	return nil
+}
+
+// SyncDir makes current directory entries durable. In MemFS file
+// creation is the mutation that Crash can lose; SyncDir pins every
+// currently-present file so at least its (possibly empty) synced
+// content survives.
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	for name, f := range m.files {
+		if strings.HasPrefix(name, prefix) && f.durable == nil {
+			f.durable = []byte{}
+		}
+	}
+	return nil
+}
+
+type memHandle struct {
+	fs     *MemFS
+	f      *memFile
+	closed bool
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fmt.Errorf("memfs: write on closed file")
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fmt.Errorf("memfs: sync on closed file")
+	}
+	h.f.durable = append([]byte(nil), h.f.data...)
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

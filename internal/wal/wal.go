@@ -1,0 +1,590 @@
+// Package wal is a write-ahead log for the transactional update streams
+// of the incremental extraction engine (IncExt, §III-B): updates are
+// framed as length-prefixed, CRC32-checksummed records, appended to
+// segment files under a data directory, and fsynced per a configurable
+// policy before the caller applies them to in-memory state
+// (log-then-apply). Recovery scans the segments in order and truncates
+// at the first torn record, so an acknowledged append is never lost and
+// a crash mid-append never corrupts the surviving prefix.
+//
+// The package is byte-generic: a record is a type tag, a sequence
+// number and an opaque payload. internal/core encodes the three IncExt
+// update kinds (ΔG batches, ΔD relation swaps, keyword updates) into
+// payloads with the internal/bin codec and replays them through a
+// DurableStore.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"semjoin/internal/obs"
+)
+
+// Framing constants. A frame on disk is
+//
+//	[u32 length][u32 crc32(payload)][payload]
+//
+// where payload = [u8 type][u64 seq][body] and length = len(payload).
+// Both fixed fields are little-endian; the CRC uses the IEEE
+// polynomial over the whole payload, so a flipped type, seq or body
+// byte is detected, and a flipped length byte either misaligns the
+// frame (CRC mismatch) or points past the end of the segment (torn).
+const (
+	frameHeaderLen = 8         // u32 length + u32 crc
+	recHeaderLen   = 9         // u8 type + u64 seq
+	maxRecordLen   = 1 << 26   // bound on len(payload); guards corrupt lengths
+	segPrefix      = "wal-"    // segment file name prefix
+	segSuffix      = ".log"    // segment file name suffix
+	firstSeq       = uint64(1) // seq of the first record in a fresh log
+	defaultSegment = int64(4096) * 1024
+	defaultBatch   = 64
+)
+
+// SyncPolicy selects when Append pushes bytes to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every record: an Append that returns nil
+	// is durable. Slowest, zero-loss.
+	SyncAlways SyncPolicy = iota
+	// SyncBatch fsyncs every Options.BatchEvery records (group commit)
+	// and on Sync/Rotate/Close: a crash loses at most one batch window
+	// of acknowledged-but-unsynced records.
+	SyncBatch
+	// SyncNever leaves syncing to the OS page cache (and to explicit
+	// Sync calls): fastest, weakest.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the -fsync flag spellings to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always":
+		return SyncAlways, nil
+	case "batch":
+		return SyncBatch, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return SyncAlways, fmt.Errorf("wal: unknown fsync policy %q (want always|batch|never)", s)
+}
+
+// String renders the policy as its flag spelling.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncBatch:
+		return "batch"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// Record is one logged update.
+type Record struct {
+	Type    byte
+	Seq     uint64
+	Payload []byte
+}
+
+// CorruptRecordError reports a structurally corrupt record: a CRC
+// mismatch, an implausible length, a sequence discontinuity, or a
+// partial frame that is not at the tail of the last segment. Torn
+// tails (a partial frame at the very end of the last segment — the
+// signature of a crash mid-append) are NOT corrupt: recovery truncates
+// them silently.
+type CorruptRecordError struct {
+	Segment string // segment file name, "" when scanning raw bytes
+	Offset  int64  // byte offset of the bad frame within the segment
+	Seq     uint64 // expected sequence number at that frame
+	Reason  string
+}
+
+func (e *CorruptRecordError) Error() string {
+	return fmt.Sprintf("wal: corrupt record in %q at offset %d (seq %d): %s",
+		e.Segment, e.Offset, e.Seq, e.Reason)
+}
+
+// Options configures Open.
+type Options struct {
+	// Policy is the fsync policy (default SyncAlways).
+	Policy SyncPolicy
+	// SegmentBytes rotates the active segment once it reaches this many
+	// bytes (default 4 MiB).
+	SegmentBytes int64
+	// BatchEvery is the group-commit window for SyncBatch: fsync every
+	// N appends (default 64).
+	BatchEvery int
+	// Strict makes Open fail with the underlying *CorruptRecordError
+	// instead of truncating when the last segment holds a structurally
+	// corrupt (not merely torn) record. Corruption in a non-last
+	// segment always fails Open: truncating there would orphan every
+	// later segment.
+	Strict bool
+	// Reg receives wal_records_total / wal_fsync_seconds metrics
+	// (nil-safe: a nil registry records nothing).
+	Reg *obs.Registry
+	// FS overrides the filesystem (default: the operating system).
+	// Tests inject MemFS or fault wrappers here.
+	FS FS
+}
+
+// RecoveryInfo describes what Open found on disk.
+type RecoveryInfo struct {
+	Segments int // segment files scanned
+	Records  int // complete records recovered
+	// Truncated is true when the last segment held a torn or (non-
+	// strict mode) corrupt suffix that recovery cut off.
+	Truncated bool
+	// TruncatedSegment/TruncatedAt locate the cut when Truncated.
+	TruncatedSegment string
+	TruncatedAt      int64
+	// Corrupt is the corruption that forced the cut, nil for a plain
+	// torn tail.
+	Corrupt *CorruptRecordError
+}
+
+// Log is an append-only write-ahead log over a directory of segment
+// files. All methods are safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+	fs   FS
+
+	mu        sync.Mutex
+	cur       File
+	curName   string
+	curSize   int64
+	nextSeq   uint64 // seq the next Append will receive
+	syncedSeq uint64 // last seq known to be on stable storage
+	unsynced  int    // appends since the last fsync
+	werr      error  // sticky write/sync failure; wedges the log
+	closed    bool
+
+	recovered []Record
+	info      RecoveryInfo
+
+	recordsTotal *obs.Counter
+	fsyncSec     *obs.Histogram
+}
+
+// fsyncBuckets spans 1µs..~8s, the plausible range for fsync latency.
+var fsyncBuckets = []float64{
+	1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, 64e-3, 256e-3, 1, 4, 8,
+}
+
+// Open recovers the log in dir (creating it if absent) and readies it
+// for appends. Recovered records are available via Records; the next
+// Append continues the sequence after the last recovered record. A
+// torn tail in the last segment is truncated; structural corruption is
+// handled per Options.Strict.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegment
+	}
+	if opts.BatchEvery <= 0 {
+		opts.BatchEvery = defaultBatch
+	}
+	fs := opts.FS
+	if fs == nil {
+		fs = OSFS{}
+	}
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	l := &Log{
+		dir:          dir,
+		opts:         opts,
+		fs:           fs,
+		recordsTotal: opts.Reg.Counter("wal_records_total"),
+		fsyncSec:     opts.Reg.Histogram("wal_fsync_seconds", fsyncBuckets),
+	}
+	if err := l.recover(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// recover scans every segment, truncates a torn tail and opens the
+// last segment for append.
+func (l *Log) recover() error {
+	segs, err := l.segments()
+	if err != nil {
+		return err
+	}
+	l.info.Segments = len(segs)
+	if len(segs) == 0 {
+		l.nextSeq = firstSeq
+		return l.startSegment(firstSeq)
+	}
+	expect := segs[0].seq
+	for i, seg := range segs {
+		data, err := l.fs.ReadFile(l.path(seg.name))
+		if err != nil {
+			return fmt.Errorf("wal: read segment %s: %w", seg.name, err)
+		}
+		if len(data) > 0 && seg.seq != expect {
+			return &CorruptRecordError{Segment: seg.name, Offset: 0, Seq: expect,
+				Reason: fmt.Sprintf("segment named for seq %d but expected %d", seg.seq, expect)}
+		}
+		recs, off, scanErr := scan(data, expect)
+		if cerr, ok := scanErr.(*CorruptRecordError); ok {
+			cerr.Segment = seg.name
+		}
+		last := i == len(segs)-1
+		switch {
+		case scanErr == nil && off == int64(len(data)):
+			// clean segment
+		case !last:
+			// A torn or corrupt record anywhere but the last segment
+			// orphans everything after it; refuse to guess.
+			if scanErr == nil {
+				scanErr = &CorruptRecordError{Segment: seg.name, Offset: off, Seq: expect + uint64(len(recs)),
+					Reason: "partial frame in non-final segment"}
+			}
+			return scanErr
+		case scanErr != nil && l.opts.Strict:
+			return scanErr
+		default:
+			// Torn tail (or non-strict corruption) in the last segment:
+			// truncate at the first bad frame and carry on from there.
+			if err := l.fs.Truncate(l.path(seg.name), off); err != nil {
+				return fmt.Errorf("wal: truncate torn tail of %s: %w", seg.name, err)
+			}
+			l.info.Truncated = true
+			l.info.TruncatedSegment = seg.name
+			l.info.TruncatedAt = off
+			if cerr, ok := scanErr.(*CorruptRecordError); ok {
+				l.info.Corrupt = cerr
+			}
+			data = data[:off]
+		}
+		l.recovered = append(l.recovered, recs...)
+		expect += uint64(len(recs))
+		if last {
+			l.curName = seg.name
+			l.curSize = int64(len(data))
+		}
+	}
+	l.info.Records = len(l.recovered)
+	l.nextSeq = expect
+	l.syncedSeq = expect - 1
+	f, err := l.fs.OpenAppend(l.path(l.curName))
+	if err != nil {
+		return fmt.Errorf("wal: open segment %s: %w", l.curName, err)
+	}
+	l.cur = f
+	return nil
+}
+
+// segment is a parsed segment file name.
+type segment struct {
+	name string
+	seq  uint64 // seq of the first record the segment holds
+}
+
+func segName(seq uint64) string { return fmt.Sprintf("%s%016x%s", segPrefix, seq, segSuffix) }
+
+func (l *Log) path(name string) string { return l.dir + "/" + name }
+
+// segments lists the segment files in dir, sorted by first-record seq.
+func (l *Log) segments() ([]segment, error) {
+	names, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list dir: %w", err)
+	}
+	var segs []segment
+	for _, n := range names {
+		if !strings.HasPrefix(n, segPrefix) || !strings.HasSuffix(n, segSuffix) {
+			continue
+		}
+		hexpart := strings.TrimSuffix(strings.TrimPrefix(n, segPrefix), segSuffix)
+		var seq uint64
+		if _, err := fmt.Sscanf(hexpart, "%016x", &seq); err != nil || len(hexpart) != 16 {
+			continue // foreign file; leave it alone
+		}
+		segs = append(segs, segment{name: n, seq: seq})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}
+
+// startSegment creates a fresh segment whose first record will be seq.
+func (l *Log) startSegment(seq uint64) error {
+	name := segName(seq)
+	f, err := l.fs.Create(l.path(name))
+	if err != nil {
+		return fmt.Errorf("wal: create segment %s: %w", name, err)
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	l.cur = f
+	l.curName = name
+	l.curSize = 0
+	return nil
+}
+
+// Records returns the records recovered by Open in sequence order.
+// The caller must not mutate them.
+func (l *Log) Records() []Record { return l.recovered }
+
+// Info returns what Open found on disk.
+func (l *Log) Info() RecoveryInfo { return l.info }
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Policy returns the fsync policy the log runs under.
+func (l *Log) Policy() SyncPolicy { return l.opts.Policy }
+
+// AppendRecord encodes one frame onto dst and returns the extended
+// slice. Exposed for tests and fuzz corpora that build log images
+// without a Log.
+func AppendRecord(dst []byte, r Record) []byte {
+	payload := make([]byte, recHeaderLen+len(r.Payload))
+	payload[0] = r.Type
+	binary.LittleEndian.PutUint64(payload[1:recHeaderLen], r.Seq)
+	copy(payload[recHeaderLen:], r.Payload)
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// Append logs one record and returns its sequence number. Under
+// SyncAlways a nil return means the record is on stable storage; under
+// SyncBatch it is durable once a group commit covers it (SyncedSeq
+// reports the watermark). Any write or sync failure wedges the log —
+// every later Append returns the same error — because a partial frame
+// may now sit at the tail and only a recovery scan can re-establish
+// where the good prefix ends.
+func (l *Log) Append(typ byte, payload []byte) (uint64, error) {
+	if len(payload) > maxRecordLen-recHeaderLen {
+		return 0, fmt.Errorf("wal: record payload %d bytes exceeds limit", len(payload))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log closed")
+	}
+	if l.werr != nil {
+		return 0, fmt.Errorf("wal: log wedged by earlier failure: %w", l.werr)
+	}
+	if l.curSize >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			l.werr = err
+			return 0, err
+		}
+	}
+	seq := l.nextSeq
+	frame := AppendRecord(nil, Record{Type: typ, Seq: seq, Payload: payload})
+	if _, err := l.cur.Write(frame); err != nil {
+		l.werr = err
+		return 0, fmt.Errorf("wal: append seq %d: %w", seq, err)
+	}
+	l.nextSeq++
+	l.curSize += int64(len(frame))
+	l.unsynced++
+	l.recordsTotal.Inc()
+	switch l.opts.Policy {
+	case SyncAlways:
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	case SyncBatch:
+		if l.unsynced >= l.opts.BatchEvery {
+			if err := l.syncLocked(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return seq, nil
+}
+
+// syncLocked fsyncs the active segment and advances the durable
+// watermark. Callers hold l.mu.
+func (l *Log) syncLocked() error {
+	if l.unsynced == 0 && l.syncedSeq == l.nextSeq-1 {
+		return nil
+	}
+	start := time.Now()
+	if err := l.cur.Sync(); err != nil {
+		l.werr = err
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.fsyncSec.Observe(time.Since(start).Seconds())
+	l.syncedSeq = l.nextSeq - 1
+	l.unsynced = 0
+	return nil
+}
+
+// Sync forces all appended records to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	if l.werr != nil {
+		return fmt.Errorf("wal: log wedged by earlier failure: %w", l.werr)
+	}
+	return l.syncLocked()
+}
+
+// LastSeq returns the sequence number of the last appended record
+// (including recovered ones), 0 if none.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq - 1
+}
+
+// SyncedSeq returns the durable watermark: the last sequence number
+// known to be on stable storage.
+func (l *Log) SyncedSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncedSeq
+}
+
+// Rotate syncs and closes the active segment and starts a fresh one.
+// Checkpointing rotates first so every segment at or below the
+// snapshot seq becomes removable by TruncateBefore.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	if l.werr != nil {
+		return fmt.Errorf("wal: log wedged by earlier failure: %w", l.werr)
+	}
+	return l.rotateLocked()
+}
+
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.cur.Close(); err != nil {
+		l.werr = err
+		return fmt.Errorf("wal: close segment %s: %w", l.curName, err)
+	}
+	if err := l.startSegment(l.nextSeq); err != nil {
+		l.werr = err
+		return err
+	}
+	return nil
+}
+
+// TruncateBefore removes segments every record of which has sequence
+// number below seq — the compaction step after a snapshot covering
+// seqs < seq. The active segment is never removed.
+func (l *Log) TruncateBefore(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segs, err := l.segments()
+	if err != nil {
+		return err
+	}
+	for i, s := range segs {
+		if s.name == l.curName || i+1 >= len(segs) {
+			break
+		}
+		// Segment i holds seqs [s.seq, segs[i+1].seq): removable iff
+		// its last record is below seq.
+		if segs[i+1].seq > seq {
+			break
+		}
+		if err := l.fs.Remove(l.path(s.name)); err != nil {
+			return fmt.Errorf("wal: remove segment %s: %w", s.name, err)
+		}
+	}
+	return l.fs.SyncDir(l.dir)
+}
+
+// Close syncs and closes the active segment. The log is unusable
+// afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var err error
+	if l.werr == nil {
+		err = l.syncLocked()
+	}
+	if cerr := l.cur.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	return err
+}
+
+// scan walks the frames in data expecting the first record to carry
+// seq expect. It returns the complete records, the offset of the first
+// byte not consumed, and an error: nil when the remainder (if any) is
+// a torn tail — a partial frame cut off by the end of data — or a
+// *CorruptRecordError when the frame at the returned offset is
+// structurally bad (CRC mismatch, implausible length, sequence
+// discontinuity). scan never panics on arbitrary input.
+func scan(data []byte, expect uint64) ([]Record, int64, error) {
+	var recs []Record
+	off := int64(0)
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return recs, off, nil
+		}
+		if len(rest) < frameHeaderLen {
+			return recs, off, nil // torn: partial frame header
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		crc := binary.LittleEndian.Uint32(rest[4:8])
+		if n < recHeaderLen || n > maxRecordLen {
+			return recs, off, &CorruptRecordError{Offset: off, Seq: expect,
+				Reason: fmt.Sprintf("implausible record length %d", n)}
+		}
+		if uint32(len(rest)-frameHeaderLen) < n {
+			return recs, off, nil // torn: payload cut off
+		}
+		payload := rest[frameHeaderLen : frameHeaderLen+int(n)]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return recs, off, &CorruptRecordError{Offset: off, Seq: expect,
+				Reason: "crc mismatch"}
+		}
+		seq := binary.LittleEndian.Uint64(payload[1:recHeaderLen])
+		if seq != expect {
+			return recs, off, &CorruptRecordError{Offset: off, Seq: expect,
+				Reason: fmt.Sprintf("sequence discontinuity: record carries seq %d", seq)}
+		}
+		recs = append(recs, Record{
+			Type:    payload[0],
+			Seq:     seq,
+			Payload: append([]byte(nil), payload[recHeaderLen:]...),
+		})
+		expect++
+		off += int64(frameHeaderLen) + int64(n)
+	}
+}
+
+// Scan is the exported recovery scanner over a raw segment image,
+// starting at sequence number expect. It underlies Open's per-segment
+// recovery and is the surface FuzzWALReplay exercises: for any input
+// it must return a clean prefix (possibly with a torn tail) or a
+// *CorruptRecordError — never panic.
+func Scan(data []byte, expect uint64) ([]Record, int64, error) {
+	return scan(data, expect)
+}

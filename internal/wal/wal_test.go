@@ -1,0 +1,396 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"semjoin/internal/obs"
+)
+
+// testPayload builds a deterministic payload for record i with a
+// size that varies across records, so frames land on many distinct
+// byte offsets.
+func testPayload(i int) []byte {
+	n := 1 + (i*7)%23
+	p := make([]byte, n)
+	for j := range p {
+		p[j] = byte(i + j*13)
+	}
+	return p
+}
+
+func appendN(t *testing.T, l *Log, from, n int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		seq, err := l.Append(byte(i%3+1), testPayload(i))
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d: got seq %d, want %d", i, seq, i+1)
+		}
+	}
+}
+
+func checkRecords(t *testing.T, recs []Record, n int) {
+	t.Helper()
+	if len(recs) != n {
+		t.Fatalf("got %d records, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d: seq %d, want %d", i, r.Seq, i+1)
+		}
+		if r.Type != byte(i%3+1) {
+			t.Fatalf("record %d: type %d, want %d", i, r.Type, i%3+1)
+		}
+		if !bytes.Equal(r.Payload, testPayload(i)) {
+			t.Fatalf("record %d: payload mismatch", i)
+		}
+	}
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 50)
+	if got := l.LastSeq(); got != 50 {
+		t.Fatalf("LastSeq = %d, want 50", got)
+	}
+	if got := l.SyncedSeq(); got != 50 {
+		t.Fatalf("SyncedSeq = %d, want 50 under SyncAlways", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	checkRecords(t, l2.Records(), 50)
+	if l2.Info().Truncated {
+		t.Fatal("clean log reported truncation")
+	}
+	// Appends continue the sequence.
+	seq, err := l2.Append(9, []byte("after"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 51 {
+		t.Fatalf("continued seq = %d, want 51", seq)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	fs := NewMemFS()
+	dir := "db"
+	// Tiny segments: rotate every ~3 records.
+	l, err := Open(dir, Options{SegmentBytes: 100, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 40)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 5 {
+		t.Fatalf("expected several segments, got %v", names)
+	}
+	l2, err := Open(dir, Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	checkRecords(t, l2.Records(), 40)
+	if l2.Info().Segments != len(names) {
+		t.Fatalf("Info.Segments = %d, want %d", l2.Info().Segments, len(names))
+	}
+}
+
+func TestTruncateBeforeCompactsSegments(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open("db", Options{SegmentBytes: 100, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 40)
+	// Snapshot covered everything: rotate, then drop covered segments.
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TruncateBefore(l.LastSeq() + 1); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.ReadDir("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 {
+		t.Fatalf("expected 1 segment after compaction, got %v", names)
+	}
+	// The log still appends and recovers from the compacted baseline.
+	appendN(t, l, 40, 5)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open("db", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs := l2.Records()
+	if len(recs) != 5 || recs[0].Seq != 41 || recs[4].Seq != 45 {
+		t.Fatalf("post-compaction recovery: got %d records, first seq %d", len(recs), recs[0].Seq)
+	}
+	if got := l2.LastSeq(); got != 45 {
+		t.Fatalf("LastSeq = %d, want 45", got)
+	}
+}
+
+func TestBatchPolicyWatermark(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open("db", Options{Policy: SyncBatch, BatchEvery: 4, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 10)
+	// 10 appends with a window of 4: group commits after 4 and 8.
+	if got := l.SyncedSeq(); got != 8 {
+		t.Fatalf("SyncedSeq = %d, want 8", got)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.SyncedSeq(); got != 10 {
+		t.Fatalf("SyncedSeq after Sync = %d, want 10", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{
+		"always": SyncAlways, "Batch": SyncBatch, " never ": SyncNever,
+	} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", in, got, err)
+		}
+		if _, err := ParseSyncPolicy(got.String()); err != nil {
+			t.Fatalf("String round-trip %v: %v", got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("ParseSyncPolicy accepted garbage")
+	}
+}
+
+func TestCorruptMidSegmentStrict(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open("db", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 10)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of an early record.
+	if err := fs.CorruptByte("db/"+segName(1), frameHeaderLen+recHeaderLen, 0xff); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open("db", Options{Strict: true, FS: fs}); err == nil {
+		t.Fatal("strict open accepted corrupt record")
+	} else {
+		var cerr *CorruptRecordError
+		if !errors.As(err, &cerr) {
+			t.Fatalf("strict open: got %T (%v), want *CorruptRecordError", err, err)
+		}
+		if cerr.Offset != 0 || cerr.Seq != 1 {
+			t.Fatalf("corrupt location = offset %d seq %d, want 0/1", cerr.Offset, cerr.Seq)
+		}
+	}
+	// Non-strict: truncate at the corrupt record, keep the prefix (none
+	// here) and stay writable.
+	l2, err := Open("db", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(l2.Records()) != 0 || !l2.Info().Truncated || l2.Info().Corrupt == nil {
+		t.Fatalf("non-strict recovery: records=%d info=%+v", len(l2.Records()), l2.Info())
+	}
+	if _, err := l2.Append(1, []byte("x")); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+}
+
+func TestCorruptNonFinalSegmentFailsOpen(t *testing.T) {
+	fs := NewMemFS()
+	l, err := Open("db", Options{SegmentBytes: 100, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 40)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the FIRST segment: truncating there would orphan later
+	// segments, so even non-strict open must refuse.
+	if err := fs.CorruptByte("db/"+segName(1), frameHeaderLen, 0x55); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open("db", Options{FS: fs})
+	var cerr *CorruptRecordError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("open over corrupt non-final segment: got %v, want *CorruptRecordError", err)
+	}
+}
+
+func TestAppendAfterFailureWedges(t *testing.T) {
+	fs := NewMemFS()
+	ffs := &faultFS{FS: fs, writesUntilFail: -1, syncsUntilFail: -1}
+	l, err := Open("db", Options{Policy: SyncAlways, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 3)
+	ffs.writesUntilFail = 0 // next write fails half-way
+	if _, err := l.Append(1, []byte("doomed")); err == nil {
+		t.Fatal("append over failing write succeeded")
+	}
+	ffs.writesUntilFail = -1
+	if _, err := l.Append(1, []byte("after")); err == nil {
+		t.Fatal("wedged log accepted an append")
+	}
+	if err := l.Sync(); err == nil {
+		t.Fatal("wedged log accepted a sync")
+	}
+	l.Close()
+	// Reopen over the same (uncrashed) bytes: the partial frame is a
+	// torn tail; the acked prefix survives and the log is writable.
+	l2, err := Open("db", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	checkRecords(t, l2.Records(), 3)
+	if !l2.Info().Truncated {
+		t.Fatal("torn tail not reported")
+	}
+}
+
+func TestMetricsRecorded(t *testing.T) {
+	reg := obs.NewRegistry()
+	l, err := Open("db", Options{Policy: SyncAlways, Reg: reg, FS: NewMemFS()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendN(t, l, 0, 7)
+	if got := reg.Counter("wal_records_total").Value(); got != 7 {
+		t.Fatalf("wal_records_total = %d, want 7", got)
+	}
+}
+
+func TestScanRejectsOversizeLength(t *testing.T) {
+	data := AppendRecord(nil, Record{Type: 1, Seq: 1, Payload: []byte("ok")})
+	// Hand-craft a frame header with an absurd length.
+	bad := append(append([]byte(nil), data...), 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0)
+	recs, off, err := Scan(bad, 1)
+	var cerr *CorruptRecordError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("Scan = %v, want *CorruptRecordError", err)
+	}
+	if len(recs) != 1 || off != int64(len(data)) {
+		t.Fatalf("prefix: %d records, offset %d", len(recs), off)
+	}
+}
+
+func TestScanSequenceDiscontinuity(t *testing.T) {
+	data := AppendRecord(nil, Record{Type: 1, Seq: 1, Payload: []byte("a")})
+	data = AppendRecord(data, Record{Type: 1, Seq: 7, Payload: []byte("b")}) // gap
+	recs, _, err := Scan(data, 1)
+	var cerr *CorruptRecordError
+	if !errors.As(err, &cerr) || len(recs) != 1 {
+		t.Fatalf("Scan = %d recs, %v; want 1 rec + CorruptRecordError", len(recs), err)
+	}
+	if cerr.Seq != 2 {
+		t.Fatalf("expected seq in error = %d, want 2", cerr.Seq)
+	}
+}
+
+// TestRandomizedAppendReopen interleaves appends, rotations, reopens
+// and compactions under a seeded RNG and checks the surviving suffix
+// is always contiguous and intact.
+func TestRandomizedAppendReopen(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	fs := NewMemFS()
+	l, err := Open("db", Options{Policy: SyncBatch, BatchEvery: 3, SegmentBytes: 200, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	payloads := map[uint64][]byte{}
+	floor := uint64(1) // first seq that must still be recoverable
+	for step := 0; step < 200; step++ {
+		switch rng.Intn(10) {
+		case 0: // reopen
+			if err := l.Close(); err != nil {
+				t.Fatalf("step %d close: %v", step, err)
+			}
+			l, err = Open("db", Options{Policy: SyncBatch, BatchEvery: 3, SegmentBytes: 200, FS: fs})
+			if err != nil {
+				t.Fatalf("step %d reopen: %v", step, err)
+			}
+			recs := l.Records()
+			if len(recs) > 0 && recs[0].Seq != floor {
+				t.Fatalf("step %d: first recovered seq %d, want %d", step, recs[0].Seq, floor)
+			}
+			for _, r := range recs {
+				if !bytes.Equal(r.Payload, payloads[r.Seq]) {
+					t.Fatalf("step %d: payload mismatch at seq %d", step, r.Seq)
+				}
+			}
+			if uint64(len(recs)) != l.LastSeq()-floor+1 {
+				t.Fatalf("step %d: %d records, floor %d, last %d", step, len(recs), floor, l.LastSeq())
+			}
+		case 1: // checkpoint: rotate + compact
+			if err := l.Rotate(); err != nil {
+				t.Fatalf("step %d rotate: %v", step, err)
+			}
+			cut := l.LastSeq() + 1
+			if err := l.TruncateBefore(cut); err != nil {
+				t.Fatalf("step %d truncate: %v", step, err)
+			}
+			floor = cut
+		default:
+			p := []byte(fmt.Sprintf("step-%d-%d", step, rng.Intn(1000)))
+			seq, err := l.Append(byte(rng.Intn(3)+1), p)
+			if err != nil {
+				t.Fatalf("step %d append: %v", step, err)
+			}
+			if seq != uint64(next+1) {
+				t.Fatalf("step %d: seq %d, want %d", step, seq, next+1)
+			}
+			payloads[seq] = p
+			next++
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
