@@ -1,15 +1,24 @@
 // Command semjoinlint runs the internal/lint analyzer suite: the
 // engine's cross-layer invariants (no-panic library code, iterator
 // Open/Close discipline, mutex release on every path, context-aware
-// worker loops, nil-safe obs construction) checked at compile time.
+// worker loops, nil-safe obs construction, span/trace lifecycles,
+// WAL log-then-apply ordering, temp-file fsync/rename protocol and
+// batch selection-vector discipline) checked at compile time.
 //
 // Two modes:
 //
-//	semjoinlint [-analyzers a,b] [packages]
+//	semjoinlint [-analyzers a,b] [-tests] [-json] [-sarif file]
+//	            [-baseline file.json] [packages]
 //
 // loads, type-checks and analyzes the module packages matching the
 // patterns (default ./...) and prints file:line:col: msg [analyzer]
-// diagnostics, exiting 1 when any are found.
+// diagnostics, exiting 1 when any are found. -json swaps the text
+// output for a machine-readable array (which doubles as the -baseline
+// format); -sarif additionally writes a SARIF 2.1.0 log for
+// code-scanning UIs; -baseline suppresses previously-recorded
+// diagnostics so CI gates on new findings only; -tests includes
+// _test.go files. Directive hygiene (stale or unknown //lint:allow)
+// is reported under the allowcheck pseudo-analyzer.
 //
 //	go vet -vettool=$(which semjoinlint) ./...
 //
@@ -51,15 +60,20 @@ func main() {
 		}
 	}
 	analyzerNames := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	jsonOut := flag.Bool("json", false, "print diagnostics as JSON (the -baseline format) instead of text")
+	sarifPath := flag.String("sarif", "", "also write a SARIF 2.1.0 log to this file (\"-\" for stdout)")
+	baselinePath := flag.String("baseline", "", "suppress diagnostics recorded in this -json file; exit 1 only on new findings")
+	withTests := flag.Bool("tests", false, "include _test.go files in the analyzed packages")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: semjoinlint [-analyzers a,b] [packages]\n       go vet -vettool=$(which semjoinlint) [packages]\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: semjoinlint [-analyzers a,b] [-tests] [-json] [-sarif file] [-baseline file.json] [packages]\n       go vet -vettool=$(which semjoinlint) [packages]\n\nanalyzers:\n")
 		for _, a := range lint.All {
-			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-11s %s\n", a.Name, a.Doc)
 		}
+		fmt.Fprintf(os.Stderr, "  %-11s %s\n", lint.AllowCheckName, "//lint:allow directives must name a real analyzer and still suppress something")
 	}
 	flag.Parse()
 
-	analyzers, err := selectAnalyzers(*analyzerNames)
+	analyzers, allowCheck, err := selectAnalyzers(*analyzerNames)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "semjoinlint:", err)
 		os.Exit(2)
@@ -67,24 +81,40 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		os.Exit(runVetUnit(analyzers, args[0]))
+		os.Exit(runVetUnit(analyzers, allowCheck, args[0]))
 	}
-	os.Exit(runStandalone(analyzers, args))
+	os.Exit(runStandalone(analyzers, standaloneOpts{
+		allowCheck: allowCheck,
+		jsonOut:    *jsonOut,
+		sarifPath:  *sarifPath,
+		baseline:   *baselinePath,
+		tests:      *withTests,
+	}, args))
 }
 
-func selectAnalyzers(names string) ([]*lint.Analyzer, error) {
+// selectAnalyzers resolves the -analyzers flag. The allowcheck
+// pseudo-analyzer is not a suite member (it is a post-pass over the
+// directive bookkeeping) but is addressable by name; it runs by
+// default and whenever named explicitly.
+func selectAnalyzers(names string) ([]*lint.Analyzer, bool, error) {
 	if names == "" {
-		return lint.All, nil
+		return lint.All, true, nil
 	}
 	var out []*lint.Analyzer
+	allowCheck := false
 	for _, n := range strings.Split(names, ",") {
-		a := lint.ByName(strings.TrimSpace(n))
+		n = strings.TrimSpace(n)
+		if n == lint.AllowCheckName {
+			allowCheck = true
+			continue
+		}
+		a := lint.ByName(n)
 		if a == nil {
-			return nil, fmt.Errorf("unknown analyzer %q", n)
+			return nil, false, fmt.Errorf("unknown analyzer %q", n)
 		}
 		out = append(out, a)
 	}
-	return out, nil
+	return out, allowCheck, nil
 }
 
 // printVersion emits the `name version devel buildID=...` line the go
@@ -104,7 +134,15 @@ func printVersion() {
 
 // ---------------------------------------------------------------- standalone
 
-func runStandalone(analyzers []*lint.Analyzer, patterns []string) int {
+type standaloneOpts struct {
+	allowCheck bool
+	jsonOut    bool
+	sarifPath  string
+	baseline   string
+	tests      bool
+}
+
+func runStandalone(analyzers []*lint.Analyzer, opts standaloneOpts, patterns []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -118,18 +156,56 @@ func runStandalone(analyzers []*lint.Analyzer, patterns []string) int {
 		fmt.Fprintln(os.Stderr, "semjoinlint:", err)
 		return 2
 	}
-	prog, err := lint.Load(root, patterns...)
+	prog, err := lint.LoadWith(lint.LoadOpts{Tests: opts.tests}, root, patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "semjoinlint:", err)
 		return 2
 	}
-	diags, err := lint.RunAnalyzers(analyzers, prog.Targets())
+	res, err := lint.Run(analyzers, prog.Targets())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "semjoinlint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(relativize(root, d))
+	diags := res.Diagnostics
+	if opts.allowCheck {
+		diags = append(diags, res.AllowCheck()...)
+	}
+	if opts.baseline != "" {
+		base, err := lint.ReadBaselineFile(opts.baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "semjoinlint:", err)
+			return 2
+		}
+		diags = base.Filter(root, diags)
+	}
+	if opts.sarifPath != "" {
+		out := os.Stdout
+		if opts.sarifPath != "-" {
+			f, err := os.Create(opts.sarifPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "semjoinlint:", err)
+				return 2
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := lint.WriteSARIF(out, root, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "semjoinlint:", err)
+			return 2
+		}
+	}
+	switch {
+	case opts.jsonOut:
+		if err := lint.WriteJSON(os.Stdout, root, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "semjoinlint:", err)
+			return 2
+		}
+	case opts.sarifPath == "-":
+		// SARIF already went to stdout; skip the text listing.
+	default:
+		for _, d := range diags {
+			fmt.Println(relativize(root, d))
+		}
 	}
 	if len(diags) > 0 {
 		return 1
@@ -166,7 +242,7 @@ type vetConfig struct {
 // (empty — this suite exports no facts) .vetx output must be written
 // so the driver can cache the run, and the exit status is 0 for
 // clean, 1 for diagnostics, 2 for failure.
-func runVetUnit(analyzers []*lint.Analyzer, cfgPath string) int {
+func runVetUnit(analyzers []*lint.Analyzer, allowCheck bool, cfgPath string) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "semjoinlint:", err)
@@ -197,10 +273,14 @@ func runVetUnit(analyzers []*lint.Analyzer, cfgPath string) int {
 		fmt.Fprintln(os.Stderr, "semjoinlint:", err)
 		return 2
 	}
-	diags, err := lint.RunAnalyzers(analyzers, []*lint.Package{pkg})
+	res, err := lint.Run(analyzers, []*lint.Package{pkg})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "semjoinlint:", err)
 		return 2
+	}
+	diags := res.Diagnostics
+	if allowCheck {
+		diags = append(diags, res.AllowCheck()...)
 	}
 	writeVetx()
 	for _, d := range diags {

@@ -734,6 +734,8 @@ func (ds *DurableSet) Names() []string {
 // and against per-store writers) and returns the release function.
 // Query execution paths wrap themselves in it so updates streaming
 // into any durable base cannot race an in-flight scan.
+//
+//lint:allow lockorder lock-ownership transfer: every st.mu.RLock is released by the returned closure, in reverse order
 func (ds *DurableSet) RLockAll() func() {
 	if ds == nil {
 		return func() {}
@@ -747,7 +749,7 @@ func (ds *DurableSet) RLockAll() func() {
 	locked := make([]*DurableStore, 0, len(names))
 	for _, n := range names {
 		st := ds.stores[n]
-		st.mu.RLock() //lint:allow lockorder lock-ownership transfer: released by the returned closure, in reverse order
+		st.mu.RLock()
 		locked = append(locked, st)
 	}
 	ds.mu.RUnlock()

@@ -51,7 +51,7 @@ func BenchmarkDurableMixedRead(b *testing.B) {
 	var writes atomic.Int64
 	go func() {
 		defer close(writerDone)
-		for i := 0; ; i++ {
+		for i := 0; ; i++ { //lint:allow ctxloop benchmark writer is bounded by the stop channel, not a context
 			select {
 			case <-stop:
 				return

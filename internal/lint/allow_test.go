@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAllowDirectives drives the allowcheck fixture through a full
+// Run: every genuine violation must be suppressed by its directive,
+// and the hygiene pass must flag exactly the unknown-analyzer and
+// stale directives.
+func TestAllowDirectives(t *testing.T) {
+	prog := fixtureProgram(t)
+	pkg, err := prog.CheckDir(filepath.Join("testdata", "src", "allowcheck"),
+		"semjoin/internal/lint/testdata/src/allowcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(All, []*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every panic in the fixture is excused by a directive — trailing,
+	// line-above and function-doc (multi-line statement) styles alike.
+	for _, d := range res.Diagnostics {
+		t.Errorf("directive failed to suppress: %s", d)
+	}
+
+	checks := res.AllowCheck()
+	type want struct {
+		substr string
+		found  bool
+	}
+	wants := []*want{
+		{substr: `unknown analyzer "nopanics"`},
+		{substr: "stale //lint:allow nopanic"}, // fixedLongAgo
+		{substr: "stale //lint:allow nopanic"}, // cleanBody (doc-comment)
+	}
+	for _, d := range checks {
+		if d.Analyzer != AllowCheckName {
+			t.Errorf("hygiene diagnostic under wrong analyzer: %s", d)
+		}
+		matched := false
+		for _, w := range wants {
+			if !w.found && strings.Contains(d.Message, w.substr) {
+				w.found, matched = true, true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected allowcheck diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.found {
+			t.Errorf("missing allowcheck diagnostic containing %q", w.substr)
+		}
+	}
+}
+
+// TestAllowCheckSkipsAnalyzersThatDidNotRun pins the staleness rule:
+// a directive for an analyzer outside the run set is left alone — its
+// staleness cannot be judged from this run.
+func TestAllowCheckSkipsAnalyzersThatDidNotRun(t *testing.T) {
+	prog := fixtureProgram(t)
+	pkg, err := prog.CheckDir(filepath.Join("testdata", "src", "allowcheck"),
+		"semjoin/internal/lint/testdata/src/allowcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run only iterclose: the nopanic directives (used and stale alike)
+	// must produce no staleness findings, while the unknown-analyzer
+	// typo is still reported — existence does not depend on the run set.
+	res, err := Run([]*Analyzer{IterClose}, []*Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.AllowCheck() {
+		if strings.Contains(d.Message, "stale") {
+			t.Errorf("stale verdict for an analyzer that did not run: %s", d)
+		}
+		if !strings.Contains(d.Message, `unknown analyzer "nopanics"`) {
+			t.Errorf("unexpected allowcheck diagnostic: %s", d)
+		}
+	}
+}

@@ -12,9 +12,12 @@
 //	//lint:allow <analyzer> <reason>
 //
 // on the offending line (or the line directly above it) suppresses
-// that analyzer's diagnostics for the line. The reason is mandatory by
-// convention — it is the reviewable record of why the invariant is
-// deliberately violated at that site.
+// that analyzer's diagnostics for the line; placed in a function's doc
+// comment it suppresses them for the whole function. The reason is
+// mandatory by convention — it is the reviewable record of why the
+// invariant is deliberately violated at that site. Directives are
+// themselves checked: the allowcheck pass reports directives naming an
+// unknown analyzer and directives that no longer suppress anything.
 package lint
 
 import (
@@ -44,8 +47,20 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Tests is set when the package was loaded with its _test.go files
+	// included (-tests); analyzers then stop skipping them.
+	Tests bool
 
 	diags *[]Diagnostic
+}
+
+// SkipFile reports whether f is excluded from this pass: _test.go
+// files are skipped unless the package was loaded in tests mode.
+func (p *Pass) SkipFile(f *ast.File) bool {
+	if p.Tests {
+		return false
+	}
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
 }
 
 // Diagnostic is one finding, positioned for editors (file:line:col).
@@ -76,17 +91,47 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 // allowDirective is the comment prefix of the escape hatch.
 const allowDirective = "lint:allow"
 
-// allowedLines scans a file's comments for //lint:allow directives and
-// returns the set of (line, analyzer) pairs they suppress. A directive
-// suppresses its own line and the line directly below it, so both the
-// trailing-comment and the comment-above styles work:
+// AllowCheckName is the pseudo-analyzer name under which directive
+// hygiene findings (unknown analyzer, stale directive) are reported.
+const AllowCheckName = "allowcheck"
+
+// allowRecord is one parsed //lint:allow directive for one analyzer
+// name (a comma-separated directive yields one record per name).
+type allowRecord struct {
+	pos      token.Position
+	analyzer string
+	// from/to is the inclusive line range the directive covers.
+	from, to int
+	used     bool
+}
+
+// parseAllows scans a file's comments for //lint:allow directives. A
+// directive suppresses its own line and the line directly below it,
+// so both the trailing-comment and the comment-above styles work:
 //
 //	panic(err) //lint:allow nopanic documented Must-constructor
 //
 //	//lint:allow nopanic documented Must-constructor
 //	panic(err)
-func allowedLines(fset *token.FileSet, f *ast.File) map[int]map[string]bool {
-	out := map[int]map[string]bool{}
+//
+// A directive inside a function's doc comment covers the entire
+// function — the escape hatch for diagnostics anchored deep inside
+// multi-line statements or reported at several sites of one protocol.
+func parseAllows(fset *token.FileSet, f *ast.File) []*allowRecord {
+	// Doc-comment membership: comment → line range of the documented
+	// function.
+	funcRange := map[*ast.Comment][2]int{}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		r := [2]int{fset.Position(fd.Pos()).Line, fset.Position(fd.End()).Line}
+		for _, c := range fd.Doc.List {
+			funcRange[c] = r
+		}
+	}
+	var out []*allowRecord
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
@@ -99,31 +144,46 @@ func allowedLines(fset *token.FileSet, f *ast.File) map[int]map[string]bool {
 			if len(fields) == 0 {
 				continue
 			}
-			line := fset.Position(c.Pos()).Line
+			pos := fset.Position(c.Pos())
+			from, to := pos.Line, pos.Line+1
+			if r, ok := funcRange[c]; ok {
+				from, to = r[0], r[1]
+			}
 			for _, name := range strings.Split(fields[0], ",") {
-				for _, l := range []int{line, line + 1} {
-					if out[l] == nil {
-						out[l] = map[string]bool{}
-					}
-					out[l][name] = true
-				}
+				out = append(out, &allowRecord{pos: pos, analyzer: name, from: from, to: to})
 			}
 		}
 	}
 	return out
 }
 
-// RunAnalyzers applies each analyzer to each package and returns the
-// surviving diagnostics (suppressed ones filtered out), sorted by
-// position.
-func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
-	var diags []Diagnostic
+// Result is the outcome of one Run: the surviving diagnostics plus
+// the directive bookkeeping the allowcheck pass reads.
+type Result struct {
+	// Diagnostics are the findings not suppressed by a directive,
+	// sorted by position.
+	Diagnostics []Diagnostic
+
+	allows []*allowRecord
+	ran    map[string]bool
+}
+
+// Run applies each analyzer to each package, filters the findings
+// through the //lint:allow directives, and returns both the surviving
+// diagnostics and the directive usage record.
+func Run(analyzers []*Analyzer, pkgs []*Package) (*Result, error) {
+	res := &Result{ran: map[string]bool{}}
+	for _, a := range analyzers {
+		res.ran[a.Name] = true
+	}
 	for _, pkg := range pkgs {
 		// The suppression index is per-file, keyed by filename.
-		allowed := map[string]map[int]map[string]bool{}
+		allowed := map[string][]*allowRecord{}
 		for _, f := range pkg.Files {
 			name := pkg.Fset.Position(f.Pos()).Filename
-			allowed[name] = allowedLines(pkg.Fset, f)
+			recs := parseAllows(pkg.Fset, f)
+			allowed[name] = recs
+			res.allows = append(res.allows, recs...)
 		}
 		for _, a := range analyzers {
 			var raw []Diagnostic
@@ -133,19 +193,71 @@ func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) 
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Tests:     pkg.Tests,
 				diags:     &raw,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.Path, err)
 			}
+		next:
 			for _, d := range raw {
-				if m := allowed[d.Pos.Filename]; m != nil && m[d.Pos.Line][a.Name] {
-					continue
+				for _, rec := range allowed[d.Pos.Filename] {
+					if rec.analyzer == a.Name && rec.from <= d.Pos.Line && d.Pos.Line <= rec.to {
+						rec.used = true
+						continue next
+					}
 				}
-				diags = append(diags, d)
+				res.Diagnostics = append(res.Diagnostics, d)
 			}
 		}
 	}
+	sortDiagnostics(res.Diagnostics)
+	return res, nil
+}
+
+// AllowCheck returns directive-hygiene diagnostics for the completed
+// run: directives naming an analyzer that does not exist (likely a
+// typo silently disabling nothing), and stale directives — ones whose
+// analyzer ran over their file yet suppressed no finding, meaning the
+// violation they document is gone. Directives for analyzers that did
+// not run are left alone: their staleness cannot be judged.
+func (r *Result) AllowCheck() []Diagnostic {
+	known := map[string]bool{AllowCheckName: true}
+	for _, a := range All {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, rec := range r.allows {
+		switch {
+		case !known[rec.analyzer]:
+			out = append(out, Diagnostic{
+				Analyzer: AllowCheckName,
+				Pos:      rec.pos,
+				Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q (directive suppresses nothing)", rec.analyzer),
+			})
+		case rec.analyzer != AllowCheckName && r.ran[rec.analyzer] && !rec.used:
+			out = append(out, Diagnostic{
+				Analyzer: AllowCheckName,
+				Pos:      rec.pos,
+				Message:  fmt.Sprintf("stale //lint:allow %s: the directive no longer suppresses any diagnostic", rec.analyzer),
+			})
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// RunAnalyzers is the historical entry point: Run without the
+// directive bookkeeping.
+func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	res, err := Run(analyzers, pkgs)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diagnostics, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -159,7 +271,6 @@ func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) 
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
 }
 
 // ---------------------------------------------------------------- helpers

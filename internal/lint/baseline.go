@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Baseline is a multiset of previously-accepted diagnostics, keyed by
+// (file, analyzer, message) — deliberately not by line, so unrelated
+// edits that shift code do not resurrect suppressed findings. Counts
+// make the key a multiset: three accepted findings of one shape in one
+// file absorb at most three current ones; a fourth is new.
+type Baseline struct {
+	counts map[baselineKey]int
+}
+
+type baselineKey struct {
+	File     string
+	Analyzer string
+	Message  string
+}
+
+// ReadBaselineFile loads a baseline from a -json output file.
+func ReadBaselineFile(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b, err := ReadBaseline(f)
+	if err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	return b, nil
+}
+
+// ReadBaseline parses baseline JSON (the -json diagnostic array).
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var recs []jsonDiagnostic
+	if err := json.NewDecoder(r).Decode(&recs); err != nil {
+		return nil, err
+	}
+	b := &Baseline{counts: map[baselineKey]int{}}
+	for _, rec := range recs {
+		b.counts[baselineKey{File: rec.File, Analyzer: rec.Analyzer, Message: rec.Message}]++
+	}
+	return b, nil
+}
+
+// Filter returns the diagnostics not absorbed by the baseline: each
+// baseline entry forgives at most its recorded count of matching
+// findings (matched in position order). root relativizes diagnostic
+// paths the same way the baseline file records them.
+func (b *Baseline) Filter(root string, diags []Diagnostic) []Diagnostic {
+	if b == nil {
+		return diags
+	}
+	remaining := make(map[baselineKey]int, len(b.counts))
+	for k, v := range b.counts {
+		remaining[k] = v
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		k := baselineKey{
+			File:     rootRelative(root, d.Pos.Filename),
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,12 +1,18 @@
 package lint
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // TestModuleBaselineClean is the clean-baseline guard: the full
-// analyzer suite over the real module must report nothing. A new
-// panic, stranded iterator, lock violation, context-free worker loop
-// or direct obs construction anywhere in the tree turns this test (and
-// the CI lint leg) red.
+// analyzer suite over the real module — test files included — must
+// report nothing, and the //lint:allow directives that keep it that
+// way must all be live. A new panic, stranded iterator, lock
+// violation, context-free worker loop, direct obs construction,
+// leaked span, apply-before-log, unsynced rename or selection-blind
+// kernel anywhere in the tree turns this test (and the CI lint leg)
+// red.
 func TestModuleBaselineClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("whole-module load is slow; skipped under -short")
@@ -15,15 +21,54 @@ func TestModuleBaselineClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err := Load(root, "./...")
+	prog, err := LoadWith(LoadOpts{Tests: true}, root, "./...")
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := RunAnalyzers(All, prog.Targets())
+	targets := prog.Targets()
+
+	// The sweep must cover every layer, the lint driver itself
+	// included — a cmd/ package silently dropping out of the load
+	// would hollow out this guard.
+	covered := map[string]bool{}
+	testFiles := false
+	for _, pkg := range targets {
+		covered[pkg.Path] = true
+		if !pkg.Tests {
+			t.Errorf("package %s was loaded without its test files", pkg.Path)
+		}
+		for _, f := range pkg.Files {
+			if strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+				testFiles = true
+			}
+		}
+	}
+	for _, want := range []string{
+		"semjoin",
+		"semjoin/cmd/semjoinlint",
+		"semjoin/internal/core",
+		"semjoin/internal/lint",
+		"semjoin/internal/obs",
+		"semjoin/internal/rel",
+		"semjoin/internal/server",
+		"semjoin/internal/wal",
+	} {
+		if !covered[want] {
+			t.Errorf("module sweep does not cover %s", want)
+		}
+	}
+	if !testFiles {
+		t.Error("tests-mode load produced no _test.go files; the -tests path is broken")
+	}
+
+	res, err := Run(All, targets)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, d := range diags {
+	for _, d := range res.Diagnostics {
 		t.Errorf("baseline violation: %s", d)
+	}
+	for _, d := range res.AllowCheck() {
+		t.Errorf("directive hygiene violation: %s", d)
 	}
 }

@@ -1,0 +1,526 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the shared intraprocedural control-flow-graph layer the
+// path-sensitive analyzers (iterclose, lockorder, spanfinish, walorder,
+// fsyncrename, batchsel) are built on. The graph is deliberately
+// syntactic — it is computed from one function body's go/ast alone,
+// with no SSA form and no interprocedural edges — because every
+// invariant the suite enforces is a *local* protocol ("the thing
+// acquired here is released before every exit of this function",
+// "the rename here happens after the sync there").
+//
+// Shape:
+//
+//   - A Block is a maximal straight-line run of nodes. Its Nodes are
+//     statements and *decomposed* control expressions (an if's Init and
+//     Cond, a for's Init/Cond/Post, a switch's Tag) in execution order,
+//     with the guarantee that no indexed node's subtree contains
+//     another indexed node — analyzers may ast.Inspect a node without
+//     double-counting its neighbours.
+//   - Return edges go to a synthetic Exit block. Calls that cannot
+//     return (panic, os.Exit, log.Fatal*, runtime.Goexit) terminate
+//     their block with no successors, so paths through them never
+//     reach Exit and never produce "missing release" reports.
+//   - Function literals are opaque: a FuncLit body is never inlined
+//     into the enclosing graph (each analyzer walks literals as
+//     separate functions, or treats capture as an escape).
+//   - Statements belonging to a select (comm clauses and clause
+//     bodies) are marked, so lockorder can keep its
+//     select-with-default exemption from PR 5.
+type CFG struct {
+	Entry *Block
+	Exit  *Block
+	// Blocks lists every block, Entry first and Exit second.
+	Blocks []*Block
+
+	pos      map[ast.Node]stmtPos
+	entry    map[ast.Stmt]stmtPos
+	inSelect map[ast.Node]bool
+}
+
+// Block is one straight-line run of CFG nodes.
+type Block struct {
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// stmtPos locates one indexed node inside its block.
+type stmtPos struct {
+	block *Block
+	idx   int
+}
+
+// InSelect reports whether n was lifted out of a select statement
+// (either a comm clause or a clause body statement).
+func (c *CFG) InSelect(n ast.Node) bool { return c.inSelect[n] }
+
+// NewCFG builds the control-flow graph of one function body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	c := &CFG{
+		pos:      map[ast.Node]stmtPos{},
+		entry:    map[ast.Stmt]stmtPos{},
+		inSelect: map[ast.Node]bool{},
+	}
+	b := &cfgBuilder{cfg: c, labels: map[string]*labelTarget{}}
+	c.Entry = b.newBlock()
+	c.Exit = b.newBlock()
+	b.cur = c.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, c.Exit)
+	return c
+}
+
+// ---------------------------------------------------------------- builder
+
+type labelTarget struct {
+	brk, cont *Block
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	// cur is the block under construction; nil after a jump, meaning
+	// the next statement is unreachable (it still gets a fresh block so
+	// every node is indexed).
+	cur *Block
+
+	breaks    []*Block // innermost-last targets of an unlabeled break
+	continues []*Block // innermost-last targets of an unlabeled continue
+	labels    map[string]*labelTarget
+	// pendingLabel is set by a LabeledStmt for the construct it labels.
+	pendingLabel string
+	// nextCase is the fallthrough target inside a switch.
+	nextCase *Block
+	// selDepth > 0 while building select clauses.
+	selDepth int
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	bl := &Block{}
+	b.cfg.Blocks = append(b.cfg.Blocks, bl)
+	return bl
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends n to the current block and indexes it.
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock() // unreachable code keeps a (pred-less) home
+	}
+	b.cfg.pos[n] = stmtPos{b.cur, len(b.cur.Nodes)}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+	if b.selDepth > 0 {
+		b.cfg.inSelect[n] = true
+	}
+}
+
+// takeLabel consumes the pending label for the construct now being
+// built, registering its break/continue targets for the body.
+func (b *cfgBuilder) takeLabel(brk, cont *Block) string {
+	lbl := b.pendingLabel
+	b.pendingLabel = ""
+	if lbl != "" {
+		b.labels[lbl] = &labelTarget{brk: brk, cont: cont}
+	}
+	return lbl
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	// Record where execution of s begins, even for compound statements
+	// that are decomposed rather than indexed as one node — path
+	// queries can then start "at the top of this if/for/block".
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cfg.entry[s] = stmtPos{b.cur, len(b.cur.Nodes)}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		b.add(s.Init)
+		b.add(s.Cond)
+		head := b.cur
+		join := b.newBlock()
+		thenB := b.newBlock()
+		b.edge(head, thenB)
+		b.cur = thenB
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, join)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(head, elseB)
+			b.cur = elseB
+			b.stmt(s.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(head, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		b.add(s.Init)
+		header := b.newBlock()
+		b.edge(b.cur, header)
+		b.cur = header
+		b.add(s.Cond)
+		condEnd := b.cur
+		join := b.newBlock()
+		post := b.newBlock()
+		lbl := b.takeLabel(join, post)
+		bodyB := b.newBlock()
+		b.edge(condEnd, bodyB)
+		if s.Cond != nil {
+			b.edge(condEnd, join) // cond false exits the loop
+		}
+		b.pushLoop(join, post)
+		b.cur = bodyB
+		b.stmtList(s.Body.List)
+		b.popLoop(lbl)
+		b.edge(b.cur, post)
+		b.cur = post
+		b.add(s.Post)
+		b.edge(b.cur, header)
+		b.cur = join
+
+	case *ast.RangeStmt:
+		header := b.newBlock()
+		b.edge(b.cur, header)
+		b.cur = header
+		b.add(s.X) // the ranged expression stands in for the header
+		headEnd := b.cur
+		join := b.newBlock()
+		lbl := b.takeLabel(join, header)
+		bodyB := b.newBlock()
+		b.edge(headEnd, bodyB)
+		b.edge(headEnd, join) // range may be empty / exhausted
+		b.pushLoop(join, header)
+		b.cur = bodyB
+		b.stmtList(s.Body.List)
+		b.popLoop(lbl)
+		b.edge(b.cur, header)
+		b.cur = join
+
+	case *ast.SwitchStmt:
+		b.add(s.Init)
+		b.add(s.Tag)
+		b.caseClauses(s.Body, func(cc *ast.CaseClause) ([]ast.Stmt, bool) {
+			return cc.Body, cc.List == nil
+		})
+
+	case *ast.TypeSwitchStmt:
+		b.add(s.Init)
+		b.add(s.Assign)
+		b.caseClauses(s.Body, func(cc *ast.CaseClause) ([]ast.Stmt, bool) {
+			return cc.Body, cc.List == nil
+		})
+
+	case *ast.SelectStmt:
+		head := b.cur
+		join := b.newBlock()
+		lbl := b.takeLabel(join, nil)
+		b.breaks = append(b.breaks, join)
+		b.selDepth++
+		for _, raw := range s.Body.List {
+			cc := raw.(*ast.CommClause)
+			bl := b.newBlock()
+			b.edge(head, bl)
+			b.cur = bl
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.edge(b.cur, join)
+		}
+		b.selDepth--
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		if lbl != "" {
+			delete(b.labels, lbl)
+		}
+		// select{} blocks forever: head keeps no successor and join
+		// stays unreachable, which is exactly the runtime behaviour.
+		b.cur = join
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				if t := b.labels[s.Label.Name]; t != nil {
+					b.edge(b.cur, t.brk)
+				}
+			} else if n := len(b.breaks); n > 0 {
+				b.edge(b.cur, b.breaks[n-1])
+			}
+		case token.CONTINUE:
+			if s.Label != nil {
+				if t := b.labels[s.Label.Name]; t != nil {
+					b.edge(b.cur, t.cont)
+				}
+			} else if n := len(b.continues); n > 0 {
+				b.edge(b.cur, b.continues[n-1])
+			}
+		case token.FALLTHROUGH:
+			b.edge(b.cur, b.nextCase)
+		case token.GOTO:
+			// Not modelled: the path simply ends here. Conservative in
+			// the right direction — an unmodelled path produces no
+			// "missing release" report.
+		}
+		b.cur = nil
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if callDiverges(s.X) {
+			b.cur = nil // panic / os.Exit never fall through
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assign, Decl, Send, IncDec, Go, Defer: plain nodes. Defer and
+		// go bodies stay opaque (function literals are never inlined).
+		b.add(s)
+	}
+}
+
+// caseClauses builds switch/type-switch clause blocks with fallthrough
+// edges and a shared join that is also the break target.
+func (b *cfgBuilder) caseClauses(body *ast.BlockStmt, split func(*ast.CaseClause) ([]ast.Stmt, bool)) {
+	head := b.cur
+	join := b.newBlock()
+	lbl := b.takeLabel(join, nil)
+	b.breaks = append(b.breaks, join)
+	savedNext := b.nextCase
+	blocks := make([]*Block, len(body.List))
+	for i := range body.List {
+		blocks[i] = b.newBlock()
+	}
+	hasDefault := false
+	for i, raw := range body.List {
+		cc := raw.(*ast.CaseClause)
+		stmts, isDefault := split(cc)
+		if isDefault {
+			hasDefault = true
+		}
+		b.edge(head, blocks[i])
+		if i+1 < len(blocks) {
+			b.nextCase = blocks[i+1]
+		} else {
+			b.nextCase = nil
+		}
+		b.cur = blocks[i]
+		b.stmtList(stmts)
+		b.edge(b.cur, join)
+	}
+	if !hasDefault {
+		b.edge(head, join) // no case matched
+	}
+	b.nextCase = savedNext
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if lbl != "" {
+		delete(b.labels, lbl)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *Block) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+}
+
+func (b *cfgBuilder) popLoop(lbl string) {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	if lbl != "" {
+		delete(b.labels, lbl)
+	}
+}
+
+// callDiverges reports (syntactically) whether e is a call that never
+// returns: panic(...), os.Exit, log.Fatal/Fatalf/Fatalln,
+// runtime.Goexit.
+func callDiverges(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name {
+		case "os":
+			return fun.Sel.Name == "Exit"
+		case "log":
+			switch fun.Sel.Name {
+			case "Fatal", "Fatalf", "Fatalln":
+				return true
+			}
+		case "runtime":
+			return fun.Sel.Name == "Goexit"
+		}
+	}
+	return false
+}
+
+// funcBodies returns body plus the body of every function literal
+// nested inside it (at any depth). CFGs never inline literals, so a
+// path-sensitive analyzer runs once per returned body to cover the
+// code the enclosing graph treats as opaque.
+func funcBodies(body *ast.BlockStmt) []*ast.BlockStmt {
+	out := []*ast.BlockStmt{body}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != nil {
+			out = append(out, fl.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// ---------------------------------------------------------------- queries
+
+// lookup locates n in the graph.
+func (c *CFG) lookup(n ast.Node) (stmtPos, bool) {
+	p, ok := c.pos[n]
+	return p, ok
+}
+
+// PathWithout reports whether some execution path starting *just
+// after* the indexed node from reaches a node satisfying to — or the
+// function exit, when to is nil — without first passing a node
+// satisfying stop (stop may be nil). Both predicates see whole CFG
+// nodes; callers that care about sub-expressions inspect inside.
+//
+// Nodes with no successors that are not the Exit block (panic,
+// os.Exit, infinite loops with no break) terminate their path without
+// satisfying a nil to: diverging can never "reach the exit".
+func (c *CFG) PathWithout(from ast.Node, to, stop func(ast.Node) bool) bool {
+	p, ok := c.lookup(from)
+	if !ok {
+		return false
+	}
+	return c.path(p.block, p.idx+1, to, stop)
+}
+
+// PathFromWithout is PathWithout starting *at* the indexed node start
+// (inclusive): start itself is tested against to and stop first.
+func (c *CFG) PathFromWithout(start ast.Node, to, stop func(ast.Node) bool) bool {
+	p, ok := c.lookup(start)
+	if !ok {
+		return false
+	}
+	return c.path(p.block, p.idx, to, stop)
+}
+
+// PathFromStmtWithout is PathFromWithout anchored at the execution
+// entry of statement s — usable for compound statements (if, for,
+// block) whose own node is decomposed rather than indexed.
+func (c *CFG) PathFromStmtWithout(s ast.Stmt, to, stop func(ast.Node) bool) bool {
+	p, ok := c.entry[s]
+	if !ok {
+		return false
+	}
+	return c.path(p.block, p.idx, to, stop)
+}
+
+// Reaches reports whether a node satisfying to is reachable after from.
+func (c *CFG) Reaches(from ast.Node, to func(ast.Node) bool) bool {
+	return c.PathWithout(from, to, nil)
+}
+
+// path answers the query from (bl, idx). Reachability through cycles
+// is computed as a fixpoint over whole blocks, so cyclic graphs cannot
+// cache a contaminated intermediate result.
+func (c *CFG) path(bl *Block, idx int, to, stop func(ast.Node) bool) bool {
+	// scan classifies one block from its start: +1 the target is hit
+	// before any stop, -1 a stop is hit first, 0 the block is neutral
+	// and the answer depends on its successors.
+	scan := func(b *Block, start int) int {
+		for i := start; i < len(b.Nodes); i++ {
+			n := b.Nodes[i]
+			if to != nil && to(n) {
+				return +1
+			}
+			if stop != nil && stop(n) {
+				return -1
+			}
+		}
+		if to == nil && b == c.Exit {
+			return +1
+		}
+		return 0
+	}
+	switch scan(bl, idx) {
+	case +1:
+		return true
+	case -1:
+		return false
+	}
+	// canReach[b] = true when the suffix of the graph from b's start
+	// satisfies the query. Monotone boolean system; iterate to fixpoint.
+	canReach := map[*Block]bool{}
+	kind := map[*Block]int{}
+	for _, b := range c.Blocks {
+		kind[b] = scan(b, 0)
+		if kind[b] == +1 {
+			canReach[b] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range c.Blocks {
+			if canReach[b] || kind[b] != 0 {
+				continue
+			}
+			for _, s := range b.Succs {
+				if canReach[s] {
+					canReach[b] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, s := range bl.Succs {
+		if canReach[s] {
+			return true
+		}
+	}
+	return false
+}

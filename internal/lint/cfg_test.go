@@ -1,0 +1,315 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses `src` as the body of a function and builds its CFG.
+func parseBody(t *testing.T, src string) *CFG {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return NewCFG(fd.Body)
+}
+
+// hasCall reports whether a CFG node's subtree contains a call to the
+// bare identifier name.
+func hasCall(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if c, ok := m.(*ast.CallExpr); ok {
+				if id, ok := c.Fun.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+}
+
+// nodeWithCall finds the indexed CFG node containing a call to name.
+func nodeWithCall(t *testing.T, c *CFG, name string) ast.Node {
+	t.Helper()
+	pred := hasCall(name)
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if pred(n) {
+				return n
+			}
+		}
+	}
+	t.Fatalf("no CFG node calls %s", name)
+	return nil
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	c := parseBody(t, `a(); b(); rel()`)
+	start := nodeWithCall(t, c, "a")
+	if c.PathWithout(start, hasCall("rel"), hasCall("b")) {
+		t.Error("b should block the path from a to rel")
+	}
+	if !c.PathWithout(start, hasCall("rel"), nil) {
+		t.Error("rel should be reachable from a")
+	}
+	if c.PathWithout(start, nil, hasCall("rel")) {
+		t.Error("every path to exit passes rel")
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	// Release only on the then-branch: the else path leaks.
+	c := parseBody(t, `a(); if cond() { rel() }; tail()`)
+	start := nodeWithCall(t, c, "a")
+	if !c.PathWithout(start, nil, hasCall("rel")) {
+		t.Error("the else path should reach exit without rel")
+	}
+	// Release on both branches: no leak.
+	c = parseBody(t, `a(); if cond() { rel() } else { rel() }; tail()`)
+	start = nodeWithCall(t, c, "a")
+	if c.PathWithout(start, nil, hasCall("rel")) {
+		t.Error("both branches release; no leaking path should exist")
+	}
+}
+
+func TestCFGEarlyReturn(t *testing.T) {
+	c := parseBody(t, `a(); if cond() { return }; rel()`)
+	start := nodeWithCall(t, c, "a")
+	if !c.PathWithout(start, nil, hasCall("rel")) {
+		t.Error("the early return path should bypass rel")
+	}
+}
+
+func TestCFGPanicDiverges(t *testing.T) {
+	c := parseBody(t, `a(); if cond() { panic("x") }; rel()`)
+	start := nodeWithCall(t, c, "a")
+	if c.PathWithout(start, nil, hasCall("rel")) {
+		t.Error("panic never reaches exit; the surviving path passes rel")
+	}
+	c = parseBody(t, `a(); if cond() { os.Exit(1) }; rel()`)
+	start = nodeWithCall(t, c, "a")
+	if c.PathWithout(start, nil, hasCall("rel")) {
+		t.Error("os.Exit never reaches exit")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	// A conditional loop can run zero times: rel inside is not certain.
+	c := parseBody(t, `a(); for i := 0; i < n; i++ { rel() }`)
+	start := nodeWithCall(t, c, "a")
+	if !c.PathWithout(start, nil, hasCall("rel")) {
+		t.Error("zero-iteration path should bypass rel")
+	}
+	// An infinite loop with no break never reaches exit.
+	c = parseBody(t, `a(); for { b() }`)
+	start = nodeWithCall(t, c, "a")
+	if c.PathWithout(start, nil, nil) {
+		t.Error("for{} never reaches exit")
+	}
+	// break makes the exit reachable again, bypassing rel.
+	c = parseBody(t, `a(); for { if cond() { break }; rel() }; tail()`)
+	start = nodeWithCall(t, c, "a")
+	if !c.PathWithout(start, nil, hasCall("rel")) {
+		t.Error("break path should bypass rel")
+	}
+	if !c.Reaches(start, hasCall("tail")) {
+		t.Error("tail is reachable via break")
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	c := parseBody(t, `a(); for _, v := range xs { use(v); rel() }`)
+	start := nodeWithCall(t, c, "a")
+	if !c.PathWithout(start, nil, hasCall("rel")) {
+		t.Error("an empty range should bypass rel")
+	}
+	if !c.Reaches(start, hasCall("use")) {
+		t.Error("the range body is reachable")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	c := parseBody(t, `
+a()
+L:
+	for {
+		for {
+			if cond() {
+				break L
+			}
+			rel()
+		}
+	}
+tail()`)
+	start := nodeWithCall(t, c, "a")
+	if !c.Reaches(start, hasCall("tail")) {
+		t.Error("break L should reach tail")
+	}
+	if !c.PathWithout(start, hasCall("tail"), hasCall("rel")) {
+		t.Error("break L path should bypass rel")
+	}
+}
+
+func TestCFGSwitch(t *testing.T) {
+	c := parseBody(t, `
+a()
+switch k() {
+case 1:
+	rel()
+case 2:
+	b()
+}
+tail()`)
+	start := nodeWithCall(t, c, "a")
+	if !c.PathWithout(start, hasCall("tail"), hasCall("rel")) {
+		t.Error("case 2 path should reach tail without rel")
+	}
+	// With a default releasing too, only case 2 leaks.
+	c = parseBody(t, `
+a()
+switch k() {
+case 1:
+	rel()
+default:
+	rel()
+}
+tail()`)
+	start = nodeWithCall(t, c, "a")
+	if c.PathWithout(start, nil, hasCall("rel")) {
+		t.Error("all switch arms release; no leaking path")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	c := parseBody(t, `
+a()
+switch k() {
+case 1:
+	b()
+	fallthrough
+case 2:
+	rel()
+default:
+	rel()
+}
+tail()`)
+	start := nodeWithCall(t, c, "a")
+	if c.PathWithout(start, nil, hasCall("rel")) {
+		t.Error("case 1 falls through into rel; every arm releases")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	c := parseBody(t, `
+a()
+select {
+case v := <-ch:
+	use(v)
+case out <- x:
+	rel()
+}
+tail()`)
+	start := nodeWithCall(t, c, "a")
+	if !c.Reaches(start, hasCall("tail")) {
+		t.Error("select clauses fall through to tail")
+	}
+	if !c.PathWithout(start, hasCall("tail"), hasCall("rel")) {
+		t.Error("the recv clause reaches tail without rel")
+	}
+	// Every comm clause and clause body is marked in-select.
+	marked := 0
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if c.InSelect(n) {
+				marked++
+			}
+		}
+	}
+	if marked < 4 {
+		t.Errorf("expected the select comm+body nodes marked, got %d", marked)
+	}
+	if c.InSelect(start) {
+		t.Error("a() is outside the select")
+	}
+}
+
+func TestCFGReturnInSelect(t *testing.T) {
+	c := parseBody(t, `
+a()
+select {
+case <-done:
+	return
+case v := <-ch:
+	use(v)
+}
+rel()`)
+	start := nodeWithCall(t, c, "a")
+	if !c.PathWithout(start, nil, hasCall("rel")) {
+		t.Error("the done clause returns before rel")
+	}
+}
+
+func TestCFGTypeSwitch(t *testing.T) {
+	c := parseBody(t, `
+a()
+switch v := x.(type) {
+case int:
+	use(v)
+	rel()
+case string:
+	b()
+}
+tail()`)
+	start := nodeWithCall(t, c, "a")
+	if !c.PathWithout(start, hasCall("tail"), hasCall("rel")) {
+		t.Error("the string arm reaches tail without rel")
+	}
+}
+
+func TestCFGDeferOpaque(t *testing.T) {
+	// The defer node is indexed whole; its call is visible to
+	// predicates at the defer site (callers decide defer semantics).
+	c := parseBody(t, `a(); defer rel(); if cond() { return }; tail()`)
+	start := nodeWithCall(t, c, "a")
+	if c.PathWithout(start, nil, hasCall("rel")) {
+		t.Error("every path passes the defer node before returning")
+	}
+}
+
+func TestCFGContinue(t *testing.T) {
+	c := parseBody(t, `
+a()
+for i := 0; i < n; i++ {
+	if cond() {
+		continue
+	}
+	rel()
+}
+tail()`)
+	start := nodeWithCall(t, c, "a")
+	if !c.PathWithout(start, hasCall("tail"), hasCall("rel")) {
+		t.Error("continue path bypasses rel")
+	}
+}
+
+func TestCFGUnreachableIndexed(t *testing.T) {
+	// Code after return is unreachable but still indexed, so analyzers
+	// can look it up without crashing.
+	c := parseBody(t, `a(); return; b()`)
+	n := nodeWithCall(t, c, "b") // lookup must succeed
+	c.PathWithout(n, nil, nil)   // and querying from it must not panic
+	// The unreachable block has no predecessors: nothing reaches b.
+	start := nodeWithCall(t, c, "a")
+	if c.Reaches(start, hasCall("b")) {
+		t.Error("b is unreachable after return")
+	}
+}

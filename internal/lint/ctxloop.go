@@ -3,7 +3,6 @@ package lint
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 )
 
 // CtxLoop enforces the cancellation contract of the PR-2 worker
@@ -26,7 +25,7 @@ func isContextType(t types.Type) bool {
 
 func runCtxLoop(p *Pass) error {
 	for _, f := range p.Files {
-		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+		if p.SkipFile(f) {
 			continue
 		}
 		for _, decl := range f.Decls {

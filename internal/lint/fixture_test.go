@@ -14,9 +14,10 @@ var (
 	fixtureErr  error
 )
 
-// fixtureProgram loads the obs package once (the only module-local
-// import the fixtures use) so every fixture package can be checked
-// against the shared program.
+// fixtureProgram loads the module-local packages the fixtures import
+// (obs for the tracing analyzers, wal for the durability ones, rel for
+// batchsel) so every fixture package can be checked against the shared
+// program.
 func fixtureProgram(t *testing.T) *Program {
 	t.Helper()
 	fixtureOnce.Do(func() {
@@ -25,7 +26,8 @@ func fixtureProgram(t *testing.T) *Program {
 			fixtureErr = err
 			return
 		}
-		fixtureProg, fixtureErr = Load(root, "semjoin/internal/obs")
+		fixtureProg, fixtureErr = Load(root,
+			"semjoin/internal/obs", "semjoin/internal/wal", "semjoin/internal/rel")
 	})
 	if fixtureErr != nil {
 		t.Fatal(fixtureErr)
@@ -100,11 +102,15 @@ func runFixture(t *testing.T, a *Analyzer) {
 	}
 }
 
-func TestNoPanicFixture(t *testing.T)   { runFixture(t, NoPanic) }
-func TestIterCloseFixture(t *testing.T) { runFixture(t, IterClose) }
-func TestLockOrderFixture(t *testing.T) { runFixture(t, LockOrder) }
-func TestCtxLoopFixture(t *testing.T)   { runFixture(t, CtxLoop) }
-func TestObsNilFixture(t *testing.T)    { runFixture(t, ObsNil) }
+// TestFixtures runs every analyzer against its want-annotated fixture
+// package. The subtest names are stable API: the CI lint-fixtures
+// matrix runs `-run TestFixtures/<name>` per analyzer.
+func TestFixtures(t *testing.T) {
+	for _, a := range All {
+		a := a
+		t.Run(a.Name, func(t *testing.T) { runFixture(t, a) })
+	}
+}
 
 func TestByName(t *testing.T) {
 	for _, a := range All {

@@ -1,0 +1,283 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FsyncRename enforces the PR-9 atomic-publish protocol for temp-file
+// writes: write → file fsync → rename → directory fsync. Two rules,
+// checked path-sensitively over the function's CFG:
+//
+//  1. rename-before-sync: a write to a created file must not reach the
+//     rename that publishes it (correlated by the shared temp-name
+//     expression) on a path without the file's own Sync. Renaming an
+//     unsynced file publishes a name whose content can be lost or torn
+//     by a crash — the checkpoint CRC then reads as corruption at
+//     recovery, or worse, an older snapshot silently wins.
+//  2. missing directory fsync: a rename on an FS-like store (a method
+//     set with Create/Rename/SyncDir — wal.FS and friends) must have
+//     some path to a SyncDir; without one the new directory entry
+//     itself is not durable. Error returns between the two are fine;
+//     only a rename with no SyncDir anywhere downstream is flagged.
+//
+// Flush on a derived writer (bufio, gob) is buffered I/O, not
+// durability — it never satisfies rule 1. Functions named Rename are
+// exempt from rule 2: they are the FS wrappers themselves (OSFS.Rename
+// delegating to os.Rename), where the caller owns the protocol.
+var FsyncRename = &Analyzer{
+	Name: "fsyncrename",
+	Doc:  "temp-file publishes must follow write → fsync → rename → dir-fsync; flags unsynced renames and renames with no directory sync",
+	Run:  runFsyncRename,
+}
+
+func runFsyncRename(p *Pass) error {
+	for _, f := range p.Files {
+		if p.SkipFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			exemptRename := fd.Name.Name == "Rename"
+			for _, b := range funcBodies(fd.Body) {
+				checkFsyncRenameBody(p, b, exemptRename)
+			}
+		}
+	}
+	return nil
+}
+
+// isFSLike reports whether t's method set (or its pointer's) has the
+// Create/Rename/SyncDir triple that marks a durable file store.
+func isFSLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	has := func(ms *types.MethodSet) bool {
+		var create, rename, syncDir bool
+		for i := 0; i < ms.Len(); i++ {
+			switch ms.At(i).Obj().Name() {
+			case "Create":
+				create = true
+			case "Rename":
+				rename = true
+			case "SyncDir":
+				syncDir = true
+			}
+		}
+		return create && rename && syncDir
+	}
+	if has(types.NewMethodSet(t)) {
+		return true
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		return has(types.NewMethodSet(types.NewPointer(t)))
+	}
+	return false
+}
+
+// trackedFile is one created temp file in a function body.
+type trackedFile struct {
+	obj     types.Object // the file variable
+	nameKey string       // exprString of the creation's name argument
+	writes  []ast.Node   // CFG nodes that write to the file
+}
+
+// fileCreation matches `f, err := X.Create(name)` (or OpenAppend /
+// os.Create / os.OpenFile / os.CreateTemp) and returns the file object
+// and the name-argument key.
+func fileCreation(p *Pass, as *ast.AssignStmt) (types.Object, string, bool) {
+	if len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+		return nil, "", false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil, "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Create", "OpenAppend", "OpenFile", "CreateTemp":
+	default:
+		return nil, "", false
+	}
+	if pkg, _ := stdFuncCall(p, sel); pkg != "os" && !isFSLike(p.TypeOf(sel.X)) {
+		return nil, "", false
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, "", false
+	}
+	obj := p.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = p.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return nil, "", false
+	}
+	return obj, exprString(call.Args[0]), true
+}
+
+// renameCall matches `X.Rename(old, new)` on an FS-like receiver or
+// os.Rename, returning the call and whether the receiver is FS-like.
+func renameCall(p *Pass, n ast.Node) (*ast.CallExpr, bool, bool) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return nil, false, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Rename" {
+		return nil, false, false
+	}
+	if pkg, _ := stdFuncCall(p, sel); pkg == "os" {
+		return call, false, true
+	}
+	if isFSLike(p.TypeOf(sel.X)) {
+		return call, true, true
+	}
+	return nil, false, false
+}
+
+func checkFsyncRenameBody(p *Pass, body *ast.BlockStmt, exemptRename bool) {
+	cfg := NewCFG(body)
+
+	// Pass A: collect created files and derived writers.
+	files := map[types.Object]*trackedFile{}
+	derived := map[types.Object]types.Object{} // writer var -> file var
+	for _, bl := range cfg.Blocks {
+		for _, n := range bl.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			if obj, key, ok := fileCreation(p, as); ok {
+				files[obj] = &trackedFile{obj: obj, nameKey: key}
+				continue
+			}
+			// w := bufio.NewWriter(f) / enc := gob.NewEncoder(f):
+			// writes through w reach f's buffers, not the disk.
+			if len(as.Rhs) == 1 && len(as.Lhs) == 1 {
+				if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+					for _, a := range call.Args {
+						aid, ok := a.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						fobj := p.TypesInfo.Uses[aid]
+						if _, tracked := files[fobj]; !tracked {
+							continue
+						}
+						if lid, ok := as.Lhs[0].(*ast.Ident); ok {
+							if wobj := p.TypesInfo.Defs[lid]; wobj != nil {
+								derived[wobj] = fobj
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	usesAsRecv := func(n ast.Node, obj types.Object, names ...string) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return !found
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || p.TypesInfo.Uses[id] != obj {
+				return !found
+			}
+			for _, name := range names {
+				if sel.Sel.Name == name || (strings.HasSuffix(name, "*") && strings.HasPrefix(sel.Sel.Name, strings.TrimSuffix(name, "*"))) {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	// Pass B: classify write nodes per file.
+	for _, bl := range cfg.Blocks {
+		for _, n := range bl.Nodes {
+			for _, tf := range files {
+				if usesAsRecv(n, tf.obj, "Write*", "ReadFrom") {
+					tf.writes = append(tf.writes, n)
+					continue
+				}
+				for wobj, fobj := range derived {
+					if fobj == tf.obj && usesAsRecv(n, wobj, "Write*", "Encode*", "Flush", "ReadFrom") {
+						tf.writes = append(tf.writes, n)
+					}
+				}
+			}
+		}
+	}
+
+	// Pass C: the rules, per rename node.
+	reported := map[ast.Node]bool{}
+	for _, bl := range cfg.Blocks {
+		for _, n := range bl.Nodes {
+			node := n
+			ast.Inspect(node, func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false
+				}
+				call, fsLike, ok := renameCall(p, m)
+				if !ok {
+					return true
+				}
+				// Rule 1: any write to the file this rename publishes
+				// that reaches it without the file's Sync.
+				for _, tf := range files {
+					if exprString(call.Args[0]) != tf.nameKey {
+						continue
+					}
+					syncsFile := func(q ast.Node) bool { return usesAsRecv(q, tf.obj, "Sync") }
+					isThisRename := func(q ast.Node) bool { return q == node }
+					for _, w := range tf.writes {
+						if w == node {
+							continue
+						}
+						if !reported[node] && cfg.PathWithout(w, isThisRename, syncsFile) {
+							reported[node] = true
+							p.Reportf(call.Pos(), "rename publishes %s before the file is fsynced (write → Sync → Rename)", tf.nameKey)
+						}
+					}
+				}
+				// Rule 2: an FS-like rename with no directory sync
+				// anywhere downstream.
+				if fsLike && !exemptRename {
+					containsSyncDir := func(q ast.Node) bool {
+						found := false
+						ast.Inspect(q, func(r ast.Node) bool {
+							if c, ok := r.(*ast.CallExpr); ok {
+								if s, ok := c.Fun.(*ast.SelectorExpr); ok && s.Sel.Name == "SyncDir" {
+									found = true
+								}
+							}
+							return !found
+						})
+						return found
+					}
+					if !containsSyncDir(node) && !cfg.Reaches(node, containsSyncDir) {
+						p.Reportf(call.Pos(), "rename is never followed by a directory fsync (SyncDir) — the new entry may not survive a crash")
+					}
+				}
+				return true
+			})
+		}
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 )
 
 // IterClose enforces the Volcano iterator discipline from PR 1: an
@@ -66,7 +65,7 @@ func isIteratorType(t types.Type) bool {
 
 func runIterClose(p *Pass) error {
 	for _, f := range p.Files {
-		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+		if p.SkipFile(f) {
 			continue
 		}
 		for _, decl := range f.Decls {
@@ -75,7 +74,11 @@ func runIterClose(p *Pass) error {
 				continue
 			}
 			checkIterLeaks(p, fd.Body)
-			checkOpenErrorPaths(p, fd.Body)
+			// One CFG per function body, literals included — the
+			// enclosing graph treats closures as opaque.
+			for _, b := range funcBodies(fd.Body) {
+				checkOpenErrorPaths(p, b, NewCFG(b))
+			}
 		}
 	}
 	return nil
@@ -180,10 +183,13 @@ func checkIterLeaks(p *Pass, body *ast.BlockStmt) {
 	}
 }
 
-// checkOpenErrorPaths implements rule 2 on one function body.
-func checkOpenErrorPaths(p *Pass, body *ast.BlockStmt) {
-	// Deferred closes seen so far, keyed by receiver spelling; a defer
-	// anywhere before the if covers its error path.
+// checkOpenErrorPaths implements rule 2 on one function body, path-
+// sensitively over the CFG: from the top of the error body, does some
+// execution path reach the function exit without closing (or handing
+// off) the receiver? The pre-CFG version accepted a Close anywhere in
+// the error body's subtree, so `if cond { it.Close() }; return err`
+// passed even though the other branch leaked.
+func checkOpenErrorPaths(p *Pass, body *ast.BlockStmt, cfg *CFG) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		var list []ast.Stmt
 		switch n := n.(type) {
@@ -216,17 +222,51 @@ func checkOpenErrorPaths(p *Pass, body *ast.BlockStmt) {
 			if !bodyReturns(ifs.Body) {
 				continue
 			}
-			key := exprString(recv)
-			if closesExpr(p, ifs.Body, key) {
+			if len(ifs.Body.List) == 0 {
 				continue
 			}
+			key := exprString(recv)
+			// A defer anywhere before the if covers its error path.
 			if deferredCloseBefore(p, body, key, ifs.Pos()) {
 				continue
 			}
-			p.Reportf(ifs.Pos(), "error path after %s.Open returns without closing the iterator", key)
+			if cfg.PathFromStmtWithout(ifs.Body.List[0], nil, releasesIter(p, key)) {
+				p.Reportf(ifs.Pos(), "error path after %s.Open returns without closing the iterator", key)
+			}
 		}
 		return true
 	})
+}
+
+// releasesIter builds the rule-2 release predicate for one receiver
+// key: a CFG node releases the obligation when it closes the iterator
+// (directly or via defer) or hands it off — passes it to a call or
+// returns it, making some other owner responsible for the Close.
+func releasesIter(p *Pass, key string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		released := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.CallExpr:
+				if sel, ok := m.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" && exprString(sel.X) == key {
+					released = true
+				}
+				for _, a := range m.Args {
+					if exprString(a) == key {
+						released = true
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range m.Results {
+					if exprString(r) == key {
+						released = true
+					}
+				}
+			}
+			return !released
+		})
+		return released
+	}
 }
 
 // openAssign matches `err := x.Open(...)` / `err = x.Open(...)` on an
@@ -286,20 +326,6 @@ func bodyReturns(b *ast.BlockStmt) bool {
 			return false
 		case *ast.ReturnStmt:
 			found = true
-		}
-		return !found
-	})
-	return found
-}
-
-// closesExpr reports whether the block calls <key>.Close().
-func closesExpr(p *Pass, b *ast.BlockStmt, key string) bool {
-	found := false
-	ast.Inspect(b, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok {
-			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" && exprString(sel.X) == key {
-				found = true
-			}
 		}
 		return !found
 	})

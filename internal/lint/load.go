@@ -27,6 +27,9 @@ type Package struct {
 	// Target marks packages named by the load patterns (as opposed to
 	// dependencies pulled in for type-checking only).
 	Target bool
+	// Tests marks packages loaded with their in-package _test.go files
+	// included (LoadOpts.Tests).
+	Tests bool
 }
 
 // Program is a loaded set of packages sharing one FileSet and one
@@ -36,9 +39,10 @@ type Program struct {
 	// Pkgs holds the module-local packages in dependency order.
 	Pkgs []*Package
 
-	byPath map[string]*Package
-	std    types.ImporterFrom
-	dir    string
+	byPath  map[string]*Package
+	std     types.ImporterFrom
+	dir     string
+	modPath string
 }
 
 // Targets returns the packages matched by the load patterns.
@@ -55,20 +59,21 @@ func (p *Program) Targets() []*Package {
 // listedPackage is the subset of `go list -json` output the loader
 // consumes.
 type listedPackage struct {
-	ImportPath string
-	Dir        string
-	Name       string
-	GoFiles    []string
-	Imports    []string
-	Standard   bool
-	DepOnly    bool
+	ImportPath  string
+	Dir         string
+	Name        string
+	GoFiles     []string
+	TestGoFiles []string
+	Imports     []string
+	Standard    bool
+	DepOnly     bool
 }
 
 // goList runs `go list -deps -json <patterns>` in dir and decodes the
 // stream. -deps output is already in dependency order (dependencies
 // before dependents), which the type-checking loop relies on.
 func goList(dir string, patterns []string) ([]*listedPackage, error) {
-	args := append([]string{"list", "-e", "-deps", "-json=ImportPath,Dir,Name,GoFiles,Imports,Standard,DepOnly"}, patterns...)
+	args := append([]string{"list", "-e", "-deps", "-json=ImportPath,Dir,Name,GoFiles,TestGoFiles,Imports,Standard,DepOnly"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
@@ -110,29 +115,69 @@ func ModuleRoot(dir string) (string, error) {
 	return strings.TrimSpace(string(out)), nil
 }
 
+// modulePath reports the module path of the module enclosing dir.
+func modulePath(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Path}}")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("lint: go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// LoadOpts configures Load.
+type LoadOpts struct {
+	// Tests includes each target package's in-package _test.go files
+	// (go list's TestGoFiles; external foo_test packages are out of
+	// scope). Test-only module-local imports are loaded on demand.
+	Tests bool
+}
+
 // Load lists, parses and type-checks the module packages matched by
 // patterns (plus their module-local dependencies), rooted at dir.
 // Standard-library imports are resolved from source via go/importer;
 // nothing outside the standard library and the module itself is
 // required.
 func Load(dir string, patterns ...string) (*Program, error) {
+	return LoadWith(LoadOpts{}, dir, patterns...)
+}
+
+// LoadWith is Load with options.
+func LoadWith(opts LoadOpts, dir string, patterns ...string) (*Program, error) {
 	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(dir)
 	if err != nil {
 		return nil, err
 	}
 	fset := token.NewFileSet()
 	prog := &Program{
-		Fset:   fset,
-		byPath: map[string]*Package{},
-		std:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
-		dir:    dir,
+		Fset:    fset,
+		byPath:  map[string]*Package{},
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		dir:     dir,
+		modPath: modPath,
 	}
 	for _, lp := range listed {
-		if lp.Standard || len(lp.GoFiles) == 0 {
+		if lp.Standard {
 			continue
 		}
-		files := make([]string, len(lp.GoFiles))
-		for i, f := range lp.GoFiles {
+		if _, ok := prog.byPath[lp.ImportPath]; ok {
+			continue // already pulled in on demand by a test import
+		}
+		names := lp.GoFiles
+		withTests := opts.Tests && !lp.DepOnly
+		if withTests && len(lp.TestGoFiles) > 0 {
+			names = append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...)
+		}
+		if len(names) == 0 {
+			continue
+		}
+		files := make([]string, len(names))
+		for i, f := range names {
 			files[i] = filepath.Join(lp.Dir, f)
 		}
 		pkg, err := prog.check(lp.ImportPath, lp.Dir, files)
@@ -140,19 +185,60 @@ func Load(dir string, patterns ...string) (*Program, error) {
 			return nil, err
 		}
 		pkg.Target = !lp.DepOnly
+		pkg.Tests = withTests
 		prog.Pkgs = append(prog.Pkgs, pkg)
 	}
 	return prog, nil
 }
 
 // Import resolves path against the already-checked module packages,
-// falling back to the standard-library source importer. It implements
+// loading module-local packages on demand (test files import packages
+// outside the -deps closure of the production build), and falling back
+// to the standard-library source importer. It implements
 // types.Importer for the checker.
 func (p *Program) Import(path string) (*types.Package, error) {
 	if pkg, ok := p.byPath[path]; ok {
 		return pkg.Types, nil
 	}
+	if p.modPath != "" && (path == p.modPath || strings.HasPrefix(path, p.modPath+"/")) {
+		if err := p.loadOnDemand(path); err != nil {
+			return nil, err
+		}
+		if pkg, ok := p.byPath[path]; ok {
+			return pkg.Types, nil
+		}
+	}
 	return p.std.Import(path)
+}
+
+// loadOnDemand lists path with its dependency closure and checks every
+// module-local package not yet loaded, in dependency order. On-demand
+// packages are never targets and never include test files. In-package
+// test imports cannot cycle back into their own package (the compiler
+// rejects that), so the recursion through check → Import terminates.
+func (p *Program) loadOnDemand(path string) error {
+	listed, err := goList(p.dir, []string{path})
+	if err != nil {
+		return err
+	}
+	for _, lp := range listed {
+		if lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		if _, ok := p.byPath[lp.ImportPath]; ok {
+			continue
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		pkg, err := p.check(lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return err
+		}
+		p.Pkgs = append(p.Pkgs, pkg)
+	}
+	return nil
 }
 
 // check parses and type-checks one package from explicit file paths.

@@ -2,7 +2,9 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 )
 
@@ -15,12 +17,18 @@ import (
 // select-with-default while holding the shard lock, which is
 // non-blocking by construction.
 //
-// The analysis is intentionally linear: it scans the statement list
-// containing each Lock call up to the matching Unlock (deferred
-// unlocks end the analysis immediately). That is exactly the shape of
-// every lock region in this codebase; exotic flow (lock in one
-// function, unlock in another) needs a //lint:allow lockorder
-// annotation explaining the protocol.
+// Since PR 10 the held-region analysis walks the function's CFG: from
+// each non-deferred Lock, every path is followed until a node releases
+// the same key, and the nodes inside that region are checked. Unlike
+// the linear list scan it replaces, this sees through branches — in
+//
+//	mu.Lock()
+//	if fast { mu.Unlock(); return }
+//	<-ch
+//
+// the receive is reached with the lock held via the slow path and is
+// flagged. Exotic flow (lock in one function, unlock in another) still
+// needs a //lint:allow lockorder annotation explaining the protocol.
 var LockOrder = &Analyzer{
 	Name: "lockorder",
 	Doc:  "mutexes must be released on every return path and never held across blocking channel ops or fan-out boundaries",
@@ -33,17 +41,9 @@ func isMutexType(t types.Type) bool {
 	return isNamedType(t, "sync", "Mutex") || isNamedType(t, "sync", "RWMutex")
 }
 
-// lockCall matches a statement of the form `<expr>.Lock()` (or RLock/
-// Unlock/RUnlock) on a mutex-typed receiver and returns the canonical
-// key ("sh.mu" / "sh.mu#R") plus which operation it is.
-func lockCall(p *Pass, stmt ast.Stmt) (key string, op string) {
-	es, ok := stmt.(*ast.ExprStmt)
-	if !ok {
-		return "", ""
-	}
-	return lockCallExpr(p, es.X)
-}
-
+// lockCallExpr matches `<expr>.Lock()` (or RLock/Unlock/RUnlock) on a
+// mutex-typed receiver and returns the canonical key ("sh.mu" /
+// "sh.mu#R") plus which operation it is.
 func lockCallExpr(p *Pass, e ast.Expr) (key string, op string) {
 	call, ok := e.(*ast.CallExpr)
 	if !ok {
@@ -74,7 +74,7 @@ func lockCallExpr(p *Pass, e ast.Expr) (key string, op string) {
 
 func runLockOrder(p *Pass) error {
 	for _, f := range p.Files {
-		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+		if p.SkipFile(f) {
 			continue
 		}
 		for _, decl := range f.Decls {
@@ -131,47 +131,72 @@ func checkLockBody(p *Pass, body *ast.BlockStmt) {
 			}
 		}
 	}
-	// Pass 2: linear held-region scan of every statement list.
-	ast.Inspect(body, func(n ast.Node) bool {
-		var list []ast.Stmt
-		switch n := n.(type) {
-		case *ast.BlockStmt:
-			list = n.List
-		case *ast.CaseClause:
-			list = n.Body
-		case *ast.CommClause:
-			list = n.Body
-		default:
-			return true
-		}
-		for i, stmt := range list {
-			k, op := lockCall(p, stmt)
-			if op != "lock" || deferred[k] {
-				continue
+	// Pass 2: CFG held-region traversal from every non-deferred Lock,
+	// once per function body (closures get their own graphs).
+	for _, fb := range funcBodies(body) {
+		cfg := NewCFG(fb)
+		for _, bl := range cfg.Blocks {
+			for i, n := range bl.Nodes {
+				es, ok := n.(*ast.ExprStmt)
+				if !ok {
+					continue
+				}
+				k, op := lockCallExpr(p, es.X)
+				if op != "lock" || deferred[k] {
+					continue
+				}
+				scanHeldRegion(p, cfg, k, bl, i+1)
 			}
-			scanHeldRegion(p, k, list[i+1:])
 		}
-		return true
-	})
-}
-
-// scanHeldRegion walks the statements following a Lock until one of
-// them releases the same key, flagging blocking operations and
-// returns inside the held region.
-func scanHeldRegion(p *Pass, key string, rest []ast.Stmt) {
-	for _, stmt := range rest {
-		if stmtUnlocks(p, stmt, key) {
-			return
-		}
-		reportHeldViolations(p, key, stmt)
 	}
 }
 
-// stmtUnlocks reports whether the statement subtree (closures
+// scanHeldRegion follows every CFG path from just after a Lock until a
+// node releases the same key, flagging blocking operations, fan-out
+// boundaries and returns inside the held region. Each violating
+// position is reported once even when several paths reach it.
+func scanHeldRegion(p *Pass, cfg *CFG, key string, start *Block, idx int) {
+	type violation struct {
+		pos    token.Pos
+		format string
+	}
+	var found []violation
+	reported := map[token.Pos]bool{}
+	report := func(pos token.Pos, format string) {
+		if !reported[pos] {
+			reported[pos] = true
+			found = append(found, violation{pos, format})
+		}
+	}
+	seen := map[*Block]bool{}
+	var walk func(bl *Block, i int)
+	walk = func(bl *Block, i int) {
+		for ; i < len(bl.Nodes); i++ {
+			n := bl.Nodes[i]
+			if nodeUnlocks(p, n, key) {
+				return
+			}
+			collectHeldViolations(p, cfg, key, n, report)
+		}
+		for _, s := range bl.Succs {
+			if !seen[s] {
+				seen[s] = true
+				walk(s, 0)
+			}
+		}
+	}
+	walk(start, idx)
+	sort.Slice(found, func(i, j int) bool { return found[i].pos < found[j].pos })
+	for _, v := range found {
+		p.Reportf(v.pos, v.format, displayKey(key))
+	}
+}
+
+// nodeUnlocks reports whether the CFG node's subtree (closures
 // excluded) releases key, either directly or via defer.
-func stmtUnlocks(p *Pass, stmt ast.Stmt, key string) bool {
+func nodeUnlocks(p *Pass, node ast.Node, key string) bool {
 	found := false
-	ast.Inspect(stmt, func(n ast.Node) bool {
+	ast.Inspect(node, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
 			return false
@@ -185,34 +210,37 @@ func stmtUnlocks(p *Pass, stmt ast.Stmt, key string) bool {
 	return found
 }
 
-// reportHeldViolations flags blocking channel operations, fan-out
-// boundaries and returns inside one held-region statement. Select
-// statements are skipped wholesale (the select-with-default peek is
+// collectHeldViolations flags blocking channel operations, fan-out
+// boundaries and returns inside one held-region CFG node. Nodes lifted
+// out of a select are exempt (the select-with-default peek is
 // non-blocking; a select with a ctx.Done arm is bounded), as are
 // nested function literals and defers (they do not run while the lock
 // is held at this point).
-func reportHeldViolations(p *Pass, key string, stmt ast.Stmt) {
-	ast.Inspect(stmt, func(n ast.Node) bool {
+func collectHeldViolations(p *Pass, cfg *CFG, key string, node ast.Node, report func(token.Pos, string)) {
+	if cfg.InSelect(node) {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit, *ast.SelectStmt, *ast.DeferStmt:
 			return false
 		case *ast.SendStmt:
-			p.Reportf(n.Pos(), "channel send while %s is held", displayKey(key))
+			report(n.Pos(), "channel send while %s is held")
 		case *ast.UnaryExpr:
 			if n.Op.String() == "<-" {
-				p.Reportf(n.Pos(), "blocking channel receive while %s is held", displayKey(key))
+				report(n.Pos(), "blocking channel receive while %s is held")
 			}
 		case *ast.GoStmt:
-			p.Reportf(n.Pos(), "goroutine fan-out while %s is held", displayKey(key))
+			report(n.Pos(), "goroutine fan-out while %s is held")
 			return false
 		case *ast.CallExpr:
 			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
 				if isNamedType(p.TypeOf(sel.X), "sync", "WaitGroup") {
-					p.Reportf(n.Pos(), "WaitGroup.Wait while %s is held", displayKey(key))
+					report(n.Pos(), "WaitGroup.Wait while %s is held")
 				}
 			}
 		case *ast.ReturnStmt:
-			p.Reportf(n.Pos(), "return while %s is held (missing %s.Unlock on this path)", displayKey(key), displayKey(key))
+			report(n.Pos(), "return while %s is held (missing Unlock on this path)")
 		}
 		return true
 	})

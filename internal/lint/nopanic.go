@@ -22,6 +22,9 @@ func runNoPanic(p *Pass) error {
 		return nil
 	}
 	for _, f := range p.Files {
+		// nopanic is a library-code invariant; test files keep their
+		// panics/Fatals even under -tests, so the suffix check here is
+		// deliberate and unconditional.
 		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
 			continue
 		}

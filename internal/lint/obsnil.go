@@ -2,7 +2,6 @@ package lint
 
 import (
 	"go/ast"
-	"strings"
 )
 
 // obsPkg is the package whose constructor discipline ObsNil enforces.
@@ -44,7 +43,7 @@ func runObsNil(p *Pass) error {
 		return nil
 	}
 	for _, f := range p.Files {
-		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+		if p.SkipFile(f) {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {

@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// sampleDiags is a fixed diagnostic set for the serialization tests:
+// absolute paths under a fake root, out of order on purpose (Write*
+// receives them as Run sorted them, so the goldens record that order).
+func sampleDiags(root string) []Diagnostic {
+	return []Diagnostic{
+		{
+			Analyzer: "spanfinish",
+			Pos:      token.Position{Filename: filepath.Join(root, "internal", "server", "server.go"), Line: 42, Column: 2},
+			Message:  "span/trace is not ended on every path (missing sp.End/Finish on some return, or hand it off)",
+		},
+		{
+			Analyzer: "fsyncrename",
+			Pos:      token.Position{Filename: filepath.Join(root, "internal", "wal", "wal.go"), Line: 7, Column: 5},
+			Message:  "rename is never followed by a directory fsync (SyncDir) — the new entry may not survive a crash",
+		},
+	}
+}
+
+// golden compares got against testdata/output/<name>, failing with the
+// diff. Regenerate by deleting the file and re-running the test.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "output", name)
+	want, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote golden %s", path)
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestWriteJSONGolden(t *testing.T) {
+	root := string(filepath.Separator) + filepath.Join("fake", "module")
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, root, sampleDiags(root)); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "diags.json.golden", buf.Bytes())
+
+	// The output must round-trip as the baseline format.
+	if _, err := ReadBaseline(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("JSON output is not a valid baseline: %v", err)
+	}
+}
+
+func TestWriteJSONEmptyIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(bytes.TrimSpace(buf.Bytes())); got != "[]" {
+		t.Fatalf("empty diagnostics must encode as [], got %q", got)
+	}
+}
+
+func TestWriteSARIFGolden(t *testing.T) {
+	root := string(filepath.Separator) + filepath.Join("fake", "module")
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, root, sampleDiags(root)); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "diags.sarif.golden", buf.Bytes())
+}
+
+// TestSARIFStructure validates the emitted log against the slice of
+// the SARIF 2.1.0 contract the CI code-scanning upload relies on.
+func TestSARIFStructure(t *testing.T) {
+	root := string(filepath.Separator) + filepath.Join("fake", "module")
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, root, sampleDiags(root)); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if log.Schema != sarifSchemaURI {
+		t.Errorf("$schema = %q", log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "semjoinlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if want := len(All) + 1; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("rules = %d, want %d (every analyzer plus allowcheck)", len(run.Tool.Driver.Rules), want)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has no shortDescription", r.ID)
+		}
+		ruleIDs[r.ID] = true
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	for _, res := range run.Results {
+		if !ruleIDs[res.RuleID] {
+			t.Errorf("result references unknown rule %q", res.RuleID)
+		}
+		if res.Level != "error" {
+			t.Errorf("level = %q, want error", res.Level)
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("locations = %d, want 1", len(res.Locations))
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if filepath.IsAbs(loc.ArtifactLocation.URI) {
+			t.Errorf("artifact URI %q must be root-relative", loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine == 0 {
+			t.Error("startLine missing")
+		}
+	}
+}
+
+func TestBaselineFilter(t *testing.T) {
+	root := string(filepath.Separator) + filepath.Join("fake", "module")
+	old := sampleDiags(root)
+
+	// Record the current findings as the baseline.
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, root, old); err != nil {
+		t.Fatal(err)
+	}
+	base, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Direction 1: the recorded findings are fully absorbed.
+	if got := base.Filter(root, old); len(got) != 0 {
+		t.Fatalf("baseline did not absorb its own findings: %v", got)
+	}
+
+	// Direction 2: a new finding — and a third copy of a recorded
+	// shape beyond its count — both survive.
+	injected := Diagnostic{
+		Analyzer: "walorder",
+		Pos:      token.Position{Filename: filepath.Join(root, "internal", "core", "durable.go"), Line: 100, Column: 3},
+		Message:  "in-memory apply precedes the WAL Append (log-then-apply: a crash here loses the update)",
+	}
+	dup := old[0] // same (file, analyzer, message) as a baselined entry
+	got := base.Filter(root, append(append([]Diagnostic{}, old...), injected, dup))
+	if len(got) != 2 {
+		t.Fatalf("got %d surviving diagnostics, want 2 (the injected one and the over-count duplicate): %v", len(got), got)
+	}
+	found := map[string]bool{}
+	for _, d := range got {
+		found[d.Analyzer] = true
+	}
+	if !found["walorder"] || !found[dup.Analyzer] {
+		t.Fatalf("surviving set wrong: %v", got)
+	}
+
+	// Line moves do not resurrect baselined findings: the key is
+	// (file, analyzer, message), not position.
+	moved := old[1]
+	moved.Pos.Line += 37
+	if got := base.Filter(root, []Diagnostic{moved}); len(got) != 0 {
+		t.Fatalf("line shift resurrected a baselined finding: %v", got)
+	}
+
+	// A nil baseline passes everything through.
+	var none *Baseline
+	if got := none.Filter(root, old); len(got) != len(old) {
+		t.Fatal("nil baseline must be a no-op")
+	}
+}
+
+func TestReadBaselineFileErrors(t *testing.T) {
+	if _, err := ReadBaselineFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing baseline file must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaselineFile(bad); err == nil {
+		t.Fatal("malformed baseline file must error")
+	}
+}

@@ -9,6 +9,10 @@ var All = []*Analyzer{
 	LockOrder,
 	CtxLoop,
 	ObsNil,
+	SpanFinish,
+	WalOrder,
+	FsyncRename,
+	BatchSel,
 }
 
 // ByName returns the analyzer with the given name, or nil.

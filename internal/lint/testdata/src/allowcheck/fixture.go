@@ -1,0 +1,48 @@
+// Package fixture exercises //lint:allow directive handling: line and
+// line-above coverage, function-doc coverage of multi-line statements,
+// and the allowcheck hygiene pass (unknown analyzers, stale
+// directives).
+package fixture
+
+// Line-level directive on the offending line: used, not stale.
+func trailing() {
+	panic("boom") //lint:allow nopanic fixture: designed trap
+}
+
+// Directive on the line above the offending one: used, not stale.
+func above() {
+	//lint:allow nopanic fixture: designed trap
+	panic("boom")
+}
+
+// A function-doc directive covers the whole function body — here the
+// panic sits deep inside a multi-line composite literal, far from both
+// the doc comment's line and the function's first line, where a
+// line-scoped directive could never reach it.
+//
+//lint:allow nopanic fixture: registry construction is init-time only
+func multiLine() map[string]func() {
+	return map[string]func(){
+		"a": func() {
+			panic("deep inside a multi-line statement")
+		},
+	}
+}
+
+// The directive names an analyzer that does not exist: it suppresses
+// nothing and allowcheck must say so.
+func typoed() {
+	x := 1 //lint:allow nopanics fixture: typo, should be reported
+	_ = x
+}
+
+// The violation this directive once excused is gone: stale.
+func fixedLongAgo() {
+	y := 2 //lint:allow nopanic fixture: the panic here was removed
+	_ = y
+}
+
+// A stale function-doc directive: nothing in the body trips nopanic.
+//
+//lint:allow nopanic fixture: body no longer panics
+func cleanBody() int { return 3 }

@@ -1,0 +1,129 @@
+// Package fixture exercises the fsyncrename analyzer: temp-file
+// publishes must follow write → file fsync → rename → directory fsync.
+package fixture
+
+import (
+	"bufio"
+
+	"semjoin/internal/wal"
+)
+
+// The PR-9 regression shape: the snapshot temp file is renamed into
+// place without ever being fsynced; a crash after the rename leaves a
+// published name with unstable content.
+func publishUnsynced(fs wal.FS, dir string, data []byte) error {
+	tmp := dir + "/snap.tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	f.Close()
+	if err := fs.Rename(tmp, dir+"/snap.bin"); err != nil { // want "before the file is fsynced"
+		return err
+	}
+	return fs.SyncDir(dir)
+}
+
+// Sync on one branch only: the fast path renames unsynced content.
+func syncOnOneBranch(fs wal.FS, dir string, data []byte, fast bool) error {
+	tmp := dir + "/seg.tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	f.Write(data)
+	if !fast {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	f.Close()
+	if err := fs.Rename(tmp, dir+"/seg"); err != nil { // want "before the file is fsynced"
+		return err
+	}
+	return fs.SyncDir(dir)
+}
+
+// Flush is buffered I/O, not durability: a bufio Flush does not stand
+// in for the file's own Sync.
+func flushIsNotSync(fs wal.FS, dir string, data []byte) error {
+	tmp := dir + "/idx.tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	w.Write(data)
+	w.Flush()
+	f.Close()
+	if err := fs.Rename(tmp, dir+"/idx"); err != nil { // want "before the file is fsynced"
+		return err
+	}
+	return fs.SyncDir(dir)
+}
+
+// The rename lands but no SyncDir ever follows: the directory entry
+// itself is not durable.
+func publishNoDirSync(fs wal.FS, dir string, data []byte) error {
+	tmp := dir + "/meta.tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	f.Write(data)
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	f.Close()
+	return fs.Rename(tmp, dir+"/meta") // want "never followed by a directory fsync"
+}
+
+// -------- compliant shapes --------
+
+// The full checkpoint protocol: write → Sync → Close → Rename →
+// SyncDir, with error returns between the steps.
+func publishProtocol(fs wal.FS, dir string, data []byte) error {
+	tmp := dir + "/snap2.tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, dir+"/snap2.bin"); err != nil {
+		return err
+	}
+	return fs.SyncDir(dir)
+}
+
+// A store wrapper named Rename is the protocol's building block, not a
+// violation of it.
+type wrapped struct{ fs wal.FS }
+
+func (w *wrapped) Rename(oldname, newname string) error {
+	return w.fs.Rename(oldname, newname)
+}
+
+// Renames with no tracked temp-file write in scope only owe the
+// directory sync.
+func retireSegment(fs wal.FS, dir, oldName, newName string) error {
+	if err := fs.Rename(dir+"/"+oldName, dir+"/"+newName); err != nil {
+		return err
+	}
+	return fs.SyncDir(dir)
+}

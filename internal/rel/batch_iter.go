@@ -278,7 +278,7 @@ func (k *batcherKernel) next(o *batchOp) (*Batch, error) {
 	b := NewBatch(o.schema)
 	child := o.rowKids[0]
 	for b.Rows() < k.size {
-		t, err := child.Next()
+		t, err := child.Next() //lint:allow batchsel batcherKernel is the designed row-to-batch bridge; NewBatcher exists to wrap row-only operators
 		if err != nil {
 			return nil, err
 		}

@@ -87,6 +87,7 @@ func TestUnionArityMismatchError(t *testing.T) {
 		t.Fatal("expected arity mismatch error")
 	}
 	it := NewUnion(NewScan(a), NewScan(b))
+	defer it.Close()
 	if err := it.Open(context.Background()); err == nil {
 		t.Fatal("iterator Open should surface the arity mismatch")
 	} else if !strings.Contains(err.Error(), "arity mismatch") {
@@ -253,5 +254,8 @@ func TestKernelFailureClosesChildren(t *testing.T) {
 	}
 	if child.opens != 1 || child.closes != 1 {
 		t.Fatalf("child: opens=%d closes=%d, want 1/1", child.opens, child.closes)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatalf("Close after failed Open: %v", err)
 	}
 }
